@@ -1,0 +1,85 @@
+// E4 — Gaussian elimination timings: size sweep, cyclic vs blocked
+// embedding, and speedup over the 1-processor run of the same code (the
+// exact serial charge of this algorithm under the same cost model).
+//
+// Counters:
+//   sim_us        simulated factor time on p processors
+//   sim_serial_us simulated factor time of the same code on 1 processor
+//   speedup       sim_serial_us / sim_us
+//   efficiency    speedup / p
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+double serial_charge(const HostMatrix& H) {
+  Cube cube(0, CostParams::cm2());
+  Grid grid(cube, 0, 0);
+  DistMatrix<double> A(grid, H.nrows(), H.ncols(), MatrixLayout::cyclic());
+  A.load(H.data());
+  cube.clock().reset();
+  const DistLuResult lu = lu_factor(A);
+  (void)lu;
+  return cube.clock().now_us();
+}
+
+void BM_Factor(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const MatrixLayout layout =
+      state.range(2) == 0 ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const HostMatrix H = diag_dominant_matrix(n, 41);
+  const double serial_us = serial_charge(H);
+
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  double sim = 0;
+  for (auto _ : state) {
+    DistMatrix<double> A(grid, n, n, layout);
+    A.load(H.data());
+    cube.clock().reset();
+    benchmark::DoNotOptimize(lu_factor(A));
+    sim = cube.clock().now_us();
+  }
+  state.counters["sim_us"] = sim;
+  state.counters["sim_serial_us"] = serial_us;
+  state.counters["speedup"] = serial_us / sim;
+  state.counters["efficiency"] = serial_us / sim / cube.procs();
+  state.SetLabel(state.range(2) == 0 ? "cyclic" : "blocked");
+}
+
+void BM_FactorAndSolve(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const HostMatrix H = diag_dominant_matrix(n, 42);
+  const std::vector<double> b = random_vector(n, 43);
+
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  double t_factor = 0, t_solve = 0;
+  for (auto _ : state) {
+    DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+    A.load(H.data());
+    cube.clock().reset();
+    const DistLuResult lu = lu_factor(A);
+    t_factor = cube.clock().now_us();
+    benchmark::DoNotOptimize(lu_solve(A, lu, b));
+    t_solve = cube.clock().now_us() - t_factor;
+  }
+  state.counters["sim_factor_us"] = t_factor;
+  state.counters["sim_solve_us"] = t_solve;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Factor)
+    ->ArgsProduct({{4, 6, 8}, {32, 64, 128, 256}, {0, 1}})
+    ->Iterations(1);
+BENCHMARK(BM_FactorAndSolve)
+    ->ArgsProduct({{6}, {32, 64, 128, 256}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E3 — vector-matrix multiply timings: primitive-composed vs fused, under
+// CM-2-like and iPSC-like cost models.
+//
+// Counters:
+//   sim_composed_us  distribute → hadamard → reduce
+//   sim_fused_us     local multiply-accumulate + all-reduce
+//   composed_over_fused   overhead factor of the literal composition
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+CostParams preset(std::int64_t which) {
+  return which == 0 ? CostParams::cm2() : CostParams::ipsc();
+}
+
+void BM_MatvecForms(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Cube cube(d, preset(state.range(2)));
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, n, n);
+  A.load(random_matrix(n, n, 31));
+  DistVector<double> x(grid, n, Align::Cols);
+  x.load(random_vector(n, 32));
+
+  double composed = 0, fused = 0;
+  for (auto _ : state) {
+    cube.clock().reset();
+    benchmark::DoNotOptimize(matvec(A, x));
+    composed = cube.clock().now_us();
+    cube.clock().reset();
+    benchmark::DoNotOptimize(matvec_fused(A, x));
+    fused = cube.clock().now_us();
+  }
+  state.counters["sim_composed_us"] = composed;
+  state.counters["sim_fused_us"] = fused;
+  state.counters["composed_over_fused"] = composed / fused;
+  state.SetLabel(cube.costs().name);
+}
+
+void BM_VecmatForms(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Cube cube(d, preset(state.range(2)));
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, n, n);
+  A.load(random_matrix(n, n, 33));
+  DistVector<double> x(grid, n, Align::Rows);
+  x.load(random_vector(n, 34));
+
+  double composed = 0, fused = 0;
+  for (auto _ : state) {
+    cube.clock().reset();
+    benchmark::DoNotOptimize(vecmat(x, A));
+    composed = cube.clock().now_us();
+    cube.clock().reset();
+    benchmark::DoNotOptimize(vecmat_fused(x, A));
+    fused = cube.clock().now_us();
+  }
+  state.counters["sim_composed_us"] = composed;
+  state.counters["sim_fused_us"] = fused;
+  state.counters["composed_over_fused"] = composed / fused;
+  state.SetLabel(cube.costs().name);
+}
+
+const std::vector<std::vector<std::int64_t>> kSweep = {
+    {4, 6, 8},            // processors
+    {64, 256, 1024},      // extent
+    {0, 1}                // cost preset: cm2 / ipsc
+};
+
+}  // namespace
+
+BENCHMARK(BM_MatvecForms)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_VecmatForms)->ArgsProduct(kSweep)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E2 — naive general-router implementations vs the optimized primitives:
+// the paper's "almost an order of magnitude" claim.
+//
+// Counters:
+//   sim_naive_us  simulated time of the router-based implementation
+//   sim_fast_us   simulated time of the primitive implementation
+//   speedup       sim_naive_us / sim_fast_us (the paper's headline column)
+//   router_hops   packet-hops pushed through the general router
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+struct Fixture {
+  Fixture(int d, std::size_t n)
+      : cube(d, CostParams::cm2()),
+        grid(Grid::square(cube)),
+        A(grid, n, n),
+        lin(grid, n, Align::Linear),
+        cols(grid, n, Align::Cols) {
+    A.load(random_matrix(n, n, 21));
+    const std::vector<double> hv = random_vector(n, 22);
+    lin.load(hv);
+    cols.load(hv);
+  }
+  Cube cube;
+  Grid grid;
+  DistMatrix<double> A;
+  DistVector<double> lin, cols;
+};
+
+void report(benchmark::State& state, double naive_us, double fast_us,
+            double hops) {
+  state.counters["sim_naive_us"] = naive_us;
+  state.counters["sim_fast_us"] = fast_us;
+  state.counters["speedup"] = naive_us / fast_us;
+  state.counters["router_hops"] = hops;
+}
+
+void BM_Distribute(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  double naive_us = 0, fast_us = 0, hops = 0;
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(naive_distribute_rows(f.lin, n));
+    naive_us = f.cube.clock().now_us();
+    hops = static_cast<double>(f.cube.clock().stats().router_hops);
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(distribute_rows(f.cols, n));
+    fast_us = f.cube.clock().now_us();
+  }
+  report(state, naive_us, fast_us, hops);
+}
+
+void BM_Reduce(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  double naive_us = 0, fast_us = 0, hops = 0;
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(naive_reduce_cols_sum(f.A));
+    naive_us = f.cube.clock().now_us();
+    hops = static_cast<double>(f.cube.clock().stats().router_hops);
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(reduce_cols(f.A, Plus<double>{}));
+    fast_us = f.cube.clock().now_us();
+  }
+  report(state, naive_us, fast_us, hops);
+}
+
+void BM_ExtractRow(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  double naive_us = 0, fast_us = 0, hops = 0;
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(naive_extract_row(f.A, n / 2));
+    naive_us = f.cube.clock().now_us();
+    hops = static_cast<double>(f.cube.clock().stats().router_hops);
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(extract_row(f.A, n / 2));
+    fast_us = f.cube.clock().now_us();
+  }
+  report(state, naive_us, fast_us, hops);
+}
+
+void BM_Matvec(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  double naive_us = 0, fast_us = 0, hops = 0;
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(naive_matvec(f.A, f.lin));
+    naive_us = f.cube.clock().now_us();
+    hops = static_cast<double>(f.cube.clock().stats().router_hops);
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(matvec(f.A, f.cols));
+    fast_us = f.cube.clock().now_us();
+  }
+  report(state, naive_us, fast_us, hops);
+}
+
+// Application level: the whole Gaussian elimination, naive primitives vs
+// optimized primitives — the paper's actual order-of-magnitude claim.
+void BM_GaussApplication(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  const HostMatrix H = diag_dominant_matrix(n, 23);
+  double naive_us = 0, fast_us = 0;
+  for (auto _ : state) {
+    DistMatrix<double> A1(grid, n, n, MatrixLayout::cyclic());
+    A1.load(H.data());
+    cube.clock().reset();
+    benchmark::DoNotOptimize(lu_factor_naive(A1));
+    naive_us = cube.clock().now_us();
+
+    DistMatrix<double> A2(grid, n, n, MatrixLayout::cyclic());
+    A2.load(H.data());
+    cube.clock().reset();
+    benchmark::DoNotOptimize(lu_factor(A2));
+    fast_us = cube.clock().now_us();
+  }
+  report(state, naive_us, fast_us, 0.0);
+}
+
+const std::vector<std::vector<std::int64_t>> kSweep = {
+    {4, 6},        // 16 and 64 processors (router simulation is expensive)
+    {32, 64, 128}  // matrix extent
+};
+
+}  // namespace
+
+BENCHMARK(BM_GaussApplication)
+    ->ArgsProduct({{4, 6}, {16, 32, 64}})
+    ->Iterations(1);
+
+BENCHMARK(BM_Distribute)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_Reduce)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_ExtractRow)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_Matvec)->ArgsProduct(kSweep)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// E1 — "Connection Machine timings for the primitives".
+//
+// Simulated machine time for each of the four primitives over matrix sizes
+// and cube dimensions (CM-2-flavoured cost model).  Counters:
+//   sim_us         simulated time of one primitive call
+//   elems_per_proc m/p, the load-balance unit the costs should track
+//   comm_steps     lockstep communication rounds (the τ count)
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+struct Fixture {
+  Fixture(int d, std::size_t n)
+      : cube(d, CostParams::cm2()),
+        grid(Grid::square(cube)),
+        A(grid, n, n),
+        v(grid, n, Align::Cols),
+        w(grid, n, Align::Rows) {
+    A.load(random_matrix(n, n, 11));
+    v.load(random_vector(n, 12));
+    w.load(random_vector(n, 13));
+  }
+  Cube cube;
+  Grid grid;
+  DistMatrix<double> A;
+  DistVector<double> v, w;
+};
+
+void finish(benchmark::State& state, Cube& cube, std::size_t n) {
+  state.counters["sim_us"] = cube.clock().now_us();
+  state.counters["elems_per_proc"] =
+      static_cast<double>(n * n) / cube.procs();
+  state.counters["comm_steps"] =
+      static_cast<double>(cube.clock().stats().comm_steps);
+}
+
+void BM_Reduce(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(reduce_rows(f.A, Plus<double>{}));
+  }
+  finish(state, f.cube, static_cast<std::size_t>(state.range(1)));
+}
+
+void BM_Distribute(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(distribute_rows(f.v, n));
+  }
+  finish(state, f.cube, n);
+}
+
+void BM_Extract(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(extract_row(f.A, n / 2));
+  }
+  finish(state, f.cube, n);
+}
+
+void BM_Insert(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    insert_row(f.A, n / 2, f.v);
+  }
+  finish(state, f.cube, n);
+}
+
+void BM_ExtractCol(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(extract_col(f.A, n / 2));
+  }
+  finish(state, f.cube, n);
+}
+
+void BM_ReduceCols(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    f.cube.clock().reset();
+    benchmark::DoNotOptimize(reduce_cols(f.A, Plus<double>{}));
+  }
+  finish(state, f.cube, static_cast<std::size_t>(state.range(1)));
+}
+
+const std::vector<std::vector<std::int64_t>> kSweep = {
+    {4, 6, 8, 10},          // cube dimension (16..1024 processors)
+    {64, 128, 256, 512, 1024}  // square matrix extent
+};
+
+}  // namespace
+
+BENCHMARK(BM_Reduce)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_ReduceCols)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_Distribute)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_Extract)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_ExtractCol)->ArgsProduct(kSweep)->Iterations(1);
+BENCHMARK(BM_Insert)->ArgsProduct(kSweep)->Iterations(1);
+
+BENCHMARK_MAIN();

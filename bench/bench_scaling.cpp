@@ -1,0 +1,87 @@
+// E6 — the optimality claim: for m > p·lg p the processor-time product of
+// the primitives is within a constant factor of the serial work, and the
+// parallel time is within a constant of m/p + lg p.
+//
+// Fixed matrix, sweep the machine size through and past the m = p·lg p
+// boundary.  Counters:
+//   m_over_plgp    m / (p·lg p): > 1 inside the optimal regime
+//   sim_us         simulated reduce time
+//   pT_over_serial (p·sim) / (m·t_a) — flattens to a constant for
+//                  m > p·lg p, grows once start-ups dominate
+//   T_over_ideal   sim / (m/p·t_a + lg p·τ)
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+void BM_ReduceScaling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const std::size_t m = n * n;
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, n, n);
+  A.load(random_matrix(n, n, 61));
+
+  double sim = 0;
+  for (auto _ : state) {
+    cube.clock().reset();
+    benchmark::DoNotOptimize(reduce_rows(A, Plus<double>{}));
+    sim = cube.clock().now_us();
+  }
+  const double p = cube.procs();
+  const double lgp = std::max(1.0, static_cast<double>(d));
+  const CostParams& cp = cube.costs();
+  const double serial = static_cast<double>(m) * cp.flop_us;
+  const double ideal =
+      static_cast<double>(m) / p * cp.flop_us + lgp * cp.startup_us;
+  state.counters["m_over_plgp"] = static_cast<double>(m) / (p * lgp);
+  state.counters["sim_us"] = sim;
+  state.counters["pT_over_serial"] = p * sim / serial;
+  state.counters["T_over_ideal"] = sim / ideal;
+}
+
+void BM_MatvecScaling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const std::size_t m = n * n;
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, n, n);
+  A.load(random_matrix(n, n, 62));
+  DistVector<double> x(grid, n, Align::Cols);
+  x.load(random_vector(n, 63));
+
+  double sim = 0;
+  for (auto _ : state) {
+    cube.clock().reset();
+    benchmark::DoNotOptimize(matvec_fused(A, x));
+    sim = cube.clock().now_us();
+  }
+  const double p = cube.procs();
+  const double lgp = std::max(1.0, static_cast<double>(d));
+  const double serial = 2.0 * static_cast<double>(m) * cube.costs().flop_us;
+  state.counters["m_over_plgp"] = static_cast<double>(m) / (p * lgp);
+  state.counters["sim_us"] = sim;
+  state.counters["pT_over_serial"] = p * sim / serial;
+}
+
+}  // namespace
+
+// Fixed m = 256² = 65536, p from 1 to 4096: the m = p·lg p knee sits
+// around d = 12 (4096·12 ≈ 49k); the ratio columns show the regime change.
+BENCHMARK(BM_ReduceScaling)
+    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {256}})
+    ->Iterations(1);
+// And a smaller matrix, m = 64² = 4096, where the knee is at d ≈ 9.
+BENCHMARK(BM_ReduceScaling)
+    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {64}})
+    ->Iterations(1);
+BENCHMARK(BM_MatvecScaling)
+    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {256}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E5 — simplex timings: LP size sweep, total and per-pivot simulated time,
+// speedup over the 1-processor run of the same code, and the Klee–Minty
+// stress case.
+//
+// Counters:
+//   pivots          simplex iterations to optimality
+//   sim_us          total simulated time on p processors
+//   sim_per_pivot   simulated time per pivot
+//   speedup         1-processor charge / p-processor charge
+#include <benchmark/benchmark.h>
+
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+double serial_charge(const LpProblem& lp) {
+  Cube cube(0, CostParams::cm2());
+  Grid grid(cube, 0, 0);
+  cube.clock().reset();
+  const LpSolution s = simplex_solve(grid, lp);
+  (void)s;
+  return cube.clock().now_us();
+}
+
+void BM_RandomLp(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const std::size_t nv = (m * 3) / 4;
+  const LpProblem lp = random_feasible_lp(m, nv, 51);
+  const double serial_us = serial_charge(lp);
+
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  double sim = 0;
+  LpSolution sol;
+  for (auto _ : state) {
+    cube.clock().reset();
+    sol = simplex_solve(grid, lp);
+    sim = cube.clock().now_us();
+  }
+  state.counters["pivots"] = static_cast<double>(sol.iterations);
+  state.counters["sim_us"] = sim;
+  state.counters["sim_per_pivot"] =
+      sim / static_cast<double>(std::max<std::size_t>(1, sol.iterations));
+  state.counters["speedup"] = serial_us / sim;
+  state.SetLabel(to_string(sol.status));
+}
+
+void BM_Phase1Lp(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const LpProblem lp = random_phase1_lp(m, m / 2, 52);
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  double sim = 0;
+  LpSolution sol;
+  for (auto _ : state) {
+    cube.clock().reset();
+    sol = simplex_solve(grid, lp);
+    sim = cube.clock().now_us();
+  }
+  state.counters["pivots"] = static_cast<double>(sol.iterations);
+  state.counters["phase1_pivots"] =
+      static_cast<double>(sol.phase1_iterations);
+  state.counters["sim_us"] = sim;
+  state.SetLabel(to_string(sol.status));
+}
+
+void BM_KleeMinty(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const LpProblem lp = klee_minty(dim);
+  Cube cube(6, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  double sim = 0;
+  LpSolution sol;
+  for (auto _ : state) {
+    cube.clock().reset();
+    sol = simplex_solve(grid, lp);
+    sim = cube.clock().now_us();
+  }
+  state.counters["pivots"] = static_cast<double>(sol.iterations);
+  state.counters["sim_us"] = sim;
+  state.SetLabel(to_string(sol.status));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RandomLp)
+    ->ArgsProduct({{4, 6, 8}, {16, 32, 64, 128}})
+    ->Iterations(1);
+BENCHMARK(BM_Phase1Lp)->ArgsProduct({{6}, {16, 32, 64}})->Iterations(1);
+BENCHMARK(BM_KleeMinty)->DenseRange(3, 8)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Example: dominant eigenvalue by power iteration — a composition of the
+// primitive-built matrix-vector product with distributed vector operations
+// (dot, scale), showing the primitives as a reusable vocabulary rather
+// than a fixed pipeline.
+//
+//   ./build/examples/power_iteration [n] [cube_dim]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "vmprim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmp;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+
+  // Symmetric positive matrix with a planted dominant eigenpair:
+  // A = 0.1·R + lambda·u·uᵀ with ||u|| = 1.
+  SplitMix64 rng(42);
+  const double lambda = 25.0;
+  std::vector<double> u(n);
+  double norm = 0.0;
+  for (double& x : u) {
+    x = rng.uniform(-1.0, 1.0);
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  for (double& x : u) x /= norm;
+  std::vector<double> host(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double r = 0.1 * rng.uniform(-1.0, 1.0);
+      host[i * n + j] = host[j * n + i] = r + lambda * u[i] * u[j];
+    }
+
+  DistMatrix<double> A(grid, n, n);
+  A.load(host);
+
+  // Start vector, Cols-aligned so matvec can consume it directly.
+  DistVector<double> x(grid, n, Align::Cols);
+  {
+    std::vector<double> x0(n, 1.0);
+    x.load(x0);
+  }
+
+  std::printf("power iteration on a %zux%zu matrix, %u processors\n", n, n,
+              cube.procs());
+  cube.clock().reset();
+  double estimate = 0.0;
+  int iters = 0;
+  for (; iters < 200; ++iters) {
+    // y = A x (Rows-aligned), then re-embed for the next round.
+    const DistVector<double> y = matvec_fused(A, x);
+    const double nrm = std::sqrt(dot(y, y));
+    DistVector<double> xnext = realign(y, Align::Cols);
+    vec_scale(xnext, 1.0 / nrm);
+    // Rayleigh quotient: xᵀAx with the normalized iterate.
+    const DistVector<double> Ax = matvec_fused(A, xnext);
+    const DistVector<double> xr = realign(xnext, Align::Rows);
+    const double next = dot(xr, Ax);
+    const bool done = std::abs(next - estimate) < 1e-10 * std::abs(next);
+    estimate = next;
+    x = std::move(xnext);
+    if (done) break;
+  }
+  std::printf("  converged in %d iterations: lambda_max ~ %.6f "
+              "(planted %.1f + O(0.1) noise)\n",
+              iters + 1, estimate, lambda);
+  std::printf("  simulated time: %.1f us total\n", cube.clock().now_us());
+  return 0;
+}

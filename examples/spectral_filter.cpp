@@ -1,0 +1,65 @@
+// Example: spectral low-pass filtering with the distributed FFT — the
+// signal-processing workload the Boolean cube's butterfly emulation was
+// built for.  A noisy two-tone signal is transformed, the noise band
+// zeroed, and the inverse transform recovers the clean tones.
+//
+//   ./build/examples/spectral_filter [log2_n] [cube_dim]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+
+#include "vmprim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmp;
+  const int logn = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 6;
+  const std::size_t n = std::size_t{1} << logn;
+
+  Cube cube(d, CostParams::cm2());
+  Grid grid = Grid::square(cube);
+  std::printf("spectral filter: %zu samples on %u processors\n", n,
+              cube.procs());
+
+  // Two clean tones + broadband noise.
+  SplitMix64 rng(99);
+  std::vector<cplx> signal(n);
+  std::vector<double> clean(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    const double t = static_cast<double>(g) / static_cast<double>(n);
+    clean[g] = std::sin(2 * std::numbers::pi * 3 * t) +
+               0.5 * std::sin(2 * std::numbers::pi * 7 * t);
+    signal[g] = {clean[g] + 0.4 * rng.uniform(-1.0, 1.0), 0.0};
+  }
+
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(signal);
+
+  cube.clock().reset();
+  fft(v);
+  // Keep only the 16 lowest (and mirrored highest) frequency bins.
+  const std::size_t cutoff = 16;
+  vec_apply_indexed(v, [&](cplx x, std::size_t k) {
+    const bool keep = k < cutoff || k >= n - cutoff;
+    return keep ? x : cplx{0, 0};
+  });
+  ifft(v);
+  const double t_total = cube.clock().now_us();
+
+  // Filtered output should track the clean tones far better than the
+  // noisy input did.
+  const std::vector<cplx> out = v.to_host();
+  double err_in = 0, err_out = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    err_in += std::pow(signal[g].real() - clean[g], 2);
+    err_out += std::pow(out[g].real() - clean[g], 2);
+  }
+  err_in = std::sqrt(err_in / static_cast<double>(n));
+  err_out = std::sqrt(err_out / static_cast<double>(n));
+  std::printf("  rms error vs clean tones: %.4f noisy -> %.4f filtered "
+              "(%.1fx better)\n",
+              err_in, err_out, err_in / err_out);
+  std::printf("  simulated time: %.1f us (fft + mask + ifft)\n", t_total);
+  return err_out < err_in ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+#include "algorithms/cg.hpp"
+
+#include <cmath>
+
+#include "algorithms/matvec.hpp"
+#include "core/vector_ops.hpp"
+#include "embed/realign.hpp"
+
+namespace vmp {
+
+CgResult conjugate_gradient(const DistMatrix<double>& A,
+                            std::span<const double> b, CgOptions opts) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "CG needs a square (SPD) matrix");
+  const std::size_t n = A.nrows();
+  VMP_REQUIRE(b.size() == n, "rhs length mismatch");
+  Grid& grid = A.grid();
+  const Part cpart = A.layout().cols;
+  const std::size_t max_iters = opts.max_iters == 0 ? n : opts.max_iters;
+
+  // x, r, p all live Cols-aligned; A·p comes back Rows-aligned and is
+  // realigned once per iteration (a charged embedding change).
+  DistVector<double> x(grid, n, Align::Cols, cpart);
+  DistVector<double> r(grid, n, Align::Cols, cpart);
+  r.load(b);
+  DistVector<double> p = r;
+
+  const double b2 = dot(r, r);
+  CgResult out;
+  if (b2 == 0.0) {
+    out.x.assign(n, 0.0);
+    out.converged = true;
+    return out;
+  }
+  double rs = b2;
+  const double target2 = opts.tol * opts.tol * b2;
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const DistVector<double> Ap_rows = matvec_fused(A, p);
+    const DistVector<double> Ap = realign(Ap_rows, Align::Cols, cpart);
+    const double pAp = dot(p, Ap);
+    VMP_REQUIRE(pAp > 0.0, "matrix is not positive definite");
+    const double alpha = rs / pAp;
+    vec_axpy(x, alpha, p);
+    vec_axpy(r, -alpha, Ap);
+    const double rs_next = dot(r, r);
+    out.iterations = it + 1;
+    if (rs_next <= target2) {
+      rs = rs_next;
+      out.converged = true;
+      break;
+    }
+    const double beta = rs_next / rs;
+    rs = rs_next;
+    // p = r + beta·p
+    vec_scale(p, beta);
+    vec_axpy(p, 1.0, r);
+  }
+  out.residual_norm = std::sqrt(rs);
+  out.x = x.to_host();
+  return out;
+}
+
+DistVector<double> extract_diagonal(const DistMatrix<double>& A) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "diagonal of a square matrix only");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<double> diag(grid, A.ncols(), Align::Cols, A.layout().cols);
+  const std::size_t max_piece = (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  cube.compute(max_piece, A.ncols(), [&](proc_t q) {
+    const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
+    const std::size_t lcn = A.lcols(q);
+    const std::span<const double> blk = A.block(q);
+    std::vector<double>& piece = diag.data().vec(q);
+    std::fill(piece.begin(), piece.end(), 0.0);
+    for (std::size_t lc = 0; lc < lcn; ++lc) {
+      const std::size_t j = A.colmap().global(C, lc);
+      if (A.rowmap().owner(j) != R) continue;  // diagonal not in my block
+      piece[lc] = blk[A.rowmap().local(j) * lcn + lc];
+    }
+  });
+  // Each column's diagonal entry exists on exactly one grid row: a sum
+  // all-reduce replicates it to the rest.
+  allreduce_auto(cube, diag.data(), grid.within_col(), Plus<double>{});
+  return diag;
+}
+
+CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
+                                   std::span<const double> b, CgOptions opts) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "CG needs a square (SPD) matrix");
+  const std::size_t n = A.nrows();
+  VMP_REQUIRE(b.size() == n, "rhs length mismatch");
+  Grid& grid = A.grid();
+  const Part cpart = A.layout().cols;
+  const std::size_t max_iters = opts.max_iters == 0 ? n : opts.max_iters;
+
+  DistVector<double> invdiag = extract_diagonal(A);
+  vec_apply(invdiag, [](double x) {
+    VMP_REQUIRE(x > 0.0, "Jacobi preconditioner needs a positive diagonal");
+    return 1.0 / x;
+  });
+
+  DistVector<double> x(grid, n, Align::Cols, cpart);
+  DistVector<double> r(grid, n, Align::Cols, cpart);
+  r.load(b);
+  DistVector<double> z = r;
+  vec_zip(z, invdiag, [](double a, double m) { return a * m; });
+  DistVector<double> p = z;
+
+  const double b2 = dot(r, r);
+  CgResult out;
+  if (b2 == 0.0) {
+    out.x.assign(n, 0.0);
+    out.converged = true;
+    return out;
+  }
+  double rz = dot(r, z);
+  const double target2 = opts.tol * opts.tol * b2;
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const DistVector<double> Ap_rows = matvec_fused(A, p);
+    const DistVector<double> Ap = realign(Ap_rows, Align::Cols, cpart);
+    const double pAp = dot(p, Ap);
+    VMP_REQUIRE(pAp > 0.0, "matrix is not positive definite");
+    const double alpha = rz / pAp;
+    vec_axpy(x, alpha, p);
+    vec_axpy(r, -alpha, Ap);
+    const double rr = dot(r, r);
+    out.iterations = it + 1;
+    if (rr <= target2) {
+      out.residual_norm = std::sqrt(rr);
+      out.converged = true;
+      out.x = x.to_host();
+      return out;
+    }
+    z = r;
+    vec_zip(z, invdiag, [](double a, double m) { return a * m; });
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    vec_scale(p, beta);
+    vec_axpy(p, 1.0, z);
+  }
+  out.residual_norm = std::sqrt(dot(r, r));
+  out.x = x.to_host();
+  return out;
+}
+
+}  // namespace vmp

@@ -1,0 +1,120 @@
+#include "algorithms/fft.hpp"
+
+#include <numbers>
+
+#include "core/permute.hpp"
+#include "core/vector_ops.hpp"
+#include "hypercube/bits.hpp"
+
+namespace vmp {
+namespace {
+
+/// Bit-reverse the low `bits` bits of x.
+[[nodiscard]] std::size_t bit_reverse(std::size_t x, int bits) {
+  std::size_t out = 0;
+  for (int t = 0; t < bits; ++t) {
+    out = (out << 1) | (x & 1u);
+    x >>= 1;
+  }
+  return out;
+}
+
+/// The shared machinery: bit-reversal permutation, then L butterfly
+/// stages with the given transform sign.
+void fft_impl(DistVector<cplx>& v, double sign) {
+  VMP_REQUIRE(v.align() == Align::Linear, "fft needs a Linear vector");
+  const std::size_t n = v.n();
+  VMP_REQUIRE(is_pow2(n), "fft needs a power-of-two length");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  const std::size_t p = cube.procs();
+  VMP_REQUIRE(n >= p, "fewer points than processors");
+  const int L = log2_exact(n);
+  const int local_bits = L - cube.dim();
+  const std::size_t block = n / p;  // exact: both are powers of two
+
+  // Decimation-in-time wants bit-reversed input order — the classic
+  // stable dimension permutation, one routing sweep.
+  {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t g = 0; g < n; ++g) perm[g] = bit_reverse(g, L);
+    v = vec_permute(v, perm);
+  }
+
+  // Butterfly stages over point-index bits 0 … L-1.
+  for (int t = 0; t < L; ++t) {
+    const std::size_t half = std::size_t{1} << t;
+    const double angle = sign * std::numbers::pi / static_cast<double>(half);
+    if (t < local_bits) {
+      // Both butterfly partners live in the same block.
+      cube.compute(10 * block / 2, 10 * (n / 2), [&](proc_t q) {
+        std::vector<cplx>& piece = v.data().vec(q);
+        for (std::size_t base = 0; base < block; base += 2 * half) {
+          for (std::size_t k = 0; k < half; ++k) {
+            const cplx w = std::polar(1.0, angle * static_cast<double>(k));
+            cplx& u = piece[base + k];
+            cplx& w_elt = piece[base + k + half];
+            const cplx tdl = w * w_elt;
+            w_elt = u - tdl;
+            u = u + tdl;
+          }
+        }
+      });
+    } else {
+      // Partners differ in processor-address bit t - local_bits: one
+      // block exchange, then every processor computes its own half.
+      const int dim = t - local_bits;
+      DistBuffer<cplx> incoming(cube);
+      cube.exchange<cplx>(
+          dim, [&](proc_t q) { return std::span<const cplx>(v.data().vec(q)); },
+          [&](proc_t q, std::span<const cplx> in) {
+            incoming.vec(q).assign(in.begin(), in.end());
+          });
+      cube.compute(10 * block, 10 * n, [&](proc_t q) {
+        const bool iam_high = bit_of(q, dim) != 0;
+        std::vector<cplx>& piece = v.data().vec(q);
+        const std::vector<cplx>& other = incoming.vec(q);
+        const std::size_t gbase = static_cast<std::size_t>(q) * block;
+        for (std::size_t s = 0; s < block; ++s) {
+          // Twiddle index: the global index of the LOW partner mod 2^t.
+          const std::size_t glow =
+              (gbase + s) & ~(std::size_t{1} << t);
+          const cplx w =
+              std::polar(1.0, angle * static_cast<double>(glow & (half - 1)));
+          if (iam_high) {
+            piece[s] = other[s] - w * piece[s];
+          } else {
+            piece[s] = piece[s] + w * other[s];
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void fft(DistVector<cplx>& v) { fft_impl(v, -1.0); }
+
+void ifft(DistVector<cplx>& v) {
+  fft_impl(v, +1.0);
+  const double inv = 1.0 / static_cast<double>(v.n());
+  vec_scale(v, cplx{inv, 0.0});
+}
+
+std::vector<cplx> dft_reference(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx s{};
+    for (std::size_t g = 0; g < n; ++g) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(g) *
+                         static_cast<double>(k) / static_cast<double>(n);
+      s += x[g] * std::polar(1.0, ang);
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+}  // namespace vmp

@@ -1,0 +1,38 @@
+/// \file fft.hpp
+/// \brief Distributed radix-2 complex FFT — the Boolean cube's signature
+///        emulation (Johnsson, Ho, Jacquemin & Ruttenberg, "Computing Fast
+///        Fourier Transforms on Boolean Cubes and Related Networks").
+///
+/// With the Block (consecutive) embedding of 2^L points over 2^d
+/// processors the Cooley-Tukey butterfly over point-index bit t is
+///
+///   * LOCAL      for the low  L-d bits (within every processor's block),
+///   * ONE cube-edge exchange for each of the high d bits — bit t of the
+///     point index IS bit t-(L-d) of the processor address, so the
+///     butterfly network maps onto the cube with dilation 1.
+///
+/// Total: (n/p)·lg n butterfly arithmetic + d block exchanges + one
+/// bit-reversal dimension permutation.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+using cplx = std::complex<double>;
+
+/// In-place forward DFT: X[k] = Σ_g x[g]·exp(-2πi·gk/n).  The vector must
+/// be Linear with power-of-two length ≥ the processor count.
+void fft(DistVector<cplx>& v);
+
+/// In-place inverse DFT (unitary up to the conventional 1/n scaling,
+/// which this applies): fft followed by ifft restores the input.
+void ifft(DistVector<cplx>& v);
+
+/// Host reference: the O(n²) DFT, for testing and small-size checks.
+[[nodiscard]] std::vector<cplx> dft_reference(std::span<const cplx> x);
+
+}  // namespace vmp

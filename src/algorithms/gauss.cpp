@@ -1,0 +1,160 @@
+#include "algorithms/gauss.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/elementwise.hpp"
+#include "core/naive.hpp"
+#include "core/primitives.hpp"
+#include "core/swap.hpp"
+#include "core/vector_ops.hpp"
+
+namespace vmp {
+
+DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  const std::size_t n = A.nrows();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  DistLuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search: largest |A[i][k]| over i >= k, ties to the smallest i
+    // (a MaxLoc reduction over the extracted column).
+    DistVector<double> col = extract_col(A, k);
+    const ValueIndex<double> best = vec_argmax_key(
+        col, [&](double v, std::size_t g) {
+          return g >= k ? std::abs(v) : kNegInf;
+        });
+    if (best.index < 0 || best.value < pivot_tol) {
+      out.singular = true;
+      return out;
+    }
+    const std::size_t piv_row = static_cast<std::size_t>(best.index);
+    if (piv_row != k) {
+      swap_rows(A, k, piv_row);
+      std::swap(out.perm[k], out.perm[piv_row]);
+      col = extract_col(A, k);  // refresh after the interchange
+    }
+    const double pivval = vec_fetch(col, k);
+
+    // Multipliers m_i = A[i][k] / pivot for i > k, zero elsewhere.
+    DistVector<double> mult = col;
+    vec_apply_indexed(mult, [&](double v, std::size_t g) {
+      return g > k ? v / pivval : 0.0;
+    });
+
+    // Pivot row, masked to the trailing columns.
+    DistVector<double> prow = extract_row(A, k);
+    vec_apply_indexed(prow,
+                      [&](double v, std::size_t g) { return g > k ? v : 0.0; });
+
+    // Trailing update A[i][j] -= m_i · A[k][j] (i, j > k): purely local,
+    // charged only for the active window (load-balanced under Cyclic).
+    rank1_update_range(A, -1.0, mult, prow, k + 1, k + 1);
+
+    // Deposit the multipliers into the L part of column k.
+    insert_col_range(A, k, mult, k + 1, n);
+  }
+  return out;
+}
+
+DistLuResult lu_factor_naive(DistMatrix<double>& A, double pivot_tol) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  const std::size_t n = A.nrows();
+  DistLuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search: every candidate travels to processor 0 as a packet.
+    DistVector<double> col = naive_extract_col(A, k);
+    const ValueIndex<double> best = naive_argmax_abs(col, k);
+    if (best.index < 0 || best.value < pivot_tol) {
+      out.singular = true;
+      return out;
+    }
+    const std::size_t piv_row = static_cast<std::size_t>(best.index);
+    if (piv_row != k) {
+      naive_swap_rows(A, k, piv_row);
+      std::swap(out.perm[k], out.perm[piv_row]);
+      col = naive_extract_col(A, k);
+    }
+    const double pivval = vec_fetch(col, k);
+
+    DistVector<double> mult = col;
+    vec_apply_indexed(mult, [&](double v, std::size_t g) {
+      return g > k ? v / pivval : 0.0;
+    });
+    DistVector<double> prow = naive_extract_row(A, k);
+    vec_apply_indexed(prow,
+                      [&](double v, std::size_t g) { return g > k ? v : 0.0; });
+
+    // The naive "distribute": one router packet per matrix element for
+    // BOTH vectors, then a local three-operand update.
+    const DistMatrix<double> M = naive_distribute_cols(mult, n, A.layout());
+    const DistMatrix<double> R = naive_distribute_rows(prow, n, A.layout());
+    A.grid().cube().compute(2 * A.max_block(), 2 * n * n, [&](proc_t q) {
+      std::vector<double>& a = A.data().vec(q);
+      const std::vector<double>& m = M.data().vec(q);
+      const std::vector<double>& r = R.data().vec(q);
+      for (std::size_t t = 0; t < a.size(); ++t) a[t] -= m[t] * r[t];
+    });
+    // Deposit the multipliers below the diagonal while keeping the U part
+    // of column k (the masked update left the whole column untouched).
+    DistVector<double> lcol = col;
+    vec_zip_indexed(lcol, mult,
+                    [&](double orig, double m, std::size_t g) {
+                      return g > k ? m : orig;
+                    });
+    naive_insert_col(A, k, lcol);
+  }
+  return out;
+}
+
+std::vector<double> lu_solve(const DistMatrix<double>& LU,
+                             const DistLuResult& lu,
+                             std::span<const double> b) {
+  VMP_REQUIRE(!lu.singular, "cannot solve a singular factorization");
+  const std::size_t n = LU.nrows();
+  VMP_REQUIRE(b.size() == n, "rhs length mismatch");
+  Grid& grid = LU.grid();
+
+  // y starts as the permuted right-hand side, Rows-aligned with LU.
+  std::vector<double> pb(n);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[lu.perm[i]];
+  DistVector<double> y(grid, n, Align::Rows, LU.layout().rows);
+  y.load(pb);
+
+  // Forward: L y = Pb (unit diagonal), column-oriented.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double yk = vec_fetch(y, k);
+    DistVector<double> colk = extract_col(LU, k);
+    vec_apply_indexed(colk,
+                      [&](double v, std::size_t g) { return g > k ? v : 0.0; });
+    vec_axpy(y, -yk, colk);
+  }
+
+  // Backward: U x = y, column-oriented.
+  for (std::size_t k = n; k-- > 0;) {
+    const double ukk = mat_fetch(LU, k, k);
+    const double xk = vec_fetch(y, k) / ukk;
+    vec_store(y, k, xk);
+    DistVector<double> colk = extract_col(LU, k);
+    vec_apply_indexed(colk,
+                      [&](double v, std::size_t g) { return g < k ? v : 0.0; });
+    vec_axpy(y, -xk, colk);
+  }
+  return y.to_host();
+}
+
+std::vector<double> gauss_solve(DistMatrix<double>& A,
+                                std::span<const double> b) {
+  const DistLuResult lu = lu_factor(A);
+  VMP_REQUIRE(!lu.singular, "gauss_solve: singular matrix");
+  return lu_solve(A, lu, b);
+}
+
+}  // namespace vmp

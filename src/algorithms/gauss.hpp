@@ -1,0 +1,53 @@
+/// \file gauss.hpp
+/// \brief Distributed Gaussian elimination (LU with partial pivoting) —
+///        the paper's second demonstration algorithm, built entirely from
+///        the four primitives plus the local rank-1 update:
+///
+///        per step k:  extract_col → MaxLoc reduce (pivot search)
+///                     swap_rows   (pivot interchange)
+///                     extract_col / extract_row (multipliers, pivot row)
+///                     rank1_update (trailing submatrix, purely local)
+///                     insert_col  (deposit multipliers into L)
+///
+///        With the Cyclic layout every step keeps all processors busy as
+///        the active window shrinks; the Block layout progressively idles
+///        processor rows/columns (bench_gauss ablates the two).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "embed/dist_matrix.hpp"
+
+namespace vmp {
+
+struct DistLuResult {
+  std::vector<std::size_t> perm;  ///< perm[k] = original row now in row k
+  bool singular = false;
+};
+
+/// Factor A in place into L (unit lower, multipliers below the diagonal)
+/// and U (upper), with partial pivoting.  Mirrors vmp::serial::lu_factor
+/// operation-for-operation.
+[[nodiscard]] DistLuResult lu_factor(DistMatrix<double>& A,
+                                     double pivot_tol = 1e-12);
+
+/// Solve L·U·x = P·b by distributed column-oriented substitution
+/// (extract_col + axpy per step).
+[[nodiscard]] std::vector<double> lu_solve(const DistMatrix<double>& LU,
+                                           const DistLuResult& lu,
+                                           std::span<const double> b);
+
+/// Factor + solve convenience (A is overwritten by the factors).
+[[nodiscard]] std::vector<double> gauss_solve(DistMatrix<double>& A,
+                                              std::span<const double> b);
+
+/// The NAIVE Gaussian elimination: same algorithm, but every data motion
+/// (column/row extraction, pivot search, row swap, vector replication)
+/// goes through the per-element general router with Linear vectors — the
+/// application-level baseline behind the paper's order-of-magnitude
+/// speedup claim (bench_naive_vs_primitive reports the ratio).
+[[nodiscard]] DistLuResult lu_factor_naive(DistMatrix<double>& A,
+                                           double pivot_tol = 1e-12);
+
+}  // namespace vmp

@@ -1,0 +1,48 @@
+/// \file histogram.hpp
+/// \brief Histogram computation by all-to-all reduction — the pattern of
+///        Gerogiannis, Orphanoudakis & Johnsson, "Histogram Computation on
+///        Distributed Memory Architectures": local binning followed by a
+///        butterfly-sequence (recursive-halving) reduction of the bin
+///        array, leaving every processor with the full histogram.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// Count how many elements of v fall into each of `bins` equal-width bins
+/// over [lo, hi); out-of-range elements are clamped into the end bins.
+/// Returns the histogram (identical on every processor, read back to the
+/// host).  Cost: n/p·t_a local binning + an all-reduce of `bins` counters.
+template <class T>
+[[nodiscard]] std::vector<std::uint64_t> histogram(const DistVector<T>& v,
+                                                   std::size_t bins, T lo,
+                                                   T hi) {
+  VMP_REQUIRE(bins > 0, "need at least one bin");
+  VMP_REQUIRE(lo < hi, "empty value range");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+
+  DistBuffer<std::uint64_t> counts(cube, bins);
+  const std::size_t mx = max_local_len(cube, v.data());
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    std::vector<std::uint64_t>& mine = counts.vec(q);
+    std::fill(mine.begin(), mine.end(), 0);
+    for (const T& x : v.piece(q)) {
+      const double t = static_cast<double>(x - lo) /
+                       static_cast<double>(hi - lo) *
+                       static_cast<double>(bins);
+      std::size_t b = t <= 0.0 ? 0 : static_cast<std::size_t>(t);
+      if (b >= bins) b = bins - 1;
+      ++mine[b];
+    }
+  });
+  allreduce_auto(cube, counts, v.partitioned_over(), Plus<std::uint64_t>{});
+  return counts.vec(0);
+}
+
+}  // namespace vmp

@@ -1,0 +1,23 @@
+/// \file invert.hpp
+/// \brief Matrix inversion by Gauss-Jordan elimination on the augmented
+///        system [A | I] — the same primitive anatomy as Gaussian
+///        elimination (extract, located reduce, swap, insert, rank-1
+///        update) but eliminating above AND below the pivot, so the left
+///        half reduces to the identity and the right half becomes A⁻¹.
+#pragma once
+
+#include "embed/dist_matrix.hpp"
+
+namespace vmp {
+
+struct InvertResult {
+  DistMatrix<double> inverse;
+  bool singular = false;
+};
+
+/// Invert a square matrix with partial pivoting; `pivot_tol` declares
+/// singularity.  The result inherits A's embedding.
+[[nodiscard]] InvertResult invert(const DistMatrix<double>& A,
+                                  double pivot_tol = 1e-12);
+
+}  // namespace vmp

@@ -1,0 +1,109 @@
+#include "algorithms/matmul.hpp"
+
+#include "core/elementwise.hpp"
+#include "core/primitives.hpp"
+
+namespace vmp {
+
+DistMatrix<double> matmul(const DistMatrix<double>& A,
+                          const DistMatrix<double>& B) {
+  VMP_REQUIRE(&A.grid() == &B.grid(), "operands live on different grids");
+  VMP_REQUIRE(A.ncols() == B.nrows(), "inner dimensions must agree");
+  Grid& grid = A.grid();
+  DistMatrix<double> C(grid, A.nrows(), B.ncols(),
+                       MatrixLayout{A.layout().rows, B.layout().cols});
+  for (std::size_t k = 0; k < A.ncols(); ++k) {
+    // Column k of A, replicated across grid columns; row k of B,
+    // replicated across grid rows — exactly what the local rank-1
+    // accumulation needs.
+    const DistVector<double> a = extract_col(A, k);
+    const DistVector<double> b = extract_row(B, k);
+    VMP_ASSERT(a.part() == C.layout().rows && b.part() == C.layout().cols,
+               "panel partitions must match the result embedding");
+    rank1_update(C, 1.0, a, b);
+  }
+  return C;
+}
+
+DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
+                                const DistMatrix<double>& B) {
+  VMP_REQUIRE(&A.grid() == &B.grid(), "operands live on different grids");
+  VMP_REQUIRE(A.ncols() == B.nrows(), "inner dimensions must agree");
+  VMP_REQUIRE(A.layout().cols == Part::Block && B.layout().rows == Part::Block,
+              "matmul_summa needs Block partitioning of the reduction axis");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  const std::size_t K = A.ncols();
+  DistMatrix<double> C(grid, A.nrows(), B.ncols(),
+                       MatrixLayout{A.layout().rows, B.layout().cols});
+
+  // Panels are the intersection intervals of A's column-ownership blocks
+  // and B's row-ownership blocks: within one interval the A-slice lives on
+  // a single grid column and the B-slice on a single grid row, so each is
+  // distributed by ONE broadcast.
+  std::size_t k0 = 0;
+  while (k0 < K) {
+    const std::uint32_t Ac = A.colmap().owner(k0);
+    const std::uint32_t Br = B.rowmap().owner(k0);
+    const std::size_t a_end =
+        block_begin(K, grid.pcols(), Ac) + A.colmap().size(Ac);
+    const std::size_t b_end =
+        block_begin(K, grid.prows(), Br) + B.rowmap().size(Br);
+    const std::size_t k1 = std::min(a_end, b_end);
+    const std::size_t w = k1 - k0;
+
+    // A-slice: rows-local × w, copied out by the owning grid column and
+    // broadcast along each grid row.
+    DistBuffer<double> apanel(cube);
+    const std::size_t a_lc0 = A.colmap().local(k0);
+    const std::size_t a_rows_max =
+        (A.nrows() + grid.prows() - 1) / grid.prows();
+    cube.compute(a_rows_max * w, A.nrows() * w, [&](proc_t q) {
+      apanel.vec(q).assign(A.lrows(q) * w, 0.0);
+      if (grid.pcol(q) != Ac) return;
+      const std::size_t lcn = A.lcols(q);
+      const std::span<const double> blk = A.block(q);
+      for (std::size_t lr = 0; lr < A.lrows(q); ++lr)
+        for (std::size_t kk = 0; kk < w; ++kk)
+          apanel.vec(q)[lr * w + kk] = blk[lr * lcn + a_lc0 + kk];
+    });
+    broadcast_auto(cube, apanel, grid.within_row(), Ac,
+                   [&](proc_t q) { return A.lrows(q) * w; });
+
+    // B-slice: w × cols-local, broadcast along each grid column.
+    DistBuffer<double> bpanel(cube);
+    const std::size_t b_lr0 = B.rowmap().local(k0);
+    const std::size_t b_cols_max =
+        (B.ncols() + grid.pcols() - 1) / grid.pcols();
+    cube.compute(b_cols_max * w, B.ncols() * w, [&](proc_t q) {
+      bpanel.vec(q).assign(w * B.lcols(q), 0.0);
+      if (grid.prow(q) != Br) return;
+      const std::size_t lcn = B.lcols(q);
+      const std::span<const double> blk = B.block(q);
+      for (std::size_t kk = 0; kk < w; ++kk)
+        for (std::size_t lc = 0; lc < lcn; ++lc)
+          bpanel.vec(q)[kk * lcn + lc] = blk[(b_lr0 + kk) * lcn + lc];
+    });
+    broadcast_auto(cube, bpanel, grid.within_col(), Br,
+                   [&](proc_t q) { return w * B.lcols(q); });
+
+    // Local GEMM accumulate.
+    cube.compute(2 * C.max_block() * w, 2 * C.nrows() * C.ncols() * w,
+                 [&](proc_t q) {
+                   const std::size_t lrn = C.lrows(q), lcn = C.lcols(q);
+                   std::span<double> cblk = C.block(q);
+                   const std::vector<double>& ap = apanel.vec(q);
+                   const std::vector<double>& bp = bpanel.vec(q);
+                   for (std::size_t lr = 0; lr < lrn; ++lr)
+                     for (std::size_t kk = 0; kk < w; ++kk) {
+                       const double a = ap[lr * w + kk];
+                       for (std::size_t lc = 0; lc < lcn; ++lc)
+                         cblk[lr * lcn + lc] += a * bp[kk * lcn + lc];
+                     }
+                 });
+    k0 = k1;
+  }
+  return C;
+}
+
+}  // namespace vmp

@@ -1,0 +1,33 @@
+/// \file matmul.hpp
+/// \brief Dense matrix-matrix multiplication built from the primitives —
+///        the rank-1 ("outer product" / SUMMA-with-panel-1) formulation:
+///
+///            C = Σ_k  extract_col(A, k) ⊗ extract_row(B, k)
+///
+///        Each term is two extracts (broadcasts along the grid axes) plus
+///        one purely local rank-1 accumulation, so the inner loop has the
+///        same cost anatomy as Gaussian elimination.  This is the level-3
+///        pattern the companion TMC/Yale reports built their matrix
+///        kernels around.
+#pragma once
+
+#include "embed/dist_matrix.hpp"
+
+namespace vmp {
+
+/// C = A·B.  A is n×k, B is k×m; A's column partition must equal B's row
+/// partition (they index the same reduction dimension).  The result
+/// inherits A's row partition and B's column partition.
+[[nodiscard]] DistMatrix<double> matmul(const DistMatrix<double>& A,
+                                        const DistMatrix<double>& B);
+
+/// C = A·B by block-panel SUMMA: instead of one broadcast per reduction
+/// index, whole ownership panels of A-columns and B-rows are broadcast
+/// along the grid rows / columns and multiplied locally — O(√p) start-ups
+/// instead of O(k·lg p), the "parallelize two loops with aligned panels"
+/// choice of the era's matrix-multiplication analyses.  Requires Block
+/// partitioning of the reduction axis on both operands.
+[[nodiscard]] DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
+                                              const DistMatrix<double>& B);
+
+}  // namespace vmp

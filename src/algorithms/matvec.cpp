@@ -1,0 +1,66 @@
+#include "algorithms/matvec.hpp"
+
+#include "comm/collectives.hpp"
+#include "core/elementwise.hpp"
+#include "core/primitives.hpp"
+
+namespace vmp {
+
+DistVector<double> matvec(const DistMatrix<double>& A,
+                          const DistVector<double>& x) {
+  detail::require_cols_aligned(A, x);
+  const DistMatrix<double> X = distribute_rows(x, A.nrows(), A.layout().rows);
+  const DistMatrix<double> P = hadamard(A, X);
+  return reduce_rows(P, Plus<double>{});
+}
+
+DistVector<double> matvec_fused(const DistMatrix<double>& A,
+                                const DistVector<double>& x) {
+  detail::require_cols_aligned(A, x);
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<double> y(grid, A.nrows(), Align::Rows, A.layout().rows);
+  cube.compute(2 * A.max_block(), 2 * A.nrows() * A.ncols(), [&](proc_t q) {
+    const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+    const std::span<const double> blk = A.block(q);
+    const std::span<const double> xp = x.piece(q);
+    std::vector<double>& yp = y.data().vec(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      double s = 0.0;
+      for (std::size_t lc = 0; lc < lcn; ++lc) s += blk[lr * lcn + lc] * xp[lc];
+      yp[lr] = s;
+    }
+  });
+  allreduce_auto(cube, y.data(), grid.within_row(), Plus<double>{});
+  return y;
+}
+
+DistVector<double> vecmat(const DistVector<double>& x,
+                          const DistMatrix<double>& A) {
+  detail::require_rows_aligned(A, x);
+  const DistMatrix<double> X = distribute_cols(x, A.ncols(), A.layout().cols);
+  const DistMatrix<double> P = hadamard(A, X);
+  return reduce_cols(P, Plus<double>{});
+}
+
+DistVector<double> vecmat_fused(const DistVector<double>& x,
+                                const DistMatrix<double>& A) {
+  detail::require_rows_aligned(A, x);
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<double> y(grid, A.ncols(), Align::Cols, A.layout().cols);
+  cube.compute(2 * A.max_block(), 2 * A.nrows() * A.ncols(), [&](proc_t q) {
+    const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+    const std::span<const double> blk = A.block(q);
+    const std::span<const double> xp = x.piece(q);
+    std::vector<double>& yp = y.data().vec(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) yp[lc] = 0.0;
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      for (std::size_t lc = 0; lc < lcn; ++lc)
+        yp[lc] += xp[lr] * blk[lr * lcn + lc];
+  });
+  allreduce_auto(cube, y.data(), grid.within_col(), Plus<double>{});
+  return y;
+}
+
+}  // namespace vmp

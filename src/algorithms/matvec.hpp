@@ -1,0 +1,35 @@
+/// \file matvec.hpp
+/// \brief Matrix-vector and vector-matrix products built from the four
+///        primitives — the paper's first demonstration algorithm.
+///
+/// The primitive-composed forms are the literal paper construction:
+///   y = A·x :  reduce_rows( A ∘ distribute_rows(x) )
+///   y = x·A :  reduce_cols( A ∘ distribute_cols(x) )
+/// The fused forms skip the materialized intermediate matrix (local
+/// multiply-accumulate straight into the partial vector) and are the
+/// ablation point for E3.
+#pragma once
+
+#include "embed/dist_matrix.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// y = A·x.  x must be Cols-aligned with A; the result is Rows-aligned.
+[[nodiscard]] DistVector<double> matvec(const DistMatrix<double>& A,
+                                        const DistVector<double>& x);
+
+/// y = A·x without materializing the intermediate product matrix.
+[[nodiscard]] DistVector<double> matvec_fused(const DistMatrix<double>& A,
+                                              const DistVector<double>& x);
+
+/// y = x·A (the paper's vector-matrix multiply).  x must be Rows-aligned
+/// with A; the result is Cols-aligned.
+[[nodiscard]] DistVector<double> vecmat(const DistVector<double>& x,
+                                        const DistMatrix<double>& A);
+
+/// y = x·A without the intermediate matrix.
+[[nodiscard]] DistVector<double> vecmat_fused(const DistVector<double>& x,
+                                              const DistMatrix<double>& A);
+
+}  // namespace vmp

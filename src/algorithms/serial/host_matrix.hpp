@@ -1,0 +1,68 @@
+/// \file host_matrix.hpp
+/// \brief Plain row-major host matrix used by the serial reference
+///        algorithms (the "best serial algorithm" of the paper's
+///        processor-time optimality claim) and by host-side verification.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+class HostMatrix {
+ public:
+  HostMatrix() = default;
+  HostMatrix(std::size_t nrows, std::size_t ncols)
+      : nrows_(nrows), ncols_(ncols), data_(nrows * ncols, 0.0) {}
+  HostMatrix(std::size_t nrows, std::size_t ncols, std::vector<double> data)
+      : nrows_(nrows), ncols_(ncols), data_(std::move(data)) {
+    VMP_REQUIRE(data_.size() == nrows * ncols, "host matrix size mismatch");
+  }
+
+  [[nodiscard]] std::size_t nrows() const { return nrows_; }
+  [[nodiscard]] std::size_t ncols() const { return ncols_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    VMP_REQUIRE(i < nrows_ && j < ncols_, "host matrix index out of range");
+    return data_[i * ncols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    VMP_REQUIRE(i < nrows_ && j < ncols_, "host matrix index out of range");
+    return data_[i * ncols_ + j];
+  }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A · x.
+[[nodiscard]] inline std::vector<double> host_matvec(
+    const HostMatrix& A, const std::vector<double>& x) {
+  VMP_REQUIRE(x.size() == A.ncols(), "matvec dimension mismatch");
+  std::vector<double> y(A.nrows(), 0.0);
+  for (std::size_t i = 0; i < A.nrows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < A.ncols(); ++j) s += A(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+/// y = x · A (the paper's vector-matrix product).
+[[nodiscard]] inline std::vector<double> host_vecmat(
+    const std::vector<double>& x, const HostMatrix& A) {
+  VMP_REQUIRE(x.size() == A.nrows(), "vecmat dimension mismatch");
+  std::vector<double> y(A.ncols(), 0.0);
+  for (std::size_t i = 0; i < A.nrows(); ++i)
+    for (std::size_t j = 0; j < A.ncols(); ++j) y[j] += x[i] * A(i, j);
+  return y;
+}
+
+}  // namespace vmp

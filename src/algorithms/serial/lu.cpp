@@ -1,0 +1,75 @@
+#include "algorithms/serial/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "hypercube/check.hpp"
+
+namespace vmp::serial {
+
+LuResult lu_factor(HostMatrix& A, double pivot_tol) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  const std::size_t n = A.nrows();
+  LuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |A[i][k]| over i >= k, ties to the smallest i
+    // (identical tie-break to the distributed MaxLoc reduction).
+    std::size_t piv = k;
+    double best = std::abs(A(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(A(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < pivot_tol) {
+      out.singular = true;
+      return out;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(A(k, j), A(piv, j));
+      std::swap(out.perm[k], out.perm[piv]);
+    }
+    const double pivval = A(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mult = A(i, k) / pivval;
+      A(i, k) = mult;
+      for (std::size_t j = k + 1; j < n; ++j) A(i, j) -= mult * A(k, j);
+      out.flops += 1 + 2 * (n - k - 1);
+    }
+  }
+  return out;
+}
+
+std::vector<double> lu_solve(const HostMatrix& LU, const LuResult& lu,
+                             std::span<const double> b) {
+  VMP_REQUIRE(!lu.singular, "cannot solve a singular factorization");
+  const std::size_t n = LU.nrows();
+  VMP_REQUIRE(b.size() == n, "rhs length mismatch");
+
+  // Apply the permutation, then L y = Pb (unit lower), then U x = y.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[lu.perm[i]];
+  for (std::size_t k = 0; k < n; ++k) {
+    const double yk = y[k];
+    for (std::size_t i = k + 1; i < n; ++i) y[i] -= LU(i, k) * yk;
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    const double xk = y[k] / LU(k, k);
+    y[k] = xk;
+    for (std::size_t i = 0; i < k; ++i) y[i] -= LU(i, k) * xk;
+  }
+  return y;
+}
+
+std::vector<double> gauss_solve(HostMatrix& A, std::span<const double> b) {
+  const LuResult lu = lu_factor(A);
+  VMP_REQUIRE(!lu.singular, "gauss_solve: singular matrix");
+  return lu_solve(A, lu, b);
+}
+
+}  // namespace vmp::serial

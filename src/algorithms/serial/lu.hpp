@@ -1,0 +1,37 @@
+/// \file lu.hpp
+/// \brief Serial LU factorization with partial pivoting — the reference
+///        "best serial algorithm" for the Gaussian elimination experiments
+///        and the correctness oracle for the distributed routine.
+///
+/// The update formulas and the pivot tie-breaking mirror the distributed
+/// implementation exactly (scale-then-subtract, max-|.|-smallest-index), so
+/// the two factorizations agree element by element up to rounding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algorithms/serial/host_matrix.hpp"
+
+namespace vmp::serial {
+
+struct LuResult {
+  std::vector<std::size_t> perm;  ///< perm[k] = original row now in row k
+  bool singular = false;
+  std::size_t flops = 0;  ///< 2/3·n³-order operation count, for optimality ratios
+};
+
+/// Factor A in place into L (unit lower, multipliers below the diagonal)
+/// and U (upper), with partial pivoting.
+[[nodiscard]] LuResult lu_factor(HostMatrix& A, double pivot_tol = 1e-12);
+
+/// Solve L·U·x = P·b given the in-place factorization.
+[[nodiscard]] std::vector<double> lu_solve(const HostMatrix& LU,
+                                           const LuResult& lu,
+                                           std::span<const double> b);
+
+/// Factor + solve convenience (A is destroyed).
+[[nodiscard]] std::vector<double> gauss_solve(HostMatrix& A,
+                                              std::span<const double> b);
+
+}  // namespace vmp::serial

@@ -1,0 +1,145 @@
+#include "algorithms/serial/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "algorithms/tableau.hpp"
+
+namespace vmp::serial {
+namespace {
+
+using detail::TableauSetup;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Most-negative (Dantzig) or first-negative (Bland) reduced cost among
+/// columns [0, allowed); -1 if none is below -eps.
+std::ptrdiff_t entering(const TableauSetup& tb, const SimplexOptions& o) {
+  std::ptrdiff_t best = -1;
+  double bestval = -o.eps;
+  for (std::size_t j = 0; j < tb.allowed(); ++j) {
+    const double v = tb.T(0, j);
+    if (v < bestval) {
+      best = static_cast<std::ptrdiff_t>(j);
+      bestval = v;
+      if (o.rule == PivotRule::Bland) break;
+    }
+  }
+  return best;
+}
+
+/// Minimum-ratio row for entering column j; ties to the smallest row index
+/// (Dantzig) or the smallest basis variable (Bland).  -1 if unbounded.
+std::ptrdiff_t leaving(const TableauSetup& tb, std::size_t j,
+                       const SimplexOptions& o) {
+  const std::size_t m = tb.T.nrows() - 1;
+  const std::size_t rhs = tb.width();
+  double best = kInf;
+  std::ptrdiff_t row = -1;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = tb.T(i, j);
+    if (a <= o.eps) continue;
+    const double ratio = tb.T(i, rhs) / a;
+    if (ratio < best) {
+      best = ratio;
+      row = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (row < 0 || o.rule != PivotRule::Bland) return row;
+  // Bland: among the exact min-ratio rows, the smallest basis variable.
+  std::size_t bestvar = std::numeric_limits<std::size_t>::max();
+  std::ptrdiff_t blandrow = -1;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = tb.T(i, j);
+    if (a <= o.eps) continue;
+    if (tb.T(i, rhs) / a != best) continue;
+    if (tb.basis[i - 1] < bestvar) {
+      bestvar = tb.basis[i - 1];
+      blandrow = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return blandrow;
+}
+
+/// Scale the pivot row, eliminate the pivot column from every other row —
+/// the exact update formulas of the distributed rank-1 path.
+void pivot(TableauSetup& tb, std::size_t prow, std::size_t pcol) {
+  const std::size_t cols = tb.width() + 1;
+  const double piv = tb.T(prow, pcol);
+  for (std::size_t k = 0; k < cols; ++k) tb.T(prow, k) /= piv;
+  for (std::size_t r = 0; r < tb.T.nrows(); ++r) {
+    if (r == prow) continue;
+    const double f = tb.T(r, pcol);
+    if (f == 0.0) continue;
+    for (std::size_t k = 0; k < cols; ++k) tb.T(r, k) -= f * tb.T(prow, k);
+  }
+  tb.basis[prow - 1] = pcol;
+}
+
+/// Run pivots to optimality.  Returns Optimal / Unbounded / IterationLimit.
+LpStatus optimize(TableauSetup& tb, const SimplexOptions& o,
+                  std::size_t& iters) {
+  while (iters < o.max_iters) {
+    const std::ptrdiff_t j = entering(tb, o);
+    if (j < 0) return LpStatus::Optimal;
+    const std::ptrdiff_t i = leaving(tb, static_cast<std::size_t>(j), o);
+    if (i < 0) return LpStatus::Unbounded;
+    pivot(tb, static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    ++iters;
+  }
+  return LpStatus::IterationLimit;
+}
+
+}  // namespace
+
+LpSolution simplex_solve(const LpProblem& lp, SimplexOptions opts) {
+  TableauSetup tb = detail::build_tableau(lp);
+  const std::size_t m = lp.ncons, nv = lp.nvars;
+  const std::size_t width = tb.width();
+  LpSolution sol;
+
+  // -- Phase I: maximize -(sum of artificials) ------------------------------
+  if (tb.nart > 0) {
+    const LpStatus st = optimize(tb, opts, sol.phase1_iterations);
+    sol.iterations = sol.phase1_iterations;
+    if (st == LpStatus::IterationLimit) {
+      sol.status = st;
+      return sol;
+    }
+    if (tb.T(0, width) < -opts.eps) {
+      sol.status = LpStatus::Infeasible;
+      return sol;
+    }
+    // Drive any still-basic artificial out of the basis if its row has a
+    // usable real coefficient; an all-zero row is redundant and harmless.
+    for (std::size_t i = 1; i <= m; ++i) {
+      if (tb.basis[i - 1] < tb.allowed()) continue;
+      for (std::size_t j = 0; j < tb.allowed(); ++j) {
+        if (std::abs(tb.T(i, j)) > opts.eps) {
+          pivot(tb, i, j);
+          ++sol.iterations;
+          break;
+        }
+      }
+    }
+  }
+
+  // -- Phase II: the real objective -----------------------------------------
+  for (std::size_t k = 0; k <= width; ++k) tb.T(0, k) = 0.0;
+  for (std::size_t j = 0; j < nv; ++j) tb.T(0, j) = -lp.c[j];
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double f = tb.T(0, tb.basis[i - 1]);
+    if (f == 0.0) continue;
+    for (std::size_t k = 0; k <= width; ++k) tb.T(0, k) -= f * tb.T(i, k);
+  }
+  sol.status = optimize(tb, opts, sol.iterations);
+  if (sol.status != LpStatus::Optimal) return sol;
+
+  sol.objective = tb.T(0, width);
+  sol.x.assign(nv, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    if (tb.basis[i] < nv) sol.x[tb.basis[i]] = tb.T(i + 1, width);
+  return sol;
+}
+
+}  // namespace vmp::serial

@@ -1,0 +1,17 @@
+/// \file simplex.hpp
+/// \brief Serial two-phase dense-tableau primal simplex — the reference
+///        implementation mirrored operation-for-operation by the
+///        distributed solver (same tableau, same tie-breaks, same update
+///        formulas), and the serial baseline for the timing experiments.
+#pragma once
+
+#include "algorithms/lp.hpp"
+#include "algorithms/serial/host_matrix.hpp"
+
+namespace vmp::serial {
+
+/// Solve max c·x s.t. Ax ≤ b, x ≥ 0 with the dense-tableau simplex.
+[[nodiscard]] LpSolution simplex_solve(const LpProblem& lp,
+                                       SimplexOptions opts = {});
+
+}  // namespace vmp::serial

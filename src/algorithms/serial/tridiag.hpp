@@ -1,0 +1,38 @@
+/// \file tridiag.hpp
+/// \brief Serial Thomas-algorithm tridiagonal solver — the O(n) reference
+///        for the distributed parallel-cyclic-reduction solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypercube/check.hpp"
+
+namespace vmp::serial {
+
+/// Solve the tridiagonal system
+///   a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = d[i]   (a[0] = c[n-1] = 0)
+/// by forward elimination / back substitution.  Requires a numerically
+/// safe (e.g. diagonally dominant) system.
+[[nodiscard]] inline std::vector<double> tridiag_solve(
+    std::span<const double> a, std::span<const double> b,
+    std::span<const double> c, std::span<const double> d) {
+  const std::size_t n = b.size();
+  VMP_REQUIRE(a.size() == n && c.size() == n && d.size() == n,
+              "tridiagonal bands must have equal length");
+  VMP_REQUIRE(n > 0, "empty system");
+  std::vector<double> cp(n), dp(n);
+  cp[0] = c[0] / b[0];
+  dp[0] = d[0] / b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = b[i] - a[i] * cp[i - 1];
+    cp[i] = c[i] / m;
+    dp[i] = (d[i] - a[i] * dp[i - 1]) / m;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = dp[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+  return x;
+}
+
+}  // namespace vmp::serial

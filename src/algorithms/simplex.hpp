@@ -1,0 +1,30 @@
+/// \file simplex.hpp
+/// \brief Distributed two-phase dense-tableau primal simplex — the paper's
+///        third demonstration algorithm, built from the four primitives:
+///
+///        per pivot:  extract_row(0)  + MinLoc reduce   (entering column)
+///                    extract_col ×2  + MinLoc reduce   (ratio test)
+///                    extract_row / insert_row          (pivot row scaling)
+///                    rank1_update                      (tableau update,
+///                                                       purely local)
+///
+///        Mirrors vmp::serial::simplex_solve operation-for-operation: same
+///        tableau (algorithms/tableau.hpp), same tie-breaks, same update
+///        arithmetic — the two trajectories coincide pivot by pivot.
+#pragma once
+
+#include "algorithms/lp.hpp"
+#include "embed/dist_matrix.hpp"
+#include "embed/grid.hpp"
+
+namespace vmp {
+
+/// Solve max c·x s.t. Ax ≤ b, x ≥ 0 on the processor grid.  The tableau is
+/// embedded with `layout` (Cyclic keeps pivoting load-balanced and is the
+/// default).
+[[nodiscard]] LpSolution simplex_solve(Grid& grid, const LpProblem& lp,
+                                       SimplexOptions opts = {},
+                                       MatrixLayout layout =
+                                           MatrixLayout::cyclic());
+
+}  // namespace vmp

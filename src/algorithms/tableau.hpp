@@ -1,0 +1,84 @@
+/// \file tableau.hpp
+/// \brief Shared dense-tableau construction for the two simplex solvers.
+///
+/// The serial reference and the distributed primitive-based solver both
+/// start from the tableau this builder produces, so any divergence between
+/// them is in the pivoting itself — which the tests then pin down exactly.
+///
+/// Layout: row 0 is the objective row, rows 1..m the constraints; columns
+/// are [structural | slack | artificial | rhs].  Rows with negative rhs
+/// are pre-scaled by -1 and given an artificial variable; when artificials
+/// exist the objective row arrives prepared for Phase I (maximize minus
+/// the artificial sum, with basic artificial reduced costs eliminated).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algorithms/lp.hpp"
+#include "algorithms/serial/host_matrix.hpp"
+
+namespace vmp::detail {
+
+struct TableauSetup {
+  HostMatrix T;                    ///< (ncons+1) × (width+1)
+  std::vector<std::size_t> basis;  ///< basis[i] = variable basic in row i+1
+  std::size_t nvars = 0;
+  std::size_t nslack = 0;
+  std::size_t nart = 0;
+
+  /// Column count excluding the rhs; also the rhs column index.
+  [[nodiscard]] std::size_t width() const { return nvars + nslack + nart; }
+  /// Columns eligible to enter the basis (structural + slack).
+  [[nodiscard]] std::size_t allowed() const { return nvars + nslack; }
+};
+
+[[nodiscard]] inline TableauSetup build_tableau(const LpProblem& lp) {
+  lp.validate();
+  const std::size_t m = lp.ncons, nv = lp.nvars;
+
+  std::vector<bool> needs_art(m, false);
+  std::size_t nart = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (lp.b[i] < 0) {
+      needs_art[i] = true;
+      ++nart;
+    }
+
+  TableauSetup tb;
+  tb.nvars = nv;
+  tb.nslack = m;
+  tb.nart = nart;
+  const std::size_t width = tb.width();
+  tb.T = HostMatrix(m + 1, width + 1);
+  tb.basis.resize(m);
+
+  std::size_t next_art = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double sign = needs_art[i] ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < nv; ++j)
+      tb.T(i + 1, j) = sign * lp.A[i * nv + j];
+    tb.T(i + 1, nv + i) = sign;  // slack
+    tb.T(i + 1, width) = sign * lp.b[i];
+    if (needs_art[i]) {
+      const std::size_t a = nv + m + next_art++;
+      tb.T(i + 1, a) = 1.0;
+      tb.basis[i] = a;
+    } else {
+      tb.basis[i] = nv + i;
+    }
+  }
+
+  if (nart > 0) {
+    // Phase I objective: maximize -(sum of artificials); eliminate the
+    // basic artificials so their reduced costs start at zero.
+    for (std::size_t a = 0; a < nart; ++a) tb.T(0, nv + m + a) = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!needs_art[i]) continue;
+      for (std::size_t k = 0; k <= width; ++k) tb.T(0, k) -= tb.T(i + 1, k);
+    }
+  }
+  return tb;
+}
+
+}  // namespace vmp::detail

@@ -1,0 +1,79 @@
+#include "algorithms/tridiag.hpp"
+
+#include "core/permute.hpp"
+#include "core/vector_ops.hpp"
+#include "hypercube/bits.hpp"
+
+namespace vmp {
+
+std::vector<double> tridiag_solve_pcr(Grid& grid, std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::span<const double> c,
+                                      std::span<const double> d) {
+  const std::size_t n = b.size();
+  VMP_REQUIRE(n > 0, "empty system");
+  VMP_REQUIRE(a.size() == n && c.size() == n && d.size() == n,
+              "tridiagonal bands must have equal length");
+  VMP_REQUIRE(a[0] == 0.0 && c[n - 1] == 0.0,
+              "boundary band entries must be zero");
+
+  DistVector<double> va(grid, n, Align::Linear);
+  DistVector<double> vb(grid, n, Align::Linear);
+  DistVector<double> vc(grid, n, Align::Linear);
+  DistVector<double> vd(grid, n, Align::Linear);
+  va.load(a);
+  vb.load(b);
+  vc.load(c);
+  vd.load(d);
+
+  const int steps = log2_ceil(n);
+  for (int s = 0; s < steps; ++s) {
+    const std::ptrdiff_t h = std::ptrdiff_t{1} << s;
+    // Neighbour equations at distance ±2^s.  Out-of-range b defaults to 1
+    // and the other bands to 0, so alpha/gamma vanish at the boundary.
+    const DistVector<double> am = vec_shift(va, -h);
+    const DistVector<double> bm = vec_shift(vb, -h, 1.0);
+    const DistVector<double> cm = vec_shift(vc, -h);
+    const DistVector<double> dm = vec_shift(vd, -h);
+    const DistVector<double> ap = vec_shift(va, +h);
+    const DistVector<double> bp = vec_shift(vb, +h, 1.0);
+    const DistVector<double> cp = vec_shift(vc, +h);
+    const DistVector<double> dp = vec_shift(vd, +h);
+
+    // alpha eliminates the lower neighbour, gamma the upper one.
+    DistVector<double> alpha = va;
+    vec_zip(alpha, bm, [](double x, double y) { return -x / y; });
+    DistVector<double> gamma = vc;
+    vec_zip(gamma, bp, [](double x, double y) { return -x / y; });
+
+    // a' = alpha·a⁻;  c' = gamma·c⁺
+    DistVector<double> na = alpha;
+    vec_zip(na, am, [](double x, double y) { return x * y; });
+    DistVector<double> nc = gamma;
+    vec_zip(nc, cp, [](double x, double y) { return x * y; });
+
+    // b' = b + alpha·c⁻ + gamma·a⁺ ;  d' = d + alpha·d⁻ + gamma·d⁺
+    DistVector<double> t1 = alpha;
+    vec_zip(t1, cm, [](double x, double y) { return x * y; });
+    DistVector<double> t2 = gamma;
+    vec_zip(t2, ap, [](double x, double y) { return x * y; });
+    vec_zip(vb, t1, [](double x, double y) { return x + y; });
+    vec_zip(vb, t2, [](double x, double y) { return x + y; });
+
+    DistVector<double> u1 = alpha;
+    vec_zip(u1, dm, [](double x, double y) { return x * y; });
+    DistVector<double> u2 = gamma;
+    vec_zip(u2, dp, [](double x, double y) { return x * y; });
+    vec_zip(vd, u1, [](double x, double y) { return x + y; });
+    vec_zip(vd, u2, [](double x, double y) { return x + y; });
+
+    va = std::move(na);
+    vc = std::move(nc);
+  }
+
+  // Fully decoupled: x = d / b.
+  vec_zip(vd, vb, [](double x, double y) { return x / y; });
+  return vd.to_host();
+}
+
+}  // namespace vmp

@@ -1,0 +1,23 @@
+/// \file tridiag.hpp
+/// \brief Distributed tridiagonal solver by parallel cyclic reduction
+///        (PCR) — the data-parallel method of the compendium's tridiagonal
+///        / alternating-direction papers (Johnsson & Ho), expressed with
+///        the library's vector vocabulary: ⌈lg n⌉ rounds, each one
+///        shifted-fetch (vec_shift) plus local 5-point updates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "embed/grid.hpp"
+
+namespace vmp {
+
+/// Solve a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = d[i] for a diagonally
+/// dominant system of n equations embedded Linear on the grid's cube.
+/// Cost: ⌈lg n⌉ · (routing sweep + O(n/p) arithmetic).
+[[nodiscard]] std::vector<double> tridiag_solve_pcr(
+    Grid& grid, std::span<const double> a, std::span<const double> b,
+    std::span<const double> c, std::span<const double> d);
+
+}  // namespace vmp

@@ -1,0 +1,86 @@
+/// \file allport.hpp
+/// \brief All-port collectives: the n edge-disjoint spanning binomial tree
+///        (nESBT) broadcast of Johnsson & Ho, "Optimum Broadcasting and
+///        Personalized Communication in Hypercubes".
+///
+/// The one-port binomial broadcast moves the whole payload across one port
+/// per round: k(τ + n·t_c).  With all k ports active at once the payload
+/// can be split into k segments, each travelling down its own rotated
+/// spanning binomial tree; the trees use distinct dimensions in every
+/// round, so a round costs τ + (n/k)·t_c and the whole broadcast
+/// k·τ + ~n·t_c — the factor-k transfer-time speedup the paper reports
+/// for large payloads (bench_collectives reproduces it).
+#pragma once
+
+#include "comm/collectives.hpp"
+
+namespace vmp {
+
+namespace detail {
+
+/// Rotate the low `k` bits of `x` right by `i`.
+[[nodiscard]] constexpr std::uint32_t rotr_bits(std::uint32_t x, int i,
+                                                int k) noexcept {
+  if (k <= 1) return x;
+  const std::uint32_t mask = (1u << k) - 1u;
+  const int s = i % k;
+  if (s == 0) return x & mask;
+  return (((x & mask) >> s) | ((x & mask) << (k - s))) & mask;
+}
+
+}  // namespace detail
+
+/// All-port broadcast over k = sc.k() rotated edge-disjoint spanning
+/// binomial trees; tree i carries block i of the payload.  `n_of(q)` must
+/// return q's subcube's payload length on every member.
+template <class T, class NFn>
+void broadcast_esbt(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    std::uint32_t root_rank, NFn n_of) {
+  const int k = sc.k();
+  if (k == 0) return;
+  if (k == 1) {
+    broadcast(cube, buf, sc, root_rank);
+    return;
+  }
+  VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
+  const std::uint32_t K = static_cast<std::uint32_t>(k);
+
+  // Non-roots receive segments out of order: size their arrays up front.
+  cube.each_proc([&](proc_t q) {
+    if (sc.rank(q) != root_rank) buf.vec(q).assign(n_of(q), T{});
+  });
+
+  // holder[i] tracking is analytic: in tree i's ROTATED relative-rank
+  // space the holder set after processing bits {k-1..j+1} is exactly the
+  // ranks with no unprocessed bit set — the standard binomial invariant.
+  std::uint32_t processed = 0;
+  std::vector<int> dims(K);
+  for (int j = k - 1; j >= 0; --j) {
+    for (std::uint32_t i = 0; i < K; ++i)
+      dims[i] = sc.dim_of_rank_bit(static_cast<int>((j + i) % k));
+    const std::uint32_t snapshot = processed;
+    cube.exchange_allport<T>(
+        std::span<const int>(dims),
+        [&](proc_t q, std::size_t i) -> std::span<const T> {
+          const std::uint32_t rr = sc.rank(q) ^ root_rank;
+          const std::uint32_t rrot =
+              detail::rotr_bits(rr, static_cast<int>(i), k);
+          if ((rrot & ~snapshot) != 0) return {};  // not a holder in tree i
+          const std::size_t n = n_of(q);
+          const std::size_t lo = block_begin(n, K, static_cast<std::uint32_t>(i));
+          const std::size_t hi =
+              block_begin(n, K, static_cast<std::uint32_t>(i) + 1);
+          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+        },
+        [&](proc_t q, std::size_t i, std::span<const T> in) {
+          const std::size_t n = n_of(q);
+          const std::size_t lo = block_begin(n, K, static_cast<std::uint32_t>(i));
+          VMP_ASSERT(lo + in.size() <= buf.vec(q).size(),
+                     "esbt segment out of range");
+          std::copy(in.begin(), in.end(), buf.vec(q).begin() + static_cast<std::ptrdiff_t>(lo));
+        });
+    processed |= 1u << j;
+  }
+}
+
+}  // namespace vmp

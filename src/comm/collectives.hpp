@@ -1,0 +1,506 @@
+/// \file collectives.hpp
+/// \brief Collective communication on the Boolean cube, the substrate the
+///        four primitives are built from.
+///
+/// Every collective runs concurrently and independently in all subcubes of
+/// a SubcubeSet, uses only one-port cube-edge exchanges, and charges the
+/// simulated clock per lockstep round.  The algorithms are the classical
+/// ones from the hypercube literature the paper cites (Johnsson & Ho,
+/// "Optimum Broadcasting and Personalized Communication in Hypercubes"):
+///
+///  * broadcast            — spanning binomial tree: k(τ + n·t_c)
+///  * broadcast_sag        — scatter + all-gather:   2k·τ + ~2n·t_c
+///  * reduce_to_rank       — binomial-tree combine:  k(τ + n·t_c) + k·n·t_a
+///  * allreduce (doubling) — recursive doubling:     k(τ + n·t_c) + k·n·t_a
+///  * reduce_scatter       — recursive halving:      k·τ + ~n·t_c + ~n·t_a
+///  * allgather            — recursive doubling:     k·τ + ~n·t_c
+///  * allreduce_rsag       — halving + doubling:     2k·τ + ~2n·t_c + n·t_a
+///  * scan_* (prefix)      — rank-ordered parallel prefix, k rounds
+///  * route_within         — combining dimension-order routing, k rounds
+///
+/// (k = subcube dimension, n = per-processor data, per subcube.)
+/// The reduce-scatter/all-gather forms are what make the paper's reduce and
+/// distribute primitives processor-time optimal for m > p·lg p: the τ term
+/// appears only lg p times while every element crosses an edge O(1) times.
+/// `broadcast_auto` / `allreduce_auto` pick the cheaper variant by
+/// evaluating the cost model with the machine's actual parameters — the
+/// algorithm-selection discipline of the era's substrate papers.
+///
+/// Payload lengths may differ from subcube to subcube (they arise from
+/// non-divisible matrix extents) but must agree within each subcube.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "hypercube/machine.hpp"
+#include "hypercube/partition.hpp"
+#include "comm/dist_buffer.hpp"
+#include "comm/ops.hpp"
+#include "comm/subcube.hpp"
+
+namespace vmp {
+
+/// Host-side helper: largest local array length (used for flop charging).
+template <class T>
+[[nodiscard]] std::size_t max_local_len(const Cube& cube,
+                                        const DistBuffer<T>& buf) {
+  std::size_t m = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q) m = std::max(m, buf.vec(q).size());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// All-reduce by recursive doubling.
+// ---------------------------------------------------------------------------
+
+/// Combine equal-length (per subcube) local arrays; on exit every member
+/// holds the subcube-wide reduction.  Combines are applied in rank order,
+/// so non-commutative (but associative) operators are supported.
+template <class T, class Op>
+void allreduce(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, Op op) {
+  if (sc.k() == 0) return;
+  const std::size_t n = max_local_len(cube, buf);
+  for (int i = 0; i < sc.k(); ++i) {
+    const int d = sc.dim_of_rank_bit(i);
+    cube.exchange<T>(
+        d, [&](proc_t q) { return std::span<const T>(buf.vec(q)); },
+        [&](proc_t q, std::span<const T> in) {
+          std::vector<T>& mine = buf.vec(q);
+          VMP_ASSERT(in.size() == mine.size(), "allreduce length mismatch");
+          const bool iam_high = bit_of(q, d) != 0;
+          for (std::size_t t = 0; t < mine.size(); ++t)
+            mine[t] = iam_high ? op.combine(in[t], mine[t])
+                               : op.combine(mine[t], in[t]);
+        });
+    cube.clock().charge_compute_step(n, n * cube.procs());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-scatter by recursive halving.
+// ---------------------------------------------------------------------------
+
+/// On entry every subcube member holds the same-length array (length may
+/// differ between subcubes); on exit the member with subcube rank r holds
+/// the combined block [block_begin(n,P,r), block_begin(n,P,r+1)) of its
+/// subcube's array and nothing else.  Combines are rank-ordered.
+template <class T, class Op>
+void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op) {
+  if (sc.k() == 0) return;
+  const std::uint32_t P = sc.size();
+  std::vector<std::size_t> n_of(cube.procs());
+  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
+
+  DistBuffer<T> incoming(cube);
+  for (int j = sc.k() - 1; j >= 0; --j) {
+    const int d = sc.dim_of_rank_bit(j);
+    const std::uint32_t half = 1u << j;
+    const std::uint32_t width = half << 1;
+    // Segment geometry for processor q at this level: (rank, seg_lo, split,
+    // seg_hi) of the global range the processor currently covers.
+    const auto geometry = [&](proc_t q) {
+      const std::size_t n = n_of[q];
+      const std::uint32_t r = sc.rank(q);
+      const std::uint32_t lo_rank = r & ~(width - 1);
+      const std::size_t seg_lo = block_begin(n, P, lo_rank);
+      const std::size_t split = block_begin(n, P, lo_rank + half);
+      const std::size_t seg_hi = block_begin(n, P, lo_rank + width);
+      return std::tuple{r, seg_lo, split, seg_hi};
+    };
+    cube.each_proc([&](proc_t q) { incoming.vec(q).clear(); });
+    cube.exchange<T>(
+        d,
+        [&](proc_t q) -> std::span<const T> {
+          const auto [r, seg_lo, split, seg_hi] = geometry(q);
+          const std::vector<T>& mine = buf.vec(q);
+          VMP_ASSERT(mine.size() == seg_hi - seg_lo,
+                     "reduce_scatter segment length mismatch");
+          if (((r >> j) & 1u) == 0)  // keep front, send back half
+            return std::span<const T>(mine).subspan(split - seg_lo);
+          return std::span<const T>(mine).first(split - seg_lo);
+        },
+        [&](proc_t q, std::span<const T> in) {
+          incoming.vec(q).assign(in.begin(), in.end());
+        });
+    std::size_t max_kept = 0;
+    std::uint64_t total_combines = 0;
+    for (proc_t q = 0; q < cube.procs(); ++q) {
+      const auto [r, seg_lo, split, seg_hi] = geometry(q);
+      const std::size_t kept =
+          ((r >> j) & 1u) == 0 ? split - seg_lo : seg_hi - split;
+      max_kept = std::max(max_kept, kept);
+      total_combines += kept;
+    }
+    cube.compute(max_kept, total_combines, [&](proc_t q) {
+      const auto [r, seg_lo, split, seg_hi] = geometry(q);
+      std::vector<T>& mine = buf.vec(q);
+      const std::vector<T>& in = incoming.vec(q);
+      const bool low = ((r >> j) & 1u) == 0;
+      const std::size_t kept_off = low ? 0 : split - seg_lo;
+      const std::size_t kept_len = low ? split - seg_lo : seg_hi - split;
+      VMP_ASSERT(in.size() == kept_len || in.empty(),
+                 "reduce_scatter incoming length mismatch");
+      std::vector<T> next(kept_len);
+      for (std::size_t t = 0; t < kept_len; ++t) {
+        const T& a = mine[kept_off + t];
+        if (in.empty()) {
+          next[t] = a;  // degenerate: partner's copy of this block was empty
+        } else {
+          next[t] = low ? op.combine(a, in[t]) : op.combine(in[t], a);
+        }
+      }
+      mine.swap(next);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// All-gather by recursive doubling.
+// ---------------------------------------------------------------------------
+
+/// Inverse of reduce_scatter's data layout: on entry the member with
+/// effective rank rr = rank ^ rank_xor holds block rr of a block partition
+/// of its subcube's total `n_of(q)`; on exit every member holds the full
+/// concatenation in block order.  `rank_xor` supports gathers "rooted"
+/// away from rank 0 (the all-gather phase of broadcast_sag).
+template <class T, class NFn>
+void allgather(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, NFn n_of,
+               std::uint32_t rank_xor = 0) {
+  if (sc.k() == 0) return;
+  for (int j = 0; j < sc.k(); ++j) {
+    const int d = sc.dim_of_rank_bit(j);
+    cube.exchange<T>(
+        d, [&](proc_t q) { return std::span<const T>(buf.vec(q)); },
+        [&](proc_t q, std::span<const T> in) {
+          const std::uint32_t rr = sc.rank(q) ^ rank_xor;
+          std::vector<T>& mine = buf.vec(q);
+          if (((rr >> j) & 1u) == 0) {
+            mine.insert(mine.end(), in.begin(), in.end());  // partner higher
+          } else {
+            mine.insert(mine.begin(), in.begin(), in.end());  // partner lower
+          }
+        });
+  }
+  for (proc_t q = 0; q < cube.procs(); ++q) {
+    VMP_ASSERT(buf.vec(q).size() == n_of(q),
+               "allgather did not assemble the expected length");
+  }
+}
+
+/// Uniform-length convenience overload.
+template <class T>
+void allgather(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+               std::size_t n, std::uint32_t rank_xor = 0) {
+  allgather(cube, buf, sc, [n](proc_t) { return n; }, rank_xor);
+}
+
+/// Reduce-scatter followed by all-gather: the bandwidth-optimal all-reduce
+/// for long arrays.
+template <class T, class Op>
+void allreduce_rsag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op) {
+  if (sc.k() == 0) return;
+  std::vector<std::size_t> n_of(cube.procs());
+  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
+  reduce_scatter(cube, buf, sc, op);
+  allgather(cube, buf, sc, [&](proc_t q) { return n_of[q]; });
+}
+
+/// Model-driven choice between recursive doubling and reduce-scatter /
+/// all-gather, evaluated with the machine's actual cost parameters.
+template <class T, class Op>
+void allreduce_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op) {
+  if (sc.k() == 0) return;
+  const double n = static_cast<double>(max_local_len(cube, buf));
+  const double k = sc.k();
+  const double frac =
+      (static_cast<double>(sc.size()) - 1.0) / static_cast<double>(sc.size());
+  const CostParams& cp = cube.costs();
+  // Exact charges of the two algorithms (up to ceil rounding of blocks):
+  // doubling moves the full array k times and combines it k times;
+  // halving+gathering moves n·(P-1)/P twice and combines it once.
+  const double c_rd = k * (cp.startup_us + n * cp.per_elem_us) +
+                      k * n * cp.flop_us;
+  const double c_rsag = 2 * k * cp.startup_us +
+                        2 * n * frac * cp.per_elem_us +
+                        n * frac * cp.flop_us;
+  if (c_rsag < c_rd) {
+    allreduce_rsag(cube, buf, sc, op);
+  } else {
+    allreduce(cube, buf, sc, op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast.
+// ---------------------------------------------------------------------------
+
+/// Spanning-binomial-tree broadcast: the member with rank `root_rank` of
+/// each subcube holds the payload; on exit every member holds a copy.
+/// k rounds of full-payload sends: best for short payloads.
+template <class T>
+void broadcast(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+               std::uint32_t root_rank) {
+  if (sc.k() == 0) return;
+  VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
+  std::uint32_t processed = 0;  // relative-rank bits already covered
+  for (int j = sc.k() - 1; j >= 0; --j) {
+    const int d = sc.dim_of_rank_bit(j);
+    cube.exchange<T>(
+        d,
+        [&](proc_t q) -> std::span<const T> {
+          const std::uint32_t rr = sc.rank(q) ^ root_rank;
+          if ((rr & ~processed) == 0)  // current holder
+            return std::span<const T>(buf.vec(q));
+          return {};
+        },
+        [&](proc_t q, std::span<const T> in) {
+          buf.vec(q).assign(in.begin(), in.end());
+        });
+    processed |= 1u << j;
+  }
+}
+
+/// Scatter phase of broadcast_sag: the root's payload is split into
+/// relative-rank-indexed blocks and peeled down the binomial tree, so the
+/// member with relative rank rr ends up holding block rr.
+template <class T, class NFn>
+void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    std::uint32_t root_rank, NFn n_of) {
+  if (sc.k() == 0) return;
+  VMP_REQUIRE(root_rank < sc.size(), "scatter root rank out of range");
+  const std::uint32_t P = sc.size();
+  // Non-roots are overwritten by their incoming block; processors whose
+  // block is EMPTY (payload shorter than the subcube) receive nothing, so
+  // clear any pre-sized state up front or stale data survives the scatter.
+  cube.each_proc([&](proc_t q) {
+    if (sc.rank(q) != root_rank) buf.vec(q).clear();
+  });
+  std::uint32_t processed = 0;
+  for (int j = sc.k() - 1; j >= 0; --j) {
+    const int d = sc.dim_of_rank_bit(j);
+    const std::uint32_t half = 1u << j;
+    cube.exchange<T>(
+        d,
+        [&](proc_t q) -> std::span<const T> {
+          const std::uint32_t rr = sc.rank(q) ^ root_rank;
+          if ((rr & ~processed) != 0) return {};  // not a holder yet
+          // Holder rr covers blocks [rr, rr + 2^(j+1)); send the top half.
+          const std::size_t n = n_of(q);
+          const std::size_t lo = block_begin(n, P, rr);
+          const std::size_t cut = block_begin(n, P, rr + half);
+          return std::span<const T>(buf.vec(q)).subspan(cut - lo);
+        },
+        [&](proc_t q, std::span<const T> in) {
+          buf.vec(q).assign(in.begin(), in.end());
+        });
+    // Holders shrink to the bottom half of their coverage (bookkeeping).
+    cube.each_proc([&](proc_t q) {
+      const std::uint32_t rr = sc.rank(q) ^ root_rank;
+      if ((rr & ~processed) != 0) return;
+      const std::size_t n = n_of(q);
+      const std::size_t lo = block_begin(n, P, rr);
+      const std::size_t cut = block_begin(n, P, rr + half);
+      buf.vec(q).resize(cut - lo);
+    });
+    processed |= 1u << j;
+  }
+}
+
+/// Scatter + all-gather broadcast: 2k start-ups but each element crosses an
+/// edge only ~twice, beating the binomial tree beyond a crossover payload
+/// length (bench_ablation reproduces the crossover).
+/// `n_of(q)` must return the payload length of q's subcube on EVERY member
+/// (non-roots need it to know their block geometry).
+template <class T, class NFn>
+void broadcast_sag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                   std::uint32_t root_rank, NFn n_of) {
+  if (sc.k() == 0) return;
+  scatter_blocks(cube, buf, sc, root_rank, n_of);
+  allgather(cube, buf, sc, n_of, root_rank);
+}
+
+/// Model-driven choice between binomial and scatter+all-gather broadcast.
+/// `n_of(q)` as in broadcast_sag.
+template <class T, class NFn>
+void broadcast_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    std::uint32_t root_rank, NFn n_of) {
+  if (sc.k() == 0) return;
+  std::size_t nmax = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    nmax = std::max(nmax, static_cast<std::size_t>(n_of(q)));
+  const double n = static_cast<double>(nmax);
+  const double k = sc.k();
+  const double frac =
+      (static_cast<double>(sc.size()) - 1.0) / static_cast<double>(sc.size());
+  const CostParams& cp = cube.costs();
+  // Exact charges (up to ceil rounding): the binomial tree moves the full
+  // payload k times; scatter+all-gather moves n·(P-1)/P twice.
+  const double c_bin = k * (cp.startup_us + n * cp.per_elem_us);
+  const double c_sag =
+      2 * k * cp.startup_us + 2 * n * frac * cp.per_elem_us;
+  if (c_sag < c_bin) {
+    broadcast_sag(cube, buf, sc, root_rank, n_of);
+  } else {
+    broadcast(cube, buf, sc, root_rank);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce to one rank (binomial tree, mirror image of broadcast).
+// ---------------------------------------------------------------------------
+
+/// Combine equal-length arrays onto the member with rank `root_rank`.
+/// Requires a commutative operator (combining order follows the tree, not
+/// global rank order).  Non-roots' arrays are left holding partial sums.
+template <class T, class Op>
+void reduce_to_rank(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op, std::uint32_t root_rank) {
+  if (sc.k() == 0) return;
+  VMP_REQUIRE(root_rank < sc.size(), "reduce root rank out of range");
+  const std::size_t n = max_local_len(cube, buf);
+  for (int j = 0; j < sc.k(); ++j) {
+    const int d = sc.dim_of_rank_bit(j);
+    cube.exchange<T>(
+        d,
+        [&](proc_t q) -> std::span<const T> {
+          const std::uint32_t rr = sc.rank(q) ^ root_rank;
+          if ((rr & ((2u << j) - 1u)) == (1u << j))  // low bits 0, bit j set
+            return std::span<const T>(buf.vec(q));
+          return {};
+        },
+        [&](proc_t q, std::span<const T> in) {
+          std::vector<T>& mine = buf.vec(q);
+          VMP_ASSERT(in.size() == mine.size(), "reduce length mismatch");
+          for (std::size_t t = 0; t < mine.size(); ++t)
+            mine[t] = op.combine(mine[t], in[t]);
+        });
+    cube.clock().charge_compute_step(n, n * (cube.procs() >> (j + 1)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel prefix (scan) across subcube ranks.
+// ---------------------------------------------------------------------------
+
+/// Exclusive scan in rank order: on exit, the member with rank r holds the
+/// elementwise combination of the arrays of ranks 0..r-1 (identity for rank
+/// 0).  Associative operators only; commutativity is NOT required.
+template <class T, class Op>
+void scan_exclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op) {
+  if (sc.k() == 0) {
+    for (proc_t q = 0; q < cube.procs(); ++q)
+      std::fill(buf.vec(q).begin(), buf.vec(q).end(), op.identity());
+    return;
+  }
+  const std::size_t n = max_local_len(cube, buf);
+  DistBuffer<T> prefix(cube);
+  DistBuffer<T> total(cube);
+  cube.each_proc([&](proc_t q) {
+    prefix.vec(q).assign(buf.vec(q).size(), op.identity());
+    total.vec(q) = buf.vec(q);
+  });
+  for (int j = 0; j < sc.k(); ++j) {
+    const int d = sc.dim_of_rank_bit(j);
+    cube.exchange<T>(
+        d, [&](proc_t q) { return std::span<const T>(total.vec(q)); },
+        [&](proc_t q, std::span<const T> in) {
+          const bool iam_high = ((sc.rank(q) >> j) & 1u) != 0;
+          std::vector<T>& pre = prefix.vec(q);
+          std::vector<T>& tot = total.vec(q);
+          VMP_ASSERT(in.size() == tot.size(), "scan length mismatch");
+          for (std::size_t t = 0; t < tot.size(); ++t) {
+            if (iam_high) {
+              pre[t] = op.combine(in[t], pre[t]);
+              tot[t] = op.combine(in[t], tot[t]);
+            } else {
+              tot[t] = op.combine(tot[t], in[t]);
+            }
+          }
+        });
+    cube.clock().charge_compute_step(2 * n, 2 * n * cube.procs());
+  }
+  cube.each_proc([&](proc_t q) { buf.vec(q).swap(prefix.vec(q)); });
+}
+
+/// Inclusive scan: rank r holds the combination of ranks 0..r.
+template <class T, class Op>
+void scan_inclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                    Op op) {
+  DistBuffer<T> orig(cube);
+  cube.each_proc([&](proc_t q) { orig.vec(q) = buf.vec(q); });
+  scan_exclusive(cube, buf, sc, op);
+  const std::size_t n = max_local_len(cube, buf);
+  cube.compute(n, [&](proc_t q) {
+    std::vector<T>& mine = buf.vec(q);
+    const std::vector<T>& o = orig.vec(q);
+    for (std::size_t t = 0; t < mine.size(); ++t)
+      mine[t] = op.combine(mine[t], o[t]);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Combining dimension-order routing (irregular redistribution).
+// ---------------------------------------------------------------------------
+
+/// One routed element: destination processor, a caller-defined tag (e.g. a
+/// local slot), and the payload.
+template <class T>
+struct RouteItem {
+  proc_t dst = 0;
+  std::uint64_t tag = 0;
+  T value{};
+};
+
+/// Deliver every item to its destination processor using dimension-ordered
+/// routing with message combining: k rounds, and in each round a processor
+/// sends ALL items whose destination differs in the current bit as one
+/// message (one start-up).  This is the optimized, block-transfer
+/// counterpart of the naive per-packet router in comm/router.hpp.
+/// Destinations must lie in the source's subcube.
+template <class T>
+void route_within(Cube& cube, DistBuffer<RouteItem<T>>& items,
+                  const SubcubeSet& sc) {
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (const RouteItem<T>& it : items.vec(q))
+      VMP_REQUIRE(sc.subcube_id(it.dst) == sc.subcube_id(q),
+                  "route_within destination escapes the subcube");
+  DistBuffer<RouteItem<T>> outbox(cube);
+  for (int j = 0; j < sc.k(); ++j) {
+    const int d = sc.dim_of_rank_bit(j);
+    const std::uint32_t bit = 1u << d;
+    cube.each_proc([&](proc_t q) {
+      std::vector<RouteItem<T>>& mine = items.vec(q);
+      std::vector<RouteItem<T>>& out = outbox.vec(q);
+      out.clear();
+      std::size_t w = 0;
+      for (std::size_t t = 0; t < mine.size(); ++t) {
+        if ((mine[t].dst & bit) != (q & bit)) {
+          out.push_back(mine[t]);
+        } else {
+          mine[w++] = mine[t];
+        }
+      }
+      mine.resize(w);
+    });
+    cube.exchange<RouteItem<T>>(
+        d,
+        [&](proc_t q) { return std::span<const RouteItem<T>>(outbox.vec(q)); },
+        [&](proc_t q, std::span<const RouteItem<T>> in) {
+          items.vec(q).insert(items.vec(q).end(), in.begin(), in.end());
+        });
+  }
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (const RouteItem<T>& it : items.vec(q))
+      VMP_ASSERT(it.dst == q, "route_within left an item undelivered");
+}
+
+}  // namespace vmp

@@ -1,0 +1,54 @@
+/// \file dist_buffer.hpp
+/// \brief Per-processor local storage: the only data container collectives
+///        and primitives touch.  Each processor owns one resizable array;
+///        nothing is globally addressable — data crosses processor
+///        boundaries only through Cube::exchange (and is charged for it).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypercube/check.hpp"
+#include "hypercube/machine.hpp"
+
+namespace vmp {
+
+template <class T>
+class DistBuffer {
+ public:
+  DistBuffer() = default;
+
+  /// One (initially empty) local array per processor.
+  explicit DistBuffer(const Cube& cube) : local_(cube.procs()) {}
+
+  /// One local array of `elems_each` value-initialized elements per proc.
+  DistBuffer(const Cube& cube, std::size_t elems_each)
+      : local_(cube.procs(), std::vector<T>(elems_each)) {}
+
+  [[nodiscard]] proc_t procs() const {
+    return static_cast<proc_t>(local_.size());
+  }
+
+  /// Resizable access to processor q's local array.
+  [[nodiscard]] std::vector<T>& vec(proc_t q) {
+    VMP_REQUIRE(q < local_.size(), "processor id out of range");
+    return local_[q];
+  }
+  [[nodiscard]] const std::vector<T>& vec(proc_t q) const {
+    VMP_REQUIRE(q < local_.size(), "processor id out of range");
+    return local_[q];
+  }
+
+  /// Span view of processor q's local array.
+  [[nodiscard]] std::span<T> on(proc_t q) {
+    return std::span<T>(vec(q));
+  }
+  [[nodiscard]] std::span<const T> on(proc_t q) const {
+    return std::span<const T>(vec(q));
+  }
+
+ private:
+  std::vector<std::vector<T>> local_;
+};
+
+}  // namespace vmp

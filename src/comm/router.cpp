@@ -1,0 +1,59 @@
+#include "comm/router.hpp"
+
+#include <bit>
+
+#include "hypercube/bits.hpp"
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+std::uint64_t NaiveRouter::run(
+    std::vector<std::vector<Packet>> packets,
+    const std::function<void(proc_t, std::uint64_t, double)>& deliver) {
+  Cube& cube = *cube_;
+  const proc_t p = cube.procs();
+  VMP_REQUIRE(packets.size() == p, "one injection queue per processor");
+
+  std::vector<std::deque<Packet>> queue(p);
+  std::size_t in_flight = 0;
+  for (proc_t q = 0; q < p; ++q) {
+    for (const Packet& pk : packets[q]) {
+      VMP_REQUIRE(pk.dst < p, "packet destination out of range");
+      if (pk.dst == q) {
+        deliver(q, pk.tag, pk.value);  // already home: no router traffic
+      } else {
+        queue[q].push_back(pk);
+        ++in_flight;
+      }
+    }
+  }
+  cube.clock().note_router_packets(in_flight);
+
+  std::uint64_t cycles = 0;
+  std::vector<std::pair<proc_t, Packet>> moves;
+  while (in_flight > 0) {
+    // One lockstep cycle: every processor forwards the head of its queue
+    // one hop along the lowest differing address bit (e-cube routing).
+    moves.clear();
+    for (proc_t q = 0; q < p; ++q) {
+      if (queue[q].empty()) continue;
+      Packet pk = queue[q].front();
+      queue[q].pop_front();
+      const int hop = std::countr_zero(pk.dst ^ q);
+      moves.emplace_back(cube_neighbor(q, hop), pk);
+    }
+    for (const auto& [where, pk] : moves) {
+      if (pk.dst == where) {
+        deliver(where, pk.tag, pk.value);
+        --in_flight;
+      } else {
+        queue[where].push_back(pk);
+      }
+    }
+    cube.clock().charge_router_cycle(moves.size());
+    ++cycles;
+  }
+  return cycles;
+}
+
+}  // namespace vmp

@@ -1,0 +1,64 @@
+/// \file subcube.hpp
+/// \brief Addressing of subcubes: a dimension mask with k bits set carves
+///        the cube into 2^(d-k) disjoint 2^k-processor subcubes.  Every
+///        collective operates concurrently and independently in all of
+///        them — this is how "reduce along the rows of the processor grid"
+///        is expressed.
+#pragma once
+
+#include <cstdint>
+
+#include "hypercube/bits.hpp"
+#include "hypercube/check.hpp"
+#include "hypercube/machine.hpp"
+
+namespace vmp {
+
+/// A family of congruent subcubes, described by the set of cube dimensions
+/// (`mask`) they span.
+class SubcubeSet {
+ public:
+  /// Construct from a dimension mask; `mask == 0` describes the trivial
+  /// one-processor subcubes (collectives become no-ops).
+  explicit SubcubeSet(std::uint32_t mask) : mask_(mask), k_(popcount(mask)) {}
+
+  /// Mask spanning dimensions [lo, lo+count).
+  [[nodiscard]] static SubcubeSet contiguous(int lo, int count) {
+    VMP_REQUIRE(lo >= 0 && count >= 0 && lo + count < 32, "bad dim range");
+    const std::uint32_t ones =
+        count == 0 ? 0u : ((count >= 32 ? 0u : (1u << count)) - 1u);
+    return SubcubeSet(ones << lo);
+  }
+
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+  /// Subcube dimension (bits in the mask).
+  [[nodiscard]] int k() const { return k_; }
+  /// Processors per subcube.
+  [[nodiscard]] std::uint32_t size() const { return 1u << k_; }
+
+  /// Rank of processor q within its subcube: its mask bits, compacted.
+  [[nodiscard]] std::uint32_t rank(proc_t q) const {
+    return extract_bits(q, mask_);
+  }
+
+  /// The processor in q's subcube holding rank r.
+  [[nodiscard]] proc_t with_rank(proc_t q, std::uint32_t r) const {
+    VMP_REQUIRE(r < size(), "rank out of subcube range");
+    return (q & ~mask_) | deposit_bits(r, mask_);
+  }
+
+  /// Cube dimension carrying rank bit i (i = 0 is the least significant).
+  [[nodiscard]] int dim_of_rank_bit(int i) const {
+    return nth_set_bit(mask_, i);
+  }
+
+  /// Identifier of q's subcube (its non-mask bits) — equal for exactly the
+  /// processors that share a subcube.
+  [[nodiscard]] std::uint32_t subcube_id(proc_t q) const { return q & ~mask_; }
+
+ private:
+  std::uint32_t mask_;
+  int k_;
+};
+
+}  // namespace vmp

@@ -1,0 +1,102 @@
+/// \file permute.hpp
+/// \brief Element-level data motion on distributed vectors: global shifts
+///        (the stencil/offset fetch of relaxation methods) and arbitrary
+///        permutations, both through one combining dimension-order routing
+///        sweep per call.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// w[g] = v[g + offset] where g + offset is in range, `fill` elsewhere —
+/// the distributed equivalent of a shifted array read.  Replicated
+/// embeddings route once per replica subcube family member set (each
+/// replica group computes its own copy in lockstep).
+template <class T>
+[[nodiscard]] DistVector<T> vec_shift(const DistVector<T>& v,
+                                      std::ptrdiff_t offset, T fill = T{}) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, v.n(), v.align(), v.part());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& piece = out.data().vec(q);
+    std::fill(piece.begin(), piece.end(), fill);
+  });
+
+  // Route v[s] to the holder of destination index s - offset (so that
+  // out[g] = v[g + offset]).  Every replica of the destination must be
+  // fed: emit one item per destination replica, from the canonical source
+  // replica (other replicas idle in lockstep, matching the SIMD model).
+  DistBuffer<RouteItem<T>> items(cube);
+  const SubcubeSet rep = v.replicated_over();
+  cube.each_proc([&](proc_t q) {
+    if (q != v.canonical_proc(v.rank_of(q))) return;
+    const std::uint32_t r = v.rank_of(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const std::ptrdiff_t g =
+          static_cast<std::ptrdiff_t>(v.map().global(r, s)) - offset;
+      if (g < 0 || g >= static_cast<std::ptrdiff_t>(v.n())) continue;
+      const std::size_t gu = static_cast<std::size_t>(g);
+      const std::uint32_t dst_rank = out.map().owner(gu);
+      const proc_t canon = out.canonical_proc(dst_rank);
+      for (std::uint32_t rr = 0; rr < rep.size(); ++rr) {
+        const proc_t dst =
+            rep.k() == 0 ? canon : rep.with_rank(canon, rr);
+        items.vec(q).push_back(
+            RouteItem<T>{dst, out.map().local(gu), piece[s]});
+      }
+    }
+  });
+  route_within(cube, items, grid.whole());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& piece = out.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) piece[it.tag] = it.value;
+  });
+  return out;
+}
+
+/// w[perm[g]] = v[g]: scatter according to a host-known permutation
+/// (perm must be a bijection on [0, n); checked).
+template <class T>
+[[nodiscard]] DistVector<T> vec_permute(const DistVector<T>& v,
+                                        std::span<const std::size_t> perm) {
+  VMP_REQUIRE(perm.size() == v.n(), "permutation length mismatch");
+  {
+    std::vector<bool> seen(v.n(), false);
+    for (std::size_t p : perm) {
+      VMP_REQUIRE(p < v.n() && !seen[p], "perm must be a bijection");
+      seen[p] = true;
+    }
+  }
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, v.n(), v.align(), v.part());
+  DistBuffer<RouteItem<T>> items(cube);
+  const SubcubeSet rep = v.replicated_over();
+  cube.each_proc([&](proc_t q) {
+    if (q != v.canonical_proc(v.rank_of(q))) return;
+    const std::uint32_t r = v.rank_of(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const std::size_t g = perm[v.map().global(r, s)];
+      const std::uint32_t dst_rank = out.map().owner(g);
+      const proc_t canon = out.canonical_proc(dst_rank);
+      for (std::uint32_t rr = 0; rr < rep.size(); ++rr) {
+        const proc_t dst = rep.k() == 0 ? canon : rep.with_rank(canon, rr);
+        items.vec(q).push_back(
+            RouteItem<T>{dst, out.map().local(g), piece[s]});
+      }
+    }
+  });
+  route_within(cube, items, grid.whole());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& piece = out.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) piece[it.tag] = it.value;
+  });
+  return out;
+}
+
+}  // namespace vmp

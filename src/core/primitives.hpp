@@ -1,0 +1,311 @@
+/// \file primitives.hpp
+/// \brief The paper's four vector-matrix primitives: extract, insert,
+///        distribute, reduce — each in a row and a column form.
+///
+/// Semantics (A is nrows × ncols):
+///
+///   reduce_rows(A, op)[i]  = op-fold over j of A[i][j]      → Rows vector
+///   reduce_cols(A, op)[j]  = op-fold over i of A[i][j]      → Cols vector
+///   distribute_rows(v, m)[i][j] = v[j]  (v is a Cols vector, m result rows)
+///   distribute_cols(v, n)[i][j] = v[i]  (v is a Rows vector, n result cols)
+///   extract_row(A, i)[j]   = A[i][j]                        → Cols vector
+///   extract_col(A, j)[i]   = A[i][j]                        → Rows vector
+///   insert_row(A, i, v):     A[i][j] = v[j]  (v a Cols vector)
+///   insert_col(A, j, v):     A[i][j] = v[i]  (v a Rows vector)
+///
+/// Implementation costs on a 2^gr × 2^gc grid with p = 2^(gr+gc) and
+/// m = nrows·ncols elements (one-port model, per call):
+///
+///   reduce      m/p · t_a  +  allreduce over the fold axis' subcubes
+///               (≈ 2·gr·τ + O(n/Pc)·t_c via reduce-scatter/all-gather)
+///   distribute  m/p · t_a, NO communication — the replicated embedding of
+///               the input vector already holds every needed copy
+///   extract     ⌈n/Pc⌉·t_a + broadcast over gr dims (root = owner row)
+///   insert      ⌈n/Pc⌉·t_a, NO communication (replicas write in place)
+///
+/// For m > p·lg p the m/p arithmetic term dominates every τ·lg p term, so
+/// processor-time is within a constant factor of the serial fold — the
+/// paper's optimality claim, asserted in the property-test suite.
+///
+/// All forms REQUIRE correctly-embedded operands (alignment, partition kind
+/// and length must match); use vmp::realign to convert — the conversion is
+/// the "embedding change" the paper prices explicitly.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "comm/ops.hpp"
+#include "embed/dist_matrix.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+namespace detail {
+
+template <class T>
+void require_cols_aligned(const DistMatrix<T>& A, const DistVector<T>& v) {
+  VMP_REQUIRE(&A.grid() == &v.grid(), "operands live on different grids");
+  VMP_REQUIRE(v.align() == Align::Cols, "vector must be Cols-aligned");
+  VMP_REQUIRE(v.part() == A.layout().cols,
+              "vector partition kind must match the matrix column axis");
+  VMP_REQUIRE(v.n() == A.ncols(), "vector length must equal ncols");
+}
+
+template <class T>
+void require_rows_aligned(const DistMatrix<T>& A, const DistVector<T>& v) {
+  VMP_REQUIRE(&A.grid() == &v.grid(), "operands live on different grids");
+  VMP_REQUIRE(v.align() == Align::Rows, "vector must be Rows-aligned");
+  VMP_REQUIRE(v.part() == A.layout().rows,
+              "vector partition kind must match the matrix row axis");
+  VMP_REQUIRE(v.n() == A.nrows(), "vector length must equal nrows");
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+/// Fold each row of A with `op`: out[i] = op(A[i][0], ..., A[i][ncols-1]).
+/// Result is Rows-aligned (partitioned like A's rows, replicated across
+/// grid columns).
+template <class T, class Op>
+[[nodiscard]] DistVector<T> reduce_rows(const DistMatrix<T>& A, Op op) {
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
+  cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
+    const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+    const std::span<const T> blk = A.block(q);
+    std::vector<T>& piece = out.data().vec(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      T acc = op.identity();
+      for (std::size_t lc = 0; lc < lcn; ++lc)
+        acc = op.combine(acc, blk[lr * lcn + lc]);
+      piece[lr] = acc;
+    }
+  });
+  allreduce_auto(cube, out.data(), grid.within_row(), op);
+  return out;
+}
+
+/// Fold each column of A with `op`: out[j] = op(A[0][j], ..., A[nrows-1][j]).
+/// Result is Cols-aligned.
+template <class T, class Op>
+[[nodiscard]] DistVector<T> reduce_cols(const DistMatrix<T>& A, Op op) {
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
+  cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
+    const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+    const std::span<const T> blk = A.block(q);
+    std::vector<T>& piece = out.data().vec(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) piece[lc] = op.identity();
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      for (std::size_t lc = 0; lc < lcn; ++lc)
+        piece[lc] = op.combine(piece[lc], blk[lr * lcn + lc]);
+  });
+  allreduce_auto(cube, out.data(), grid.within_col(), op);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// distribute
+// ---------------------------------------------------------------------------
+
+/// Replicate a Cols-aligned vector across `nrows` rows:
+/// out[i][j] = v[j].  Purely local — the input embedding already holds a
+/// copy of v's piece on every grid row.
+template <class T>
+[[nodiscard]] DistMatrix<T> distribute_rows(const DistVector<T>& v,
+                                            std::size_t nrows,
+                                            Part rows_part = Part::Block) {
+  VMP_REQUIRE(v.align() == Align::Cols,
+              "distribute_rows needs a Cols-aligned vector");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  DistMatrix<T> out(grid, nrows, v.n(), MatrixLayout{rows_part, v.part()});
+  cube.compute(out.max_block(), nrows * v.n(), [&](proc_t q) {
+    const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
+    const std::span<const T> piece = v.piece(q);
+    std::span<T> blk = out.block(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lc];
+  });
+  return out;
+}
+
+/// Replicate a Rows-aligned vector across `ncols` columns:
+/// out[i][j] = v[i].  Purely local.
+template <class T>
+[[nodiscard]] DistMatrix<T> distribute_cols(const DistVector<T>& v,
+                                            std::size_t ncols,
+                                            Part cols_part = Part::Block) {
+  VMP_REQUIRE(v.align() == Align::Rows,
+              "distribute_cols needs a Rows-aligned vector");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  DistMatrix<T> out(grid, v.n(), ncols, MatrixLayout{v.part(), cols_part});
+  cube.compute(out.max_block(), v.n() * ncols, [&](proc_t q) {
+    const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
+    const std::span<const T> piece = v.piece(q);
+    std::span<T> blk = out.block(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lr];
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// extract
+// ---------------------------------------------------------------------------
+
+/// Pull row i out of A as a Cols-aligned vector (replicated to every grid
+/// row by a broadcast from the owner row).
+template <class T>
+[[nodiscard]] DistVector<T> extract_row(const DistMatrix<T>& A,
+                                        std::size_t i) {
+  VMP_REQUIRE(i < A.nrows(), "row index out of range");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
+  const std::uint32_t R = A.rowmap().owner(i);
+  const std::size_t lr = A.rowmap().local(i);
+  const std::size_t max_piece =
+      (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  cube.compute(max_piece, A.ncols(), [&](proc_t q) {
+    if (grid.prow(q) != R) return;
+    const std::size_t lcn = A.lcols(q);
+    const std::span<const T> blk = A.block(q);
+    std::vector<T>& piece = out.data().vec(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) piece[lc] = blk[lr * lcn + lc];
+  });
+  broadcast_auto(cube, out.data(), grid.within_col(), R,
+                 [&](proc_t q) { return out.map().size(out.rank_of(q)); });
+  return out;
+}
+
+/// Pull column j out of A as a Rows-aligned vector.
+template <class T>
+[[nodiscard]] DistVector<T> extract_col(const DistMatrix<T>& A,
+                                        std::size_t j) {
+  VMP_REQUIRE(j < A.ncols(), "column index out of range");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
+  const std::uint32_t C = A.colmap().owner(j);
+  const std::size_t lc = A.colmap().local(j);
+  const std::size_t max_piece =
+      (A.nrows() + grid.prows() - 1) / grid.prows();
+  cube.compute(max_piece, A.nrows(), [&](proc_t q) {
+    if (grid.pcol(q) != C) return;
+    const std::size_t lcn = A.lcols(q);
+    const std::size_t lrn = A.lrows(q);
+    const std::span<const T> blk = A.block(q);
+    std::vector<T>& piece = out.data().vec(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr) piece[lr] = blk[lr * lcn + lc];
+  });
+  broadcast_auto(cube, out.data(), grid.within_row(), C,
+                 [&](proc_t q) { return out.map().size(out.rank_of(q)); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// insert
+// ---------------------------------------------------------------------------
+
+/// Overwrite row i of A with a Cols-aligned vector.  Purely local: the
+/// owner row's processors copy their piece in place.
+template <class T>
+void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
+  VMP_REQUIRE(i < A.nrows(), "row index out of range");
+  detail::require_cols_aligned(A, v);
+  Grid& grid = A.grid();
+  const std::uint32_t R = A.rowmap().owner(i);
+  const std::size_t lr = A.rowmap().local(i);
+  const std::size_t max_piece =
+      (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  grid.cube().compute(max_piece, A.ncols(), [&](proc_t q) {
+    if (grid.prow(q) != R) return;
+    const std::size_t lcn = A.lcols(q);
+    std::span<T> blk = A.block(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lc];
+  });
+}
+
+/// Overwrite column j of A with a Rows-aligned vector.  Purely local.
+template <class T>
+void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
+  VMP_REQUIRE(j < A.ncols(), "column index out of range");
+  detail::require_rows_aligned(A, v);
+  Grid& grid = A.grid();
+  const std::uint32_t C = A.colmap().owner(j);
+  const std::size_t lc = A.colmap().local(j);
+  const std::size_t max_piece =
+      (A.nrows() + grid.prows() - 1) / grid.prows();
+  grid.cube().compute(max_piece, A.nrows(), [&](proc_t q) {
+    if (grid.pcol(q) != C) return;
+    const std::size_t lcn = A.lcols(q);
+    const std::size_t lrn = A.lrows(q);
+    std::span<T> blk = A.block(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr) blk[lr * lcn + lc] = piece[lr];
+  });
+}
+
+/// Ranged insert: overwrite only the elements of row i whose global column
+/// index lies in [lo, hi).  Used by Gaussian elimination to write the
+/// pivot row without disturbing the L part.
+template <class T>
+void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
+                      std::size_t lo, std::size_t hi) {
+  VMP_REQUIRE(i < A.nrows(), "row index out of range");
+  VMP_REQUIRE(lo <= hi && hi <= A.ncols(), "bad column range");
+  detail::require_cols_aligned(A, v);
+  Grid& grid = A.grid();
+  const std::uint32_t R = A.rowmap().owner(i);
+  const std::size_t lr = A.rowmap().local(i);
+  const std::size_t max_piece =
+      (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  grid.cube().compute(max_piece, hi - lo, [&](proc_t q) {
+    if (grid.prow(q) != R) return;
+    const std::uint32_t C = grid.pcol(q);
+    const std::size_t lcn = A.lcols(q);
+    std::span<T> blk = A.block(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) {
+      const std::size_t g = A.colmap().global(C, lc);
+      if (g >= lo && g < hi) blk[lr * lcn + lc] = piece[lc];
+    }
+  });
+}
+
+/// Ranged insert: overwrite only the elements of column j whose global row
+/// index lies in [lo, hi).  Used to deposit Gaussian multipliers below the
+/// diagonal.
+template <class T>
+void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
+                      std::size_t lo, std::size_t hi) {
+  VMP_REQUIRE(j < A.ncols(), "column index out of range");
+  VMP_REQUIRE(lo <= hi && hi <= A.nrows(), "bad row range");
+  detail::require_rows_aligned(A, v);
+  Grid& grid = A.grid();
+  const std::uint32_t C = A.colmap().owner(j);
+  const std::size_t lc = A.colmap().local(j);
+  const std::size_t max_piece =
+      (A.nrows() + grid.prows() - 1) / grid.prows();
+  grid.cube().compute(max_piece, hi - lo, [&](proc_t q) {
+    if (grid.pcol(q) != C) return;
+    const std::uint32_t R = grid.prow(q);
+    const std::size_t lcn = A.lcols(q);
+    const std::size_t lrn = A.lrows(q);
+    std::span<T> blk = A.block(q);
+    const std::span<const T> piece = v.piece(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      const std::size_t g = A.rowmap().global(R, lr);
+      if (g >= lo && g < hi) blk[lr * lcn + lc] = piece[lr];
+    }
+  });
+}
+
+}  // namespace vmp

@@ -1,0 +1,144 @@
+/// \file scan_ops.hpp
+/// \brief Prefix operations on distributed vectors — the scan vocabulary
+///        of Blelloch's data-parallel model, built on the subcube prefix
+///        collective: local scan of each piece, an exclusive cross-rank
+///        scan of the piece totals, then a local offset pass.
+///
+/// Cost: 2·(n/p)·t_a locally plus lg p one-element rounds — the same
+/// anatomy as reduce, and processor-time optimal for n > p·lg p.
+///
+/// Only Block-partitioned vectors support scans (element order must be
+/// contiguous per processor; a Cyclic piece interleaves globally).
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "core/vector_ops.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+namespace detail {
+
+template <class T, class Op>
+void scan_piece_exclusive(std::vector<T>& piece, T& carry_in_out, Op op) {
+  T acc = carry_in_out;
+  for (T& x : piece) {
+    const T next = op.combine(acc, x);
+    x = acc;
+    acc = next;
+  }
+  carry_in_out = acc;
+}
+
+}  // namespace detail
+
+/// Exclusive scan over the elements of v in global index order:
+/// out[g] = op(v[0], …, v[g-1]), identity at g = 0.  In place.
+template <class T, class Op>
+void vec_scan_exclusive(DistVector<T>& v, Op op) {
+  VMP_REQUIRE(v.part() == Part::Block,
+              "scans need the Block (consecutive) embedding");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  const std::size_t mx = max_local_len(cube, v.data());
+
+  // 1. local: piece totals (one pass) …
+  DistBuffer<T> totals(cube, 1);
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    T acc = op.identity();
+    for (const T& x : v.data().vec(q)) acc = op.combine(acc, x);
+    totals.vec(q)[0] = acc;
+  });
+  // 2. … an exclusive scan of the totals across the partition ranks
+  //    (replicated subcube families see identical totals, so running the
+  //    prefix over the partitioned family is correct for every replica) …
+  scan_exclusive(cube, totals, v.partitioned_over(), op);
+  // 3. … then a local exclusive scan seeded with the incoming carry.
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    T carry = totals.vec(q)[0];
+    detail::scan_piece_exclusive(v.data().vec(q), carry, op);
+  });
+}
+
+/// Inclusive scan: out[g] = op(v[0], …, v[g]).  In place.
+template <class T, class Op>
+void vec_scan_inclusive(DistVector<T>& v, Op op) {
+  DistVector<T> orig = v;
+  vec_scan_exclusive(v, op);
+  vec_zip(v, orig, [&](const T& pre, const T& x) { return op.combine(pre, x); });
+}
+
+// ---------------------------------------------------------------------------
+// Segmented scan: prefix restarted at every set flag (Blelloch's segmented
+// operations, the workhorse of nested data parallelism).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Element of the segmented-scan lifting: (value, started-a-new-segment).
+template <class T>
+struct SegPair {
+  T value{};
+  bool flag = false;
+  friend bool operator==(const SegPair&, const SegPair&) = default;
+};
+
+/// The classical lifted operator: associative whenever Op is.
+template <class T, class Op>
+struct SegOp {
+  Op op;
+  using value_type = SegPair<T>;
+  [[nodiscard]] SegPair<T> combine(const SegPair<T>& a,
+                                   const SegPair<T>& b) const {
+    return SegPair<T>{b.flag ? b.value : op.combine(a.value, b.value),
+                      a.flag || b.flag};
+  }
+  [[nodiscard]] SegPair<T> identity() const {
+    return SegPair<T>{op.identity(), false};
+  }
+};
+
+}  // namespace detail
+
+/// Exclusive segmented scan: flags[g] == true starts a new segment at g;
+/// out[g] combines the elements of g's segment strictly before g
+/// (identity at each segment head).  `flags` must be aligned with `v`.
+template <class T, class Op>
+void vec_scan_exclusive_segmented(DistVector<T>& v,
+                                  const DistVector<std::uint8_t>& flags,
+                                  Op op) {
+  VMP_REQUIRE(v.n() == flags.n() && v.part() == flags.part() &&
+                  v.align() == flags.align(),
+              "flags must be aligned with the data vector");
+  VMP_REQUIRE(v.part() == Part::Block,
+              "scans need the Block (consecutive) embedding");
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  using Pair = detail::SegPair<T>;
+  const detail::SegOp<T, Op> seg{op};
+  const std::size_t mx = max_local_len(cube, v.data());
+
+  DistBuffer<Pair> totals(cube, 1);
+  cube.compute(2 * mx, 2 * v.n(), [&](proc_t q) {
+    Pair acc = seg.identity();
+    const std::vector<T>& piece = v.data().vec(q);
+    const std::vector<std::uint8_t>& fl = flags.data().vec(q);
+    for (std::size_t s = 0; s < piece.size(); ++s)
+      acc = seg.combine(acc, Pair{piece[s], fl[s] != 0});
+    totals.vec(q)[0] = acc;
+  });
+  scan_exclusive(cube, totals, v.partitioned_over(), seg);
+  cube.compute(2 * mx, 2 * v.n(), [&](proc_t q) {
+    Pair carry = totals.vec(q)[0];
+    std::vector<T>& piece = v.data().vec(q);
+    const std::vector<std::uint8_t>& fl = flags.data().vec(q);
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const Pair cur{piece[s], fl[s] != 0};
+      // A segment head sees the identity, not the carried prefix.
+      piece[s] = cur.flag ? op.identity() : carry.value;
+      carry = seg.combine(carry, cur);
+    }
+  });
+}
+
+}  // namespace vmp

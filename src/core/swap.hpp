@@ -1,0 +1,107 @@
+/// \file swap.hpp
+/// \brief Row / column exchange on a distributed matrix — the data motion
+///        behind partial pivoting.  When both lines share an owner the swap
+///        is local; otherwise the two owner groups trade their pieces with
+///        one combining-router sweep along the partitioned dimensions.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "embed/dist_matrix.hpp"
+
+namespace vmp {
+
+/// Exchange rows i and j of A.
+template <class T>
+void swap_rows(DistMatrix<T>& A, std::size_t i, std::size_t j) {
+  VMP_REQUIRE(i < A.nrows() && j < A.nrows(), "row index out of range");
+  if (i == j) return;
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  const std::uint32_t Ri = A.rowmap().owner(i), Rj = A.rowmap().owner(j);
+  const std::size_t li = A.rowmap().local(i), lj = A.rowmap().local(j);
+  const std::size_t max_piece = (A.ncols() + grid.pcols() - 1) / grid.pcols();
+
+  if (Ri == Rj) {  // both rows in the same block: purely local swap
+    cube.compute(2 * max_piece, 2 * A.ncols(), [&](proc_t q) {
+      if (grid.prow(q) != Ri) return;
+      const std::size_t lcn = A.lcols(q);
+      std::span<T> blk = A.block(q);
+      for (std::size_t lc = 0; lc < lcn; ++lc)
+        std::swap(blk[li * lcn + lc], blk[lj * lcn + lc]);
+    });
+    return;
+  }
+
+  // Owner groups trade pieces along the grid-column subcubes; the tag
+  // encodes the destination local offset.
+  DistBuffer<RouteItem<T>> items(cube);
+  cube.each_proc([&](proc_t q) {
+    const std::uint32_t R = grid.prow(q);
+    if (R != Ri && R != Rj) return;
+    const bool mine_is_i = (R == Ri);
+    const std::size_t lsrc = mine_is_i ? li : lj;
+    const std::size_t ldst = mine_is_i ? lj : li;
+    const proc_t dst = grid.at(mine_is_i ? Rj : Ri, grid.pcol(q));
+    const std::size_t lcn = A.lcols(q);
+    const std::span<const T> blk = A.block(q);
+    items.vec(q).reserve(lcn);
+    for (std::size_t lc = 0; lc < lcn; ++lc)
+      items.vec(q).push_back(
+          RouteItem<T>{dst, ldst * lcn + lc, blk[lsrc * lcn + lc]});
+  });
+  route_within(cube, items, grid.within_col());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& blk = A.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+  });
+}
+
+/// Exchange columns i and j of A.
+template <class T>
+void swap_cols(DistMatrix<T>& A, std::size_t i, std::size_t j) {
+  VMP_REQUIRE(i < A.ncols() && j < A.ncols(), "column index out of range");
+  if (i == j) return;
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  const std::uint32_t Ci = A.colmap().owner(i), Cj = A.colmap().owner(j);
+  const std::size_t li = A.colmap().local(i), lj = A.colmap().local(j);
+  const std::size_t max_piece = (A.nrows() + grid.prows() - 1) / grid.prows();
+
+  if (Ci == Cj) {
+    cube.compute(2 * max_piece, 2 * A.nrows(), [&](proc_t q) {
+      if (grid.pcol(q) != Ci) return;
+      const std::size_t lcn = A.lcols(q);
+      const std::size_t lrn = A.lrows(q);
+      std::span<T> blk = A.block(q);
+      for (std::size_t lr = 0; lr < lrn; ++lr)
+        std::swap(blk[lr * lcn + li], blk[lr * lcn + lj]);
+    });
+    return;
+  }
+
+  DistBuffer<RouteItem<T>> items(cube);
+  cube.each_proc([&](proc_t q) {
+    const std::uint32_t C = grid.pcol(q);
+    if (C != Ci && C != Cj) return;
+    const bool mine_is_i = (C == Ci);
+    const std::size_t lsrc = mine_is_i ? li : lj;
+    const std::size_t ldst = mine_is_i ? lj : li;
+    const std::uint32_t Cdst = mine_is_i ? Cj : Ci;
+    const proc_t dst = grid.at(grid.prow(q), Cdst);
+    const std::size_t lcn = A.lcols(q);
+    const std::size_t lcn_dst = A.colmap().size(Cdst);
+    const std::size_t lrn = A.lrows(q);
+    const std::span<const T> blk = A.block(q);
+    items.vec(q).reserve(lrn);
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      items.vec(q).push_back(
+          RouteItem<T>{dst, lr * lcn_dst + ldst, blk[lr * lcn + lsrc]});
+  });
+  route_within(cube, items, grid.within_row());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& blk = A.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+  });
+}
+
+}  // namespace vmp

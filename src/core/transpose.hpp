@@ -1,0 +1,50 @@
+/// \file transpose.hpp
+/// \brief Distributed matrix transposition — the classic stable dimension
+///        permutation (Johnsson & Ho, "Algorithms for Matrix Transposition
+///        on Boolean n-cube Configured Ensemble Architectures").
+///
+/// Every element (i, j) moves to the owner of (j, i) in the transposed
+/// embedding via one combining dimension-order routing sweep: lg p rounds,
+/// each carrying about half of every processor's block.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "embed/dist_matrix.hpp"
+
+namespace vmp {
+
+/// Bᵀ = A: returns an ncols × nrows matrix with the axis partitions
+/// swapped (so a row-cyclic matrix transposes to a column-cyclic one).
+template <class T>
+[[nodiscard]] DistMatrix<T> transpose(const DistMatrix<T>& A) {
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistMatrix<T> B(grid, A.ncols(), A.nrows(),
+                  MatrixLayout{A.layout().cols, A.layout().rows});
+
+  DistBuffer<RouteItem<T>> items(cube);
+  cube.each_proc([&](proc_t q) {
+    const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
+    const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+    const std::span<const T> blk = A.block(q);
+    items.vec(q).reserve(lrn * lcn);
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      const std::size_t i = A.rowmap().global(R, lr);
+      for (std::size_t lc = 0; lc < lcn; ++lc) {
+        const std::size_t j = A.colmap().global(C, lc);
+        const proc_t dst = B.owner(j, i);
+        const std::size_t slot =
+            B.rowmap().local(j) * B.lcols(dst) + B.colmap().local(i);
+        items.vec(q).push_back(RouteItem<T>{dst, slot, blk[lr * lcn + lc]});
+      }
+    }
+  });
+  route_within(cube, items, grid.whole());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& blk = B.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+  });
+  return B;
+}
+
+}  // namespace vmp

@@ -1,0 +1,196 @@
+/// \file vector_ops.hpp
+/// \brief Elementwise, fold and search operations on distributed vectors.
+///
+/// Elementwise operations are purely local (replicas update identically in
+/// lockstep).  Folds and located searches (argmin/argmax) do a local pass
+/// plus a one-element all-reduce over the vector's partitioned subcube
+/// family, and return a host-visible result — mirroring how the CM front
+/// end read back scalars such as pivot values.
+#pragma once
+
+#include <cmath>
+
+#include "comm/collectives.hpp"
+#include "comm/ops.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// v[g] = f(v[g]) for every element; one flop per element.
+template <class T, class F>
+void vec_apply(DistVector<T>& v, F f) {
+  const std::size_t mx = max_local_len(v.grid().cube(), v.data());
+  v.grid().cube().compute(mx, v.n(), [&](proc_t q) {
+    for (T& x : v.data().vec(q)) x = f(x);
+  });
+}
+
+/// v[g] = f(v[g], g) with the global index; one flop per element.
+template <class T, class F>
+void vec_apply_indexed(DistVector<T>& v, F f) {
+  const std::size_t mx = max_local_len(v.grid().cube(), v.data());
+  v.grid().cube().compute(mx, v.n(), [&](proc_t q) {
+    const std::uint32_t r = v.rank_of(q);
+    std::vector<T>& piece = v.data().vec(q);
+    for (std::size_t s = 0; s < piece.size(); ++s)
+      piece[s] = f(piece[s], v.map().global(r, s));
+  });
+}
+
+/// a[g] = f(a[g], b[g]); operands must be identically embedded.
+template <class T, class F>
+void vec_zip(DistVector<T>& a, const DistVector<T>& b, F f) {
+  VMP_REQUIRE(a.aligned_with(b), "vec_zip operands must be aligned");
+  const std::size_t mx = max_local_len(a.grid().cube(), a.data());
+  a.grid().cube().compute(mx, a.n(), [&](proc_t q) {
+    std::vector<T>& av = a.data().vec(q);
+    const std::vector<T>& bv = b.data().vec(q);
+    for (std::size_t t = 0; t < av.size(); ++t) av[t] = f(av[t], bv[t]);
+  });
+}
+
+/// a[g] = f(a[g], b[g], g) with the global index.
+template <class T, class F>
+void vec_zip_indexed(DistVector<T>& a, const DistVector<T>& b, F f) {
+  VMP_REQUIRE(a.aligned_with(b), "vec_zip_indexed operands must be aligned");
+  const std::size_t mx = max_local_len(a.grid().cube(), a.data());
+  a.grid().cube().compute(mx, a.n(), [&](proc_t q) {
+    const std::uint32_t r = a.rank_of(q);
+    std::vector<T>& av = a.data().vec(q);
+    const std::vector<T>& bv = b.data().vec(q);
+    for (std::size_t s = 0; s < av.size(); ++s)
+      av[s] = f(av[s], bv[s], a.map().global(r, s));
+  });
+}
+
+/// y += alpha · x; two flops per element.
+template <class T>
+void vec_axpy(DistVector<T>& y, T alpha, const DistVector<T>& x) {
+  vec_zip(y, x, [alpha](const T& a, const T& b) { return a + alpha * b; });
+}
+
+/// v *= alpha.
+template <class T>
+void vec_scale(DistVector<T>& v, T alpha) {
+  vec_apply(v, [alpha](const T& x) { return x * alpha; });
+}
+
+/// v[g] = value for every g in [lo, hi) (other elements untouched).
+template <class T>
+void vec_fill_range(DistVector<T>& v, std::size_t lo, std::size_t hi,
+                    const T& value) {
+  VMP_REQUIRE(lo <= hi && hi <= v.n(), "bad fill range");
+  vec_apply_indexed(v, [&](const T& x, std::size_t g) {
+    return (g >= lo && g < hi) ? value : x;
+  });
+}
+
+/// Fold all elements to one host-visible scalar.
+template <class T, class Op>
+[[nodiscard]] T vec_fold(const DistVector<T>& v, Op op) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  DistBuffer<T> acc(cube, 1);
+  const std::size_t mx = max_local_len(cube, v.data());
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    T a = op.identity();
+    for (const T& x : v.data().vec(q)) a = op.combine(a, x);
+    acc.vec(q)[0] = a;
+  });
+  allreduce(cube, acc, v.partitioned_over(), op);
+  return acc.vec(0)[0];
+}
+
+/// Dot product of two identically-embedded vectors (local multiply-add,
+/// one-element all-reduce).
+template <class T>
+[[nodiscard]] T dot(const DistVector<T>& a, const DistVector<T>& b) {
+  VMP_REQUIRE(a.aligned_with(b), "dot operands must be aligned");
+  Grid& grid = a.grid();
+  Cube& cube = grid.cube();
+  DistBuffer<T> acc(cube, 1);
+  const std::size_t mx = max_local_len(cube, a.data());
+  cube.compute(2 * mx, 2 * a.n(), [&](proc_t q) {
+    const std::vector<T>& av = a.data().vec(q);
+    const std::vector<T>& bv = b.data().vec(q);
+    T s{};
+    for (std::size_t t = 0; t < av.size(); ++t) s += av[t] * bv[t];
+    acc.vec(q)[0] = s;
+  });
+  allreduce(cube, acc, a.partitioned_over(), Plus<T>{});
+  return acc.vec(0)[0];
+}
+
+/// Locate the element minimizing key(value, g); elements whose key is
+/// +infinity are excluded.  Returns {key, index}, index == -1 when every
+/// element was excluded.  One local pass plus a one-element all-reduce.
+template <class T, class KeyFn>
+[[nodiscard]] ValueIndex<double> vec_argmin_key(const DistVector<T>& v,
+                                                KeyFn key) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  const MinLoc<double> op;
+  DistBuffer<ValueIndex<double>> acc(cube, 1);
+  const std::size_t mx = max_local_len(cube, v.data());
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    const std::uint32_t r = v.rank_of(q);
+    const std::span<const T> piece = v.piece(q);
+    ValueIndex<double> best = op.identity();
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const std::size_t g = v.map().global(r, s);
+      const double k = key(piece[s], g);
+      if (std::isinf(k) && k > 0) continue;
+      best = op.combine(best,
+                        ValueIndex<double>{k, static_cast<std::int64_t>(g)});
+    }
+    acc.vec(q)[0] = best;
+  });
+  allreduce(cube, acc, v.partitioned_over(), op);
+  return acc.vec(0)[0];
+}
+
+/// Locate the element maximizing key(value, g); -infinity keys excluded.
+template <class T, class KeyFn>
+[[nodiscard]] ValueIndex<double> vec_argmax_key(const DistVector<T>& v,
+                                                KeyFn key) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  const MaxLoc<double> op;
+  DistBuffer<ValueIndex<double>> acc(cube, 1);
+  const std::size_t mx = max_local_len(cube, v.data());
+  cube.compute(mx, v.n(), [&](proc_t q) {
+    const std::uint32_t r = v.rank_of(q);
+    const std::span<const T> piece = v.piece(q);
+    ValueIndex<double> best = op.identity();
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const std::size_t g = v.map().global(r, s);
+      const double k = key(piece[s], g);
+      if (std::isinf(k) && k < 0) continue;
+      best = op.combine(best,
+                        ValueIndex<double>{k, static_cast<std::int64_t>(g)});
+    }
+    acc.vec(q)[0] = best;
+  });
+  allreduce(cube, acc, v.partitioned_over(), op);
+  return acc.vec(0)[0];
+}
+
+/// Read one element back to the host, charging one one-element message (the
+/// front-end fetch of a pivot value).
+template <class T>
+[[nodiscard]] T vec_fetch(const DistVector<T>& v, std::size_t g) {
+  VMP_REQUIRE(g < v.n(), "index out of range");
+  v.grid().cube().clock().charge_comm_step(1, 1, 1);
+  return v.at(g);
+}
+
+/// Write one element into every replica from the host, charging one
+/// one-element message (the front-end storing a computed scalar).
+template <class T>
+void vec_store(DistVector<T>& v, std::size_t g, const T& value) {
+  VMP_REQUIRE(g < v.n(), "index out of range");
+  v.grid().cube().clock().charge_comm_step(1, 1, 1);
+  v.set(g, value);
+}
+
+}  // namespace vmp

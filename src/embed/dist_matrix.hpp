@@ -1,0 +1,157 @@
+/// \file dist_matrix.hpp
+/// \brief A dense matrix embedded load-balanced on the processor grid.
+///
+/// The global `nrows × ncols` matrix is split by one AxisMap per axis
+/// (Block or Cyclic); processor (R, C) stores the intersection of row
+/// partition R and column partition C as a row-major local block.  With
+/// either partition kind every processor holds within one row/column of
+/// `⌈nrows/Pr⌉ × ⌈ncols/Pc⌉` elements — the load-balanced embedding the
+/// paper assumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/dist_buffer.hpp"
+#include "embed/axis_map.hpp"
+#include "embed/grid.hpp"
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+/// Partition kinds for the two matrix axes.
+struct MatrixLayout {
+  Part rows = Part::Block;
+  Part cols = Part::Block;
+
+  [[nodiscard]] static MatrixLayout blocked() { return {}; }
+  [[nodiscard]] static MatrixLayout cyclic() {
+    return {Part::Cyclic, Part::Cyclic};
+  }
+  friend bool operator==(const MatrixLayout&, const MatrixLayout&) = default;
+};
+
+template <class T>
+class DistMatrix {
+ public:
+  /// An nrows × ncols matrix of value-initialized elements.
+  DistMatrix(Grid& grid, std::size_t nrows, std::size_t ncols,
+             MatrixLayout layout = {})
+      : grid_(&grid),
+        layout_(layout),
+        rowmap_(nrows, grid.prows(), layout.rows),
+        colmap_(ncols, grid.pcols(), layout.cols),
+        data_(grid.cube()) {
+    grid.cube().each_proc([&](proc_t q) {
+      data_.vec(q).assign(lrows(q) * lcols(q), T{});
+    });
+  }
+
+  [[nodiscard]] Grid& grid() const { return *grid_; }
+  [[nodiscard]] std::size_t nrows() const { return rowmap_.n(); }
+  [[nodiscard]] std::size_t ncols() const { return colmap_.n(); }
+  [[nodiscard]] MatrixLayout layout() const { return layout_; }
+  [[nodiscard]] const AxisMap& rowmap() const { return rowmap_; }
+  [[nodiscard]] const AxisMap& colmap() const { return colmap_; }
+
+  /// Local block extents of processor q.
+  [[nodiscard]] std::size_t lrows(proc_t q) const {
+    return rowmap_.size(grid_->prow(q));
+  }
+  [[nodiscard]] std::size_t lcols(proc_t q) const {
+    return colmap_.size(grid_->pcol(q));
+  }
+
+  /// Largest local block over all processors (for flop charging):
+  /// ⌈nrows/Pr⌉ · ⌈ncols/Pc⌉ under both partition kinds.
+  [[nodiscard]] std::size_t max_block() const {
+    const std::size_t r = (nrows() + grid_->prows() - 1) / grid_->prows();
+    const std::size_t c = (ncols() + grid_->pcols() - 1) / grid_->pcols();
+    return r * c;
+  }
+
+  /// Row-major local block of processor q; element (lr, lc) is at
+  /// lr * lcols(q) + lc.
+  [[nodiscard]] std::span<T> block(proc_t q) { return data_.on(q); }
+  [[nodiscard]] std::span<const T> block(proc_t q) const { return data_.on(q); }
+
+  /// Reference to local element (lr, lc) of processor q.
+  [[nodiscard]] T& local_at(proc_t q, std::size_t lr, std::size_t lc) {
+    VMP_REQUIRE(lr < lrows(q) && lc < lcols(q), "local index out of range");
+    return data_.vec(q)[lr * lcols(q) + lc];
+  }
+  [[nodiscard]] const T& local_at(proc_t q, std::size_t lr,
+                                  std::size_t lc) const {
+    VMP_REQUIRE(lr < lrows(q) && lc < lcols(q), "local index out of range");
+    return data_.vec(q)[lr * lcols(q) + lc];
+  }
+
+  [[nodiscard]] DistBuffer<T>& data() { return data_; }
+  [[nodiscard]] const DistBuffer<T>& data() const { return data_; }
+
+  /// Owner processor of global element (i, j).
+  [[nodiscard]] proc_t owner(std::size_t i, std::size_t j) const {
+    return grid_->at(rowmap_.owner(i), colmap_.owner(j));
+  }
+
+  /// True if `other` lives on the same grid with the same shape and layout
+  /// (so elementwise operations are purely local).
+  [[nodiscard]] bool aligned_with(const DistMatrix& other) const {
+    return grid_ == other.grid_ && rowmap_ == other.rowmap_ &&
+           colmap_ == other.colmap_;
+  }
+
+  // -- host I/O (untimed) ---------------------------------------------------
+
+  /// Load from a row-major host array of nrows*ncols elements.
+  void load(std::span<const T> host) {
+    VMP_REQUIRE(host.size() == nrows() * ncols(), "host array size mismatch");
+    grid_->cube().each_proc([&](proc_t q) {
+      const std::uint32_t R = grid_->prow(q);
+      const std::uint32_t C = grid_->pcol(q);
+      const std::size_t lc_n = lcols(q);
+      std::vector<T>& b = data_.vec(q);
+      for (std::size_t lr = 0; lr < lrows(q); ++lr) {
+        const std::size_t gi = rowmap_.global(R, lr);
+        for (std::size_t lc = 0; lc < lc_n; ++lc)
+          b[lr * lc_n + lc] = host[gi * ncols() + colmap_.global(C, lc)];
+      }
+    });
+  }
+
+  /// Read back to a row-major host array.
+  [[nodiscard]] std::vector<T> to_host() const {
+    std::vector<T> out(nrows() * ncols());
+    grid_->cube().each_proc([&](proc_t q) {
+      const std::uint32_t R = grid_->prow(q);
+      const std::uint32_t C = grid_->pcol(q);
+      const std::size_t lc_n = lcols(q);
+      const std::vector<T>& b = data_.vec(q);
+      for (std::size_t lr = 0; lr < lrows(q); ++lr) {
+        const std::size_t gi = rowmap_.global(R, lr);
+        for (std::size_t lc = 0; lc < lc_n; ++lc)
+          out[gi * ncols() + colmap_.global(C, lc)] = b[lr * lc_n + lc];
+      }
+    });
+    return out;
+  }
+
+  /// Host-side single-element access (untimed; tests and setup only).
+  [[nodiscard]] T at(std::size_t i, std::size_t j) const {
+    const proc_t q = owner(i, j);
+    return local_at(q, rowmap_.local(i), colmap_.local(j));
+  }
+  void set(std::size_t i, std::size_t j, const T& value) {
+    const proc_t q = owner(i, j);
+    local_at(q, rowmap_.local(i), colmap_.local(j)) = value;
+  }
+
+ private:
+  Grid* grid_;
+  MatrixLayout layout_;
+  AxisMap rowmap_;
+  AxisMap colmap_;
+  DistBuffer<T> data_;
+};
+
+}  // namespace vmp

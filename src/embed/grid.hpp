@@ -1,0 +1,79 @@
+/// \file grid.hpp
+/// \brief The 2-D processor grid carved out of the Boolean cube.
+///
+/// The cube's `d` address bits are split into `gc` column bits (the low
+/// bits) and `gr = d - gc` row bits, giving a `2^gr × 2^gc` grid.  Each
+/// grid row is a `2^gc`-processor subcube and each grid column a `2^gr`-
+/// processor subcube, so all row-wise and column-wise collectives run on
+/// subcubes — the structural fact the paper's primitive implementations
+/// exploit.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/subcube.hpp"
+#include "hypercube/check.hpp"
+#include "hypercube/machine.hpp"
+
+namespace vmp {
+
+class Grid {
+ public:
+  /// Split `cube`'s dimensions into `row_dims` row bits and `col_dims`
+  /// column bits; `row_dims + col_dims` must equal `cube.dim()`.
+  Grid(Cube& cube, int row_dims, int col_dims)
+      : cube_(&cube), row_dims_(row_dims), col_dims_(col_dims) {
+    VMP_REQUIRE(row_dims >= 0 && col_dims >= 0, "negative grid dims");
+    VMP_REQUIRE(row_dims + col_dims == cube.dim(),
+                "grid dims must partition the cube dims");
+  }
+
+  /// Square-as-possible default split (extra dimension goes to rows).
+  static Grid square(Cube& cube) {
+    const int gr = (cube.dim() + 1) / 2;
+    return Grid(cube, gr, cube.dim() - gr);
+  }
+
+  [[nodiscard]] Cube& cube() const { return *cube_; }
+
+  [[nodiscard]] int row_dims() const { return row_dims_; }
+  [[nodiscard]] int col_dims() const { return col_dims_; }
+  [[nodiscard]] std::uint32_t prows() const { return 1u << row_dims_; }
+  [[nodiscard]] std::uint32_t pcols() const { return 1u << col_dims_; }
+
+  /// Grid coordinates of processor q.
+  [[nodiscard]] std::uint32_t prow(proc_t q) const { return q >> col_dims_; }
+  [[nodiscard]] std::uint32_t pcol(proc_t q) const {
+    return q & (pcols() - 1u);
+  }
+
+  /// Processor at grid coordinates (r, c).
+  [[nodiscard]] proc_t at(std::uint32_t r, std::uint32_t c) const {
+    VMP_REQUIRE(r < prows() && c < pcols(), "grid coordinate out of range");
+    return (r << col_dims_) | c;
+  }
+
+  /// Subcubes formed by the processors of one grid ROW (they span the
+  /// column dimensions); rank within the subcube == pcol.
+  [[nodiscard]] SubcubeSet within_row() const {
+    return SubcubeSet::contiguous(0, col_dims_);
+  }
+
+  /// Subcubes formed by the processors of one grid COLUMN (they span the
+  /// row dimensions); rank within the subcube == prow.
+  [[nodiscard]] SubcubeSet within_col() const {
+    return SubcubeSet::contiguous(col_dims_, row_dims_);
+  }
+
+  /// The whole cube as one subcube (linear vector alignment).
+  [[nodiscard]] SubcubeSet whole() const {
+    return SubcubeSet::contiguous(0, row_dims_ + col_dims_);
+  }
+
+ private:
+  Cube* cube_;
+  int row_dims_;
+  int col_dims_;
+};
+
+}  // namespace vmp

@@ -1,0 +1,68 @@
+/// \file realign.hpp
+/// \brief Embedding changes for vectors — "the primitives may indicate a
+///        change from one embedding to another".
+///
+/// A realignment moves every element from the source embedding's canonical
+/// replica to the target embedding's canonical processor (one combining
+/// dimension-order routing sweep, lg p rounds) and then re-replicates with
+/// a broadcast across the target's replication subcubes.  All of it is
+/// charged to the simulated clock: embedding changes are never free, which
+/// is why the applications keep vectors aligned with the matrices they
+/// touch (bench_ablation quantifies the cost).
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// Return a copy of `v` with the requested embedding.  `target_part` is the
+/// partition kind along the new axis (ignored for Align::Linear, which is
+/// always Block).  A same-embedding realign is a plain local copy.
+template <class T>
+[[nodiscard]] DistVector<T> realign(const DistVector<T>& v, Align target,
+                                    Part target_part = Part::Block) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  if (target == Align::Linear) target_part = Part::Block;
+
+  DistVector<T> out(grid, v.n(), target, target_part);
+  if (target == v.align() && target_part == v.part()) {
+    cube.each_proc([&](proc_t q) { out.data().vec(q) = v.data().vec(q); });
+    return out;
+  }
+
+  // Canonical replicas emit every element toward the target's canonical
+  // processor, tagged with its target local slot.
+  DistBuffer<RouteItem<T>> items(cube);
+  cube.each_proc([&](proc_t q) {
+    const std::uint32_t r = v.rank_of(q);
+    if (q != v.canonical_proc(r)) return;
+    const std::span<const T> piece = v.piece(q);
+    items.vec(q).reserve(piece.size());
+    for (std::size_t s = 0; s < piece.size(); ++s) {
+      const std::size_t g = v.map().global(r, s);
+      const std::uint32_t dst_rank = out.map().owner(g);
+      items.vec(q).push_back(RouteItem<T>{out.canonical_proc(dst_rank),
+                                          out.map().local(g), piece[s]});
+    }
+  });
+  route_within(cube, items, grid.whole());
+  cube.each_proc([&](proc_t q) {
+    std::vector<T>& dst = out.data().vec(q);
+    for (const RouteItem<T>& it : items.vec(q)) {
+      VMP_ASSERT(it.tag < dst.size(), "realign slot out of range");
+      dst[it.tag] = it.value;
+    }
+  });
+
+  // Re-replicate across the target's replication subcubes.
+  const SubcubeSet rep = out.replicated_over();
+  if (rep.k() > 0) {
+    broadcast_auto(cube, out.data(), rep, 0,
+                   [&](proc_t q) { return out.map().size(out.rank_of(q)); });
+  }
+  return out;
+}
+
+}  // namespace vmp

@@ -1,0 +1,50 @@
+/// \file check.hpp
+/// \brief Always-on precondition / invariant checking for the vmprim library.
+///
+/// The library follows the C++ Core Guidelines contract style (I.6 / E.12):
+/// preconditions are checked at public API boundaries with VMP_REQUIRE and
+/// internal invariants with VMP_ASSERT.  Violations throw vmp::ContractError
+/// so that tests can assert on misuse, instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vmp {
+
+/// Thrown when a precondition or invariant of the library is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace vmp
+
+/// Check a caller-facing precondition; throws vmp::ContractError on failure.
+#define VMP_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::vmp::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                   __LINE__, (msg));                       \
+  } while (false)
+
+/// Check an internal invariant; throws vmp::ContractError on failure.
+#define VMP_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::vmp::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                   (msg));                                 \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "hypercube/cost_model.hpp"
+
+namespace vmp {
+
+CostParams CostParams::cm2() {
+  CostParams p;
+  p.startup_us = 25.0;
+  p.per_elem_us = 1.0;
+  p.flop_us = 0.25;
+  // One router delivery wave (all processors forward one packet) costs
+  // roughly one cube-edge start-up; the naive path pays it per wave while
+  // the primitives amortize one start-up over a whole block.
+  p.router_startup_us = 30.0;
+  p.name = "cm2";
+  return p;
+}
+
+CostParams CostParams::ipsc() {
+  CostParams p;
+  p.startup_us = 1000.0;
+  p.per_elem_us = 2.8;
+  p.flop_us = 10.0;
+  p.router_startup_us = 1000.0;
+  p.name = "ipsc";
+  return p;
+}
+
+CostParams CostParams::unit() {
+  CostParams p;
+  p.startup_us = 1.0;
+  p.per_elem_us = 1.0;
+  p.flop_us = 1.0;
+  p.router_startup_us = 1.0;
+  p.name = "unit";
+  return p;
+}
+
+CostParams CostParams::free_comm() {
+  CostParams p;
+  p.startup_us = 0.0;
+  p.per_elem_us = 0.0;
+  p.flop_us = 1.0;
+  p.router_startup_us = 0.0;
+  p.name = "free_comm";
+  return p;
+}
+
+}  // namespace vmp

@@ -1,0 +1,48 @@
+/// \file cost_model.hpp
+/// \brief Parametric performance model of a distributed-memory hypercube.
+///
+/// All timings reported by the simulator come from this linear model, the
+/// same family of models used throughout the 1980s hypercube literature
+/// (Johnsson & Ho; Agrawal, Blelloch, Krawitz & Phillips):
+///
+///   T(step) = startup_us + elements · per_elem_us          (one comm step)
+///   T(compute) = flops · flop_us                           (local arithmetic)
+///
+/// The general-purpose router used by the *naive* primitive implementations
+/// pays `router_startup_us` per packet per hop instead of amortizing one
+/// startup over a whole block — exactly the overhead the paper's optimized
+/// primitives eliminate.
+#pragma once
+
+#include <string>
+
+namespace vmp {
+
+/// Machine constants, in microseconds.  Values are era-plausible and chosen
+/// to reproduce timing *shapes* (crossovers, who-wins), not absolute CM-2
+/// numbers; see DESIGN.md "Substitutions".
+struct CostParams {
+  double startup_us = 0.0;         ///< τ: per-message start-up on a cube edge
+  double per_elem_us = 0.0;        ///< t_c: per-element transfer on a cube edge
+  double flop_us = 0.0;            ///< t_a: one floating-point operation
+  double router_startup_us = 0.0;  ///< general-router per-packet-per-hop cost
+  std::string name;                ///< preset name for reporting
+
+  /// Connection Machine CM-2 flavour: fast SIMD arithmetic, cheap regular
+  /// NEWS/cube-edge transfers, expensive general router packets.
+  [[nodiscard]] static CostParams cm2();
+
+  /// Intel iPSC/1 flavour: very large message start-up relative to both
+  /// transfer and arithmetic cost (start-up dominated regime).
+  [[nodiscard]] static CostParams ipsc();
+
+  /// Unit-cost model: τ = t_c = t_a = 1, router = 1.  Simulated time then
+  /// *is* the weighted step count, convenient for asymptotic tests.
+  [[nodiscard]] static CostParams unit();
+
+  /// Zero-communication-cost model (arithmetic only), for isolating the
+  /// compute component in ablations.
+  [[nodiscard]] static CostParams free_comm();
+};
+
+}  // namespace vmp

@@ -1,0 +1,36 @@
+/// \file gray.hpp
+/// \brief Binary-reflected Gray code, the standard mesh→cube embedding.
+///
+/// Consecutive Gray codewords differ in exactly one bit, so mapping mesh
+/// coordinate `i` to cube address `gray_encode(i)` places mesh neighbours
+/// on cube neighbours (dilation-1 embedding of a line/ring into a cube;
+/// see Johnsson, "Communication Efficient Basic Linear Algebra Computations
+/// on Hypercube Architectures", JPDC 1987).
+#pragma once
+
+#include <cstdint>
+
+namespace vmp {
+
+/// i-th binary-reflected Gray codeword.
+[[nodiscard]] constexpr std::uint32_t gray_encode(std::uint32_t i) noexcept {
+  return i ^ (i >> 1);
+}
+
+/// Inverse of gray_encode.
+[[nodiscard]] constexpr std::uint32_t gray_decode(std::uint32_t g) noexcept {
+  std::uint32_t i = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+/// Rank along the Gray ring at which codewords `a` and `b` (ranks, not
+/// codewords) are cube neighbours: true iff gray_encode(a) and
+/// gray_encode(b) differ in one bit.
+[[nodiscard]] constexpr bool gray_adjacent(std::uint32_t a,
+                                           std::uint32_t b) noexcept {
+  const std::uint32_t x = gray_encode(a) ^ gray_encode(b);
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace vmp

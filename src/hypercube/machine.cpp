@@ -1,0 +1,15 @@
+#include "hypercube/machine.hpp"
+
+namespace vmp {
+
+Cube::Cube(int dim, CostParams params) : Cube(dim, params, Options{}) {}
+
+Cube::Cube(int dim, CostParams params, Options opts)
+    : dim_(dim),
+      procs_(dim >= 0 && dim < 31 ? (proc_t{1} << dim) : 0),
+      clock_(params),
+      pool_(opts.threads) {
+  VMP_REQUIRE(dim >= 0 && dim < 31, "cube dimension must be in [0, 31)");
+}
+
+}  // namespace vmp

@@ -1,0 +1,219 @@
+/// \file machine.hpp
+/// \brief The lockstep Boolean-cube machine the whole library runs on.
+///
+/// `Cube` models a distributed-memory hypercube of `p = 2^dim` virtual
+/// processors executing SIMD-style (as the Connection Machine did): every
+/// step is collective, and the simulated clock advances once per step by
+/// the cost of the slowest processor.  Two step types exist:
+///
+///  * `compute(...)`   — each processor runs the same local function on its
+///                       own memory; charged `max_flops · t_a`.
+///  * `exchange<T>(d, send, recv)` — one-port pairwise communication along
+///                       cube dimension `d`; every processor whose partner
+///                       offers data receives it; charged `τ + max_n · t_c`.
+///
+/// Correctness never depends on host threading: the per-processor loops may
+/// run on a thread pool (Options::threads), which changes wall-clock speed
+/// only, never simulated time or results — the staging buffer inside
+/// `exchange` makes in-place combining (all-reduce style) race-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypercube/bits.hpp"
+#include "hypercube/check.hpp"
+#include "hypercube/cost_model.hpp"
+#include "hypercube/sim_clock.hpp"
+#include "hypercube/thread_pool.hpp"
+
+namespace vmp {
+
+/// Processor id inside a cube; addresses are dense in [0, 2^dim).
+using proc_t = std::uint32_t;
+
+class Cube {
+ public:
+  struct Options {
+    /// Host threads running the per-processor loops; 0 = one per hardware
+    /// thread, 1 = fully serial (deterministic wall-clock, same results).
+    unsigned threads = 1;
+  };
+
+  explicit Cube(int dim, CostParams params = CostParams::cm2());
+  Cube(int dim, CostParams params, Options opts);
+
+  Cube(const Cube&) = delete;
+  Cube& operator=(const Cube&) = delete;
+
+  /// Cube dimension (number of address bits / ports per processor).
+  [[nodiscard]] int dim() const { return dim_; }
+  /// Number of processors, `2^dim()`.
+  [[nodiscard]] proc_t procs() const { return procs_; }
+
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+  [[nodiscard]] const CostParams& costs() const { return clock_.params(); }
+
+  /// One lockstep compute step: run `fn(proc)` on every processor and charge
+  /// `max_flops` (the analytic per-processor bound) to the clock.
+  /// `total_flops` only feeds statistics; pass the aggregate over all
+  /// processors when known, else `max_flops * procs()`.
+  template <class F>
+  void compute(std::uint64_t max_flops, std::uint64_t total_flops, F&& fn) {
+    pool_.parallel_for(0, procs_,
+                       [&](std::size_t q) { fn(static_cast<proc_t>(q)); });
+    clock_.charge_compute_step(max_flops, total_flops);
+  }
+
+  /// Convenience overload: uniform per-processor flop count.
+  template <class F>
+  void compute(std::uint64_t flops_each, F&& fn) {
+    compute(flops_each, flops_each * procs_, std::forward<F>(fn));
+  }
+
+  /// Host-side / zero-cost traversal of all processors (data loading,
+  /// verification); charged nothing.  Must not be used inside timed
+  /// algorithm sections for anything the machine would have to compute.
+  template <class F>
+  void each_proc(F&& fn) const {
+    for (proc_t q = 0; q < procs_; ++q) fn(q);
+  }
+
+  /// One lockstep one-port communication round along cube dimension `d`.
+  ///
+  /// `send(q)` returns the span each processor offers to its partner
+  /// `q ^ (1<<d)` (an empty span means "q sends nothing this round");
+  /// `recv(q, data)` is invoked on every processor whose partner offered
+  /// data.  Sends are staged before any delivery, so `recv` may combine
+  /// into (or overwrite) the very buffer `send` exposed.
+  ///
+  /// Charged `τ + max_elems · t_c` — one message start-up regardless of
+  /// message length, the amortization at the heart of the paper's
+  /// optimized primitives.  If nobody sends, the round is free (elided).
+  template <class T, class SendFn, class RecvFn>
+  void exchange(int d, SendFn&& send, RecvFn&& recv) {
+    VMP_REQUIRE(d >= 0 && d < dim_, "exchange dimension out of range");
+    const std::uint32_t bit = std::uint32_t{1} << d;
+    std::vector<std::vector<T>> staged(procs_);
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      std::span<const T> s = send(static_cast<proc_t>(q));
+      staged[q].assign(s.begin(), s.end());
+    });
+    std::size_t max_elems = 0, total = 0, messages = 0;
+    for (proc_t q = 0; q < procs_; ++q) {
+      const std::size_t n = staged[q].size();
+      if (n == 0) continue;
+      ++messages;
+      total += n;
+      if (n > max_elems) max_elems = n;
+    }
+    if (messages == 0) return;
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      const std::vector<T>& in = staged[q ^ bit];
+      if (!in.empty())
+        recv(static_cast<proc_t>(q), std::span<const T>(in.data(), in.size()));
+    });
+    clock_.charge_comm_step(max_elems, messages, total);
+  }
+
+  /// One lockstep ALL-PORT communication round: several cube dimensions are
+  /// used simultaneously, one message per port.  `send(q, idx)` offers the
+  /// message for `dims[idx]`; `recv(q, idx, data)` delivers what q's
+  /// partner across `dims[idx]` offered.  Charged `τ + max_single_port · t_c`
+  /// — the all-port model of Johnsson & Ho, where a processor drives all
+  /// lg p of its ports at once and only the largest per-port transfer
+  /// paces the round.
+  template <class T, class SendFn, class RecvFn>
+  void exchange_allport(std::span<const int> dims, SendFn&& send,
+                        RecvFn&& recv) {
+    for (std::size_t a = 0; a < dims.size(); ++a) {
+      VMP_REQUIRE(dims[a] >= 0 && dims[a] < dim_,
+                  "exchange dimension out of range");
+      for (std::size_t b = a + 1; b < dims.size(); ++b)
+        VMP_REQUIRE(dims[a] != dims[b], "all-port dims must be distinct");
+    }
+    const std::size_t nd = dims.size();
+    std::vector<std::vector<std::vector<T>>> staged(nd);
+    for (std::size_t idx = 0; idx < nd; ++idx) staged[idx].resize(procs_);
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      for (std::size_t idx = 0; idx < nd; ++idx) {
+        std::span<const T> s = send(static_cast<proc_t>(q), idx);
+        staged[idx][q].assign(s.begin(), s.end());
+      }
+    });
+    std::size_t max_port = 0, total = 0, messages = 0;
+    for (std::size_t idx = 0; idx < nd; ++idx)
+      for (proc_t q = 0; q < procs_; ++q) {
+        const std::size_t n = staged[idx][q].size();
+        if (n == 0) continue;
+        ++messages;
+        total += n;
+        if (n > max_port) max_port = n;
+      }
+    if (messages == 0) return;
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      for (std::size_t idx = 0; idx < nd; ++idx) {
+        const std::vector<T>& in =
+            staged[idx][q ^ (std::uint32_t{1} << dims[idx])];
+        if (!in.empty())
+          recv(static_cast<proc_t>(q), idx,
+               std::span<const T>(in.data(), in.size()));
+      }
+    });
+    clock_.charge_comm_step(max_port, messages, total);
+  }
+
+  /// One lockstep irregular round: every processor may exchange with ONE
+  /// cube neighbour of its choosing (partner(q) must satisfy
+  /// partner(partner(q)) == q and be at Hamming distance 1, or equal q for
+  /// sitting out).  This models MIMD-style / NEWS-grid communication where
+  /// different processors use different ports in the same step — the
+  /// operation a Gray-code embedding turns mesh shifts into.
+  template <class T, class PartnerFn, class SendFn, class RecvFn>
+  void neighbor_exchange(PartnerFn&& partner, SendFn&& send, RecvFn&& recv) {
+    for (proc_t q = 0; q < procs_; ++q) {
+      const proc_t pq = partner(q);
+      if (pq == q) continue;
+      VMP_REQUIRE(hamming_distance(q, pq) == 1,
+                  "neighbor_exchange partner must be a cube neighbour");
+      VMP_REQUIRE(partner(pq) == q, "neighbor_exchange must be symmetric");
+    }
+    std::vector<std::vector<T>> staged(procs_);
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) return;
+      std::span<const T> s = send(static_cast<proc_t>(q));
+      staged[q].assign(s.begin(), s.end());
+    });
+    std::size_t max_elems = 0, total = 0, messages = 0;
+    for (proc_t q = 0; q < procs_; ++q) {
+      const std::size_t n = staged[q].size();
+      if (n == 0) continue;
+      ++messages;
+      total += n;
+      if (n > max_elems) max_elems = n;
+    }
+    if (messages == 0) return;
+    pool_.parallel_for(0, procs_, [&](std::size_t q) {
+      const proc_t pq = partner(static_cast<proc_t>(q));
+      if (pq == static_cast<proc_t>(q)) return;
+      const std::vector<T>& in = staged[pq];
+      if (!in.empty())
+        recv(static_cast<proc_t>(q), std::span<const T>(in.data(), in.size()));
+    });
+    clock_.charge_comm_step(max_elems, messages, total);
+  }
+
+  /// The thread pool backing per-processor loops (exposed for the general
+  /// router, which runs its own delivery cycles).
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  int dim_;
+  proc_t procs_;
+  SimClock clock_;
+  ThreadPool pool_;
+};
+
+}  // namespace vmp

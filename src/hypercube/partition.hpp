@@ -1,0 +1,76 @@
+/// \file partition.hpp
+/// \brief Index partitions: how a 1-D range of `n` items is split over `P`
+///        parts.  Used for both vector distribution and matrix row/column
+///        maps ("consecutive" = block, "cyclic" = round-robin — the paper's
+///        two load-balanced embeddings).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+/// Block ("consecutive") partition: part r owns the contiguous range
+/// [block_begin(n,P,r), block_begin(n,P,r+1)); sizes differ by at most one,
+/// with the remainder going to the lowest-numbered parts.
+[[nodiscard]] constexpr std::size_t block_begin(std::size_t n, std::uint32_t P,
+                                                std::uint32_t r) noexcept {
+  const std::size_t q = n / P;
+  const std::size_t rem = n % P;
+  return static_cast<std::size_t>(r) * q + std::min<std::size_t>(r, rem);
+}
+
+/// Number of items in block-partition part r.
+[[nodiscard]] constexpr std::size_t block_size(std::size_t n, std::uint32_t P,
+                                               std::uint32_t r) noexcept {
+  return block_begin(n, P, r + 1) - block_begin(n, P, r);
+}
+
+/// Owner part of global index i under the block partition.
+[[nodiscard]] constexpr std::uint32_t block_owner(std::size_t n,
+                                                  std::uint32_t P,
+                                                  std::size_t i) noexcept {
+  const std::size_t q = n / P;
+  const std::size_t rem = n % P;
+  const std::size_t fat = (q + 1) * rem;  // items held by the q+1-sized parts
+  if (i < fat) return static_cast<std::uint32_t>(q + 1 == 0 ? 0 : i / (q + 1));
+  if (q == 0) return static_cast<std::uint32_t>(rem);  // unreachable guard
+  return static_cast<std::uint32_t>(rem + (i - fat) / q);
+}
+
+/// Local slot of global index i on its block-partition owner.
+[[nodiscard]] constexpr std::size_t block_local(std::size_t n, std::uint32_t P,
+                                                std::size_t i) noexcept {
+  return i - block_begin(n, P, block_owner(n, P, i));
+}
+
+/// Cyclic partition: global index i is owned by part i mod P at local slot
+/// i div P.  Keeps shrinking active windows (Gaussian elimination, simplex)
+/// load-balanced.
+[[nodiscard]] constexpr std::uint32_t cyclic_owner(std::uint32_t P,
+                                                   std::size_t i) noexcept {
+  return static_cast<std::uint32_t>(i % P);
+}
+
+[[nodiscard]] constexpr std::size_t cyclic_local(std::uint32_t P,
+                                                 std::size_t i) noexcept {
+  return i / P;
+}
+
+/// Number of items owned by part r under the cyclic partition of n items.
+[[nodiscard]] constexpr std::size_t cyclic_size(std::size_t n, std::uint32_t P,
+                                                std::uint32_t r) noexcept {
+  return (n + P - 1 - r) / P;
+}
+
+/// Global index of local slot s on cyclic part r.
+[[nodiscard]] constexpr std::size_t cyclic_global(std::uint32_t P,
+                                                  std::uint32_t r,
+                                                  std::size_t s) noexcept {
+  return s * P + r;
+}
+
+}  // namespace vmp

@@ -1,0 +1,38 @@
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+void SimClock::charge_comm_step(std::size_t max_elems, std::size_t messages,
+                                std::size_t total_elems) {
+  const double dt =
+      params_.startup_us + static_cast<double>(max_elems) * params_.per_elem_us;
+  now_us_ += dt;
+  comm_us_ += dt;
+  stats_.comm_steps += 1;
+  stats_.messages += messages;
+  stats_.elements_moved += total_elems;
+  stats_.elements_serial += max_elems;
+}
+
+void SimClock::charge_compute_step(std::uint64_t max_flops,
+                                   std::uint64_t total_flops) {
+  const double dt = static_cast<double>(max_flops) * params_.flop_us;
+  now_us_ += dt;
+  compute_us_ += dt;
+  stats_.flops_charged += max_flops;
+  stats_.flops_total += total_flops;
+}
+
+void SimClock::charge_router_cycle(std::size_t packets_in_flight) {
+  const double dt = params_.router_startup_us + params_.per_elem_us;
+  now_us_ += dt;
+  router_us_ += dt;
+  stats_.router_hops += packets_in_flight;
+}
+
+void SimClock::reset() {
+  now_us_ = comm_us_ = compute_us_ = router_us_ = 0.0;
+  stats_ = SimStats{};
+}
+
+}  // namespace vmp

@@ -1,0 +1,82 @@
+#include "hypercube/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vmp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread always participates, so spawn n-1 workers.
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(Task& task, std::unique_lock<std::mutex>& lock) {
+  while (task.next < task.end) {
+    const std::size_t lo = task.next;
+    const std::size_t hi = std::min(task.end, lo + task.chunk);
+    task.next = hi;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*task.body)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !task.error) task.error = err;
+    task.remaining -= hi - lo;
+    if (task.remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (current_ && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    Task* task = current_;
+    run_chunks(*task, lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  Task task;
+  task.begin = begin;
+  task.end = end;
+  task.body = &body;
+  task.next = begin;
+  task.remaining = count;
+  task.chunk = std::max<std::size_t>(1, count / (4 * size()));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_ = &task;
+  ++generation_;
+  work_cv_.notify_all();
+  run_chunks(task, lock);
+  done_cv_.wait(lock, [&] { return task.remaining == 0; });
+  current_ = nullptr;
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace vmp

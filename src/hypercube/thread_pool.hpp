@@ -1,0 +1,66 @@
+/// \file thread_pool.hpp
+/// \brief Minimal blocking thread pool used to execute the per-virtual-
+///        processor loops of the lockstep machine on host threads.
+///
+/// The simulator is correct with any number of host threads (including one);
+/// threads only change wall-clock speed, never simulated time.  This mirrors
+/// the repro strategy of emulating hypercube processors with threads on a
+/// single machine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vmp {
+
+/// Fixed-size pool with a single entry point: parallel_for over an index
+/// range, blocking until every index has been processed.  Exceptions thrown
+/// by the body are captured and rethrown on the calling thread.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size()) + 1;  // + calling thread
+  }
+
+  /// Apply `body(i)` for every i in [begin, end).  Indices are handed out
+  /// in contiguous chunks.  The calling thread participates.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t next = 0;       // next unclaimed index
+    std::size_t remaining = 0;  // indices not yet completed
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void run_chunks(Task& task, std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task available / stop
+  std::condition_variable done_cv_;  // signals caller: task finished
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vmp

@@ -1,0 +1,151 @@
+/// \file workloads.hpp
+/// \brief Synthetic workload generators shared by tests, examples and the
+///        benchmark harness.  All are deterministic in the seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/lp.hpp"
+#include "algorithms/serial/host_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace vmp {
+
+/// Row-major random matrix with entries in [-1, 1).
+[[nodiscard]] inline std::vector<double> random_matrix(std::size_t nrows,
+                                                       std::size_t ncols,
+                                                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> a(nrows * ncols);
+  for (double& x : a) x = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+/// Random vector with entries in [-1, 1).
+[[nodiscard]] inline std::vector<double> random_vector(std::size_t n,
+                                                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Random strictly diagonally dominant matrix — always nonsingular, safe
+/// for the Gaussian elimination experiments.
+[[nodiscard]] inline HostMatrix diag_dominant_matrix(std::size_t n,
+                                                     std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  HostMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double offsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      A(i, j) = rng.uniform(-1.0, 1.0);
+      offsum += std::abs(A(i, j));
+    }
+    A(i, i) = offsum + rng.uniform(1.0, 2.0);
+    if (rng.uniform() < 0.5) A(i, i) = -A(i, i);  // exercise pivoting signs
+  }
+  return A;
+}
+
+/// Random symmetric positive definite matrix (symmetric and strictly
+/// diagonally dominant with positive diagonal) for the CG experiments.
+[[nodiscard]] inline HostMatrix spd_matrix(std::size_t n,
+                                           std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  HostMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      A(i, j) = A(j, i) = v;
+    }
+  for (std::size_t i = 0; i < n; ++i) {
+    double offsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) offsum += std::abs(A(i, j));
+    A(i, i) = offsum + rng.uniform(1.0, 2.0);
+  }
+  return A;
+}
+
+/// Random LP guaranteed feasible and bounded: positive constraint matrix,
+/// positive objective, rhs built from a known interior point.  b ≥ 0, so
+/// no Phase I is needed.
+[[nodiscard]] inline LpProblem random_feasible_lp(std::size_t ncons,
+                                                  std::size_t nvars,
+                                                  std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  LpProblem lp;
+  lp.ncons = ncons;
+  lp.nvars = nvars;
+  lp.A.resize(ncons * nvars);
+  lp.b.resize(ncons);
+  lp.c.resize(nvars);
+  for (double& a : lp.A) a = rng.uniform(0.1, 1.0);
+  for (double& c : lp.c) c = rng.uniform(0.1, 1.0);
+  std::vector<double> x0(nvars);
+  for (double& x : x0) x = rng.uniform(0.0, 1.0);
+  for (std::size_t i = 0; i < ncons; ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < nvars; ++j) dot += lp.A[i * nvars + j] * x0[j];
+    lp.b[i] = dot + rng.uniform(0.1, 1.0);  // slack margin keeps x0 interior
+  }
+  return lp;
+}
+
+/// Random LP with lower-bound constraints x_j ≥ l_j encoded as
+/// -x_j ≤ -l_j, giving negative right-hand sides that force a Phase I.
+/// Still feasible and bounded by construction.
+[[nodiscard]] inline LpProblem random_phase1_lp(std::size_t ncons,
+                                                std::size_t nvars,
+                                                std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  LpProblem base = random_feasible_lp(ncons, nvars, seed);
+  LpProblem lp;
+  lp.nvars = nvars;
+  lp.ncons = ncons + nvars;
+  lp.c = base.c;
+  lp.A.assign(lp.ncons * nvars, 0.0);
+  lp.b.assign(lp.ncons, 0.0);
+  for (std::size_t i = 0; i < ncons; ++i) {
+    for (std::size_t j = 0; j < nvars; ++j)
+      lp.A[i * nvars + j] = base.A[i * nvars + j];
+    // Push the rhs up so the lower bounds below stay compatible.
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < nvars; ++j) rowsum += lp.A[i * nvars + j];
+    lp.b[i] = base.b[i] + rowsum;  // roomy upper constraints
+  }
+  for (std::size_t j = 0; j < nvars; ++j) {
+    const double lb = rng.uniform(0.05, 0.5);
+    lp.A[(ncons + j) * nvars + j] = -1.0;
+    lp.b[ncons + j] = -lb;  // x_j ≥ lb
+  }
+  return lp;
+}
+
+/// Klee–Minty cube of dimension d: the classic worst case that walks the
+/// Dantzig rule through an exponential number of vertices.  In this
+/// standard formulation the optimum is x = (0, …, 0, 5^d) with objective
+/// value 5^d.
+[[nodiscard]] inline LpProblem klee_minty(std::size_t d) {
+  LpProblem lp;
+  lp.nvars = d;
+  lp.ncons = d;
+  lp.c.assign(d, 0.0);
+  lp.A.assign(d * d, 0.0);
+  lp.b.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j)
+    lp.c[j] = std::pow(2.0, static_cast<double>(d - 1 - j));
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j + 1 <= i; ++j)
+      lp.A[i * d + j] = std::pow(2.0, static_cast<double>(i - j + 1));
+    lp.A[i * d + i] = 1.0;
+    lp.b[i] = std::pow(5.0, static_cast<double>(i + 1));
+  }
+  return lp;
+}
+
+}  // namespace vmp

@@ -1,0 +1,53 @@
+/// \file vmprim.hpp
+/// \brief Umbrella header: the whole Four Vector-Matrix Primitives library.
+#pragma once
+
+#include "hypercube/bits.hpp"          // IWYU pragma: export
+#include "hypercube/check.hpp"         // IWYU pragma: export
+#include "hypercube/cost_model.hpp"    // IWYU pragma: export
+#include "hypercube/gray.hpp"          // IWYU pragma: export
+#include "hypercube/machine.hpp"       // IWYU pragma: export
+#include "hypercube/partition.hpp"     // IWYU pragma: export
+#include "hypercube/sim_clock.hpp"     // IWYU pragma: export
+
+#include "comm/allport.hpp"            // IWYU pragma: export
+#include "comm/collectives.hpp"        // IWYU pragma: export
+#include "comm/dist_buffer.hpp"        // IWYU pragma: export
+#include "comm/ops.hpp"                // IWYU pragma: export
+#include "comm/router.hpp"             // IWYU pragma: export
+#include "comm/shift.hpp"              // IWYU pragma: export
+#include "comm/subcube.hpp"            // IWYU pragma: export
+
+#include "embed/axis_map.hpp"          // IWYU pragma: export
+#include "embed/dist_matrix.hpp"       // IWYU pragma: export
+#include "embed/dist_vector.hpp"       // IWYU pragma: export
+#include "embed/grid.hpp"              // IWYU pragma: export
+#include "embed/realign.hpp"           // IWYU pragma: export
+
+#include "core/elementwise.hpp"        // IWYU pragma: export
+#include "core/naive.hpp"              // IWYU pragma: export
+#include "core/primitives.hpp"         // IWYU pragma: export
+#include "core/permute.hpp"            // IWYU pragma: export
+#include "core/scan_ops.hpp"           // IWYU pragma: export
+#include "core/swap.hpp"               // IWYU pragma: export
+#include "core/transpose.hpp"          // IWYU pragma: export
+#include "core/vector_ops.hpp"         // IWYU pragma: export
+
+#include "algorithms/cg.hpp"           // IWYU pragma: export
+#include "algorithms/fft.hpp"          // IWYU pragma: export
+#include "algorithms/gauss.hpp"        // IWYU pragma: export
+#include "algorithms/histogram.hpp"    // IWYU pragma: export
+#include "algorithms/invert.hpp"       // IWYU pragma: export
+#include "algorithms/lp.hpp"           // IWYU pragma: export
+#include "algorithms/matmul.hpp"       // IWYU pragma: export
+#include "algorithms/matvec.hpp"       // IWYU pragma: export
+#include "algorithms/simplex.hpp"      // IWYU pragma: export
+#include "algorithms/sort.hpp"         // IWYU pragma: export
+#include "algorithms/tridiag.hpp"      // IWYU pragma: export
+#include "algorithms/serial/tridiag.hpp"  // IWYU pragma: export
+#include "algorithms/serial/host_matrix.hpp"  // IWYU pragma: export
+#include "algorithms/serial/lu.hpp"    // IWYU pragma: export
+#include "algorithms/serial/simplex.hpp"  // IWYU pragma: export
+
+#include "util/rng.hpp"                // IWYU pragma: export
+#include "util/workloads.hpp"          // IWYU pragma: export

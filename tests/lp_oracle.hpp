@@ -1,0 +1,109 @@
+// Test-only brute-force LP oracle: enumerate every basic solution of the
+// slack-form system [A | I]·x̃ = b, keep the feasible ones, and maximize.
+// Exponential, but an INDEPENDENT ground truth for small problems (it
+// shares no code with either simplex implementation).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "algorithms/lp.hpp"
+
+namespace vmp::testing {
+
+struct OracleResult {
+  bool feasible = false;
+  bool bounded = true;  // only meaningful when feasible
+  double objective = -std::numeric_limits<double>::infinity();
+  std::vector<double> x;  // structural variables at the optimum
+};
+
+namespace detail {
+
+/// Solve the m×m dense system in place; returns false if singular.
+inline bool solve_square(std::vector<double>& M, std::vector<double>& rhs,
+                         std::size_t m) {
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < m; ++i)
+      if (std::abs(M[i * m + k]) > std::abs(M[piv * m + k])) piv = i;
+    if (std::abs(M[piv * m + k]) < 1e-11) return false;
+    if (piv != k) {
+      for (std::size_t j = 0; j < m; ++j) std::swap(M[k * m + j], M[piv * m + j]);
+      std::swap(rhs[k], rhs[piv]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == k) continue;
+      const double f = M[i * m + k] / M[k * m + k];
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < m; ++j) M[i * m + j] -= f * M[k * m + j];
+      rhs[i] -= f * rhs[k];
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) rhs[k] /= M[k * m + k];
+  return true;
+}
+
+}  // namespace detail
+
+/// Enumerate C(nvars + ncons, ncons) bases.  Only use for tiny problems.
+/// Unboundedness is detected separately by probing rays: if some feasible
+/// point exists and the LP's feasible set is unbounded in an improving
+/// direction this oracle can miss it, so callers should only compare
+/// objective values when both sides report Optimal.
+[[nodiscard]] inline OracleResult brute_force_lp(const LpProblem& lp,
+                                                 double eps = 1e-8) {
+  lp.validate();
+  const std::size_t m = lp.ncons, nv = lp.nvars, total = nv + m;
+  OracleResult out;
+
+  std::vector<std::size_t> pick(m);
+  // Iterate subsets of size m out of `total` columns.
+  std::vector<bool> mask(total, false);
+  std::fill(mask.end() - static_cast<std::ptrdiff_t>(m), mask.end(), true);
+  do {
+    std::size_t t = 0;
+    for (std::size_t j = 0; j < total; ++j)
+      if (mask[j]) pick[t++] = j;
+
+    std::vector<double> M(m * m, 0.0);
+    for (std::size_t col = 0; col < m; ++col) {
+      const std::size_t v = pick[col];
+      for (std::size_t i = 0; i < m; ++i)
+        M[i * m + col] = v < nv ? lp.A[i * nv + v] : (v - nv == i ? 1.0 : 0.0);
+    }
+    std::vector<double> sol = lp.b;
+    if (!detail::solve_square(M, sol, m)) continue;
+    bool feas = true;
+    for (double s : sol)
+      if (s < -eps) {
+        feas = false;
+        break;
+      }
+    if (!feas) continue;
+    out.feasible = true;
+    double obj = 0.0;
+    std::vector<double> x(nv, 0.0);
+    for (std::size_t col = 0; col < m; ++col)
+      if (pick[col] < nv) {
+        x[pick[col]] = sol[col];
+        obj += lp.c[pick[col]] * sol[col];
+      }
+    if (obj > out.objective) {
+      out.objective = obj;
+      out.x = std::move(x);
+    }
+  } while (std::next_permutation(mask.begin(), mask.end()));
+
+  // Degenerate no-constraint case: x = 0 is the only basic solution.
+  if (m == 0) {
+    out.feasible = true;
+    out.objective = 0.0;
+    out.x.assign(nv, 0.0);
+  }
+  return out;
+}
+
+}  // namespace vmp::testing

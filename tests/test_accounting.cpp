@@ -1,0 +1,196 @@
+// Tests of the simulated-time accounting itself: decomposition identities,
+// model-driven algorithm auto-selection, threading invariance for whole
+// algorithms, and the charging contracts the documentation promises.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/gauss.hpp"
+#include "algorithms/simplex.hpp"
+#include "comm/collectives.hpp"
+#include "core/primitives.hpp"
+#include "core/vector_ops.hpp"
+#include "embed/realign.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+TEST(Accounting, TimeDecomposesIntoCommComputeRouter) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistMatrix<double> A(grid, 32, 32, MatrixLayout::cyclic());
+  A.load(random_matrix(32, 32, 1));
+  const std::vector<double> b = random_vector(32, 2);
+  (void)gauss_solve(A, b);
+  const SimClock& c = cube.clock();
+  EXPECT_NEAR(c.now_us(), c.comm_us() + c.compute_us() + c.router_us(),
+              1e-6 * c.now_us());
+  EXPECT_GT(c.comm_us(), 0.0);
+  EXPECT_GT(c.compute_us(), 0.0);
+  EXPECT_EQ(c.router_us(), 0.0) << "optimized path never uses the router";
+}
+
+TEST(Accounting, SimulatedTimeIsMonotone) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistMatrix<double> A(grid, 16, 16);
+  A.load(random_matrix(16, 16, 3));
+  double last = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    (void)reduce_rows(A, Plus<double>{});
+    EXPECT_GT(cube.clock().now_us(), last);
+    last = cube.clock().now_us();
+  }
+}
+
+TEST(Accounting, FreeCommMakesCollectivesArithmeticOnly) {
+  Cube cube(4, CostParams::free_comm());
+  Grid grid(cube, 2, 2);
+  DistMatrix<double> A(grid, 32, 32);
+  A.load(random_matrix(32, 32, 4));
+  (void)reduce_rows(A, Plus<double>{});
+  EXPECT_EQ(cube.clock().comm_us(), 0.0);
+  EXPECT_GT(cube.clock().compute_us(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model-driven auto-selection never loses to either fixed variant.
+// ---------------------------------------------------------------------------
+
+class AutoSelect : public ::testing::TestWithParam<
+                       std::tuple<int, std::size_t, int>> {
+ protected:
+  static CostParams preset(int which) {
+    return which == 0 ? CostParams::cm2() : CostParams::ipsc();
+  }
+};
+
+TEST_P(AutoSelect, BroadcastAutoMatchesTheCheaperVariant) {
+  const auto [d, n, which] = GetParam();
+  Cube cube(d, preset(which));
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  const auto run = [&](auto fn) {
+    DistBuffer<double> buf(cube);
+    buf.vec(0) = random_vector(n, 5);
+    cube.clock().reset();
+    fn(buf);
+    return cube.clock().now_us();
+  };
+  const double t_bin = run([&](auto& b) { broadcast(cube, b, sc, 0); });
+  const double t_sag = run([&](auto& b) {
+    broadcast_sag(cube, b, sc, 0, [n](proc_t) { return n; });
+  });
+  const double t_auto = run([&](auto& b) {
+    broadcast_auto(cube, b, sc, 0, [n](proc_t) { return n; });
+  });
+  EXPECT_LE(t_auto, std::min(t_bin, t_sag) + 1e-9)
+      << "auto must pick the cheaper algorithm (bin=" << t_bin
+      << " sag=" << t_sag << ")";
+}
+
+TEST_P(AutoSelect, AllreduceAutoMatchesTheCheaperVariant) {
+  const auto [d, n, which] = GetParam();
+  Cube cube(d, preset(which));
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  const auto run = [&](auto fn) {
+    DistBuffer<double> buf(cube);
+    cube.each_proc([&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+    cube.clock().reset();
+    fn(buf);
+    return cube.clock().now_us();
+  };
+  const double t_rd =
+      run([&](auto& b) { allreduce(cube, b, sc, Plus<double>{}); });
+  const double t_rsag =
+      run([&](auto& b) { allreduce_rsag(cube, b, sc, Plus<double>{}); });
+  const double t_auto =
+      run([&](auto& b) { allreduce_auto(cube, b, sc, Plus<double>{}); });
+  EXPECT_LE(t_auto, std::min(t_rd, t_rsag) + 1e-9)
+      << "rd=" << t_rd << " rsag=" << t_rsag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AutoSelect,
+    ::testing::Combine(::testing::Values(2, 4, 6),
+                       ::testing::Values<std::size_t>(1, 8, 64, 1024, 8192),
+                       ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Host threading changes neither results nor simulated time, even for
+// whole applications.
+// ---------------------------------------------------------------------------
+
+TEST(Threading, GaussianEliminationIsThreadInvariant) {
+  const std::size_t n = 24;
+  const HostMatrix H = diag_dominant_matrix(n, 6);
+  const std::vector<double> b = random_vector(n, 7);
+  const auto run = [&](unsigned threads) {
+    Cube cube(4, CostParams::cm2(), Cube::Options{threads});
+    Grid grid(cube, 2, 2);
+    DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+    A.load(H.data());
+    const std::vector<double> x = gauss_solve(A, b);
+    return std::pair{x, cube.clock().now_us()};
+  };
+  const auto [x1, t1] = run(1);
+  const auto [x3, t3] = run(3);
+  EXPECT_EQ(x1, x3);
+  EXPECT_DOUBLE_EQ(t1, t3);
+}
+
+TEST(Threading, SimplexIsThreadInvariant) {
+  const LpProblem lp = random_feasible_lp(12, 9, 8);
+  const auto run = [&](unsigned threads) {
+    Cube cube(4, CostParams::cm2(), Cube::Options{threads});
+    Grid grid(cube, 2, 2);
+    const LpSolution s = simplex_solve(grid, lp);
+    return std::tuple{s.status, s.objective, s.iterations,
+                      cube.clock().now_us()};
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// ---------------------------------------------------------------------------
+// Charging contracts.
+// ---------------------------------------------------------------------------
+
+TEST(Charging, HostIoIsFree) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistMatrix<double> A(grid, 16, 16);
+  A.load(random_matrix(16, 16, 9));
+  (void)A.to_host();
+  (void)A.at(3, 3);
+  DistVector<double> v(grid, 16, Align::Cols);
+  v.load(random_vector(16, 10));
+  (void)v.to_host();
+  EXPECT_EQ(cube.clock().now_us(), 0.0);
+}
+
+TEST(Charging, RealignmentIsNeverFreeAcrossEmbeddings) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistVector<double> v(grid, 20, Align::Linear);
+  v.load(random_vector(20, 11));
+  const double t0 = cube.clock().now_us();
+  const DistVector<double> c = realign(v, Align::Cols);
+  EXPECT_GT(cube.clock().now_us(), t0);
+  const double t1 = cube.clock().now_us();
+  (void)realign(c, Align::Cols);  // same embedding: free copy
+  EXPECT_EQ(cube.clock().now_us(), t1);
+}
+
+TEST(Charging, FetchAndStoreAreOneMessageEach) {
+  Cube cube(4, CostParams::unit());
+  Grid grid(cube, 2, 2);
+  DistVector<double> v(grid, 8, Align::Cols);
+  v.load(random_vector(8, 12));
+  (void)vec_fetch(v, 3);
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 2.0);  // τ + 1·t_c
+  vec_store(v, 3, 1.0);
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 4.0);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,186 @@
+// Cross-module algebraic property tests: identities that hold between
+// independent implementations catch bugs no single-module test can.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cg.hpp"
+#include "algorithms/gauss.hpp"
+#include "algorithms/invert.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/matvec.hpp"
+#include "algorithms/simplex.hpp"
+#include "core/transpose.hpp"
+#include "embed/realign.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+class AlgebraFx : public ::testing::Test {
+ protected:
+  AlgebraFx() : cube(4, CostParams::cm2()), grid(cube, 2, 2) {}
+  Cube cube;
+  Grid grid;
+};
+
+TEST_F(AlgebraFx, TransposeOfProductIsProductOfTransposes) {
+  const std::size_t n = 9, k = 7, m = 11;
+  DistMatrix<double> A(grid, n, k), B(grid, k, m);
+  A.load(random_matrix(n, k, 501));
+  B.load(random_matrix(k, m, 502));
+  const std::vector<double> lhs = transpose(matmul(A, B)).to_host();
+  const std::vector<double> rhs = matmul(transpose(B), transpose(A)).to_host();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t t = 0; t < lhs.size(); ++t)
+    EXPECT_NEAR(lhs[t], rhs[t], 1e-11 * (1 + std::abs(lhs[t])));
+}
+
+TEST_F(AlgebraFx, MatvecAgreesWithMatmulColumn) {
+  const std::size_t n = 10, k = 8;
+  DistMatrix<double> A(grid, n, k);
+  A.load(random_matrix(n, k, 503));
+  const std::vector<double> hx = random_vector(k, 504);
+  // As a k×1 matrix product.
+  DistMatrix<double> X(grid, k, 1);
+  X.load(hx);
+  const std::vector<double> via_mm = matmul(A, X).to_host();
+  DistVector<double> x(grid, k, Align::Cols);
+  x.load(hx);
+  const std::vector<double> via_mv = matvec(A, x).to_host();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(via_mm[i], via_mv[i], 1e-11 * (1 + std::abs(via_mv[i])));
+}
+
+TEST_F(AlgebraFx, InverseTimesMatrixIsIdentityDistributed) {
+  const std::size_t n = 10;
+  const HostMatrix H = diag_dominant_matrix(n, 505);
+  DistMatrix<double> A(grid, n, n);
+  A.load(H.data());
+  const InvertResult inv = invert(A);
+  ASSERT_FALSE(inv.singular);
+  const std::vector<double> prod = matmul(inv.inverse, A).to_host();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(prod[i * n + j], i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST_F(AlgebraFx, SolveViaInverseMatchesSolveViaLu) {
+  const std::size_t n = 12;
+  const HostMatrix H = diag_dominant_matrix(n, 506);
+  const std::vector<double> b = random_vector(n, 507);
+  DistMatrix<double> A1(grid, n, n, MatrixLayout::cyclic());
+  A1.load(H.data());
+  const std::vector<double> x_lu = gauss_solve(A1, b);
+
+  DistMatrix<double> A2(grid, n, n);
+  A2.load(H.data());
+  const InvertResult inv = invert(A2);
+  ASSERT_FALSE(inv.singular);
+  DistVector<double> bv(grid, n, Align::Cols);
+  bv.load(b);
+  const std::vector<double> x_inv = matvec(inv.inverse, bv).to_host();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x_inv[i], x_lu[i], 1e-7 * (1 + std::abs(x_lu[i])));
+}
+
+TEST_F(AlgebraFx, MatvecIsLinear) {
+  const std::size_t n = 12, k = 9;
+  DistMatrix<double> A(grid, n, k);
+  A.load(random_matrix(n, k, 508));
+  const std::vector<double> hx = random_vector(k, 509);
+  const std::vector<double> hy = random_vector(k, 510);
+  DistVector<double> x(grid, k, Align::Cols), y(grid, k, Align::Cols),
+      z(grid, k, Align::Cols);
+  x.load(hx);
+  y.load(hy);
+  std::vector<double> hz(k);
+  for (std::size_t j = 0; j < k; ++j) hz[j] = 3.0 * hx[j] - 2.0 * hy[j];
+  z.load(hz);
+  const std::vector<double> Ax = matvec(A, x).to_host();
+  const std::vector<double> Ay = matvec(A, y).to_host();
+  const std::vector<double> Az = matvec(A, z).to_host();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(Az[i], 3.0 * Ax[i] - 2.0 * Ay[i],
+                1e-10 * (1 + std::abs(Az[i])));
+}
+
+TEST_F(AlgebraFx, VecmatIsMatvecOfTranspose) {
+  const std::size_t n = 8, k = 13;
+  DistMatrix<double> A(grid, n, k);
+  A.load(random_matrix(n, k, 511));
+  const std::vector<double> hx = random_vector(n, 512);
+  DistVector<double> x(grid, n, Align::Rows);
+  x.load(hx);
+  const std::vector<double> xa = vecmat(x, A).to_host();
+
+  const DistMatrix<double> At = transpose(A);
+  DistVector<double> xc(grid, n, Align::Cols);
+  xc.load(hx);
+  const std::vector<double> atx = matvec(At, xc).to_host();
+  for (std::size_t j = 0; j < k; ++j)
+    EXPECT_NEAR(xa[j], atx[j], 1e-11 * (1 + std::abs(atx[j])));
+}
+
+TEST_F(AlgebraFx, CgSolutionSatisfiesLuSolve) {
+  const std::size_t n = 16;
+  const HostMatrix H = spd_matrix(n, 513);
+  const std::vector<double> b = random_vector(n, 514);
+  DistMatrix<double> A(grid, n, n);
+  A.load(H.data());
+  const CgResult cg = conjugate_gradient(A, b, {1e-12, 0});
+  ASSERT_TRUE(cg.converged);
+  DistMatrix<double> A2(grid, n, n, MatrixLayout::cyclic());
+  A2.load(H.data());
+  const std::vector<double> direct = gauss_solve(A2, b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(cg.x[i], direct[i], 1e-6 * (1 + std::abs(direct[i])));
+}
+
+TEST_F(AlgebraFx, RealignIsInvertibleAcrossAllPairs) {
+  const std::size_t n = 21;
+  const std::vector<double> host = random_vector(n, 515);
+  for (Align a : {Align::Linear, Align::Cols, Align::Rows}) {
+    for (Align b : {Align::Linear, Align::Cols, Align::Rows}) {
+      DistVector<double> v(grid, n, a);
+      v.load(host);
+      const DistVector<double> w = realign(realign(v, b), a);
+      EXPECT_EQ(w.to_host(), host)
+          << to_string(a) << " -> " << to_string(b) << " -> " << to_string(a);
+    }
+  }
+}
+
+// Results must be identical under every cost preset — the model changes
+// time, never values.
+TEST(PresetInvariance, GaussAndSimplexResultsAreModelIndependent) {
+  const std::size_t n = 12;
+  const HostMatrix H = diag_dominant_matrix(n, 516);
+  const std::vector<double> b = random_vector(n, 517);
+  const LpProblem lp = random_feasible_lp(8, 6, 518);
+  std::vector<double> x_ref;
+  LpSolution s_ref;
+  bool first = true;
+  for (const CostParams& preset :
+       {CostParams::cm2(), CostParams::ipsc(), CostParams::unit(),
+        CostParams::free_comm()}) {
+    Cube cube(4, preset);
+    Grid grid(cube, 2, 2);
+    DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+    A.load(H.data());
+    const std::vector<double> x = gauss_solve(A, b);
+    const LpSolution s = simplex_solve(grid, lp);
+    if (first) {
+      x_ref = x;
+      s_ref = s;
+      first = false;
+    } else {
+      EXPECT_EQ(x, x_ref) << preset.name;
+      EXPECT_EQ(s.iterations, s_ref.iterations) << preset.name;
+      EXPECT_EQ(s.objective, s_ref.objective) << preset.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,220 @@
+// Tests: all-port nESBT broadcast, Gray-code ring shifts, and the
+// neighbor-exchange / all-port machine rounds they are built on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "comm/allport.hpp"
+#include "comm/shift.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// exchange_allport
+// ---------------------------------------------------------------------------
+
+TEST(AllportExchange, MovesDataOnEveryPortInOneStep) {
+  Cube cube(3, CostParams::unit());
+  const int dims[] = {0, 1, 2};
+  DistBuffer<int> got(cube, 3);
+  cube.exchange_allport<int>(
+      std::span<const int>(dims),
+      [&](proc_t q, std::size_t idx) -> std::span<const int> {
+        static thread_local std::vector<int> tmp;
+        tmp.assign(1, static_cast<int>(q * 10 + idx));
+        return std::span<const int>(tmp);
+      },
+      [&](proc_t q, std::size_t idx, std::span<const int> in) {
+        got.vec(q)[idx] = in[0];
+      });
+  cube.each_proc([&](proc_t q) {
+    for (std::size_t idx = 0; idx < 3; ++idx) {
+      const proc_t partner = q ^ (1u << idx);
+      EXPECT_EQ(got.vec(q)[idx], static_cast<int>(partner * 10 + idx));
+    }
+  });
+  // One all-port step: τ + 1·t_c = 2 under the unit model.
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 2.0);
+  EXPECT_EQ(cube.clock().stats().comm_steps, 1u);
+  EXPECT_EQ(cube.clock().stats().messages, 24u);
+}
+
+TEST(AllportExchange, RejectsDuplicateOrBadDims) {
+  Cube cube(3, CostParams::unit());
+  const int dup[] = {0, 0};
+  const int bad[] = {5};
+  const auto send = [](proc_t, std::size_t) { return std::span<const int>{}; };
+  const auto recv = [](proc_t, std::size_t, std::span<const int>) {};
+  EXPECT_THROW(cube.exchange_allport<int>(std::span<const int>(dup), send, recv),
+               ContractError);
+  EXPECT_THROW(cube.exchange_allport<int>(std::span<const int>(bad), send, recv),
+               ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// neighbor_exchange
+// ---------------------------------------------------------------------------
+
+TEST(NeighborExchange, IrregularPartnersInOneStep) {
+  // Processors pair across different dimensions in the same round: pair
+  // (0,1) across dim 0, pair (2,6) across dim 2, others sit out.
+  Cube cube(3, CostParams::unit());
+  const auto partner = [](proc_t q) -> proc_t {
+    switch (q) {
+      case 0: return 1;
+      case 1: return 0;
+      case 2: return 6;
+      case 6: return 2;
+      default: return q;
+    }
+  };
+  DistBuffer<int> buf(cube);
+  cube.each_proc([&](proc_t q) { buf.vec(q).assign(2, int(q)); });
+  DistBuffer<int> got(cube);
+  cube.neighbor_exchange<int>(
+      partner, [&](proc_t q) { return std::span<const int>(buf.vec(q)); },
+      [&](proc_t q, std::span<const int> in) {
+        got.vec(q).assign(in.begin(), in.end());
+      });
+  EXPECT_EQ(got.vec(0), std::vector<int>({1, 1}));
+  EXPECT_EQ(got.vec(1), std::vector<int>({0, 0}));
+  EXPECT_EQ(got.vec(2), std::vector<int>({6, 6}));
+  EXPECT_EQ(got.vec(6), std::vector<int>({2, 2}));
+  EXPECT_TRUE(got.vec(3).empty());
+  EXPECT_EQ(cube.clock().stats().comm_steps, 1u);
+}
+
+TEST(NeighborExchange, RejectsNonNeighborsAndAsymmetry) {
+  Cube cube(3, CostParams::unit());
+  const auto send = [](proc_t) { return std::span<const int>{}; };
+  const auto recv = [](proc_t, std::span<const int>) {};
+  // 0 <-> 3 differ in two bits.
+  EXPECT_THROW(cube.neighbor_exchange<int>(
+                   [](proc_t q) -> proc_t {
+                     return q == 0 ? 3 : (q == 3 ? 0 : q);
+                   },
+                   send, recv),
+               ContractError);
+  // Asymmetric relation.
+  EXPECT_THROW(cube.neighbor_exchange<int>(
+                   [](proc_t q) -> proc_t { return q == 0 ? 1 : q; }, send,
+                   recv),
+               ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// nESBT broadcast
+// ---------------------------------------------------------------------------
+
+class EsbtSweep : public ::testing::TestWithParam<
+                      std::tuple<int, std::size_t, std::uint32_t>> {};
+
+TEST_P(EsbtSweep, MatchesBinomialBroadcastResult) {
+  const auto [d, n, root_step] = GetParam();
+  Cube cube(d, CostParams::unit());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  for (std::uint32_t root = 0; root < sc.size();
+       root += std::max(1u, root_step)) {
+    DistBuffer<double> buf(cube);
+    const std::vector<double> payload = random_vector(n, 81 + root);
+    cube.each_proc([&](proc_t q) {
+      if (sc.rank(q) == root) buf.vec(q) = payload;
+    });
+    broadcast_esbt(cube, buf, sc, root, [n](proc_t) { return n; });
+    cube.each_proc(
+        [&](proc_t q) { EXPECT_EQ(buf.vec(q), payload) << "q=" << q; });
+  }
+}
+
+TEST_P(EsbtSweep, BeatsBinomialOnTransferTimeForLargePayloads) {
+  const auto [d, n, root_step] = GetParam();
+  (void)root_step;
+  if (d < 3 || n < 1024) GTEST_SKIP();
+  Cube cube(d, CostParams::cm2());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+
+  DistBuffer<double> b1(cube);
+  b1.vec(0) = random_vector(n, 82);
+  cube.clock().reset();
+  broadcast(cube, b1, sc, 0);
+  const double t_binomial = cube.clock().now_us();
+
+  DistBuffer<double> b2(cube);
+  b2.vec(0) = random_vector(n, 82);
+  cube.clock().reset();
+  broadcast_esbt(cube, b2, sc, 0, [n](proc_t) { return n; });
+  const double t_esbt = cube.clock().now_us();
+
+  EXPECT_LT(t_esbt, t_binomial);
+  // The gain approaches d for transfer-dominated payloads.
+  EXPECT_GT(t_binomial / t_esbt, static_cast<double>(d) / 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EsbtSweep,
+    ::testing::Values(std::tuple{1, 7ul, 1u}, std::tuple{2, 16ul, 1u},
+                      std::tuple{3, 5ul, 2u}, std::tuple{4, 64ul, 5u},
+                      std::tuple{5, 33ul, 11u}, std::tuple{6, 2048ul, 21u},
+                      std::tuple{4, 1ul, 5u}, std::tuple{4, 0ul, 5u},
+                      std::tuple{6, 8192ul, 63u}));
+
+// ---------------------------------------------------------------------------
+// Ring shifts
+// ---------------------------------------------------------------------------
+
+class ShiftSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, RingOrder>> {};
+
+TEST_P(ShiftSweep, RotatesBlocksByOnePosition) {
+  const auto [d, by, order] = GetParam();
+  Cube cube(d, CostParams::unit());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  DistBuffer<double> buf(cube);
+  cube.each_proc([&](proc_t q) {
+    buf.vec(q).assign(3, static_cast<double>(ring_pos(order, sc.rank(q))));
+  });
+  shift_blocks(cube, buf, sc, by, order);
+  const std::uint32_t P = sc.size();
+  cube.each_proc([&](proc_t q) {
+    const std::uint32_t pos = ring_pos(order, sc.rank(q));
+    const std::uint32_t src = (pos + P - static_cast<std::uint32_t>(by)) % P;
+    ASSERT_EQ(buf.vec(q).size(), 3u);
+    EXPECT_EQ(buf.vec(q)[0], static_cast<double>(src)) << "q=" << q;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShiftSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 5),
+                       ::testing::Values(1, -1),
+                       ::testing::Values(RingOrder::Gray, RingOrder::Binary)));
+
+TEST(Shift, GrayIsOneStepBinaryIsManySteps) {
+  const int d = 6;
+  Cube cube(d, CostParams::cm2());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  const std::size_t n = 512;
+
+  DistBuffer<double> g(cube);
+  cube.each_proc([&](proc_t q) { g.vec(q) = random_vector(n, q); });
+  cube.clock().reset();
+  shift_blocks(cube, g, sc, 1, RingOrder::Gray);
+  const double t_gray = cube.clock().now_us();
+  const std::uint64_t steps_gray = cube.clock().stats().comm_steps;
+
+  cube.clock().reset();
+  DistBuffer<double> b(cube);
+  cube.each_proc([&](proc_t q) { b.vec(q) = random_vector(n, q); });
+  shift_blocks(cube, b, sc, 1, RingOrder::Binary);
+  const double t_binary = cube.clock().now_us();
+
+  EXPECT_EQ(steps_gray, 1u) << "Gray ring shift is a single cube-edge round";
+  EXPECT_LT(t_gray, t_binary);
+  EXPECT_GT(t_binary / t_gray, 2.0);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,268 @@
+// Unit tests: the collective library against straight-line host references,
+// swept over cube dimensions, subcube families and payload lengths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "hypercube/machine.hpp"
+
+namespace vmp {
+namespace {
+
+// Deterministic per-processor payloads.
+std::vector<double> payload(proc_t q, std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t)
+    v[t] = static_cast<double>((q + 1) * 1000 + t);
+  return v;
+}
+
+struct Case {
+  int cube_dim;
+  int mask_lo;
+  int mask_k;
+  std::size_t n;
+};
+
+class CollectiveSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const Case c = GetParam();
+    cube = std::make_unique<Cube>(c.cube_dim, CostParams::unit());
+    sc = std::make_unique<SubcubeSet>(
+        SubcubeSet::contiguous(c.mask_lo, c.mask_k).mask());
+  }
+
+  // Host reference: for each processor, the list of subcube peers in rank
+  // order.
+  std::vector<proc_t> peers(proc_t q) const {
+    std::vector<proc_t> out(sc->size());
+    for (std::uint32_t r = 0; r < sc->size(); ++r) out[r] = sc->with_rank(q, r);
+    return out;
+  }
+
+  std::unique_ptr<Cube> cube;
+  std::unique_ptr<SubcubeSet> sc;
+};
+
+TEST_P(CollectiveSweep, AllreduceSum) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  allreduce(*cube, buf, *sc, Plus<double>{});
+  cube->each_proc([&](proc_t q) {
+    for (std::size_t t = 0; t < n; ++t) {
+      double want = 0;
+      for (proc_t peer : peers(q)) want += payload(peer, n)[t];
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want) << "q=" << q << " t=" << t;
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceMin) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  allreduce(*cube, buf, *sc, Min<double>{});
+  cube->each_proc([&](proc_t q) {
+    for (std::size_t t = 0; t < n; ++t) {
+      double want = std::numeric_limits<double>::max();
+      for (proc_t peer : peers(q)) want = std::min(want, payload(peer, n)[t]);
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterThenAllgatherEqualsAllreduce) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  allreduce_rsag(*cube, buf, *sc, Plus<double>{});
+  cube->each_proc([&](proc_t q) {
+    ASSERT_EQ(buf.vec(q).size(), n);
+    for (std::size_t t = 0; t < n; ++t) {
+      double want = 0;
+      for (proc_t peer : peers(q)) want += payload(peer, n)[t];
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterBlocks) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  reduce_scatter(*cube, buf, *sc, Plus<double>{});
+  const std::uint32_t P = sc->size();
+  cube->each_proc([&](proc_t q) {
+    const std::uint32_t r = sc->rank(q);
+    ASSERT_EQ(buf.vec(q).size(), block_size(n, P, r));
+    for (std::size_t s = 0; s < buf.vec(q).size(); ++s) {
+      const std::size_t t = block_begin(n, P, r) + s;
+      double want = 0;
+      for (proc_t peer : peers(q)) want += payload(peer, n)[t];
+      EXPECT_DOUBLE_EQ(buf.vec(q)[s], want);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const std::size_t n = GetParam().n;
+  for (std::uint32_t root = 0; root < sc->size();
+       root += std::max<std::uint32_t>(1, sc->size() / 4)) {
+    DistBuffer<double> buf(*cube);
+    cube->each_proc([&](proc_t q) {
+      if (sc->rank(q) == root) buf.vec(q) = payload(q, n);
+    });
+    broadcast(*cube, buf, *sc, root);
+    cube->each_proc([&](proc_t q) {
+      const proc_t holder = sc->with_rank(q, root);
+      EXPECT_EQ(buf.vec(q), payload(holder, n)) << "q=" << q;
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, BroadcastSagFromEveryRoot) {
+  const std::size_t n = GetParam().n;
+  for (std::uint32_t root = 0; root < sc->size();
+       root += std::max<std::uint32_t>(1, sc->size() / 4)) {
+    DistBuffer<double> buf(*cube);
+    cube->each_proc([&](proc_t q) {
+      if (sc->rank(q) == root) buf.vec(q) = payload(q, n);
+    });
+    broadcast_sag(*cube, buf, *sc, root, [n](proc_t) { return n; });
+    cube->each_proc([&](proc_t q) {
+      const proc_t holder = sc->with_rank(q, root);
+      EXPECT_EQ(buf.vec(q), payload(holder, n)) << "q=" << q;
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, AllgatherAssemblesInRankOrder) {
+  const std::size_t n = GetParam().n;
+  const std::uint32_t P = sc->size();
+  DistBuffer<double> buf(*cube);
+  // Block r of the reference is the slice of a global per-subcube vector.
+  cube->each_proc([&](proc_t q) {
+    const std::uint32_t r = sc->rank(q);
+    const std::size_t b = block_begin(n, P, r);
+    const std::size_t len = block_size(n, P, r);
+    std::vector<double> piece(len);
+    for (std::size_t s = 0; s < len; ++s)
+      piece[s] = static_cast<double>(sc->subcube_id(q) * 100000 + b + s);
+    buf.vec(q) = piece;
+  });
+  allgather(*cube, buf, *sc, n);
+  cube->each_proc([&](proc_t q) {
+    ASSERT_EQ(buf.vec(q).size(), n);
+    for (std::size_t t = 0; t < n; ++t)
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t],
+                       static_cast<double>(sc->subcube_id(q) * 100000 + t));
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceToEveryRank) {
+  const std::size_t n = GetParam().n;
+  for (std::uint32_t root = 0; root < sc->size();
+       root += std::max<std::uint32_t>(1, sc->size() / 4)) {
+    DistBuffer<double> buf(*cube);
+    cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+    reduce_to_rank(*cube, buf, *sc, Plus<double>{}, root);
+    cube->each_proc([&](proc_t q) {
+      if (sc->rank(q) != root) return;
+      for (std::size_t t = 0; t < n; ++t) {
+        double want = 0;
+        for (proc_t peer : peers(q)) want += payload(peer, n)[t];
+        EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, ExclusiveScanMatchesPrefixSums) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  scan_exclusive(*cube, buf, *sc, Plus<double>{});
+  cube->each_proc([&](proc_t q) {
+    const std::uint32_t r = sc->rank(q);
+    for (std::size_t t = 0; t < n; ++t) {
+      double want = 0;
+      for (std::uint32_t rr = 0; rr < r; ++rr)
+        want += payload(sc->with_rank(q, rr), n)[t];
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want) << "q=" << q << " t=" << t;
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, InclusiveScanMatchesPrefixSums) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  scan_inclusive(*cube, buf, *sc, Plus<double>{});
+  cube->each_proc([&](proc_t q) {
+    const std::uint32_t r = sc->rank(q);
+    for (std::size_t t = 0; t < n; ++t) {
+      double want = 0;
+      for (std::uint32_t rr = 0; rr <= r; ++rr)
+        want += payload(sc->with_rank(q, rr), n)[t];
+      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, RouteWithinDeliversEverything) {
+  const std::size_t n = GetParam().n;
+  DistBuffer<RouteItem<double>> items(cube->procs() ? *cube : *cube);
+  std::mt19937 rng(42);
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> expected(
+      cube->procs());
+  cube->each_proc([&](proc_t q) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint32_t r =
+          static_cast<std::uint32_t>(rng()) & (sc->size() - 1);
+      const proc_t dst = sc->with_rank(q, r);
+      const double val = static_cast<double>(q * 1000 + t);
+      items.vec(q).push_back(RouteItem<double>{dst, t, val});
+      expected[dst].push_back({t, val});
+    }
+  });
+  route_within(*cube, items, *sc);
+  cube->each_proc([&](proc_t q) {
+    ASSERT_EQ(items.vec(q).size(), expected[q].size()) << "q=" << q;
+    std::vector<std::pair<std::uint64_t, double>> got;
+    for (const auto& it : items.vec(q)) got.push_back({it.tag, it.value});
+    std::sort(got.begin(), got.end());
+    std::sort(expected[q].begin(), expected[q].end());
+    EXPECT_EQ(got, expected[q]);
+  });
+}
+
+TEST_P(CollectiveSweep, SimulatedTimeAdvancesForRealWork) {
+  const std::size_t n = GetParam().n;
+  if (sc->k() == 0 || n == 0) return;
+  DistBuffer<double> buf(*cube);
+  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  const double before = cube->clock().now_us();
+  allreduce(*cube, buf, *sc, Plus<double>{});
+  EXPECT_GT(cube->clock().now_us(), before);
+  EXPECT_EQ(cube->clock().stats().comm_steps,
+            static_cast<std::uint64_t>(sc->k()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveSweep,
+    ::testing::Values(Case{0, 0, 0, 4}, Case{1, 0, 1, 1}, Case{3, 0, 3, 8},
+                      Case{3, 1, 2, 5}, Case{4, 0, 4, 16}, Case{4, 2, 2, 7},
+                      Case{5, 0, 5, 33}, Case{5, 1, 3, 2}, Case{6, 0, 6, 10},
+                      Case{6, 3, 3, 64}, Case{4, 0, 4, 3}, Case{4, 0, 4, 0},
+                      Case{5, 2, 3, 1}, Case{7, 0, 7, 129}, Case{7, 2, 4, 6},
+                      Case{8, 0, 8, 5}, Case{8, 3, 5, 40},
+                      Case{6, 0, 6, 1000}));
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,172 @@
+// Tests: the distributed FFT against the O(n²) DFT reference, plus the
+// standard transform identities (inverse round trip, linearity, impulse,
+// Parseval).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "algorithms/fft.hpp"
+#include "util/rng.hpp"
+
+namespace vmp {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<cplx> x(n);
+  for (cplx& c : x) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+class FftSweep : public ::testing::TestWithParam<
+                     std::tuple<int, int, std::size_t>> {};
+
+TEST_P(FftSweep, MatchesDftReference) {
+  const auto [gr, gc, n] = GetParam();
+  if (n < (1u << (gr + gc))) GTEST_SKIP();
+  Cube cube(gr + gc, CostParams::cm2());
+  Grid grid(cube, gr, gc);
+  const std::vector<cplx> x = random_signal(n, 51);
+  const std::vector<cplx> want = dft_reference(x);
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(x);
+  fft(v);
+  const std::vector<cplx> got = v.to_host();
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), 1e-9 * (1 + std::abs(want[k])))
+        << "k=" << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-9 * (1 + std::abs(want[k])));
+  }
+}
+
+TEST_P(FftSweep, InverseRoundTrips) {
+  const auto [gr, gc, n] = GetParam();
+  if (n < (1u << (gr + gc))) GTEST_SKIP();
+  Cube cube(gr + gc, CostParams::cm2());
+  Grid grid(cube, gr, gc);
+  const std::vector<cplx> x = random_signal(n, 52);
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(x);
+  fft(v);
+  ifft(v);
+  const std::vector<cplx> got = v.to_host();
+  for (std::size_t g = 0; g < n; ++g) {
+    EXPECT_NEAR(got[g].real(), x[g].real(), 1e-10);
+    EXPECT_NEAR(got[g].imag(), x[g].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftSweep, ParsevalHolds) {
+  const auto [gr, gc, n] = GetParam();
+  if (n < (1u << (gr + gc))) GTEST_SKIP();
+  Cube cube(gr + gc, CostParams::cm2());
+  Grid grid(cube, gr, gc);
+  const std::vector<cplx> x = random_signal(n, 53);
+  double time_energy = 0;
+  for (const cplx& c : x) time_energy += std::norm(c);
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(x);
+  fft(v);
+  double freq_energy = 0;
+  for (const cplx& c : v.to_host()) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-8 * time_energy * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FftSweep,
+    ::testing::Values(std::tuple{0, 0, 1ul}, std::tuple{0, 0, 8ul},
+                      std::tuple{1, 0, 16ul}, std::tuple{1, 1, 16ul},
+                      std::tuple{2, 2, 16ul}, std::tuple{2, 2, 64ul},
+                      std::tuple{3, 2, 32ul}, std::tuple{2, 3, 128ul},
+                      std::tuple{3, 3, 64ul}, std::tuple{3, 3, 256ul}));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  const std::size_t n = 32;
+  std::vector<cplx> x(n, cplx{0, 0});
+  x[0] = {1, 0};
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(x);
+  fft(v);
+  for (const cplx& c : v.to_host()) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  const std::size_t n = 64, f = 5;
+  std::vector<cplx> x(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(f * g) /
+                       static_cast<double>(n);
+    x[g] = {std::cos(ang), std::sin(ang)};
+  }
+  DistVector<cplx> v(grid, n, Align::Linear);
+  v.load(x);
+  fft(v);
+  const std::vector<cplx> got = v.to_host();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double want = k == f ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(got[k]), want, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  Cube cube(2, CostParams::cm2());
+  Grid grid(cube, 1, 1);
+  const std::size_t n = 32;
+  const std::vector<cplx> a = random_signal(n, 54);
+  const std::vector<cplx> b = random_signal(n, 55);
+  std::vector<cplx> sum(n);
+  for (std::size_t g = 0; g < n; ++g) sum[g] = 2.0 * a[g] + b[g];
+
+  const auto run = [&](const std::vector<cplx>& x) {
+    DistVector<cplx> v(grid, n, Align::Linear);
+    v.load(x);
+    fft(v);
+    return v.to_host();
+  };
+  const std::vector<cplx> fa = run(a), fb = run(b), fsum = run(sum);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fsum[k] - (2.0 * fa[k] + fb[k])), 0.0, 1e-9);
+}
+
+TEST(Fft, NonPowerOfTwoRejected) {
+  Cube cube(2, CostParams::cm2());
+  Grid grid(cube, 1, 1);
+  DistVector<cplx> v(grid, 12, Align::Linear);
+  EXPECT_THROW(fft(v), ContractError);
+}
+
+TEST(Fft, FewerPointsThanProcessorsRejected) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistVector<cplx> v(grid, 8, Align::Linear);
+  EXPECT_THROW(fft(v), ContractError);
+}
+
+TEST(Fft, ScalesWithProcessors) {
+  const std::size_t n = 4096;
+  const std::vector<cplx> x = random_signal(n, 56);
+  const auto run = [&](int d) {
+    Cube cube(d, CostParams::cm2());
+    Grid grid = Grid::square(cube);
+    DistVector<cplx> v(grid, n, Align::Linear);
+    v.load(x);
+    cube.clock().reset();
+    fft(v);
+    return cube.clock().now_us();
+  };
+  const double t1 = run(0);
+  const double t64 = run(6);
+  EXPECT_GT(t1 / t64, 8.0);
+}
+
+}  // namespace
+}  // namespace vmp

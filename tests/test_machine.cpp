@@ -1,0 +1,231 @@
+// Unit tests: the lockstep machine engine, cost model, simulated clock,
+// thread pool and the naive packet router.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/dist_buffer.hpp"
+#include "comm/router.hpp"
+#include "hypercube/machine.hpp"
+#include "hypercube/thread_pool.hpp"
+
+namespace vmp {
+namespace {
+
+TEST(CostModel, PresetsAreSane) {
+  for (const CostParams& p :
+       {CostParams::cm2(), CostParams::ipsc(), CostParams::unit()}) {
+    EXPECT_GT(p.startup_us, 0.0) << p.name;
+    EXPECT_GT(p.per_elem_us, 0.0) << p.name;
+    EXPECT_GT(p.flop_us, 0.0) << p.name;
+    EXPECT_FALSE(p.name.empty());
+  }
+  EXPECT_EQ(CostParams::free_comm().startup_us, 0.0);
+}
+
+TEST(Cube, BasicGeometry) {
+  Cube cube(4, CostParams::unit());
+  EXPECT_EQ(cube.dim(), 4);
+  EXPECT_EQ(cube.procs(), 16u);
+  EXPECT_THROW(Cube(-1, CostParams::unit()), ContractError);
+  EXPECT_THROW(Cube(31, CostParams::unit()), ContractError);
+}
+
+TEST(Cube, ComputeChargesFlops) {
+  Cube cube(3, CostParams::unit());
+  std::atomic<int> calls{0};
+  cube.compute(10, [&](proc_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 10.0);  // unit t_a, max 10 flops
+  EXPECT_EQ(cube.clock().stats().flops_charged, 10u);
+  EXPECT_EQ(cube.clock().stats().flops_total, 80u);
+}
+
+TEST(Cube, ExchangeMovesDataAndCharges) {
+  Cube cube(3, CostParams::unit());
+  DistBuffer<int> in(cube), out(cube);
+  cube.each_proc([&](proc_t q) {
+    in.vec(q).assign(4, static_cast<int>(q));
+    out.vec(q).assign(4, -1);
+  });
+  cube.exchange<int>(
+      1, [&](proc_t q) { return std::span<const int>(in.vec(q)); },
+      [&](proc_t q, std::span<const int> data) {
+        std::copy(data.begin(), data.end(), out.vec(q).begin());
+      });
+  cube.each_proc([&](proc_t q) {
+    for (int x : out.vec(q)) EXPECT_EQ(x, static_cast<int>(q ^ 2u));
+  });
+  // One step: τ + 4·t_c = 1 + 4 under the unit model.
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 5.0);
+  EXPECT_EQ(cube.clock().stats().messages, 8u);
+  EXPECT_EQ(cube.clock().stats().elements_moved, 32u);
+}
+
+TEST(Cube, EmptySendsAreFree) {
+  Cube cube(3, CostParams::unit());
+  cube.exchange<int>(
+      0, [&](proc_t) { return std::span<const int>{}; },
+      [&](proc_t, std::span<const int>) { FAIL() << "no one sent anything"; });
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 0.0);
+  EXPECT_EQ(cube.clock().stats().comm_steps, 0u);
+}
+
+TEST(Cube, InPlaceCombineIsSafe) {
+  // recv may overwrite the very buffer send exposed (staging protects it).
+  Cube cube(2, CostParams::unit());
+  DistBuffer<int> buf(cube);
+  cube.each_proc([&](proc_t q) { buf.vec(q).assign(1, int(q) + 1); });
+  cube.exchange<int>(
+      0, [&](proc_t q) { return std::span<const int>(buf.vec(q)); },
+      [&](proc_t q, std::span<const int> data) {
+        buf.vec(q)[0] += data[0];
+      });
+  cube.each_proc([&](proc_t q) {
+    const int partner = static_cast<int>(q ^ 1u) + 1;
+    EXPECT_EQ(buf.vec(q)[0], int(q) + 1 + partner);
+  });
+}
+
+TEST(Cube, ResultsIdenticalUnderHostThreading) {
+  auto run = [](unsigned threads) {
+    Cube cube(4, CostParams::cm2(), Cube::Options{threads});
+    DistBuffer<double> buf(cube);
+    cube.each_proc([&](proc_t q) {
+      buf.vec(q).assign(16, static_cast<double>(q));
+    });
+    for (int d = 0; d < 4; ++d) {
+      cube.exchange<double>(
+          d, [&](proc_t q) { return std::span<const double>(buf.vec(q)); },
+          [&](proc_t q, std::span<const double> in) {
+            for (std::size_t t = 0; t < in.size(); ++t)
+              buf.vec(q)[t] += in[t];
+          });
+    }
+    std::vector<double> flat;
+    cube.each_proc([&](proc_t q) {
+      flat.insert(flat.end(), buf.vec(q).begin(), buf.vec(q).end());
+    });
+    return std::pair{flat, cube.clock().now_us()};
+  };
+  const auto [serial_data, serial_time] = run(1);
+  const auto [pooled_data, pooled_time] = run(4);
+  EXPECT_EQ(serial_data, pooled_data);
+  EXPECT_DOUBLE_EQ(serial_time, pooled_time)
+      << "host threads must never change simulated time";
+}
+
+TEST(ThreadPool, CoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Router, DeliversEverythingToTheRightPlace) {
+  Cube cube(4, CostParams::cm2());
+  std::vector<std::vector<Packet>> inject(cube.procs());
+  std::vector<std::vector<double>> got(cube.procs());
+  int expected = 0;
+  for (proc_t src = 0; src < cube.procs(); ++src)
+    for (proc_t dst = 0; dst < cube.procs(); ++dst) {
+      inject[src].push_back(Packet{dst, dst, double(src * 100 + dst)});
+      ++expected;
+    }
+  NaiveRouter router(cube);
+  int delivered = 0;
+  router.run(std::move(inject),
+             [&](proc_t dst, std::uint64_t tag, double value) {
+               EXPECT_EQ(tag, dst);
+               got[dst].push_back(value);
+               ++delivered;
+             });
+  EXPECT_EQ(delivered, expected);
+  for (proc_t dst = 0; dst < cube.procs(); ++dst)
+    EXPECT_EQ(got[dst].size(), cube.procs());
+}
+
+TEST(Router, ChargesPerHopNotPerMessage) {
+  Cube cube(4, CostParams::unit());
+  // One packet to the antipode: 4 hops = 4 cycles.
+  std::vector<std::vector<Packet>> inject(cube.procs());
+  inject[0].push_back(Packet{15, 0, 1.0});
+  NaiveRouter router(cube);
+  const std::uint64_t cycles = router.run(
+      std::move(inject), [&](proc_t, std::uint64_t, double) {});
+  EXPECT_EQ(cycles, 4u);
+  EXPECT_EQ(cube.clock().stats().router_hops, 4u);
+  // unit model: each cycle costs router_startup + per_elem = 2.
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 8.0);
+}
+
+TEST(Router, LocalPacketsAreFree) {
+  Cube cube(3, CostParams::unit());
+  std::vector<std::vector<Packet>> inject(cube.procs());
+  inject[5].push_back(Packet{5, 1, 2.0});
+  NaiveRouter router(cube);
+  bool seen = false;
+  router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double v) {
+    EXPECT_EQ(dst, 5u);
+    EXPECT_EQ(tag, 1u);
+    EXPECT_EQ(v, 2.0);
+    seen = true;
+  });
+  EXPECT_TRUE(seen);
+  EXPECT_DOUBLE_EQ(cube.clock().now_us(), 0.0);
+}
+
+TEST(Router, OnePortSerializesCongestion) {
+  Cube cube(2, CostParams::unit());
+  // 10 packets from the same source: at most one leaves per cycle.
+  std::vector<std::vector<Packet>> inject(cube.procs());
+  for (int t = 0; t < 10; ++t)
+    inject[0].push_back(Packet{1, std::uint64_t(t), 1.0});
+  NaiveRouter router(cube);
+  const std::uint64_t cycles =
+      router.run(std::move(inject), [](proc_t, std::uint64_t, double) {});
+  EXPECT_EQ(cycles, 10u);
+}
+
+TEST(SimClock, ResetClearsEverything) {
+  SimClock clock(CostParams::unit());
+  clock.charge_comm_step(5, 2, 10);
+  clock.charge_compute_step(7, 7);
+  clock.charge_router_cycle(3);
+  EXPECT_GT(clock.now_us(), 0.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now_us(), 0.0);
+  EXPECT_EQ(clock.stats().comm_steps, 0u);
+  EXPECT_EQ(clock.stats().flops_charged, 0u);
+  EXPECT_EQ(clock.stats().router_hops, 0u);
+}
+
+TEST(SimClock, TimerMeasuresWindows) {
+  SimClock clock(CostParams::unit());
+  clock.charge_comm_step(5, 1, 5);
+  SimTimer timer(clock);
+  clock.charge_compute_step(7, 7);
+  EXPECT_DOUBLE_EQ(timer.elapsed_us(), 7.0);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,139 @@
+// Tests: naive router-based primitives agree with the optimized ones in
+// VALUE while losing to them badly in simulated TIME — the paper's
+// order-of-magnitude claim, asserted as a property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "algorithms/matvec.hpp"
+#include "core/naive.hpp"
+#include "core/primitives.hpp"
+#include "embed/realign.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+class NaiveSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  void SetUp() override {
+    const auto [gr, gc] = GetParam();
+    cube = std::make_unique<Cube>(gr + gc, CostParams::cm2());
+    grid = std::make_unique<Grid>(*cube, gr, gc);
+  }
+  static constexpr std::size_t nr = 12, nc = 15;
+  std::unique_ptr<Cube> cube;
+  std::unique_ptr<Grid> grid;
+};
+
+TEST_P(NaiveSweep, DistributeAgreesWithOptimized) {
+  const std::vector<double> hv = random_vector(nc, 61);
+  DistVector<double> lin(*grid, nc, Align::Linear);
+  lin.load(hv);
+  const DistMatrix<double> M = naive_distribute_rows(lin, nr);
+  const std::vector<double> got = M.to_host();
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) EXPECT_EQ(got[i * nc + j], hv[j]);
+}
+
+TEST_P(NaiveSweep, ReduceAgreesWithOptimized) {
+  const std::vector<double> ha = random_matrix(nr, nc, 62);
+  DistMatrix<double> A(*grid, nr, nc);
+  A.load(ha);
+  const std::vector<double> naive = naive_reduce_cols_sum(A).to_host();
+  const std::vector<double> fast = reduce_cols(A, Plus<double>{}).to_host();
+  for (std::size_t j = 0; j < nc; ++j)
+    EXPECT_NEAR(naive[j], fast[j], 1e-12 * (1 + std::abs(fast[j])));
+}
+
+TEST_P(NaiveSweep, ExtractAndInsertAgree) {
+  const std::vector<double> ha = random_matrix(nr, nc, 63);
+  DistMatrix<double> A(*grid, nr, nc);
+  A.load(ha);
+  const std::vector<double> row = naive_extract_row(A, nr / 2).to_host();
+  for (std::size_t j = 0; j < nc; ++j)
+    EXPECT_EQ(row[j], ha[(nr / 2) * nc + j]);
+
+  const std::vector<double> hv = random_vector(nc, 64);
+  DistVector<double> lin(*grid, nc, Align::Linear);
+  lin.load(hv);
+  naive_insert_row(A, 1, lin);
+  EXPECT_EQ(extract_row(A, 1).to_host(), hv);
+}
+
+TEST_P(NaiveSweep, MatvecAgreesWithPrimitiveComposition) {
+  const auto [gr, gc] = GetParam();
+  const std::vector<double> ha = random_matrix(nr, nc, 65);
+  const std::vector<double> hx = random_vector(nc, 66);
+  DistMatrix<double> A(*grid, nr, nc);
+  A.load(ha);
+  DistVector<double> xl(*grid, nc, Align::Linear);
+  xl.load(hx);
+  const std::vector<double> naive = naive_matvec(A, xl).to_host();
+
+  DistVector<double> xc(*grid, nc, Align::Cols);
+  xc.load(hx);
+  const std::vector<double> fast = matvec(A, xc).to_host();
+  for (std::size_t i = 0; i < nr; ++i)
+    EXPECT_NEAR(naive[i], fast[i], 1e-12 * (1 + std::abs(fast[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, NaiveSweep,
+                         ::testing::Values(std::tuple{0, 0}, std::tuple{1, 1},
+                                           std::tuple{2, 2}, std::tuple{1, 2},
+                                           std::tuple{3, 2}));
+
+TEST(NaiveVsOptimized, OrderOfMagnitudeSpeedupOnMatvec) {
+  // The paper: optimized primitives improved application running time by
+  // almost an order of magnitude over the naive implementation.  With
+  // CM-2-like constants and a reasonably sized problem the gap must be
+  // at least ~8x (it grows with size).
+  Cube cube(6, CostParams::cm2());
+  Grid grid(cube, 3, 3);
+  const std::size_t n = 64;
+  const std::vector<double> ha = random_matrix(n, n, 71);
+  const std::vector<double> hx = random_vector(n, 72);
+  DistMatrix<double> A(grid, n, n);
+  A.load(ha);
+
+  DistVector<double> xl(grid, n, Align::Linear);
+  xl.load(hx);
+  cube.clock().reset();
+  (void)naive_matvec(A, xl);
+  const double t_naive = cube.clock().now_us();
+
+  DistVector<double> xc(grid, n, Align::Cols);
+  xc.load(hx);
+  cube.clock().reset();
+  (void)matvec(A, xc);
+  const double t_fast = cube.clock().now_us();
+
+  EXPECT_GT(t_naive / t_fast, 8.0)
+      << "naive=" << t_naive << "us fast=" << t_fast << "us";
+}
+
+TEST(NaiveVsOptimized, GapIncludesEmbeddingChangeCost) {
+  // Even paying a realignment Linear→Cols first, the optimized path wins.
+  Cube cube(6, CostParams::cm2());
+  Grid grid(cube, 3, 3);
+  const std::size_t n = 64;
+  DistMatrix<double> A(grid, n, n);
+  A.load(random_matrix(n, n, 73));
+  DistVector<double> xl(grid, n, Align::Linear);
+  xl.load(random_vector(n, 74));
+
+  cube.clock().reset();
+  (void)naive_matvec(A, xl);
+  const double t_naive = cube.clock().now_us();
+
+  cube.clock().reset();
+  const DistVector<double> xc = realign(xl, Align::Cols);
+  (void)matvec(A, xc);
+  const double t_fast = cube.clock().now_us();
+
+  EXPECT_GT(t_naive / t_fast, 5.0);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,201 @@
+// Unit tests for the serial reference implementations themselves (the
+// oracles the distributed algorithms are judged against) plus the factor
+// reconstruction property P·A = L·U for both serial and distributed LU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/gauss.hpp"
+#include "algorithms/serial/lu.hpp"
+#include "algorithms/serial/simplex.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+// Reconstruct L·U from an in-place factorization and compare with the
+// row-permuted original.
+void check_reconstruction(const std::vector<double>& original,
+                          const std::vector<double>& lu,
+                          const std::vector<std::size_t>& perm,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double l = (k == i) ? 1.0 : lu[i * n + k];
+        const double u = lu[k * n + j];
+        if (k < i && k <= j) s += l * u;
+        if (k == i && k <= j) s += u;  // unit diagonal of L
+      }
+      const double want = original[perm[i] * n + j];
+      EXPECT_NEAR(s, want, 1e-9 * (1 + std::abs(want)))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+class LuReconstruction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuReconstruction, SerialPaEqualsLu) {
+  const std::size_t n = GetParam();
+  HostMatrix H = diag_dominant_matrix(n, 201);
+  const std::vector<double> original = H.data();
+  const serial::LuResult lu = serial::lu_factor(H);
+  ASSERT_FALSE(lu.singular);
+  check_reconstruction(original, H.data(), lu.perm, n);
+}
+
+TEST_P(LuReconstruction, DistributedPaEqualsLu) {
+  const std::size_t n = GetParam();
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  const HostMatrix H = diag_dominant_matrix(n, 202);
+  DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+  A.load(H.data());
+  const DistLuResult lu = lu_factor(A);
+  ASSERT_FALSE(lu.singular);
+  check_reconstruction(H.data(), A.to_host(), lu.perm, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuReconstruction,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 24));
+
+TEST(SerialLu, PermIsAPermutation) {
+  HostMatrix H = diag_dominant_matrix(20, 203);
+  const serial::LuResult lu = serial::lu_factor(H);
+  std::vector<bool> seen(20, false);
+  for (std::size_t p : lu.perm) {
+    ASSERT_LT(p, 20u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(SerialLu, IdentityFactorsTrivially) {
+  const std::size_t n = 6;
+  HostMatrix H(n, n);
+  for (std::size_t i = 0; i < n; ++i) H(i, i) = 1.0;
+  const serial::LuResult lu = serial::lu_factor(H);
+  ASSERT_FALSE(lu.singular);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(lu.perm[i], i);
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_EQ(H(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(SerialLu, SolveRecoversKnownSolution) {
+  const std::size_t n = 15;
+  HostMatrix H = diag_dominant_matrix(n, 204);
+  const std::vector<double> xstar = random_vector(n, 205);
+  const std::vector<double> b = host_matvec(H, xstar);
+  HostMatrix Hc = H;
+  const std::vector<double> x = serial::gauss_solve(Hc, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xstar[i], 1e-9);
+}
+
+TEST(SerialLu, FlopCountMatchesCubicFormula) {
+  for (std::size_t n : {8ul, 16ul, 32ul}) {
+    HostMatrix H = diag_dominant_matrix(n, 206);
+    const serial::LuResult lu = serial::lu_factor(H);
+    // Exactly sum_{k} (n-k-1)(1 + 2(n-k-1)) = 2n³/3 + O(n²).
+    const double expect = 2.0 * std::pow(double(n), 3) / 3.0;
+    EXPECT_NEAR(static_cast<double>(lu.flops), expect, 0.5 * expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial simplex edge cases (the distributed solver inherits these paths
+// through the shared tableau; its agreement is tested in test_simplex).
+// ---------------------------------------------------------------------------
+
+TEST(SerialSimplexEdge, NoConstraintsUnboundedWhenProfitable) {
+  LpProblem lp;
+  lp.nvars = 2;
+  lp.ncons = 0;
+  lp.c = {1.0, 0.0};
+  EXPECT_EQ(serial::simplex_solve(lp).status, LpStatus::Unbounded);
+}
+
+TEST(SerialSimplexEdge, NoConstraintsOptimalAtZeroWhenUnprofitable) {
+  LpProblem lp;
+  lp.nvars = 2;
+  lp.ncons = 0;
+  lp.c = {-1.0, -2.0};
+  const LpSolution s = serial::simplex_solve(lp);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_EQ(s.objective, 0.0);
+  EXPECT_EQ(s.x, std::vector<double>({0.0, 0.0}));
+}
+
+TEST(SerialSimplexEdge, ZeroObjectiveIsImmediatelyOptimal) {
+  LpProblem lp;
+  lp.nvars = 3;
+  lp.ncons = 2;
+  lp.c = {0, 0, 0};
+  lp.A = {1, 1, 1, 2, 0, 1};
+  lp.b = {5, 4};
+  const LpSolution s = serial::simplex_solve(lp);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_EQ(s.iterations, 0u);
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(SerialSimplexEdge, RedundantConstraintsAreHarmless) {
+  LpProblem lp;
+  lp.nvars = 2;
+  lp.ncons = 4;
+  lp.c = {3, 5};
+  lp.A = {1, 0, 1, 0, 0, 2, 3, 2};  // x ≤ 4 twice
+  lp.b = {4, 4, 12, 18};
+  const LpSolution s = serial::simplex_solve(lp);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+}
+
+TEST(SerialSimplexEdge, DegenerateLpTerminatesUnderBland) {
+  // A classic degenerate construction (Beale-like): Dantzig may stall on
+  // ties; Bland's rule must terminate.
+  LpProblem lp;
+  lp.nvars = 4;
+  lp.ncons = 3;
+  lp.c = {0.75, -150, 0.02, -6};
+  lp.A = {0.25, -60, -0.04, 9,  //
+          0.5,  -90, -0.02, 3,  //
+          0.0,  0,   1,     0};
+  lp.b = {0, 0, 1};
+  SimplexOptions opts;
+  opts.rule = PivotRule::Bland;
+  const LpSolution s = serial::simplex_solve(lp, opts);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 0.05, 1e-9);  // known optimum of Beale's example
+}
+
+TEST(SerialSimplexEdge, EqualityLikePairOfInequalities) {
+  // x + y ≤ 2 and -(x + y) ≤ -2 pin x + y = 2 (Phase I required).
+  LpProblem lp;
+  lp.nvars = 2;
+  lp.ncons = 2;
+  lp.c = {1, 0};
+  lp.A = {1, 1, -1, -1};
+  lp.b = {2, -2};
+  const LpSolution s = serial::simplex_solve(lp);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);  // max x with x + y = 2, y ≥ 0
+  EXPECT_GT(s.phase1_iterations, 0u);
+}
+
+TEST(SerialSimplexEdge, ValidationRejectsBadShapes) {
+  LpProblem lp;
+  lp.nvars = 2;
+  lp.ncons = 1;
+  lp.c = {1};  // wrong length
+  lp.A = {1, 1};
+  lp.b = {1};
+  EXPECT_THROW((void)serial::simplex_solve(lp), ContractError);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,110 @@
+// Tests for the synthetic workload generators: determinism, and the
+// structural guarantees the experiments rely on (nonsingularity,
+// feasibility, positive definiteness, Klee-Minty's known optimum).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/serial/lu.hpp"
+#include "algorithms/serial/simplex.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+TEST(Workloads, DeterministicInSeed) {
+  EXPECT_EQ(random_matrix(10, 7, 42), random_matrix(10, 7, 42));
+  EXPECT_NE(random_matrix(10, 7, 42), random_matrix(10, 7, 43));
+  EXPECT_EQ(random_vector(64, 1), random_vector(64, 1));
+}
+
+TEST(Workloads, RandomValuesInRange) {
+  for (double x : random_matrix(20, 20, 7)) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Workloads, DiagDominantIsNonsingular) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    HostMatrix H = diag_dominant_matrix(24, seed);
+    // Strict dominance check.
+    for (std::size_t i = 0; i < 24; ++i) {
+      double off = 0.0;
+      for (std::size_t j = 0; j < 24; ++j)
+        if (j != i) off += std::abs(H(i, j));
+      EXPECT_GT(std::abs(H(i, i)), off);
+    }
+    EXPECT_FALSE(serial::lu_factor(H).singular);
+  }
+}
+
+TEST(Workloads, SpdMatrixIsSymmetricPositiveDefinite) {
+  const std::size_t n = 16;
+  const HostMatrix A = spd_matrix(n, 5);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(A(i, j), A(j, i));
+  // Cholesky-by-hand succeeds iff SPD.
+  HostMatrix L(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = A(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= L(j, k) * L(j, k);
+    ASSERT_GT(d, 0.0) << "not positive definite at " << j;
+    L(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = A(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= L(i, k) * L(j, k);
+      L(i, j) = s / L(j, j);
+    }
+  }
+}
+
+TEST(Workloads, FeasibleLpHasItsInteriorPoint) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const LpProblem lp = random_feasible_lp(10, 8, seed);
+    lp.validate();
+    for (double bi : lp.b) EXPECT_GT(bi, 0.0) << "no Phase I needed";
+    const LpSolution s = serial::simplex_solve(lp);
+    EXPECT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_GT(s.objective, 0.0);
+  }
+}
+
+TEST(Workloads, Phase1LpIsFeasibleWithNegativeRhs) {
+  const LpProblem lp = random_phase1_lp(6, 4, 31);
+  lp.validate();
+  bool has_negative = false;
+  for (double bi : lp.b) has_negative |= bi < 0;
+  EXPECT_TRUE(has_negative);
+  EXPECT_EQ(serial::simplex_solve(lp).status, LpStatus::Optimal);
+}
+
+TEST(Workloads, KleeMintyOptimumIsFiveToTheD) {
+  for (std::size_t d = 1; d <= 7; ++d) {
+    const LpProblem lp = klee_minty(d);
+    const LpSolution s = serial::simplex_solve(lp);
+    ASSERT_EQ(s.status, LpStatus::Optimal) << d;
+    const double want = std::pow(5.0, double(d));
+    EXPECT_NEAR(s.objective, want, 1e-9 * want);
+    // The Dantzig walk visits 2^d - 1 vertices.
+    EXPECT_EQ(s.iterations, (1ull << d) - 1) << d;
+  }
+}
+
+TEST(Rng, SplitMixBasics) {
+  SplitMix64 a(1), b(1), c(2);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(SplitMix64(1).next(), c.next());
+  for (int i = 0; i < 1000; ++i) {
+    const double u = a.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double r = a.uniform(-2.0, 3.0);
+    EXPECT_GE(r, -2.0);
+    EXPECT_LT(r, 3.0);
+    EXPECT_LT(a.below(10), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace vmp
