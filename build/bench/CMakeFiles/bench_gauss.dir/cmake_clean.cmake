@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gauss.dir/bench_gauss.cpp.o"
+  "CMakeFiles/bench_gauss.dir/bench_gauss.cpp.o.d"
+  "bench_gauss"
+  "bench_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

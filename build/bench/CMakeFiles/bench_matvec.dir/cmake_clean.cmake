@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matvec.dir/bench_matvec.cpp.o"
+  "CMakeFiles/bench_matvec.dir/bench_matvec.cpp.o.d"
+  "bench_matvec"
+  "bench_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_vs_primitive.dir/bench_naive_vs_primitive.cpp.o"
+  "CMakeFiles/bench_naive_vs_primitive.dir/bench_naive_vs_primitive.cpp.o.d"
+  "bench_naive_vs_primitive"
+  "bench_naive_vs_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_vs_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_naive_vs_primitive.
+# This may be replaced when dependencies are built.

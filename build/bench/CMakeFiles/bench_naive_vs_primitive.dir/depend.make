@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_naive_vs_primitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplex.dir/bench_simplex.cpp.o"
+  "CMakeFiles/bench_simplex.dir/bench_simplex.cpp.o.d"
+  "bench_simplex"
+  "bench_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

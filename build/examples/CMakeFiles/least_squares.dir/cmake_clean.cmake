@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_squares.dir/least_squares.cpp.o"
+  "CMakeFiles/least_squares.dir/least_squares.cpp.o.d"
+  "least_squares"
+  "least_squares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_squares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for least_squares.
+# This may be replaced when dependencies are built.

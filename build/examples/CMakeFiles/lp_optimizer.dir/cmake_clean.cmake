@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_optimizer.dir/lp_optimizer.cpp.o"
+  "CMakeFiles/lp_optimizer.dir/lp_optimizer.cpp.o.d"
+  "lp_optimizer"
+  "lp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

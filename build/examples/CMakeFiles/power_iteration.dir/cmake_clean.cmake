@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_iteration.dir/power_iteration.cpp.o"
+  "CMakeFiles/power_iteration.dir/power_iteration.cpp.o.d"
+  "power_iteration"
+  "power_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

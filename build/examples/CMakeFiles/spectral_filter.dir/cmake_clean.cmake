@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_filter.dir/spectral_filter.cpp.o"
+  "CMakeFiles/spectral_filter.dir/spectral_filter.cpp.o.d"
+  "spectral_filter"
+  "spectral_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

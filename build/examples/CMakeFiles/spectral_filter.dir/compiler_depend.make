@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spectral_filter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_linear_solver "/root/repo/build/examples/linear_solver" "48" "4")
+set_tests_properties(example_linear_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lp_optimizer "/root/repo/build/examples/lp_optimizer" "16" "12" "4")
+set_tests_properties(example_lp_optimizer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_iteration "/root/repo/build/examples/power_iteration" "48" "4")
+set_tests_properties(example_power_iteration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_least_squares "/root/repo/build/examples/least_squares" "48" "16" "4")
+set_tests_properties(example_least_squares PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_equation "/root/repo/build/examples/heat_equation" "48" "4")
+set_tests_properties(example_heat_equation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectral_filter "/root/repo/build/examples/spectral_filter" "8" "4")
+set_tests_properties(example_spectral_filter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;vmprim_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/cg.cpp" "src/CMakeFiles/vmprim.dir/algorithms/cg.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/cg.cpp.o.d"
+  "/root/repo/src/algorithms/fft.cpp" "src/CMakeFiles/vmprim.dir/algorithms/fft.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/fft.cpp.o.d"
+  "/root/repo/src/algorithms/gauss.cpp" "src/CMakeFiles/vmprim.dir/algorithms/gauss.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/gauss.cpp.o.d"
+  "/root/repo/src/algorithms/invert.cpp" "src/CMakeFiles/vmprim.dir/algorithms/invert.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/invert.cpp.o.d"
+  "/root/repo/src/algorithms/matmul.cpp" "src/CMakeFiles/vmprim.dir/algorithms/matmul.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/matmul.cpp.o.d"
+  "/root/repo/src/algorithms/matvec.cpp" "src/CMakeFiles/vmprim.dir/algorithms/matvec.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/matvec.cpp.o.d"
+  "/root/repo/src/algorithms/serial/lu.cpp" "src/CMakeFiles/vmprim.dir/algorithms/serial/lu.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/serial/lu.cpp.o.d"
+  "/root/repo/src/algorithms/serial/simplex.cpp" "src/CMakeFiles/vmprim.dir/algorithms/serial/simplex.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/serial/simplex.cpp.o.d"
+  "/root/repo/src/algorithms/simplex.cpp" "src/CMakeFiles/vmprim.dir/algorithms/simplex.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/simplex.cpp.o.d"
+  "/root/repo/src/algorithms/tridiag.cpp" "src/CMakeFiles/vmprim.dir/algorithms/tridiag.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/algorithms/tridiag.cpp.o.d"
+  "/root/repo/src/comm/router.cpp" "src/CMakeFiles/vmprim.dir/comm/router.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/comm/router.cpp.o.d"
+  "/root/repo/src/hypercube/cost_model.cpp" "src/CMakeFiles/vmprim.dir/hypercube/cost_model.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/hypercube/cost_model.cpp.o.d"
+  "/root/repo/src/hypercube/machine.cpp" "src/CMakeFiles/vmprim.dir/hypercube/machine.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/hypercube/machine.cpp.o.d"
+  "/root/repo/src/hypercube/sim_clock.cpp" "src/CMakeFiles/vmprim.dir/hypercube/sim_clock.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/hypercube/sim_clock.cpp.o.d"
+  "/root/repo/src/hypercube/thread_pool.cpp" "src/CMakeFiles/vmprim.dir/hypercube/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vmprim.dir/hypercube/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

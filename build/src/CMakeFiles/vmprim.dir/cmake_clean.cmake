@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmprim.dir/algorithms/cg.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/cg.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/fft.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/fft.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/gauss.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/gauss.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/invert.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/invert.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/matmul.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/matmul.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/matvec.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/matvec.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/serial/lu.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/serial/lu.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/serial/simplex.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/serial/simplex.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/simplex.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/simplex.cpp.o.d"
+  "CMakeFiles/vmprim.dir/algorithms/tridiag.cpp.o"
+  "CMakeFiles/vmprim.dir/algorithms/tridiag.cpp.o.d"
+  "CMakeFiles/vmprim.dir/comm/router.cpp.o"
+  "CMakeFiles/vmprim.dir/comm/router.cpp.o.d"
+  "CMakeFiles/vmprim.dir/hypercube/cost_model.cpp.o"
+  "CMakeFiles/vmprim.dir/hypercube/cost_model.cpp.o.d"
+  "CMakeFiles/vmprim.dir/hypercube/machine.cpp.o"
+  "CMakeFiles/vmprim.dir/hypercube/machine.cpp.o.d"
+  "CMakeFiles/vmprim.dir/hypercube/sim_clock.cpp.o"
+  "CMakeFiles/vmprim.dir/hypercube/sim_clock.cpp.o.d"
+  "CMakeFiles/vmprim.dir/hypercube/thread_pool.cpp.o"
+  "CMakeFiles/vmprim.dir/hypercube/thread_pool.cpp.o.d"
+  "libvmprim.a"
+  "libvmprim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmprim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

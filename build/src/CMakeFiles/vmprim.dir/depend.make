@@ -1,0 +1,2 @@
+# Empty dependencies file for vmprim.
+# This may be replaced when dependencies are built.

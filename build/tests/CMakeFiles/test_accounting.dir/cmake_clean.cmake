@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accounting.dir/test_accounting.cpp.o"
+  "CMakeFiles/test_accounting.dir/test_accounting.cpp.o.d"
+  "test_accounting"
+  "test_accounting.pdb"
+  "test_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra_props.dir/test_algebra_props.cpp.o"
+  "CMakeFiles/test_algebra_props.dir/test_algebra_props.cpp.o.d"
+  "test_algebra_props"
+  "test_algebra_props.pdb"
+  "test_algebra_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

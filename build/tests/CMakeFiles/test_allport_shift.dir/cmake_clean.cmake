@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allport_shift.dir/test_allport_shift.cpp.o"
+  "CMakeFiles/test_allport_shift.dir/test_allport_shift.cpp.o.d"
+  "test_allport_shift"
+  "test_allport_shift.pdb"
+  "test_allport_shift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allport_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contracts.dir/test_contracts.cpp.o"
+  "CMakeFiles/test_contracts.dir/test_contracts.cpp.o.d"
+  "test_contracts"
+  "test_contracts.pdb"
+  "test_contracts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed.dir/test_embed.cpp.o"
+  "CMakeFiles/test_embed.dir/test_embed.cpp.o.d"
+  "test_embed"
+  "test_embed.pdb"
+  "test_embed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

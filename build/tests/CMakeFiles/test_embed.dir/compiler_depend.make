@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_embed.
+# This may be replaced when dependencies are built.

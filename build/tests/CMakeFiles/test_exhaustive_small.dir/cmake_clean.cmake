@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_small.dir/test_exhaustive_small.cpp.o"
+  "CMakeFiles/test_exhaustive_small.dir/test_exhaustive_small.cpp.o.d"
+  "test_exhaustive_small"
+  "test_exhaustive_small.pdb"
+  "test_exhaustive_small[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft.dir/test_fft.cpp.o"
+  "CMakeFiles/test_fft.dir/test_fft.cpp.o.d"
+  "test_fft"
+  "test_fft.pdb"
+  "test_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

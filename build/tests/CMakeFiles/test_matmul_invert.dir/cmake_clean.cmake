@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matmul_invert.dir/test_matmul_invert.cpp.o"
+  "CMakeFiles/test_matmul_invert.dir/test_matmul_invert.cpp.o.d"
+  "test_matmul_invert"
+  "test_matmul_invert.pdb"
+  "test_matmul_invert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matmul_invert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_matmul_invert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matvec.dir/test_matvec.cpp.o"
+  "CMakeFiles/test_matvec.dir/test_matvec.cpp.o.d"
+  "test_matvec"
+  "test_matvec.pdb"
+  "test_matvec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

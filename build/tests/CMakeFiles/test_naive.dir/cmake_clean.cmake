@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naive.dir/test_naive.cpp.o"
+  "CMakeFiles/test_naive.dir/test_naive.cpp.o.d"
+  "test_naive"
+  "test_naive.pdb"
+  "test_naive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permute_tridiag.dir/test_permute_tridiag.cpp.o"
+  "CMakeFiles/test_permute_tridiag.dir/test_permute_tridiag.cpp.o.d"
+  "test_permute_tridiag"
+  "test_permute_tridiag.pdb"
+  "test_permute_tridiag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permute_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

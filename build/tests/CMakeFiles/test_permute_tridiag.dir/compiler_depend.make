@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_permute_tridiag.
+# This may be replaced when dependencies are built.

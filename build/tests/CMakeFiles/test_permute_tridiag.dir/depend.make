@@ -1,0 +1,2 @@
+# Empty dependencies file for test_permute_tridiag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primitives.dir/test_primitives.cpp.o"
+  "CMakeFiles/test_primitives.dir/test_primitives.cpp.o.d"
+  "test_primitives"
+  "test_primitives.pdb"
+  "test_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_ops.dir/test_scan_ops.cpp.o"
+  "CMakeFiles/test_scan_ops.dir/test_scan_ops.cpp.o.d"
+  "test_scan_ops"
+  "test_scan_ops.pdb"
+  "test_scan_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

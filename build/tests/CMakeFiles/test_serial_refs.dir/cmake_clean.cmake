@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial_refs.dir/test_serial_refs.cpp.o"
+  "CMakeFiles/test_serial_refs.dir/test_serial_refs.cpp.o.d"
+  "test_serial_refs"
+  "test_serial_refs.pdb"
+  "test_serial_refs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

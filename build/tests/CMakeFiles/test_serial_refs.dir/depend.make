@@ -1,0 +1,2 @@
+# Empty dependencies file for test_serial_refs.
+# This may be replaced when dependencies are built.

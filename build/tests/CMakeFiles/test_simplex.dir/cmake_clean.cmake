@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simplex.dir/test_simplex.cpp.o"
+  "CMakeFiles/test_simplex.dir/test_simplex.cpp.o.d"
+  "test_simplex"
+  "test_simplex.pdb"
+  "test_simplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

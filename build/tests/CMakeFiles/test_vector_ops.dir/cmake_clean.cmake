@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_ops.dir/test_vector_ops.cpp.o"
+  "CMakeFiles/test_vector_ops.dir/test_vector_ops.cpp.o.d"
+  "test_vector_ops"
+  "test_vector_ops.pdb"
+  "test_vector_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

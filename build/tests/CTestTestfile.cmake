@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/test_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_vector_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_matvec[1]_include.cmake")
+include("/root/repo/build/tests/test_gauss[1]_include.cmake")
+include("/root/repo/build/tests/test_simplex[1]_include.cmake")
+include("/root/repo/build/tests/test_naive[1]_include.cmake")
+include("/root/repo/build/tests/test_allport_shift[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_serial_refs[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_scan_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_matmul_invert[1]_include.cmake")
+include("/root/repo/build/tests/test_permute_tridiag[1]_include.cmake")
+include("/root/repo/build/tests/test_exhaustive_small[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_sort_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra_props[1]_include.cmake")
