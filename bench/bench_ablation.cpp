@@ -4,165 +4,159 @@
 //   * embedding-change (realign) costs between the three alignments
 //   * combining dimension-order routing vs the naive per-packet router
 //   * cyclic vs blocked embedding for the shrinking-window update
-#include <benchmark/benchmark.h>
-
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
 
 using namespace vmp;
 
-void BM_BroadcastAlgorithms(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
-  double t_bin = 0, t_sag = 0;
-  for (auto _ : state) {
-    DistBuffer<double> buf(cube);
-    buf.vec(0) = random_vector(n, 71);
-    cube.clock().reset();
-    broadcast(cube, buf, sc, 0);
-    t_bin = cube.clock().now_us();
+}  // namespace
 
-    DistBuffer<double> buf2(cube);
-    buf2.vec(0) = random_vector(n, 71);
-    cube.clock().reset();
-    broadcast_sag(cube, buf2, sc, 0, [n](proc_t) { return n; });
-    t_sag = cube.clock().now_us();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_ablation", argc, argv);
+
+  for (int d : h.dims({4, 8}, {4}))
+    for (std::size_t n : h.sizes({1, 8, 64, 512, 4096, 32768}, {8, 512})) {
+      const auto nn = static_cast<std::int64_t>(n);
+      h.run("broadcast_algorithms", {{"dim", d}, {"n", nn}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+              DistBuffer<double> buf(cube);
+              buf.vec(0) = random_vector(n, 71);
+              cube.clock().reset();
+              broadcast(cube, buf, sc, 0);
+              const double t_bin = cube.clock().now_us();
+              c.profile("binomial", cube.clock());
+
+              DistBuffer<double> buf2(cube);
+              buf2.vec(0) = random_vector(n, 71);
+              cube.clock().reset();
+              broadcast_sag(cube, buf2, sc, 0, [n](proc_t) { return n; });
+              const double t_sag = cube.clock().now_us();
+              c.profile("sag", cube.clock());
+
+              c.counter("sim_binomial_us", t_bin);
+              c.counter("sim_sag_us", t_sag);
+              c.counter("sag_gain", t_bin / t_sag);
+            });
+      h.run("allreduce_algorithms", {{"dim", d}, {"n", nn}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+              DistBuffer<double> buf(cube);
+              cube.each_proc(
+                  [&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+              cube.clock().reset();
+              allreduce(cube, buf, sc, Plus<double>{});
+              const double t_rd = cube.clock().now_us();
+              c.profile("doubling", cube.clock());
+
+              DistBuffer<double> buf2(cube);
+              cube.each_proc(
+                  [&](proc_t q) { buf2.vec(q) = random_vector(n, q); });
+              cube.clock().reset();
+              allreduce_rsag(cube, buf2, sc, Plus<double>{});
+              const double t_rsag = cube.clock().now_us();
+              c.profile("rsag", cube.clock());
+
+              c.counter("sim_doubling_us", t_rd);
+              c.counter("sim_rsag_us", t_rsag);
+              c.counter("rsag_gain", t_rd / t_rsag);
+            });
+    }
+
+  for (std::size_t n : h.sizes({256, 4096}, {256})) {
+    h.run("realign_costs", {{"n", static_cast<std::int64_t>(n)}},
+          [&](bench::Case& c) {
+            Cube cube(6, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            DistVector<double> lin(grid, n, Align::Linear);
+            lin.load(random_vector(n, 72));
+
+            cube.clock().reset();
+            const DistVector<double> cols = realign(lin, Align::Cols);
+            const double t_to_cols = cube.clock().now_us();
+            cube.clock().reset();
+            (void)realign(cols, Align::Rows);
+            const double t_cols_rows = cube.clock().now_us();
+            cube.clock().reset();
+            (void)realign(cols, Align::Cols);
+            const double t_noop = cube.clock().now_us();
+
+            c.counter("linear_to_cols_us", t_to_cols);
+            c.counter("cols_to_rows_us", t_cols_rows);
+            c.counter("same_embedding_us", t_noop);
+          });
   }
-  state.counters["sim_binomial_us"] = t_bin;
-  state.counters["sim_sag_us"] = t_sag;
-  state.counters["sag_gain"] = t_bin / t_sag;
-}
 
-void BM_AllreduceAlgorithms(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
-  double t_rd = 0, t_rsag = 0;
-  for (auto _ : state) {
-    DistBuffer<double> buf(cube);
-    cube.each_proc([&](proc_t q) { buf.vec(q) = random_vector(n, q); });
-    cube.clock().reset();
-    allreduce(cube, buf, sc, Plus<double>{});
-    t_rd = cube.clock().now_us();
-
-    DistBuffer<double> buf2(cube);
-    cube.each_proc([&](proc_t q) { buf2.vec(q) = random_vector(n, q); });
-    cube.clock().reset();
-    allreduce_rsag(cube, buf2, sc, Plus<double>{});
-    t_rsag = cube.clock().now_us();
-  }
-  state.counters["sim_doubling_us"] = t_rd;
-  state.counters["sim_rsag_us"] = t_rsag;
-  state.counters["rsag_gain"] = t_rd / t_rsag;
-}
-
-void BM_RealignCosts(benchmark::State& state) {
-  const int d = 6;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  DistVector<double> lin(grid, n, Align::Linear);
-  lin.load(random_vector(n, 72));
-
-  double t_to_cols = 0, t_cols_rows = 0, t_noop = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    const DistVector<double> c = realign(lin, Align::Cols);
-    t_to_cols = cube.clock().now_us();
-    cube.clock().reset();
-    benchmark::DoNotOptimize(realign(c, Align::Rows));
-    t_cols_rows = cube.clock().now_us();
-    cube.clock().reset();
-    benchmark::DoNotOptimize(realign(c, Align::Cols));
-    t_noop = cube.clock().now_us();
-  }
-  state.counters["linear_to_cols_us"] = t_to_cols;
-  state.counters["cols_to_rows_us"] = t_cols_rows;
-  state.counters["same_embedding_us"] = t_noop;
-}
-
-void BM_RoutingCombiningVsNaive(benchmark::State& state) {
   // A random permutation of n elements across the cube, routed once with
   // message combining (lg p rounds) and once through the per-packet
   // router — the low-level version of the E2 story.
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t per_proc = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  const SubcubeSet whole = SubcubeSet::contiguous(0, d);
-  SplitMix64 rng(73);
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t per_proc : h.sizes({4, 32}, {4})) {
+      h.run("routing_combining_vs_naive",
+            {{"dim", d}, {"per_proc", static_cast<std::int64_t>(per_proc)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet whole = SubcubeSet::contiguous(0, d);
+              SplitMix64 rng(73);
+              DistBuffer<RouteItem<double>> items(cube);
+              std::vector<std::vector<Packet>> packets(cube.procs());
+              cube.each_proc([&](proc_t q) {
+                for (std::size_t t = 0; t < per_proc; ++t) {
+                  const proc_t dst =
+                      static_cast<proc_t>(rng.below(cube.procs()));
+                  items.vec(q).push_back(RouteItem<double>{dst, t, 1.0});
+                  packets[q].push_back(Packet{dst, t, 1.0});
+                }
+              });
+              cube.clock().reset();
+              route_within(cube, items, whole);
+              const double t_comb = cube.clock().now_us();
+              c.profile("combining", cube.clock());
 
-  double t_comb = 0, t_naive = 0;
-  for (auto _ : state) {
-    DistBuffer<RouteItem<double>> items(cube);
-    std::vector<std::vector<Packet>> packets(cube.procs());
-    cube.each_proc([&](proc_t q) {
-      for (std::size_t t = 0; t < per_proc; ++t) {
-        const proc_t dst =
-            static_cast<proc_t>(rng.below(cube.procs()));
-        items.vec(q).push_back(RouteItem<double>{dst, t, 1.0});
-        packets[q].push_back(Packet{dst, t, 1.0});
-      }
-    });
-    cube.clock().reset();
-    route_within(cube, items, whole);
-    t_comb = cube.clock().now_us();
+              cube.clock().reset();
+              NaiveRouter router(cube);
+              router.run(std::move(packets),
+                         [](proc_t, std::uint64_t, double) {});
+              const double t_naive = cube.clock().now_us();
+              c.profile("naive", cube.clock());
 
-    cube.clock().reset();
-    NaiveRouter router(cube);
-    router.run(std::move(packets), [](proc_t, std::uint64_t, double) {});
-    t_naive = cube.clock().now_us();
-  }
-  state.counters["sim_combining_us"] = t_comb;
-  state.counters["sim_naive_router_us"] = t_naive;
-  state.counters["combining_gain"] = t_naive / t_comb;
-}
+              c.counter("sim_combining_us", t_comb);
+              c.counter("sim_naive_router_us", t_naive);
+              c.counter("combining_gain", t_naive / t_comb);
+            });
+    }
 
-void BM_LayoutForShrinkingWindow(benchmark::State& state) {
   // The sum over k of the ranged rank-1 update cost — the load-balance
   // core of Gaussian elimination — under cyclic vs blocked embeddings.
-  const int d = 6;
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-
-  double t_cyc = 0, t_blk = 0;
-  for (auto _ : state) {
-    for (int which = 0; which < 2; ++which) {
-      const MatrixLayout layout =
-          which == 0 ? MatrixLayout::cyclic() : MatrixLayout::blocked();
-      DistMatrix<double> A(grid, n, n, layout);
-      A.load(random_matrix(n, n, 74));
-      DistVector<double> c(grid, n, Align::Rows, layout.rows);
-      DistVector<double> r(grid, n, Align::Cols, layout.cols);
-      c.load(random_vector(n, 75));
-      r.load(random_vector(n, 76));
-      cube.clock().reset();
-      for (std::size_t k = 0; k < n; k += 8)
-        rank1_update_range(A, -1.0, c, r, k + 1, k + 1);
-      (which == 0 ? t_cyc : t_blk) = cube.clock().now_us();
-    }
+  for (std::size_t n : h.sizes({128, 512}, {128})) {
+    h.run("layout_for_shrinking_window", {{"n", static_cast<std::int64_t>(n)}},
+          [&](bench::Case& c) {
+            Cube cube(6, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            double t_cyc = 0, t_blk = 0;
+            for (int which = 0; which < 2; ++which) {
+              const MatrixLayout layout = which == 0
+                                              ? MatrixLayout::cyclic()
+                                              : MatrixLayout::blocked();
+              DistMatrix<double> A(grid, n, n, layout);
+              A.load(random_matrix(n, n, 74));
+              DistVector<double> col(grid, n, Align::Rows, layout.rows);
+              DistVector<double> row(grid, n, Align::Cols, layout.cols);
+              col.load(random_vector(n, 75));
+              row.load(random_vector(n, 76));
+              cube.clock().reset();
+              for (std::size_t k = 0; k < n; k += 8)
+                rank1_update_range(A, -1.0, col, row, k + 1, k + 1);
+              (which == 0 ? t_cyc : t_blk) = cube.clock().now_us();
+            }
+            c.counter("sim_cyclic_us", t_cyc);
+            c.counter("sim_blocked_us", t_blk);
+            c.counter("cyclic_gain", t_blk / t_cyc);
+          });
   }
-  state.counters["sim_cyclic_us"] = t_cyc;
-  state.counters["sim_blocked_us"] = t_blk;
-  state.counters["cyclic_gain"] = t_blk / t_cyc;
+  return h.finish();
 }
-
-}  // namespace
-
-BENCHMARK(BM_BroadcastAlgorithms)
-    ->ArgsProduct({{4, 8}, {1, 8, 64, 512, 4096, 32768}})
-    ->Iterations(1);
-BENCHMARK(BM_AllreduceAlgorithms)
-    ->ArgsProduct({{4, 8}, {1, 8, 64, 512, 4096, 32768}})
-    ->Iterations(1);
-BENCHMARK(BM_RealignCosts)->Arg(256)->Arg(4096)->Iterations(1);
-BENCHMARK(BM_RoutingCombiningVsNaive)
-    ->ArgsProduct({{4, 6}, {4, 32}})
-    ->Iterations(1);
-BENCHMARK(BM_LayoutForShrinkingWindow)->Arg(128)->Arg(512)->Iterations(1);
-
-BENCHMARK_MAIN();

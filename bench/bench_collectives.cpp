@@ -1,217 +1,198 @@
 // E7b — substrate collective ablations: one-port binomial vs scatter+
 // all-gather vs all-port nESBT broadcast, Gray vs binary ring shifts, and
 // the cost of matrix transposition (stable dimension permutation).
-#include <benchmark/benchmark.h>
+#include <cmath>
 
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
 
 using namespace vmp;
 
-void BM_BroadcastThreeWays(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
-  double t_bin = 0, t_sag = 0, t_esbt = 0;
-  for (auto _ : state) {
-    {
-      DistBuffer<double> buf(cube);
-      buf.vec(0) = random_vector(n, 1);
-      cube.clock().reset();
-      broadcast(cube, buf, sc, 0);
-      t_bin = cube.clock().now_us();
-    }
-    {
-      DistBuffer<double> buf(cube);
-      buf.vec(0) = random_vector(n, 1);
-      cube.clock().reset();
-      broadcast_sag(cube, buf, sc, 0, [n](proc_t) { return n; });
-      t_sag = cube.clock().now_us();
-    }
-    {
-      DistBuffer<double> buf(cube);
-      buf.vec(0) = random_vector(n, 1);
-      cube.clock().reset();
-      broadcast_esbt(cube, buf, sc, 0, [n](proc_t) { return n; });
-      t_esbt = cube.clock().now_us();
-    }
-  }
-  state.counters["sim_binomial_us"] = t_bin;
-  state.counters["sim_sag_us"] = t_sag;
-  state.counters["sim_esbt_us"] = t_esbt;
-  state.counters["esbt_gain_vs_binomial"] = t_bin / t_esbt;
-}
-
-void BM_ShiftGrayVsBinary(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
-  double t_gray = 0, t_binary = 0;
-  for (auto _ : state) {
-    DistBuffer<double> g(cube);
-    cube.each_proc([&](proc_t q) { g.vec(q) = random_vector(n, q); });
-    cube.clock().reset();
-    shift_blocks(cube, g, sc, 1, RingOrder::Gray);
-    t_gray = cube.clock().now_us();
-
-    DistBuffer<double> b(cube);
-    cube.each_proc([&](proc_t q) { b.vec(q) = random_vector(n, q); });
-    cube.clock().reset();
-    shift_blocks(cube, b, sc, 1, RingOrder::Binary);
-    t_binary = cube.clock().now_us();
-  }
-  state.counters["sim_gray_us"] = t_gray;
-  state.counters["sim_binary_us"] = t_binary;
-  state.counters["gray_gain"] = t_binary / t_gray;
-}
-
-void BM_Transpose(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n);
-  A.load(random_matrix(n, n, 2));
-  double sim = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(transpose(A));
-    sim = cube.clock().now_us();
-  }
-  state.counters["sim_us"] = sim;
-  state.counters["elems_per_proc"] =
-      static_cast<double>(n * n) / cube.procs();
-}
-
-void BM_Matmul(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n), B(grid, n, n);
-  A.load(random_matrix(n, n, 3));
-  B.load(random_matrix(n, n, 4));
-  double sim_rank1 = 0, sim_summa = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(matmul(A, B));
-    sim_rank1 = cube.clock().now_us();
-    cube.clock().reset();
-    benchmark::DoNotOptimize(matmul_summa(A, B));
-    sim_summa = cube.clock().now_us();
-  }
-  const double serial =
-      2.0 * static_cast<double>(n) * static_cast<double>(n) *
-      static_cast<double>(n) * cube.costs().flop_us;
-  state.counters["sim_rank1_us"] = sim_rank1;
-  state.counters["sim_summa_us"] = sim_summa;
-  state.counters["summa_gain"] = sim_rank1 / sim_summa;
-  state.counters["summa_speedup"] = serial / sim_summa;
-  state.counters["summa_efficiency"] = serial / sim_summa / cube.procs();
-}
-
-void BM_Scan(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  for (auto _ : state) {
-    DistVector<double> v(grid, n, Align::Linear);
-    v.load(random_vector(n, 5));
-    cube.clock().reset();
-    vec_scan_exclusive(v, Plus<double>{});
-    sim = cube.clock().now_us();
-  }
-  const double serial = static_cast<double>(n) * cube.costs().flop_us;
-  state.counters["sim_us"] = sim;
-  state.counters["speedup"] = serial / sim;
-}
-
-void BM_TridiagPcr(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  std::vector<double> a(n, -1.0), b(n, 4.0), c(n, -1.0), rhs(n, 1.0);
-  a[0] = c[n - 1] = 0.0;
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(tridiag_solve_pcr(grid, a, b, c, rhs));
-    sim = cube.clock().now_us();
-  }
-  // Thomas algorithm: ~8n flops serially.
-  const double serial = 8.0 * static_cast<double>(n) * cube.costs().flop_us;
-  state.counters["sim_us"] = sim;
-  state.counters["speedup_vs_thomas"] = serial / sim;
-}
-
-void BM_Fft(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  std::vector<cplx> x(n);
-  SplitMix64 rng(6);
-  for (cplx& c : x) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
-  double sim = 0;
-  for (auto _ : state) {
-    DistVector<cplx> v(grid, n, Align::Linear);
-    v.load(x);
-    cube.clock().reset();
-    fft(v);
-    sim = cube.clock().now_us();
-  }
-  const double lg = std::log2(static_cast<double>(n));
-  const double serial = 10.0 * static_cast<double>(n) / 2.0 * lg *
-                        cube.costs().flop_us;
-  state.counters["sim_us"] = sim;
-  state.counters["speedup"] = serial / sim;
-}
-
-void BM_Sort(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  const std::vector<double> x = random_vector(n, 7);
-  double sim = 0;
-  for (auto _ : state) {
-    DistVector<double> v(grid, n, Align::Linear);
-    v.load(x);
-    cube.clock().reset();
-    vec_sort(v);
-    sim = cube.clock().now_us();
-  }
-  const double lg = std::log2(static_cast<double>(n));
-  const double serial = static_cast<double>(n) * lg * cube.costs().flop_us;
-  state.counters["sim_us"] = sim;
-  state.counters["speedup"] = serial / sim;
-}
-
 }  // namespace
 
-BENCHMARK(BM_Fft)->ArgsProduct({{0, 4, 8}, {4096, 65536}})->Iterations(1);
-BENCHMARK(BM_Sort)->ArgsProduct({{0, 4, 8}, {4096, 65536}})->Iterations(1);
-BENCHMARK(BM_Scan)
-    ->ArgsProduct({{0, 4, 8}, {4096, 65536}})
-    ->Iterations(1);
-BENCHMARK(BM_TridiagPcr)
-    ->ArgsProduct({{0, 4, 8}, {1024, 8192}})
-    ->Iterations(1);
-BENCHMARK(BM_BroadcastThreeWays)
-    ->ArgsProduct({{4, 6, 8}, {16, 256, 4096, 32768}})
-    ->Iterations(1);
-BENCHMARK(BM_ShiftGrayVsBinary)
-    ->ArgsProduct({{4, 6, 8}, {64, 1024}})
-    ->Iterations(1);
-BENCHMARK(BM_Transpose)
-    ->ArgsProduct({{4, 6, 8}, {64, 256, 1024}})
-    ->Iterations(1);
-BENCHMARK(BM_Matmul)->ArgsProduct({{4, 6}, {32, 64, 128}})->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_collectives", argc, argv);
 
-BENCHMARK_MAIN();
+  for (int d : h.dims({0, 4, 8}, {0, 4}))
+    for (std::size_t n : h.sizes({4096, 65536}, {4096})) {
+      const auto nn = static_cast<std::int64_t>(n);
+      h.run("fft", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Cube cube(d, CostParams::cm2());
+        Grid grid = Grid::square(cube);
+        std::vector<cplx> x(n);
+        SplitMix64 rng(6);
+        for (cplx& z : x) z = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        DistVector<cplx> v(grid, n, Align::Linear);
+        v.load(x);
+        cube.clock().reset();
+        fft(v);
+        const double sim = cube.clock().now_us();
+        c.profile("run", cube.clock());
+        const double lg = std::log2(static_cast<double>(n));
+        const double serial =
+            10.0 * static_cast<double>(n) / 2.0 * lg * cube.costs().flop_us;
+        c.counter("sim_us", sim);
+        c.counter("speedup", serial / sim);
+      });
+      h.run("sort", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Cube cube(d, CostParams::cm2());
+        Grid grid = Grid::square(cube);
+        DistVector<double> v(grid, n, Align::Linear);
+        v.load(random_vector(n, 7));
+        cube.clock().reset();
+        vec_sort(v);
+        const double sim = cube.clock().now_us();
+        c.profile("run", cube.clock());
+        const double lg = std::log2(static_cast<double>(n));
+        const double serial =
+            static_cast<double>(n) * lg * cube.costs().flop_us;
+        c.counter("sim_us", sim);
+        c.counter("speedup", serial / sim);
+      });
+      h.run("scan", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Cube cube(d, CostParams::cm2());
+        Grid grid = Grid::square(cube);
+        DistVector<double> v(grid, n, Align::Linear);
+        v.load(random_vector(n, 5));
+        cube.clock().reset();
+        vec_scan_exclusive(v, Plus<double>{});
+        const double sim = cube.clock().now_us();
+        c.profile("run", cube.clock());
+        const double serial = static_cast<double>(n) * cube.costs().flop_us;
+        c.counter("sim_us", sim);
+        c.counter("speedup", serial / sim);
+      });
+    }
+
+  for (int d : h.dims({0, 4, 8}, {0, 4}))
+    for (std::size_t n : h.sizes({1024, 8192}, {1024})) {
+      h.run("tridiag_pcr", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              std::vector<double> a(n, -1.0), b(n, 4.0), cc(n, -1.0),
+                  rhs(n, 1.0);
+              a[0] = cc[n - 1] = 0.0;
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              cube.clock().reset();
+              (void)tridiag_solve_pcr(grid, a, b, cc, rhs);
+              const double sim = cube.clock().now_us();
+              c.profile("run", cube.clock());
+              // Thomas algorithm: ~8n flops serially.
+              const double serial =
+                  8.0 * static_cast<double>(n) * cube.costs().flop_us;
+              c.counter("sim_us", sim);
+              c.counter("speedup_vs_thomas", serial / sim);
+            });
+    }
+
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({16, 256, 4096, 32768}, {256})) {
+      h.run("broadcast_three_ways",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+              double t_bin = 0, t_sag = 0, t_esbt = 0;
+              {
+                DistBuffer<double> buf(cube);
+                buf.vec(0) = random_vector(n, 1);
+                cube.clock().reset();
+                broadcast(cube, buf, sc, 0);
+                t_bin = cube.clock().now_us();
+              }
+              {
+                DistBuffer<double> buf(cube);
+                buf.vec(0) = random_vector(n, 1);
+                cube.clock().reset();
+                broadcast_sag(cube, buf, sc, 0, [n](proc_t) { return n; });
+                t_sag = cube.clock().now_us();
+              }
+              {
+                DistBuffer<double> buf(cube);
+                buf.vec(0) = random_vector(n, 1);
+                cube.clock().reset();
+                broadcast_esbt(cube, buf, sc, 0, [n](proc_t) { return n; });
+                t_esbt = cube.clock().now_us();
+              }
+              c.counter("sim_binomial_us", t_bin);
+              c.counter("sim_sag_us", t_sag);
+              c.counter("sim_esbt_us", t_esbt);
+              c.counter("esbt_gain_vs_binomial", t_bin / t_esbt);
+            });
+    }
+
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({64, 1024}, {64})) {
+      h.run("shift_gray_vs_binary",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+              DistBuffer<double> g(cube);
+              cube.each_proc(
+                  [&](proc_t q) { g.vec(q) = random_vector(n, q); });
+              cube.clock().reset();
+              shift_blocks(cube, g, sc, 1, RingOrder::Gray);
+              const double t_gray = cube.clock().now_us();
+
+              DistBuffer<double> b(cube);
+              cube.each_proc(
+                  [&](proc_t q) { b.vec(q) = random_vector(n, q); });
+              cube.clock().reset();
+              shift_blocks(cube, b, sc, 1, RingOrder::Binary);
+              const double t_binary = cube.clock().now_us();
+
+              c.counter("sim_gray_us", t_gray);
+              c.counter("sim_binary_us", t_binary);
+              c.counter("gray_gain", t_binary / t_gray);
+            });
+    }
+
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({64, 256, 1024}, {64})) {
+      h.run("transpose", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              DistMatrix<double> A(grid, n, n);
+              A.load(random_matrix(n, n, 2));
+              cube.clock().reset();
+              (void)transpose(A);
+              c.profile("run", cube.clock());
+              c.counter("sim_us", cube.clock().now_us());
+              c.counter("elems_per_proc",
+                        static_cast<double>(n * n) / cube.procs());
+            });
+    }
+
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t n : h.sizes({32, 64, 128}, {32})) {
+      h.run("matmul", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              DistMatrix<double> A(grid, n, n), B(grid, n, n);
+              A.load(random_matrix(n, n, 3));
+              B.load(random_matrix(n, n, 4));
+              cube.clock().reset();
+              (void)matmul(A, B);
+              const double sim_rank1 = cube.clock().now_us();
+              cube.clock().reset();
+              (void)matmul_summa(A, B);
+              const double sim_summa = cube.clock().now_us();
+              const double serial = 2.0 * static_cast<double>(n) *
+                                    static_cast<double>(n) *
+                                    static_cast<double>(n) *
+                                    cube.costs().flop_us;
+              c.counter("sim_rank1_us", sim_rank1);
+              c.counter("sim_summa_us", sim_summa);
+              c.counter("summa_gain", sim_rank1 / sim_summa);
+              c.counter("summa_speedup", serial / sim_summa);
+              c.counter("summa_efficiency",
+                        serial / sim_summa / cube.procs());
+            });
+    }
+  return h.finish();
+}

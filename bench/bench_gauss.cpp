@@ -7,8 +7,10 @@
 //   sim_serial_us simulated factor time of the same code on 1 processor
 //   speedup       sim_serial_us / sim_us
 //   efficiency    speedup / p
-#include <benchmark/benchmark.h>
-
+// The "factor" profile splits lu_factor into its pivot_search / update
+// subregions, and the factor_and_solve cases also write a Chrome
+// trace_event file (gauss_trace.json) loadable in Perfetto.
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
@@ -26,60 +28,69 @@ double serial_charge(const HostMatrix& H) {
   return cube.clock().now_us();
 }
 
-void BM_Factor(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  const MatrixLayout layout =
-      state.range(2) == 0 ? MatrixLayout::cyclic() : MatrixLayout::blocked();
-  const HostMatrix H = diag_dominant_matrix(n, 41);
-  const double serial_us = serial_charge(H);
-
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  for (auto _ : state) {
-    DistMatrix<double> A(grid, n, n, layout);
-    A.load(H.data());
-    cube.clock().reset();
-    benchmark::DoNotOptimize(lu_factor(A));
-    sim = cube.clock().now_us();
-  }
-  state.counters["sim_us"] = sim;
-  state.counters["sim_serial_us"] = serial_us;
-  state.counters["speedup"] = serial_us / sim;
-  state.counters["efficiency"] = serial_us / sim / cube.procs();
-  state.SetLabel(state.range(2) == 0 ? "cyclic" : "blocked");
-}
-
-void BM_FactorAndSolve(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  const HostMatrix H = diag_dominant_matrix(n, 42);
-  const std::vector<double> b = random_vector(n, 43);
-
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double t_factor = 0, t_solve = 0;
-  for (auto _ : state) {
-    DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
-    A.load(H.data());
-    cube.clock().reset();
-    const DistLuResult lu = lu_factor(A);
-    t_factor = cube.clock().now_us();
-    benchmark::DoNotOptimize(lu_solve(A, lu, b));
-    t_solve = cube.clock().now_us() - t_factor;
-  }
-  state.counters["sim_factor_us"] = t_factor;
-  state.counters["sim_solve_us"] = t_solve;
-}
-
 }  // namespace
 
-BENCHMARK(BM_Factor)
-    ->ArgsProduct({{4, 6, 8}, {32, 64, 128, 256}, {0, 1}})
-    ->Iterations(1);
-BENCHMARK(BM_FactorAndSolve)
-    ->ArgsProduct({{6}, {32, 64, 128, 256}})
-    ->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_gauss", argc, argv);
 
-BENCHMARK_MAIN();
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({32, 64, 128, 256}, {32}))
+      for (int blocked : {0, 1}) {
+        h.run("factor",
+              {{"dim", d},
+               {"n", static_cast<std::int64_t>(n)},
+               {"blocked", blocked}},
+              [&](bench::Case& c) {
+                const MatrixLayout layout = blocked == 0
+                                                ? MatrixLayout::cyclic()
+                                                : MatrixLayout::blocked();
+                const HostMatrix H = diag_dominant_matrix(n, 41);
+                const double serial_us = serial_charge(H);
+
+                Cube cube(d, CostParams::cm2());
+                Grid grid = Grid::square(cube);
+                DistMatrix<double> A(grid, n, n, layout);
+                A.load(H.data());
+                cube.clock().reset();
+                (void)lu_factor(A);
+                const double sim = cube.clock().now_us();
+                c.profile("factor", cube.clock());
+                c.counter("sim_us", sim);
+                c.counter("sim_serial_us", serial_us);
+                c.counter("speedup", serial_us / sim);
+                c.counter("efficiency", serial_us / sim / cube.procs());
+                c.label(blocked == 0 ? "cyclic" : "blocked");
+              });
+      }
+
+  bool traced = false;
+  for (std::size_t n : h.sizes({32, 64, 128, 256}, {32})) {
+    h.run("factor_and_solve", {{"dim", 6}, {"n", static_cast<std::int64_t>(n)}},
+          [&](bench::Case& c) {
+            const HostMatrix H = diag_dominant_matrix(n, 42);
+            const std::vector<double> b = random_vector(n, 43);
+
+            Cube cube(6, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+            A.load(H.data());
+            cube.clock().reset();
+            // Record the event log once (the smallest case suffices for a
+            // Perfetto-loadable trace of the full factor+solve pipeline).
+            const bool record = !traced;
+            cube.clock().tracer().set_recording(record);
+            const DistLuResult lu = lu_factor(A);
+            const double t_factor = cube.clock().now_us();
+            (void)lu_solve(A, lu, b);
+            const double t_solve = cube.clock().now_us() - t_factor;
+            c.profile("factor_and_solve", cube.clock());
+            if (record) {
+              write_chrome_trace("gauss_trace.json", cube.clock());
+              traced = true;
+            }
+            c.counter("sim_factor_us", t_factor);
+            c.counter("sim_solve_us", t_solve);
+          });
+  }
+  return h.finish();
+}

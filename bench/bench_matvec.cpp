@@ -5,8 +5,9 @@
 //   sim_composed_us  distribute → hadamard → reduce
 //   sim_fused_us     local multiply-accumulate + all-reduce
 //   composed_over_fused   overhead factor of the literal composition
-#include <benchmark/benchmark.h>
-
+// Profiles "composed" and "fused" break each form into its primitive /
+// collective regions.
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
@@ -17,65 +18,60 @@ CostParams preset(std::int64_t which) {
   return which == 0 ? CostParams::cm2() : CostParams::ipsc();
 }
 
-void BM_MatvecForms(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, preset(state.range(2)));
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n);
-  A.load(random_matrix(n, n, 31));
-  DistVector<double> x(grid, n, Align::Cols);
-  x.load(random_vector(n, 32));
-
-  double composed = 0, fused = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(matvec(A, x));
-    composed = cube.clock().now_us();
-    cube.clock().reset();
-    benchmark::DoNotOptimize(matvec_fused(A, x));
-    fused = cube.clock().now_us();
-  }
-  state.counters["sim_composed_us"] = composed;
-  state.counters["sim_fused_us"] = fused;
-  state.counters["composed_over_fused"] = composed / fused;
-  state.SetLabel(cube.costs().name);
-}
-
-void BM_VecmatForms(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, preset(state.range(2)));
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n);
-  A.load(random_matrix(n, n, 33));
-  DistVector<double> x(grid, n, Align::Rows);
-  x.load(random_vector(n, 34));
-
-  double composed = 0, fused = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(vecmat(x, A));
-    composed = cube.clock().now_us();
-    cube.clock().reset();
-    benchmark::DoNotOptimize(vecmat_fused(x, A));
-    fused = cube.clock().now_us();
-  }
-  state.counters["sim_composed_us"] = composed;
-  state.counters["sim_fused_us"] = fused;
-  state.counters["composed_over_fused"] = composed / fused;
-  state.SetLabel(cube.costs().name);
-}
-
-const std::vector<std::vector<std::int64_t>> kSweep = {
-    {4, 6, 8},            // processors
-    {64, 256, 1024},      // extent
-    {0, 1}                // cost preset: cm2 / ipsc
-};
-
 }  // namespace
 
-BENCHMARK(BM_MatvecForms)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_VecmatForms)->ArgsProduct(kSweep)->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_matvec", argc, argv);
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({64, 256, 1024}, {64}))
+      for (std::int64_t costs : {std::int64_t{0}, std::int64_t{1}}) {
+        const auto nn = static_cast<std::int64_t>(n);
+        h.run("matvec_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},
+              [&](bench::Case& c) {
+                Cube cube(d, preset(costs));
+                Grid grid = Grid::square(cube);
+                DistMatrix<double> A(grid, n, n);
+                A.load(random_matrix(n, n, 31));
+                DistVector<double> x(grid, n, Align::Cols);
+                x.load(random_vector(n, 32));
 
-BENCHMARK_MAIN();
+                cube.clock().reset();
+                (void)matvec(A, x);
+                const double composed = cube.clock().now_us();
+                c.profile("composed", cube.clock());
+                cube.clock().reset();
+                (void)matvec_fused(A, x);
+                const double fused = cube.clock().now_us();
+                c.profile("fused", cube.clock());
+
+                c.counter("sim_composed_us", composed);
+                c.counter("sim_fused_us", fused);
+                c.counter("composed_over_fused", composed / fused);
+                c.label(cube.costs().name);
+              });
+        h.run("vecmat_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},
+              [&](bench::Case& c) {
+                Cube cube(d, preset(costs));
+                Grid grid = Grid::square(cube);
+                DistMatrix<double> A(grid, n, n);
+                A.load(random_matrix(n, n, 33));
+                DistVector<double> x(grid, n, Align::Rows);
+                x.load(random_vector(n, 34));
+
+                cube.clock().reset();
+                (void)vecmat(x, A);
+                const double composed = cube.clock().now_us();
+                c.profile("composed", cube.clock());
+                cube.clock().reset();
+                (void)vecmat_fused(x, A);
+                const double fused = cube.clock().now_us();
+                c.profile("fused", cube.clock());
+
+                c.counter("sim_composed_us", composed);
+                c.counter("sim_fused_us", fused);
+                c.counter("composed_over_fused", composed / fused);
+                c.label(cube.costs().name);
+              });
+      }
+  return h.finish();
+}

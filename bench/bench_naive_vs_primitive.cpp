@@ -6,8 +6,10 @@
 //   sim_fast_us   simulated time of the primitive implementation
 //   speedup       sim_naive_us / sim_fast_us (the paper's headline column)
 //   router_hops   packet-hops pushed through the general router
-#include <benchmark/benchmark.h>
-
+// Each case embeds both cost profiles ("naive", "fast"), so the JSON shows
+// where the router implementation spends its time (router_us under the
+// naive_* region) against the optimized comm/compute split.
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
@@ -32,119 +34,83 @@ struct Fixture {
   DistVector<double> lin, cols;
 };
 
-void report(benchmark::State& state, double naive_us, double fast_us,
-            double hops) {
-  state.counters["sim_naive_us"] = naive_us;
-  state.counters["sim_fast_us"] = fast_us;
-  state.counters["speedup"] = naive_us / fast_us;
-  state.counters["router_hops"] = hops;
+/// Time `naive()` then `fast()` on a fresh clock each, capture both
+/// profiles, and emit the standard counters.
+template <class NaiveFn, class FastFn>
+void versus(bench::Case& c, Cube& cube, NaiveFn&& naive, FastFn&& fast) {
+  cube.clock().reset();
+  naive();
+  const double naive_us = cube.clock().now_us();
+  const double hops = static_cast<double>(cube.clock().stats().router_hops);
+  c.profile("naive", cube.clock());
+
+  cube.clock().reset();
+  fast();
+  const double fast_us = cube.clock().now_us();
+  c.profile("fast", cube.clock());
+
+  c.counter("sim_naive_us", naive_us);
+  c.counter("sim_fast_us", fast_us);
+  c.counter("speedup", naive_us / fast_us);
+  c.counter("router_hops", hops);
 }
-
-void BM_Distribute(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  double naive_us = 0, fast_us = 0, hops = 0;
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(naive_distribute_rows(f.lin, n));
-    naive_us = f.cube.clock().now_us();
-    hops = static_cast<double>(f.cube.clock().stats().router_hops);
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(distribute_rows(f.cols, n));
-    fast_us = f.cube.clock().now_us();
-  }
-  report(state, naive_us, fast_us, hops);
-}
-
-void BM_Reduce(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  double naive_us = 0, fast_us = 0, hops = 0;
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(naive_reduce_cols_sum(f.A));
-    naive_us = f.cube.clock().now_us();
-    hops = static_cast<double>(f.cube.clock().stats().router_hops);
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(reduce_cols(f.A, Plus<double>{}));
-    fast_us = f.cube.clock().now_us();
-  }
-  report(state, naive_us, fast_us, hops);
-}
-
-void BM_ExtractRow(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  double naive_us = 0, fast_us = 0, hops = 0;
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(naive_extract_row(f.A, n / 2));
-    naive_us = f.cube.clock().now_us();
-    hops = static_cast<double>(f.cube.clock().stats().router_hops);
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(extract_row(f.A, n / 2));
-    fast_us = f.cube.clock().now_us();
-  }
-  report(state, naive_us, fast_us, hops);
-}
-
-void BM_Matvec(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  double naive_us = 0, fast_us = 0, hops = 0;
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(naive_matvec(f.A, f.lin));
-    naive_us = f.cube.clock().now_us();
-    hops = static_cast<double>(f.cube.clock().stats().router_hops);
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(matvec(f.A, f.cols));
-    fast_us = f.cube.clock().now_us();
-  }
-  report(state, naive_us, fast_us, hops);
-}
-
-// Application level: the whole Gaussian elimination, naive primitives vs
-// optimized primitives — the paper's actual order-of-magnitude claim.
-void BM_GaussApplication(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  const HostMatrix H = diag_dominant_matrix(n, 23);
-  double naive_us = 0, fast_us = 0;
-  for (auto _ : state) {
-    DistMatrix<double> A1(grid, n, n, MatrixLayout::cyclic());
-    A1.load(H.data());
-    cube.clock().reset();
-    benchmark::DoNotOptimize(lu_factor_naive(A1));
-    naive_us = cube.clock().now_us();
-
-    DistMatrix<double> A2(grid, n, n, MatrixLayout::cyclic());
-    A2.load(H.data());
-    cube.clock().reset();
-    benchmark::DoNotOptimize(lu_factor(A2));
-    fast_us = cube.clock().now_us();
-  }
-  report(state, naive_us, fast_us, 0.0);
-}
-
-const std::vector<std::vector<std::int64_t>> kSweep = {
-    {4, 6},        // 16 and 64 processors (router simulation is expensive)
-    {32, 64, 128}  // matrix extent
-};
 
 }  // namespace
 
-BENCHMARK(BM_GaussApplication)
-    ->ArgsProduct({{4, 6}, {16, 32, 64}})
-    ->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_naive_vs_primitive", argc, argv);
 
-BENCHMARK(BM_Distribute)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_Reduce)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_ExtractRow)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_Matvec)->ArgsProduct(kSweep)->Iterations(1);
+  // 16 and 64 processors only: the router simulation is expensive.
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t n : h.sizes({32, 64, 128}, {32})) {
+      const auto nn = static_cast<std::int64_t>(n);
+      h.run("distribute", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Fixture f(d, n);
+        versus(c, f.cube, [&] { (void)naive_distribute_rows(f.lin, n); },
+               [&] { (void)distribute_rows(f.cols, n); });
+      });
+      h.run("reduce", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Fixture f(d, n);
+        versus(c, f.cube, [&] { (void)naive_reduce_cols_sum(f.A); },
+               [&] { (void)reduce_cols(f.A, Plus<double>{}); });
+      });
+      h.run("extract_row", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Fixture f(d, n);
+        versus(c, f.cube, [&] { (void)naive_extract_row(f.A, n / 2); },
+               [&] { (void)extract_row(f.A, n / 2); });
+      });
+      h.run("matvec", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
+        Fixture f(d, n);
+        versus(c, f.cube, [&] { (void)naive_matvec(f.A, f.lin); },
+               [&] { (void)matvec(f.A, f.cols); });
+      });
+    }
 
-BENCHMARK_MAIN();
+  // Application level: the whole Gaussian elimination, naive primitives vs
+  // optimized primitives — the paper's actual order-of-magnitude claim.
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t n : h.sizes({16, 32, 64}, {16})) {
+      h.run("gauss_application",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              const HostMatrix H = diag_dominant_matrix(n, 23);
+              DistMatrix<double> A1(grid, n, n, MatrixLayout::cyclic());
+              DistMatrix<double> A2(grid, n, n, MatrixLayout::cyclic());
+              versus(
+                  c, cube,
+                  [&] {
+                    A1.load(H.data());
+                    cube.clock().reset();  // exclude the load
+                    (void)lu_factor_naive(A1);
+                  },
+                  [&] {
+                    A2.load(H.data());
+                    cube.clock().reset();
+                    (void)lu_factor(A2);
+                  });
+            });
+    }
+  return h.finish();
+}

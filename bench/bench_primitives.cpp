@@ -5,8 +5,8 @@
 //   sim_us         simulated time of one primitive call
 //   elems_per_proc m/p, the load-balance unit the costs should track
 //   comm_steps     lockstep communication rounds (the τ count)
-#include <benchmark/benchmark.h>
-
+// Each case also embeds the per-region cost profile of the timed call.
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
@@ -30,90 +30,63 @@ struct Fixture {
   DistVector<double> v, w;
 };
 
-void finish(benchmark::State& state, Cube& cube, std::size_t n) {
-  state.counters["sim_us"] = cube.clock().now_us();
-  state.counters["elems_per_proc"] =
-      static_cast<double>(n * n) / cube.procs();
-  state.counters["comm_steps"] =
-      static_cast<double>(cube.clock().stats().comm_steps);
+void finish(bench::Case& c, Cube& cube, std::size_t n) {
+  c.counter("sim_us", cube.clock().now_us());
+  c.counter("elems_per_proc", static_cast<double>(n * n) / cube.procs());
+  c.counter("comm_steps",
+            static_cast<double>(cube.clock().stats().comm_steps));
+  c.profile("run", cube.clock());
 }
-
-void BM_Reduce(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(reduce_rows(f.A, Plus<double>{}));
-  }
-  finish(state, f.cube, static_cast<std::size_t>(state.range(1)));
-}
-
-void BM_Distribute(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(distribute_rows(f.v, n));
-  }
-  finish(state, f.cube, n);
-}
-
-void BM_Extract(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(extract_row(f.A, n / 2));
-  }
-  finish(state, f.cube, n);
-}
-
-void BM_Insert(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    insert_row(f.A, n / 2, f.v);
-  }
-  finish(state, f.cube, n);
-}
-
-void BM_ExtractCol(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(extract_col(f.A, n / 2));
-  }
-  finish(state, f.cube, n);
-}
-
-void BM_ReduceCols(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)),
-            static_cast<std::size_t>(state.range(1)));
-  for (auto _ : state) {
-    f.cube.clock().reset();
-    benchmark::DoNotOptimize(reduce_cols(f.A, Plus<double>{}));
-  }
-  finish(state, f.cube, static_cast<std::size_t>(state.range(1)));
-}
-
-const std::vector<std::vector<std::int64_t>> kSweep = {
-    {4, 6, 8, 10},          // cube dimension (16..1024 processors)
-    {64, 128, 256, 512, 1024}  // square matrix extent
-};
 
 }  // namespace
 
-BENCHMARK(BM_Reduce)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_ReduceCols)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_Distribute)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_Extract)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_ExtractCol)->ArgsProduct(kSweep)->Iterations(1);
-BENCHMARK(BM_Insert)->ArgsProduct(kSweep)->Iterations(1);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_primitives", argc, argv);
+  for (int d : h.dims({4, 6, 8, 10}, {4, 6}))
+    for (std::size_t n : h.sizes({64, 128, 256, 512, 1024}, {64, 128})) {
+      h.run("reduce_rows", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              (void)reduce_rows(f.A, Plus<double>{});
+              finish(c, f.cube, n);
+            });
+      h.run("reduce_cols", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              (void)reduce_cols(f.A, Plus<double>{});
+              finish(c, f.cube, n);
+            });
+      h.run("distribute_rows",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              (void)distribute_rows(f.v, n);
+              finish(c, f.cube, n);
+            });
+      h.run("extract_row", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              (void)extract_row(f.A, n / 2);
+              finish(c, f.cube, n);
+            });
+      h.run("extract_col", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              (void)extract_col(f.A, n / 2);
+              finish(c, f.cube, n);
+            });
+      h.run("insert_row", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              f.cube.clock().reset();
+              insert_row(f.A, n / 2, f.v);
+              finish(c, f.cube, n);
+            });
+    }
+  return h.finish();
+}

@@ -9,79 +9,76 @@
 //   pT_over_serial (p·sim) / (m·t_a) — flattens to a constant for
 //                  m > p·lg p, grows once start-ups dominate
 //   T_over_ideal   sim / (m/p·t_a + lg p·τ)
-#include <benchmark/benchmark.h>
+#include <cmath>
 
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
 
 using namespace vmp;
 
-void BM_ReduceScaling(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  const std::size_t m = n * n;
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n);
-  A.load(random_matrix(n, n, 61));
-
-  double sim = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(reduce_rows(A, Plus<double>{}));
-    sim = cube.clock().now_us();
-  }
-  const double p = cube.procs();
-  const double lgp = std::max(1.0, static_cast<double>(d));
-  const CostParams& cp = cube.costs();
-  const double serial = static_cast<double>(m) * cp.flop_us;
-  const double ideal =
-      static_cast<double>(m) / p * cp.flop_us + lgp * cp.startup_us;
-  state.counters["m_over_plgp"] = static_cast<double>(m) / (p * lgp);
-  state.counters["sim_us"] = sim;
-  state.counters["pT_over_serial"] = p * sim / serial;
-  state.counters["T_over_ideal"] = sim / ideal;
-}
-
-void BM_MatvecScaling(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t n = static_cast<std::size_t>(state.range(1));
-  const std::size_t m = n * n;
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  DistMatrix<double> A(grid, n, n);
-  A.load(random_matrix(n, n, 62));
-  DistVector<double> x(grid, n, Align::Cols);
-  x.load(random_vector(n, 63));
-
-  double sim = 0;
-  for (auto _ : state) {
-    cube.clock().reset();
-    benchmark::DoNotOptimize(matvec_fused(A, x));
-    sim = cube.clock().now_us();
-  }
-  const double p = cube.procs();
-  const double lgp = std::max(1.0, static_cast<double>(d));
-  const double serial = 2.0 * static_cast<double>(m) * cube.costs().flop_us;
-  state.counters["m_over_plgp"] = static_cast<double>(m) / (p * lgp);
-  state.counters["sim_us"] = sim;
-  state.counters["pT_over_serial"] = p * sim / serial;
-}
-
 }  // namespace
 
-// Fixed m = 256² = 65536, p from 1 to 4096: the m = p·lg p knee sits
-// around d = 12 (4096·12 ≈ 49k); the ratio columns show the regime change.
-BENCHMARK(BM_ReduceScaling)
-    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {256}})
-    ->Iterations(1);
-// And a smaller matrix, m = 64² = 4096, where the knee is at d ≈ 9.
-BENCHMARK(BM_ReduceScaling)
-    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {64}})
-    ->Iterations(1);
-BENCHMARK(BM_MatvecScaling)
-    ->ArgsProduct({{0, 2, 4, 6, 8, 10, 12}, {256}})
-    ->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_scaling", argc, argv);
 
-BENCHMARK_MAIN();
+  // Fixed m = n², p from 1 to 4096: for n = 256 the m = p·lg p knee sits
+  // around d = 12 (4096·12 ≈ 49k); for n = 64 it is at d ≈ 9.  The ratio
+  // columns show the regime change.
+  for (std::size_t n : h.sizes({256, 64}, {64}))
+    for (int d : h.dims({0, 2, 4, 6, 8, 10, 12}, {0, 4, 8})) {
+      h.run("reduce_scaling", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              const std::size_t m = n * n;
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              DistMatrix<double> A(grid, n, n);
+              A.load(random_matrix(n, n, 61));
+
+              cube.clock().reset();
+              (void)reduce_rows(A, Plus<double>{});
+              const double sim = cube.clock().now_us();
+              c.profile("run", cube.clock());
+
+              const double p = cube.procs();
+              const double lgp = std::max(1.0, static_cast<double>(d));
+              const CostParams& cp = cube.costs();
+              const double serial = static_cast<double>(m) * cp.flop_us;
+              const double ideal = static_cast<double>(m) / p * cp.flop_us +
+                                   lgp * cp.startup_us;
+              c.counter("m_over_plgp", static_cast<double>(m) / (p * lgp));
+              c.counter("sim_us", sim);
+              c.counter("pT_over_serial", p * sim / serial);
+              c.counter("T_over_ideal", sim / ideal);
+            });
+    }
+
+  for (int d : h.dims({0, 2, 4, 6, 8, 10, 12}, {0, 4, 8})) {
+    const std::size_t n = 256;
+    h.run("matvec_scaling", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+          [&](bench::Case& c) {
+            const std::size_t m = n * n;
+            Cube cube(d, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            DistMatrix<double> A(grid, n, n);
+            A.load(random_matrix(n, n, 62));
+            DistVector<double> x(grid, n, Align::Cols);
+            x.load(random_vector(n, 63));
+
+            cube.clock().reset();
+            (void)matvec_fused(A, x);
+            const double sim = cube.clock().now_us();
+            c.profile("run", cube.clock());
+
+            const double p = cube.procs();
+            const double lgp = std::max(1.0, static_cast<double>(d));
+            const double serial =
+                2.0 * static_cast<double>(m) * cube.costs().flop_us;
+            c.counter("m_over_plgp", static_cast<double>(m) / (p * lgp));
+            c.counter("sim_us", sim);
+            c.counter("pT_over_serial", p * sim / serial);
+          });
+  }
+  return h.finish();
+}

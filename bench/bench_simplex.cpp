@@ -7,8 +7,10 @@
 //   sim_us          total simulated time on p processors
 //   sim_per_pivot   simulated time per pivot
 //   speedup         1-processor charge / p-processor charge
-#include <benchmark/benchmark.h>
-
+// The "run" profile splits simplex into entering / leaving / pivot
+// subregions, and the first random-LP case also writes a Chrome
+// trace_event file (simplex_trace.json) loadable in Perfetto.
+#include "harness.hpp"
 #include "vmprim.hpp"
 
 namespace {
@@ -24,73 +26,72 @@ double serial_charge(const LpProblem& lp) {
   return cube.clock().now_us();
 }
 
-void BM_RandomLp(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t m = static_cast<std::size_t>(state.range(1));
-  const std::size_t nv = (m * 3) / 4;
-  const LpProblem lp = random_feasible_lp(m, nv, 51);
-  const double serial_us = serial_charge(lp);
-
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  LpSolution sol;
-  for (auto _ : state) {
-    cube.clock().reset();
-    sol = simplex_solve(grid, lp);
-    sim = cube.clock().now_us();
-  }
-  state.counters["pivots"] = static_cast<double>(sol.iterations);
-  state.counters["sim_us"] = sim;
-  state.counters["sim_per_pivot"] =
-      sim / static_cast<double>(std::max<std::size_t>(1, sol.iterations));
-  state.counters["speedup"] = serial_us / sim;
-  state.SetLabel(to_string(sol.status));
-}
-
-void BM_Phase1Lp(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const std::size_t m = static_cast<std::size_t>(state.range(1));
-  const LpProblem lp = random_phase1_lp(m, m / 2, 52);
-  Cube cube(d, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  LpSolution sol;
-  for (auto _ : state) {
-    cube.clock().reset();
-    sol = simplex_solve(grid, lp);
-    sim = cube.clock().now_us();
-  }
-  state.counters["pivots"] = static_cast<double>(sol.iterations);
-  state.counters["phase1_pivots"] =
-      static_cast<double>(sol.phase1_iterations);
-  state.counters["sim_us"] = sim;
-  state.SetLabel(to_string(sol.status));
-}
-
-void BM_KleeMinty(benchmark::State& state) {
-  const std::size_t dim = static_cast<std::size_t>(state.range(0));
-  const LpProblem lp = klee_minty(dim);
-  Cube cube(6, CostParams::cm2());
-  Grid grid = Grid::square(cube);
-  double sim = 0;
-  LpSolution sol;
-  for (auto _ : state) {
-    cube.clock().reset();
-    sol = simplex_solve(grid, lp);
-    sim = cube.clock().now_us();
-  }
-  state.counters["pivots"] = static_cast<double>(sol.iterations);
-  state.counters["sim_us"] = sim;
-  state.SetLabel(to_string(sol.status));
-}
-
 }  // namespace
 
-BENCHMARK(BM_RandomLp)
-    ->ArgsProduct({{4, 6, 8}, {16, 32, 64, 128}})
-    ->Iterations(1);
-BENCHMARK(BM_Phase1Lp)->ArgsProduct({{6}, {16, 32, 64}})->Iterations(1);
-BENCHMARK(BM_KleeMinty)->DenseRange(3, 8)->Iterations(1);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_simplex", argc, argv);
 
-BENCHMARK_MAIN();
+  bool traced = false;
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t m : h.sizes({16, 32, 64, 128}, {16})) {
+      h.run("random_lp", {{"dim", d}, {"m", static_cast<std::int64_t>(m)}},
+            [&](bench::Case& c) {
+              const std::size_t nv = (m * 3) / 4;
+              const LpProblem lp = random_feasible_lp(m, nv, 51);
+              const double serial_us = serial_charge(lp);
+
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              cube.clock().reset();
+              const bool record = !traced;
+              cube.clock().tracer().set_recording(record);
+              const LpSolution sol = simplex_solve(grid, lp);
+              const double sim = cube.clock().now_us();
+              c.profile("run", cube.clock());
+              if (record) {
+                write_chrome_trace("simplex_trace.json", cube.clock());
+                traced = true;
+              }
+              c.counter("pivots", static_cast<double>(sol.iterations));
+              c.counter("sim_us", sim);
+              c.counter("sim_per_pivot",
+                        sim / static_cast<double>(
+                                  std::max<std::size_t>(1, sol.iterations)));
+              c.counter("speedup", serial_us / sim);
+              c.label(to_string(sol.status));
+            });
+    }
+
+  for (std::size_t m : h.sizes({16, 32, 64}, {16})) {
+    h.run("phase1_lp", {{"dim", 6}, {"m", static_cast<std::int64_t>(m)}},
+          [&](bench::Case& c) {
+            const LpProblem lp = random_phase1_lp(m, m / 2, 52);
+            Cube cube(6, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            cube.clock().reset();
+            const LpSolution sol = simplex_solve(grid, lp);
+            c.profile("run", cube.clock());
+            c.counter("pivots", static_cast<double>(sol.iterations));
+            c.counter("phase1_pivots",
+                      static_cast<double>(sol.phase1_iterations));
+            c.counter("sim_us", cube.clock().now_us());
+            c.label(to_string(sol.status));
+          });
+  }
+
+  for (std::size_t dim : h.sizes({3, 4, 5, 6, 7, 8}, {3, 4})) {
+    h.run("klee_minty", {{"kmdim", static_cast<std::int64_t>(dim)}},
+          [&](bench::Case& c) {
+            const LpProblem lp = klee_minty(dim);
+            Cube cube(6, CostParams::cm2());
+            Grid grid = Grid::square(cube);
+            cube.clock().reset();
+            const LpSolution sol = simplex_solve(grid, lp);
+            c.profile("run", cube.clock());
+            c.counter("pivots", static_cast<double>(sol.iterations));
+            c.counter("sim_us", cube.clock().now_us());
+            c.label(to_string(sol.status));
+          });
+  }
+  return h.finish();
+}

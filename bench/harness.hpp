@@ -1,0 +1,283 @@
+/// \file harness.hpp
+/// \brief Minimal benchmark harness for the simulated machine.
+///
+/// The interesting output of every benchmark here is *simulated* time, which
+/// is deterministic — statistics over repeated runs are pointless.  What the
+/// benchmarks need instead is a uniform way to sweep parameters, name cases,
+/// capture counters and per-region cost profiles, and emit the whole run as
+/// one machine-readable JSON document (`BENCH_<name>.json`, schema
+/// "vmp-bench-v1") next to a human-readable stdout table.
+///
+/// Flags understood by every benchmark binary:
+///
+///   --dims=4,6,8     override the cube-dimension sweep
+///   --sizes=64,128   override the problem-size sweep
+///   --trials=N       wall-clock timing repetitions per case (default 1)
+///   --warmup=N       untimed executions per case before the trials (default 0)
+///   --quick          use each sweep's reduced "quick" lists (CI-friendly)
+///   --filter=SUBSTR  run only cases whose full name contains SUBSTR
+///   --json=PATH      output path (default BENCH_<name>.json in the CWD)
+///   --list           print case names without running them
+///
+/// Usage:
+///
+///     int main(int argc, char** argv) {
+///       vmp::bench::Harness h("bench_primitives", argc, argv);
+///       for (int d : h.dims({4, 6, 8, 10}, {4}))
+///         for (std::size_t n : h.sizes({64, 128, 256}, {64}))
+///           h.run("reduce_rows", {{"dim", d}, {"n", n}}, [&](Case& c) {
+///             ...
+///             c.counter("sim_us", cube.clock().now_us());
+///             c.profile("fast", cube.clock());
+///           });
+///       return h.finish();
+///     }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace vmp::bench {
+
+/// One (name, value) benchmark parameter, e.g. {"dim", 6}.
+struct Arg {
+  std::string name;
+  std::int64_t value;
+};
+
+/// Mutable view of the case being run: collect counters, an optional label,
+/// and named cost profiles snapshotted from a SimClock.
+class Case {
+ public:
+  void counter(std::string name, double value) {
+    counters_.emplace_back(std::move(name), value);
+  }
+  void label(std::string text) { label_ = std::move(text); }
+  /// Snapshot the clock's hierarchical cost profile under `key` (call right
+  /// after the timed section, before the next clock reset).
+  void profile(std::string key, const SimClock& clock) {
+    profiles_.emplace_back(std::move(key), profile_to_json(clock));
+  }
+
+ private:
+  friend class Harness;
+  std::vector<std::pair<std::string, double>> counters_;
+  std::vector<std::pair<std::string, std::string>> profiles_;  // key -> JSON
+  std::string label_;
+};
+
+class Harness {
+ public:
+  Harness(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    json_path_ = "BENCH_" + name_ + ".json";
+    for (int i = 1; i < argc; ++i) parse_flag(argv[i]);
+  }
+
+  [[nodiscard]] bool quick() const { return quick_; }
+
+  /// The cube-dimension sweep: --dims wins, then --quick's reduced list,
+  /// then the full list.
+  [[nodiscard]] std::vector<int> dims(std::vector<int> full,
+                                      std::vector<int> quick_list) const {
+    if (!dims_override_.empty()) return dims_override_;
+    return quick_ ? quick_list : full;
+  }
+
+  /// The problem-size sweep, same precedence as dims().
+  [[nodiscard]] std::vector<std::size_t> sizes(
+      std::vector<std::size_t> full, std::vector<std::size_t> quick_list) const {
+    if (!sizes_override_.empty()) return sizes_override_;
+    return quick_ ? quick_list : full;
+  }
+
+  /// Run one case: `body(Case&)` executes warmup+trials times; wall-clock
+  /// time is averaged over the trials, while counters and profiles keep the
+  /// values set during the last execution (simulated results are
+  /// deterministic, so every execution sets the same ones).
+  template <class Body>
+  void run(const std::string& kase, std::vector<Arg> args, Body&& body) {
+    const std::string full = case_name(kase, args);
+    if (!filter_.empty() && full.find(filter_) == std::string::npos) return;
+    if (list_) {
+      std::printf("%s\n", full.c_str());
+      return;
+    }
+    Result res;
+    res.name = kase;
+    res.args = std::move(args);
+    double wall_ms = 0.0;
+    for (int t = 0; t < warmup_ + trials_; ++t) {
+      Case c;
+      const auto t0 = std::chrono::steady_clock::now();
+      body(c);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (t < warmup_) continue;
+      wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      res.c = std::move(c);
+    }
+    res.wall_ms = wall_ms / trials_;
+    print_case(full, res);
+    results_.push_back(std::move(res));
+  }
+
+  /// Write the JSON document and return the process exit code.
+  int finish() {
+    if (list_) return 0;
+    std::ofstream f(json_path_, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   json_path_.c_str());
+      return 1;
+    }
+    const std::string doc = to_json();
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    f.flush();
+    if (!f) return 1;
+    std::printf("# wrote %s (%zu cases)\n", json_path_.c_str(),
+                results_.size());
+    return 0;
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    std::vector<Arg> args;
+    double wall_ms = 0.0;
+    Case c;
+  };
+
+  static std::string case_name(const std::string& kase,
+                               const std::vector<Arg>& args) {
+    std::string s = kase;
+    for (const Arg& a : args)
+      s += "/" + a.name + "=" + std::to_string(a.value);
+    return s;
+  }
+
+  void parse_flag(const std::string& f) {
+    const auto starts = [&](const char* p) {
+      return f.rfind(p, 0) == 0;
+    };
+    if (f == "--quick") {
+      quick_ = true;
+    } else if (f == "--list") {
+      list_ = true;
+    } else if (starts("--dims=")) {
+      dims_override_.clear();
+      for (std::int64_t v : parse_list(f.substr(7)))
+        dims_override_.push_back(static_cast<int>(v));
+    } else if (starts("--sizes=")) {
+      sizes_override_.clear();
+      for (std::int64_t v : parse_list(f.substr(8)))
+        sizes_override_.push_back(static_cast<std::size_t>(v));
+    } else if (starts("--trials=")) {
+      trials_ = std::max(1, std::atoi(f.c_str() + 9));
+    } else if (starts("--warmup=")) {
+      warmup_ = std::max(0, std::atoi(f.c_str() + 9));
+    } else if (starts("--filter=")) {
+      filter_ = f.substr(9);
+    } else if (starts("--json=")) {
+      json_path_ = f.substr(7);
+    } else if (f == "--help" || f == "-h") {
+      std::printf(
+          "%s [--dims=a,b] [--sizes=a,b] [--trials=N] [--warmup=N]\n"
+          "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n",
+          name_.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (see --help)\n", name_.c_str(),
+                   f.c_str());
+      std::exit(2);
+    }
+  }
+
+  static std::vector<std::int64_t> parse_list(const std::string& s) {
+    std::vector<std::int64_t> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      out.push_back(std::atoll(s.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+  void print_case(const std::string& full, const Result& r) const {
+    std::string line = full;
+    if (!r.c.label_.empty()) line += " [" + r.c.label_ + "]";
+    for (const auto& [k, v] : r.c.counters_)
+      line += "  " + k + "=" + obs_detail::json_double(v);
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    using obs_detail::json_double;
+    using obs_detail::json_string;
+    std::string out = "{\"schema\":\"vmp-bench-v1\"";
+    out += ",\"name\":" + json_string(name_);
+    out += ",\"quick\":" + std::string(quick_ ? "true" : "false");
+    out += ",\"trials\":" + std::to_string(trials_);
+    out += ",\"warmup\":" + std::to_string(warmup_);
+    out += ",\"cases\":[";
+    bool first_case = true;
+    for (const Result& r : results_) {
+      if (!first_case) out += ",";
+      first_case = false;
+      out += "{\"name\":" + json_string(r.name);
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < r.args.size(); ++i) {
+        if (i) out += ",";
+        out += json_string(r.args[i].name) + ":" +
+               std::to_string(r.args[i].value);
+      }
+      out += "}";
+      if (!r.c.label_.empty()) out += ",\"label\":" + json_string(r.c.label_);
+      out += ",\"wall_ms\":" + json_double(r.wall_ms);
+      out += ",\"counters\":{";
+      for (std::size_t i = 0; i < r.c.counters_.size(); ++i) {
+        if (i) out += ",";
+        out += json_string(r.c.counters_[i].first) + ":" +
+               json_double(r.c.counters_[i].second);
+      }
+      out += "}";
+      if (!r.c.profiles_.empty()) {
+        out += ",\"profiles\":{";
+        for (std::size_t i = 0; i < r.c.profiles_.size(); ++i) {
+          if (i) out += ",";
+          // The value is itself a complete JSON document (vmp-profile-v1).
+          out += json_string(r.c.profiles_[i].first) + ":" +
+                 r.c.profiles_[i].second;
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string name_;
+  std::string json_path_;
+  std::string filter_;
+  std::vector<int> dims_override_;
+  std::vector<std::size_t> sizes_override_;
+  int trials_ = 1;
+  int warmup_ = 0;
+  bool quick_ = false;
+  bool list_ = false;
+  std::vector<Result> results_;
+};
+
+}  // namespace vmp::bench

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Full repository verification:
+#   1. tier-1: configure, build, and run the complete test suite;
+#   2. an address+undefined sanitizer build of the library, the tracer
+#      test binary and one benchmark, with the tests re-run under ASan/UBSan;
+#   3. one benchmark in --quick mode, with its BENCH_*.json report and the
+#      exported Chrome trace validated against their schemas.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+NO_SANITIZE=0
+[[ "${1:-}" == "--no-sanitize" ]] && NO_SANITIZE=1
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$NO_SANITIZE" == 0 ]]; then
+  echo "== sanitizer build (address,undefined) =="
+  cmake -B build-asan -S . -DVMP_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j --target test_trace test_accounting \
+    bench_naive_vs_primitive >/dev/null
+  ./build-asan/tests/test_trace
+  ./build-asan/tests/test_accounting \
+    --gtest_filter='Accounting.*:Charging.*:Threading.*'
+fi
+
+echo "== bench smoke: --quick run + report validation =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_naive_vs_primitive --quick)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_gauss --quick)
+
+python3 - "$workdir" <<'EOF'
+import json, math, sys
+from pathlib import Path
+
+workdir = Path(sys.argv[1])
+
+def require(cond, msg):
+    if not cond:
+        raise SystemExit(f"schema check failed: {msg}")
+
+def check_profile(p, where):
+    require(p["schema"] == "vmp-profile-v1", f"{where}: profile schema")
+    require({"name", "startup_us", "per_elem_us", "flop_us",
+             "router_startup_us"} <= p["cost_model"].keys(),
+            f"{where}: cost_model keys")
+    t = p["totals"]
+    for k in ("now_us", "comm_us", "compute_us", "router_us", "host_us",
+              "comm_steps", "messages", "elements_moved", "flops_charged",
+              "router_hops"):
+        require(k in t, f"{where}: totals.{k}")
+    # Conservation: region self buckets must sum to the global totals.
+    sums = {k: 0.0 for k in ("comm_us", "compute_us", "router_us", "host_us")}
+    for r in p["regions"]:
+        require({"path", "self", "total"} <= r.keys(), f"{where}: region keys")
+        for k in sums:
+            sums[k] += r["self"][k]
+    for k, v in sums.items():
+        require(math.isclose(v, t[k], rel_tol=1e-9, abs_tol=1e-9),
+                f"{where}: region {k} sum {v} != total {t[k]}")
+    require(math.isclose(sum(sums.values()), t["now_us"],
+                         rel_tol=1e-9, abs_tol=1e-9),
+            f"{where}: bucket sums != now_us")
+
+benches = sorted(workdir.glob("BENCH_*.json"))
+require(benches, "no BENCH_*.json written")
+for path in benches:
+    d = json.loads(path.read_text())
+    require(d["schema"] == "vmp-bench-v1", f"{path.name}: bench schema")
+    require(d["cases"], f"{path.name}: no cases")
+    for case in d["cases"]:
+        require({"name", "args", "wall_ms", "counters"} <= case.keys(),
+                f"{path.name}: case keys")
+        for key, prof in case.get("profiles", {}).items():
+            check_profile(prof, f"{path.name}:{case['name']}:{key}")
+    print(f"  {path.name}: {len(d['cases'])} cases ok")
+
+# The naive-vs-primitive report must show the router/comm contrast.
+nvp = json.loads((workdir / "BENCH_bench_naive_vs_primitive.json").read_text())
+for case in nvp["cases"]:
+    naive, fast = case["profiles"]["naive"], case["profiles"]["fast"]
+    require(naive["totals"]["router_us"] > 0,
+            f"{case['name']}: naive side must pay router time")
+    require(fast["totals"]["router_us"] == 0,
+            f"{case['name']}: optimized side must not use the router")
+    require(fast["totals"]["comm_us"] + fast["totals"]["compute_us"] > 0,
+            f"{case['name']}: optimized side must pay comm/compute")
+print("  naive-vs-primitive router/comm contrast ok")
+
+trace = json.loads((workdir / "gauss_trace.json").read_text())
+xs = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+ts = [e["ts"] for e in xs]
+require(ts and ts == sorted(ts), "gauss_trace.json: ts not monotone")
+print(f"  gauss_trace.json: {len(xs)} events, monotone ok")
+EOF
+
+echo "== all checks passed =="

@@ -2,17 +2,20 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "core/elementwise.hpp"
 #include "core/naive.hpp"
 #include "core/primitives.hpp"
 #include "core/swap.hpp"
 #include "core/vector_ops.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
 DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
   VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  VMP_TRACE(A.grid().cube(), "lu_factor");
   const std::size_t n = A.nrows();
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
@@ -21,24 +24,33 @@ DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
   for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
-    // Pivot search: largest |A[i][k]| over i >= k, ties to the smallest i
-    // (a MaxLoc reduction over the extracted column).
-    DistVector<double> col = extract_col(A, k);
-    const ValueIndex<double> best = vec_argmax_key(
-        col, [&](double v, std::size_t g) {
-          return g >= k ? std::abs(v) : kNegInf;
-        });
-    if (best.index < 0 || best.value < pivot_tol) {
-      out.singular = true;
-      return out;
+    std::optional<DistVector<double>> colp;
+    double pivval = 0.0;
+    {
+      VMP_TRACE(A.grid().cube(), "pivot_search");
+      // Pivot search: largest |A[i][k]| over i >= k, ties to the smallest i
+      // (a MaxLoc reduction over the extracted column).
+      DistVector<double> col = extract_col(A, k);
+      const ValueIndex<double> best = vec_argmax_key(
+          col, [&](double v, std::size_t g) {
+            return g >= k ? std::abs(v) : kNegInf;
+          });
+      if (best.index < 0 || best.value < pivot_tol) {
+        out.singular = true;
+        return out;
+      }
+      const std::size_t piv_row = static_cast<std::size_t>(best.index);
+      if (piv_row != k) {
+        swap_rows(A, k, piv_row);
+        std::swap(out.perm[k], out.perm[piv_row]);
+        col = extract_col(A, k);  // refresh after the interchange
+      }
+      pivval = vec_fetch(col, k);
+      colp.emplace(std::move(col));
     }
-    const std::size_t piv_row = static_cast<std::size_t>(best.index);
-    if (piv_row != k) {
-      swap_rows(A, k, piv_row);
-      std::swap(out.perm[k], out.perm[piv_row]);
-      col = extract_col(A, k);  // refresh after the interchange
-    }
-    const double pivval = vec_fetch(col, k);
+
+    VMP_TRACE(A.grid().cube(), "update");
+    const DistVector<double>& col = *colp;
 
     // Multipliers m_i = A[i][k] / pivot for i > k, zero elsewhere.
     DistVector<double> mult = col;
@@ -63,6 +75,7 @@ DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
 
 DistLuResult lu_factor_naive(DistMatrix<double>& A, double pivot_tol) {
   VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  VMP_TRACE(A.grid().cube(), "lu_factor_naive");
   const std::size_t n = A.nrows();
   DistLuResult out;
   out.perm.resize(n);
@@ -121,6 +134,7 @@ std::vector<double> lu_solve(const DistMatrix<double>& LU,
   const std::size_t n = LU.nrows();
   VMP_REQUIRE(b.size() == n, "rhs length mismatch");
   Grid& grid = LU.grid();
+  VMP_TRACE(grid.cube(), "lu_solve");
 
   // y starts as the permuted right-hand side, Rows-aligned with LU.
   std::vector<double> pb(n);

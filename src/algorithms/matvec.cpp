@@ -3,12 +3,14 @@
 #include "comm/collectives.hpp"
 #include "core/elementwise.hpp"
 #include "core/primitives.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
 DistVector<double> matvec(const DistMatrix<double>& A,
                           const DistVector<double>& x) {
   detail::require_cols_aligned(A, x);
+  VMP_TRACE(A.grid().cube(), "matvec");
   const DistMatrix<double> X = distribute_rows(x, A.nrows(), A.layout().rows);
   const DistMatrix<double> P = hadamard(A, X);
   return reduce_rows(P, Plus<double>{});
@@ -19,6 +21,7 @@ DistVector<double> matvec_fused(const DistMatrix<double>& A,
   detail::require_cols_aligned(A, x);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "matvec_fused");
   DistVector<double> y(grid, A.nrows(), Align::Rows, A.layout().rows);
   cube.compute(2 * A.max_block(), 2 * A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
@@ -38,6 +41,7 @@ DistVector<double> matvec_fused(const DistMatrix<double>& A,
 DistVector<double> vecmat(const DistVector<double>& x,
                           const DistMatrix<double>& A) {
   detail::require_rows_aligned(A, x);
+  VMP_TRACE(A.grid().cube(), "vecmat");
   const DistMatrix<double> X = distribute_cols(x, A.ncols(), A.layout().cols);
   const DistMatrix<double> P = hadamard(A, X);
   return reduce_cols(P, Plus<double>{});
@@ -48,6 +52,7 @@ DistVector<double> vecmat_fused(const DistVector<double>& x,
   detail::require_rows_aligned(A, x);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "vecmat_fused");
   DistVector<double> y(grid, A.ncols(), Align::Cols, A.layout().cols);
   cube.compute(2 * A.max_block(), 2 * A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);

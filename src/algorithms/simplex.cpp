@@ -7,6 +7,7 @@
 #include "core/elementwise.hpp"
 #include "core/primitives.hpp"
 #include "core/vector_ops.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 namespace {
@@ -25,6 +26,7 @@ struct DistTableau {
 /// Entering column: most-negative (Dantzig) or smallest-index (Bland)
 /// reduced cost below -eps; -1 if optimal.
 std::ptrdiff_t entering(DistTableau& tb, const SimplexOptions& o) {
+  VMP_TRACE(tb.T.grid().cube(), "entering");
   const DistVector<double> obj = extract_row(tb.T, 0);
   const std::size_t allowed = tb.allowed();
   const ValueIndex<double> best =
@@ -45,6 +47,7 @@ std::ptrdiff_t entering(DistTableau& tb, const SimplexOptions& o) {
 /// -1 if unbounded.
 std::ptrdiff_t leaving(DistTableau& tb, const DistVector<double>& colv,
                        const SimplexOptions& o) {
+  VMP_TRACE(tb.T.grid().cube(), "leaving");
   DistVector<double> ratios = extract_col(tb.T, tb.width());
   vec_zip_indexed(ratios, colv, [&](double rhs, double a, std::size_t g) {
     return (g >= 1 && a > o.eps) ? rhs / a : kInf;
@@ -64,6 +67,7 @@ std::ptrdiff_t leaving(DistTableau& tb, const DistVector<double>& colv,
 /// Scale the pivot row, eliminate the pivot column from every other row —
 /// extract / insert / rank-1 update, all primitive-level.
 void pivot(DistTableau& tb, std::size_t prow_i, std::size_t pcol_j) {
+  VMP_TRACE(tb.T.grid().cube(), "pivot");
   DistVector<double> colv = extract_col(tb.T, pcol_j);
   const double piv = vec_fetch(colv, prow_i);
   DistVector<double> prow = extract_row(tb.T, prow_i);
@@ -95,6 +99,7 @@ LpStatus optimize(DistTableau& tb, const SimplexOptions& o,
 
 LpSolution simplex_solve(Grid& grid, const LpProblem& lp, SimplexOptions opts,
                          MatrixLayout layout) {
+  VMP_TRACE(grid.cube(), "simplex");
   detail::TableauSetup setup = detail::build_tableau(lp);
   const std::size_t m = lp.ncons, nv = lp.nvars;
   const std::size_t width = setup.width();

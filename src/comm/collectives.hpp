@@ -39,6 +39,7 @@
 
 #include "hypercube/machine.hpp"
 #include "hypercube/partition.hpp"
+#include "obs/trace.hpp"
 #include "comm/dist_buffer.hpp"
 #include "comm/ops.hpp"
 #include "comm/subcube.hpp"
@@ -64,6 +65,7 @@ template <class T>
 template <class T, class Op>
 void allreduce(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, Op op) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "allreduce");
   const std::size_t n = max_local_len(cube, buf);
   for (int i = 0; i < sc.k(); ++i) {
     const int d = sc.dim_of_rank_bit(i);
@@ -93,6 +95,7 @@ template <class T, class Op>
 void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "reduce_scatter");
   const std::uint32_t P = sc.size();
   std::vector<std::size_t> n_of(cube.procs());
   for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
@@ -173,6 +176,7 @@ template <class T, class NFn>
 void allgather(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, NFn n_of,
                std::uint32_t rank_xor = 0) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "allgather");
   for (int j = 0; j < sc.k(); ++j) {
     const int d = sc.dim_of_rank_bit(j);
     cube.exchange<T>(
@@ -206,6 +210,7 @@ template <class T, class Op>
 void allreduce_rsag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "allreduce_rsag");
   std::vector<std::size_t> n_of(cube.procs());
   for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
   reduce_scatter(cube, buf, sc, op);
@@ -249,6 +254,7 @@ template <class T>
 void broadcast(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                std::uint32_t root_rank) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "broadcast");
   VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
   std::uint32_t processed = 0;  // relative-rank bits already covered
   for (int j = sc.k() - 1; j >= 0; --j) {
@@ -275,6 +281,7 @@ template <class T, class NFn>
 void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     std::uint32_t root_rank, NFn n_of) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "scatter");
   VMP_REQUIRE(root_rank < sc.size(), "scatter root rank out of range");
   const std::uint32_t P = sc.size();
   // Non-roots are overwritten by their incoming block; processors whose
@@ -323,6 +330,7 @@ template <class T, class NFn>
 void broadcast_sag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                    std::uint32_t root_rank, NFn n_of) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "broadcast_sag");
   scatter_blocks(cube, buf, sc, root_rank, n_of);
   allgather(cube, buf, sc, n_of, root_rank);
 }
@@ -364,6 +372,7 @@ template <class T, class Op>
 void reduce_to_rank(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op, std::uint32_t root_rank) {
   if (sc.k() == 0) return;
+  VMP_TRACE(cube, "reduce_to_rank");
   VMP_REQUIRE(root_rank < sc.size(), "reduce root rank out of range");
   const std::size_t n = max_local_len(cube, buf);
   for (int j = 0; j < sc.k(); ++j) {
@@ -401,6 +410,7 @@ void scan_exclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
       std::fill(buf.vec(q).begin(), buf.vec(q).end(), op.identity());
     return;
   }
+  VMP_TRACE(cube, "scan");
   const std::size_t n = max_local_len(cube, buf);
   DistBuffer<T> prefix(cube);
   DistBuffer<T> total(cube);
@@ -469,6 +479,7 @@ struct RouteItem {
 template <class T>
 void route_within(Cube& cube, DistBuffer<RouteItem<T>>& items,
                   const SubcubeSet& sc) {
+  VMP_TRACE(cube, "route_within");
   for (proc_t q = 0; q < cube.procs(); ++q)
     for (const RouteItem<T>& it : items.vec(q))
       VMP_REQUIRE(sc.subcube_id(it.dst) == sc.subcube_id(q),

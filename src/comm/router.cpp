@@ -4,6 +4,7 @@
 
 #include "hypercube/bits.hpp"
 #include "hypercube/check.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
@@ -11,6 +12,7 @@ std::uint64_t NaiveRouter::run(
     std::vector<std::vector<Packet>> packets,
     const std::function<void(proc_t, std::uint64_t, double)>& deliver) {
   Cube& cube = *cube_;
+  VMP_TRACE(cube, "naive_router");
   const proc_t p = cube.procs();
   VMP_REQUIRE(packets.size() == p, "one injection queue per processor");
 

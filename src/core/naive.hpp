@@ -17,6 +17,7 @@
 #include "comm/router.hpp"
 #include "embed/dist_matrix.hpp"
 #include "embed/dist_vector.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
@@ -34,6 +35,7 @@ namespace vmp {
               "naive primitives use Linear vectors");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_distribute_rows");
   DistMatrix<double> out(grid, nrows, v.n(), layout);
   std::vector<std::vector<Packet>> inject(cube.procs());
   cube.each_proc([&](proc_t q) {
@@ -60,6 +62,7 @@ namespace vmp {
     const DistMatrix<double>& A) {
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_reduce_cols_sum");
   DistVector<double> out(grid, A.ncols(), Align::Linear);
   std::vector<std::vector<Packet>> inject(cube.procs());
   cube.each_proc([&](proc_t q) {
@@ -86,6 +89,7 @@ namespace vmp {
   VMP_REQUIRE(i < A.nrows(), "row index out of range");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_extract_row");
   DistVector<double> out(grid, A.ncols(), Align::Linear);
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
@@ -116,6 +120,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
               "naive_insert_row needs a Linear vector of length ncols");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_insert_row");
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
   std::vector<std::vector<Packet>> inject(cube.procs());
@@ -138,6 +143,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
               "naive primitives use Linear vectors");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_distribute_cols");
   DistMatrix<double> out(grid, v.n(), ncols, layout);
   std::vector<std::vector<Packet>> inject(cube.procs());
   cube.each_proc([&](proc_t q) {
@@ -164,6 +170,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
   VMP_REQUIRE(j < A.ncols(), "column index out of range");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_extract_col");
   DistVector<double> out(grid, A.nrows(), Align::Linear);
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
@@ -195,6 +202,7 @@ inline void naive_insert_col(DistMatrix<double>& A, std::size_t j,
               "naive_insert_col needs a Linear vector of length nrows");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_insert_col");
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
   std::vector<std::vector<Packet>> inject(cube.procs());
@@ -219,6 +227,7 @@ inline void naive_insert_col(DistMatrix<double>& A, std::size_t j,
   VMP_REQUIRE(v.align() == Align::Linear, "naive primitives use Linear vectors");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_argmax_abs");
   std::vector<std::vector<Packet>> inject(cube.procs());
   for (std::size_t g = lo; g < v.n(); ++g)
     inject[v.map().owner(g)].push_back(Packet{0, g, v.at(g)});
@@ -240,6 +249,7 @@ inline void naive_swap_rows(DistMatrix<double>& A, std::size_t i,
   if (i == j) return;
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_swap_rows");
   std::vector<std::vector<Packet>> inject(cube.procs());
   for (std::size_t g = 0; g < A.ncols(); ++g) {
     const proc_t qi = A.owner(i, g);
@@ -266,6 +276,7 @@ inline void naive_swap_rows(DistMatrix<double>& A, std::size_t i,
               "naive_matvec needs a Linear vector of length ncols");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "naive_matvec");
 
   // Phase 1: fetch x[j] into every element position (i, j).
   DistMatrix<double> X(grid, A.nrows(), A.ncols(), A.layout());

@@ -34,6 +34,7 @@
 
 #include "comm/collectives.hpp"
 #include "comm/ops.hpp"
+#include "obs/trace.hpp"
 #include "embed/dist_matrix.hpp"
 #include "embed/dist_vector.hpp"
 
@@ -72,6 +73,7 @@ template <class T, class Op>
 [[nodiscard]] DistVector<T> reduce_rows(const DistMatrix<T>& A, Op op) {
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "reduce_rows");
   DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
@@ -94,6 +96,7 @@ template <class T, class Op>
 [[nodiscard]] DistVector<T> reduce_cols(const DistMatrix<T>& A, Op op) {
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "reduce_cols");
   DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
@@ -123,6 +126,7 @@ template <class T>
               "distribute_rows needs a Cols-aligned vector");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "distribute_rows");
   DistMatrix<T> out(grid, nrows, v.n(), MatrixLayout{rows_part, v.part()});
   cube.compute(out.max_block(), nrows * v.n(), [&](proc_t q) {
     const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
@@ -144,6 +148,7 @@ template <class T>
               "distribute_cols needs a Rows-aligned vector");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "distribute_cols");
   DistMatrix<T> out(grid, v.n(), ncols, MatrixLayout{v.part(), cols_part});
   cube.compute(out.max_block(), v.n() * ncols, [&](proc_t q) {
     const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
@@ -167,6 +172,7 @@ template <class T>
   VMP_REQUIRE(i < A.nrows(), "row index out of range");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "extract_row");
   DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
@@ -191,6 +197,7 @@ template <class T>
   VMP_REQUIRE(j < A.ncols(), "column index out of range");
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "extract_col");
   DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
@@ -220,6 +227,7 @@ void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
   VMP_REQUIRE(i < A.nrows(), "row index out of range");
   detail::require_cols_aligned(A, v);
   Grid& grid = A.grid();
+  VMP_TRACE(grid.cube(), "insert_row");
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
   const std::size_t max_piece =
@@ -239,6 +247,7 @@ void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
   VMP_REQUIRE(j < A.ncols(), "column index out of range");
   detail::require_rows_aligned(A, v);
   Grid& grid = A.grid();
+  VMP_TRACE(grid.cube(), "insert_col");
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
   const std::size_t max_piece =
@@ -263,6 +272,7 @@ void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
   VMP_REQUIRE(lo <= hi && hi <= A.ncols(), "bad column range");
   detail::require_cols_aligned(A, v);
   Grid& grid = A.grid();
+  VMP_TRACE(grid.cube(), "insert_row_range");
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
   const std::size_t max_piece =
@@ -290,6 +300,7 @@ void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
   VMP_REQUIRE(lo <= hi && hi <= A.nrows(), "bad row range");
   detail::require_rows_aligned(A, v);
   Grid& grid = A.grid();
+  VMP_TRACE(grid.cube(), "insert_col_range");
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
   const std::size_t max_piece =

@@ -13,6 +13,7 @@
 
 #include "comm/collectives.hpp"
 #include "embed/dist_vector.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
@@ -24,6 +25,7 @@ template <class T>
                                     Part target_part = Part::Block) {
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
+  VMP_TRACE(cube, "realign");
   if (target == Align::Linear) target_part = Part::Block;
 
   DistVector<T> out(grid, v.n(), target, target_part);

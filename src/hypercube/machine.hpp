@@ -115,7 +115,7 @@ class Cube {
       if (!in.empty())
         recv(static_cast<proc_t>(q), std::span<const T>(in.data(), in.size()));
     });
-    clock_.charge_comm_step(max_elems, messages, total);
+    clock_.charge_comm_step(max_elems, messages, total, d);
   }
 
   /// One lockstep ALL-PORT communication round: several cube dimensions are
@@ -162,7 +162,8 @@ class Cube {
                std::span<const T>(in.data(), in.size()));
       }
     });
-    clock_.charge_comm_step(max_port, messages, total);
+    clock_.charge_comm_step(max_port, messages, total,
+                            nd == 1 ? dims[0] : -1);
   }
 
   /// One lockstep irregular round: every processor may exchange with ONE

@@ -2,37 +2,67 @@
 
 namespace vmp {
 
+SimStats operator-(const SimStats& a, const SimStats& b) {
+  SimStats d;
+  d.comm_steps = a.comm_steps - b.comm_steps;
+  d.messages = a.messages - b.messages;
+  d.elements_moved = a.elements_moved - b.elements_moved;
+  d.elements_serial = a.elements_serial - b.elements_serial;
+  d.flops_charged = a.flops_charged - b.flops_charged;
+  d.flops_total = a.flops_total - b.flops_total;
+  d.router_packets = a.router_packets - b.router_packets;
+  d.router_hops = a.router_hops - b.router_hops;
+  return d;
+}
+
 void SimClock::charge_comm_step(std::size_t max_elems, std::size_t messages,
-                                std::size_t total_elems) {
+                                std::size_t total_elems, int dim) {
   const double dt =
       params_.startup_us + static_cast<double>(max_elems) * params_.per_elem_us;
+  const double t0 = now_us_;
   now_us_ += dt;
   comm_us_ += dt;
   stats_.comm_steps += 1;
   stats_.messages += messages;
   stats_.elements_moved += total_elems;
   stats_.elements_serial += max_elems;
+  tracer_.on_charge(ChargeKind::Comm, t0, dt, dim, messages, total_elems,
+                    max_elems, 0, 0, 0);
 }
 
 void SimClock::charge_compute_step(std::uint64_t max_flops,
                                    std::uint64_t total_flops) {
   const double dt = static_cast<double>(max_flops) * params_.flop_us;
+  const double t0 = now_us_;
   now_us_ += dt;
   compute_us_ += dt;
   stats_.flops_charged += max_flops;
   stats_.flops_total += total_flops;
+  tracer_.on_charge(ChargeKind::Compute, t0, dt, -1, 0, 0, 0, max_flops,
+                    total_flops, 0);
 }
 
 void SimClock::charge_router_cycle(std::size_t packets_in_flight) {
   const double dt = params_.router_startup_us + params_.per_elem_us;
+  const double t0 = now_us_;
   now_us_ += dt;
   router_us_ += dt;
   stats_.router_hops += packets_in_flight;
+  tracer_.on_charge(ChargeKind::Router, t0, dt, -1, 0, 0, 0, 0, 0,
+                    packets_in_flight);
+}
+
+void SimClock::charge_us(double us) {
+  const double t0 = now_us_;
+  now_us_ += us;
+  host_us_ += us;
+  tracer_.on_charge(ChargeKind::Host, t0, us, -1, 0, 0, 0, 0, 0, 0);
 }
 
 void SimClock::reset() {
-  now_us_ = comm_us_ = compute_us_ = router_us_ = 0.0;
+  now_us_ = comm_us_ = compute_us_ = router_us_ = host_us_ = 0.0;
   stats_ = SimStats{};
+  tracer_.reset();
 }
 
 }  // namespace vmp

@@ -7,13 +7,23 @@
 /// the largest transfer any processor performs in that step; each compute
 /// step advances it by `f·t_a` where `f` is the largest per-processor flop
 /// count.  The clock also accumulates traffic statistics used by the
-/// benchmark harness and by asymptotic property tests.
+/// benchmark harness and by asymptotic property tests, and feeds every
+/// charge to its Tracer (obs/tracer.hpp) so the charge is attributed to
+/// the innermost open trace region.
+///
+/// Decomposition invariant, asserted by tests/test_accounting.cpp:
+///
+///     now_us() == comm_us() + compute_us() + router_us() + host_us()
+///
+/// holds to floating-point round-off — every charge lands in exactly one
+/// bucket.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "hypercube/cost_model.hpp"
+#include "obs/tracer.hpp"
 
 namespace vmp {
 
@@ -29,7 +39,12 @@ struct SimStats {
   std::uint64_t router_packets = 0;  ///< packets pushed through the general
                                      ///< router (naive path only)
   std::uint64_t router_hops = 0;     ///< packet-hops through the router
+
+  bool operator==(const SimStats&) const = default;
 };
+
+/// Field-wise difference of two counter snapshots (later minus earlier).
+[[nodiscard]] SimStats operator-(const SimStats& a, const SimStats& b);
 
 /// The simulated clock.  Owned by the Cube; all collectives charge it.
 class SimClock {
@@ -38,8 +53,12 @@ class SimClock {
 
   /// One lockstep cube-edge communication round: `max_elems` is the largest
   /// per-processor transfer, `messages`/`total_elems` feed the statistics.
+  /// `dim` is the cube dimension the round crossed (-1 when the round spans
+  /// several dimensions at once — all-port, irregular neighbor exchanges —
+  /// or models front-end traffic); it feeds the tracer's per-dimension
+  /// traffic histogram only, never the cost.
   void charge_comm_step(std::size_t max_elems, std::size_t messages,
-                        std::size_t total_elems);
+                        std::size_t total_elems, int dim = -1);
 
   /// One lockstep compute round: `max_flops` per-processor bound,
   /// `total_flops` over all processors.
@@ -50,8 +69,9 @@ class SimClock {
   /// transfer time.  `packets_in_flight` feeds the statistics.
   void charge_router_cycle(std::size_t packets_in_flight);
 
-  /// Explicit extra latency (e.g. host interaction modelled as free: 0).
-  void charge_us(double us) { now_us_ += us; }
+  /// Explicit extra latency charged to the host bucket (front-end work the
+  /// machine model does not otherwise price).
+  void charge_us(double us);
 
   /// Statistics-only: record packets injected into the general router.
   void note_router_packets(std::size_t n) { stats_.router_packets += n; }
@@ -60,10 +80,16 @@ class SimClock {
   [[nodiscard]] double comm_us() const { return comm_us_; }
   [[nodiscard]] double compute_us() const { return compute_us_; }
   [[nodiscard]] double router_us() const { return router_us_; }
+  [[nodiscard]] double host_us() const { return host_us_; }
   [[nodiscard]] const SimStats& stats() const { return stats_; }
   [[nodiscard]] const CostParams& params() const { return params_; }
 
-  /// Reset time and statistics to zero (cost parameters are kept).
+  /// Per-region cost attribution (see obs/tracer.hpp, obs/trace.hpp).
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Reset time, statistics and trace data to zero (cost parameters are
+  /// kept; open trace regions stay open, re-stamped to time 0).
   void reset();
 
  private:
@@ -72,22 +98,59 @@ class SimClock {
   double comm_us_ = 0.0;
   double compute_us_ = 0.0;
   double router_us_ = 0.0;
+  double host_us_ = 0.0;
   SimStats stats_;
+  Tracer tracer_;
 };
 
-/// RAII stopwatch over a SimClock: records the simulated time elapsed
-/// between construction and `elapsed_us()` calls.
+/// Simulated time and bucket/counter deltas over a SimTimer window.
+struct SimSpan {
+  double us = 0.0;
+  double comm_us = 0.0;
+  double compute_us = 0.0;
+  double router_us = 0.0;
+  double host_us = 0.0;
+  SimStats stats;  ///< counter deltas over the window
+};
+
+/// RAII stopwatch over a SimClock: snapshots time, buckets and statistics
+/// at construction and reports the deltas accumulated since.
 class SimTimer {
  public:
   explicit SimTimer(const SimClock& clock)
-      : clock_(&clock), start_us_(clock.now_us()) {}
+      : clock_(&clock),
+        start_us_(clock.now_us()),
+        start_comm_us_(clock.comm_us()),
+        start_compute_us_(clock.compute_us()),
+        start_router_us_(clock.router_us()),
+        start_host_us_(clock.host_us()),
+        start_stats_(clock.stats()) {}
+
   [[nodiscard]] double elapsed_us() const {
     return clock_->now_us() - start_us_;
+  }
+  /// Counter deltas (messages / elements / flops / …) since construction.
+  [[nodiscard]] SimStats stats_delta() const {
+    return clock_->stats() - start_stats_;
+  }
+  /// Full per-scope delta: elapsed time, bucket split, and counters.
+  [[nodiscard]] SimSpan span() const {
+    return SimSpan{elapsed_us(),
+                   clock_->comm_us() - start_comm_us_,
+                   clock_->compute_us() - start_compute_us_,
+                   clock_->router_us() - start_router_us_,
+                   clock_->host_us() - start_host_us_,
+                   stats_delta()};
   }
 
  private:
   const SimClock* clock_;
   double start_us_;
+  double start_comm_us_;
+  double start_compute_us_;
+  double start_router_us_;
+  double start_host_us_;
+  SimStats start_stats_;
 };
 
 }  // namespace vmp

@@ -1,0 +1,105 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace vmp {
+
+namespace {
+
+/// One renderable trace record: a region slice or a machine-step slice.
+struct Record {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::uint32_t order = 0;  ///< tie-break: smaller = encloses (emitted first)
+  bool is_span = false;
+  std::uint32_t path_id = 0;
+  const TraceEvent* ev = nullptr;
+};
+
+std::string leaf_name(const std::string& path) {
+  const std::size_t cut = path.rfind('/');
+  return cut == std::string::npos ? path : path.substr(cut + 1);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SimClock& clock) {
+  using obs_detail::json_double;
+  using obs_detail::json_string;
+  const Tracer& tr = clock.tracer();
+
+  std::vector<Record> recs;
+  recs.reserve(tr.spans().size() + tr.events().size());
+  for (const RegionSpan& s : tr.spans()) {
+    recs.push_back(Record{s.begin_us, s.end_us - s.begin_us, s.depth, true,
+                          s.path_id, nullptr});
+  }
+  for (const TraceEvent& e : tr.events()) {
+    // Machine steps are leaves: order below any region depth in use.
+    recs.push_back(Record{e.ts_us, e.dur_us,
+                          std::numeric_limits<std::uint32_t>::max(), false,
+                          e.path_id, &e});
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.order < b.order;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Track names (metadata events carry no timestamp of their own).
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"vmp simulated machine\"}},";
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"regions\"}},";
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"machine steps\"}}";
+
+  for (const Record& r : recs) {
+    const std::string& path =
+        r.path_id < tr.paths().size() ? tr.paths()[r.path_id] : std::string();
+    out += ",{\"ph\":\"X\",\"pid\":0";
+    out += ",\"ts\":" + json_double(r.ts);
+    out += ",\"dur\":" + json_double(r.dur);
+    if (r.is_span) {
+      out += ",\"tid\":0,\"cat\":\"region\"";
+      out += ",\"name\":" + json_string(leaf_name(path));
+      out += ",\"args\":{\"path\":" + json_string(path) + "}";
+    } else {
+      const TraceEvent& e = *r.ev;
+      std::string name = to_string(e.kind);
+      if (e.kind == ChargeKind::Comm && e.dim >= 0)
+        name += "(d" + std::to_string(e.dim) + ")";
+      out += ",\"tid\":1,\"cat\":\"step\"";
+      out += ",\"name\":" + json_string(name);
+      out += ",\"args\":{\"path\":" + json_string(path);
+      out += ",\"messages\":" + std::to_string(e.messages);
+      out += ",\"elements\":" + std::to_string(e.elements);
+      out += ",\"flops\":" + std::to_string(e.flops);
+      out += ",\"packets\":" + std::to_string(e.packets);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const SimClock& clock) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string doc = chrome_trace_json(clock);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace vmp

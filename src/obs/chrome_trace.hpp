@@ -1,0 +1,32 @@
+/// \file chrome_trace.hpp
+/// \brief Export the tracer's event log as Chrome `trace_event` JSON.
+///
+/// The output loads in Perfetto (ui.perfetto.dev) or chrome://tracing and
+/// shows the *simulated* timeline of the machine: one track of nested
+/// region slices (the algorithm/primitive/collective hierarchy) and one
+/// track of individual machine steps (comm rounds tagged with their cube
+/// dimension, compute rounds, router cycles).  Timestamps are simulated
+/// microseconds since the last clock reset; events are emitted sorted by
+/// timestamp (ties: enclosing slices first) so consumers see a
+/// monotonically non-decreasing "ts" sequence.
+///
+/// Event-log recording is off by default; enable it before the run:
+///
+///     cube.clock().tracer().set_recording(true);
+///     ... run the algorithm ...
+///     write_chrome_trace("trace.json", cube.clock());
+#pragma once
+
+#include <string>
+
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+/// Render the recorded events as a Chrome trace_event JSON document.
+[[nodiscard]] std::string chrome_trace_json(const SimClock& clock);
+
+/// Convenience: render and write to `path`.  Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const SimClock& clock);
+
+}  // namespace vmp

@@ -1,0 +1,153 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace vmp {
+
+namespace obs_detail {
+
+std::string json_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  std::string s(buf, end);
+  // to_chars emits the shortest round-trip form, which is always a valid
+  // JSON number (no inf/nan reach this point).
+  return s;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_profile_fields(std::string& out, const RegionProfile& p) {
+  out += "\"comm_us\":" + json_double(p.comm_us);
+  out += ",\"compute_us\":" + json_double(p.compute_us);
+  out += ",\"router_us\":" + json_double(p.router_us);
+  out += ",\"host_us\":" + json_double(p.host_us);
+  out += ",\"total_us\":" + json_double(p.total_us());
+  out += ",\"comm_steps\":" + std::to_string(p.comm_steps);
+  out += ",\"messages\":" + std::to_string(p.messages);
+  out += ",\"elements_moved\":" + std::to_string(p.elements_moved);
+  out += ",\"elements_serial\":" + std::to_string(p.elements_serial);
+  out += ",\"flops_charged\":" + std::to_string(p.flops_charged);
+  out += ",\"flops_total\":" + std::to_string(p.flops_total);
+  out += ",\"router_cycles\":" + std::to_string(p.router_cycles);
+  out += ",\"router_hops\":" + std::to_string(p.router_hops);
+  out += ",\"dim_elements\":[";
+  for (std::size_t d = 0; d < p.dim_elements.size(); ++d) {
+    if (d > 0) out += ',';
+    out += std::to_string(p.dim_elements[d]);
+  }
+  out += "]";
+  out += ",\"mixed_dim_elements\":" + std::to_string(p.mixed_dim_elements);
+}
+
+}  // namespace
+}  // namespace obs_detail
+
+std::string profile_to_json(const SimClock& clock) {
+  using obs_detail::append_profile_fields;
+  using obs_detail::json_double;
+  using obs_detail::json_string;
+
+  std::string out = "{\"schema\":\"vmp-profile-v1\"";
+  const CostParams& cp = clock.params();
+  out += ",\"cost_model\":{\"name\":" + json_string(cp.name);
+  out += ",\"startup_us\":" + json_double(cp.startup_us);
+  out += ",\"per_elem_us\":" + json_double(cp.per_elem_us);
+  out += ",\"flop_us\":" + json_double(cp.flop_us);
+  out += ",\"router_startup_us\":" + json_double(cp.router_startup_us);
+  out += "}";
+  out += ",\"totals\":{";
+  out += "\"now_us\":" + json_double(clock.now_us());
+  out += ",\"comm_us\":" + json_double(clock.comm_us());
+  out += ",\"compute_us\":" + json_double(clock.compute_us());
+  out += ",\"router_us\":" + json_double(clock.router_us());
+  out += ",\"host_us\":" + json_double(clock.host_us());
+  const SimStats& st = clock.stats();
+  out += ",\"comm_steps\":" + std::to_string(st.comm_steps);
+  out += ",\"messages\":" + std::to_string(st.messages);
+  out += ",\"elements_moved\":" + std::to_string(st.elements_moved);
+  out += ",\"elements_serial\":" + std::to_string(st.elements_serial);
+  out += ",\"flops_charged\":" + std::to_string(st.flops_charged);
+  out += ",\"flops_total\":" + std::to_string(st.flops_total);
+  out += ",\"router_packets\":" + std::to_string(st.router_packets);
+  out += ",\"router_hops\":" + std::to_string(st.router_hops);
+  out += "},\"regions\":[";
+
+  const auto& self = clock.tracer().self_profiles();
+  const auto inclusive = clock.tracer().inclusive_profiles();
+  bool first = true;
+  for (const auto& [path, total] : inclusive) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":" + json_string(path);
+    out += ",\"self\":{";
+    const auto it = self.find(path);
+    append_profile_fields(out, it != self.end() ? it->second
+                                                : RegionProfile{});
+    out += "},\"total\":{";
+    append_profile_fields(out, total);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string profile_to_table(const SimClock& clock) {
+  const auto inclusive = clock.tracer().inclusive_profiles();
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %12s %12s %12s %12s %12s %10s %12s\n",
+                "region", "total_us", "comm_us", "compute_us", "router_us",
+                "host_us", "startups", "elements");
+  os << line;
+  for (const auto& [path, p] : inclusive) {
+    std::size_t depth = 0;
+    for (const char c : path) depth += (c == '/') ? 1 : 0;
+    std::string label(2 * depth, ' ');
+    const std::size_t cut = path.rfind('/');
+    label += path.empty() ? "(outside regions)"
+                          : path.substr(cut == std::string::npos ? 0 : cut + 1);
+    std::snprintf(line, sizeof(line),
+                  "%-44s %12.2f %12.2f %12.2f %12.2f %12.2f %10llu %12llu\n",
+                  label.c_str(), p.total_us(), p.comm_us, p.compute_us,
+                  p.router_us, p.host_us,
+                  static_cast<unsigned long long>(p.comm_steps),
+                  static_cast<unsigned long long>(p.elements_moved));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-44s %12.2f %12.2f %12.2f %12.2f %12.2f\n", "TOTAL",
+                clock.now_us(), clock.comm_us(), clock.compute_us(),
+                clock.router_us(), clock.host_us());
+  os << line;
+  return os.str();
+}
+
+}  // namespace vmp

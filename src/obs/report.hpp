@@ -1,0 +1,46 @@
+/// \file report.hpp
+/// \brief Serialize per-region profiles: JSON (schema "vmp-profile-v1")
+///        and a pretty text table.
+///
+/// The JSON document carries the global SimClock totals plus one entry per
+/// region path with both the *self* profile (charges issued while that
+/// region was innermost) and the *total* (inclusive) profile (self plus
+/// all descendants).  Summing the self buckets over every region — the ""
+/// path collects charges issued outside any region — reproduces the global
+/// totals exactly; tests enforce this to 1e-9 relative.
+///
+/// Schema (vmp-profile-v1):
+///   {
+///     "schema": "vmp-profile-v1",
+///     "cost_model": "<preset name>",
+///     "totals": { "now_us", "comm_us", "compute_us", "router_us",
+///                 "host_us", "comm_steps", "messages", "elements_moved",
+///                 "elements_serial", "flops_charged", "flops_total",
+///                 "router_packets", "router_hops" },
+///     "regions": [ { "path", "self": {<buckets+counters+dim_elements>},
+///                    "total": {…} }, … ]   // sorted by path
+///   }
+#pragma once
+
+#include <string>
+
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+/// JSON profile of everything charged to `clock` since its last reset.
+[[nodiscard]] std::string profile_to_json(const SimClock& clock);
+
+/// Human-readable table: one row per region (indented by nesting depth),
+/// inclusive µs split into comm/compute/router/host plus key counters.
+[[nodiscard]] std::string profile_to_table(const SimClock& clock);
+
+namespace obs_detail {
+/// Format a double for JSON: shortest round-trip representation, always
+/// valid JSON (no inf/nan — callers never produce them from the clock).
+[[nodiscard]] std::string json_double(double v);
+/// Escape a string for embedding in a JSON document (quotes included).
+[[nodiscard]] std::string json_string(const std::string& s);
+}  // namespace obs_detail
+
+}  // namespace vmp

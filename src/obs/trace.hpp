@@ -1,0 +1,50 @@
+/// \file trace.hpp
+/// \brief RAII trace regions: `VMP_TRACE(cube, "reduce_rows");` attributes
+///        every clock charge inside the scope to that region.
+///
+/// Regions nest — a primitive called from an algorithm shows up as
+/// "algorithm/primitive/collective" in the profile — and closing is
+/// automatic at scope exit, so early returns and exceptions cannot leave
+/// the region stack unbalanced.  The owner argument may be a SimClock or
+/// anything with a clock() accessor (a Cube).
+#pragma once
+
+#include <concepts>
+#include <string_view>
+
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+/// Opens a region on construction, closes it on destruction.  Prefer the
+/// VMP_TRACE macro, which names the variable for you.
+class TraceRegion {
+ public:
+  TraceRegion(SimClock& clock, std::string_view name) : clock_(&clock) {
+    clock_->tracer().push_region(name, clock_->now_us());
+  }
+  template <class ClockOwner>
+    requires requires(ClockOwner& c) {
+      { c.clock() } -> std::convertible_to<SimClock&>;
+    }
+  TraceRegion(ClockOwner& owner, std::string_view name)
+      : TraceRegion(owner.clock(), name) {}
+
+  TraceRegion(const TraceRegion&) = delete;
+  TraceRegion& operator=(const TraceRegion&) = delete;
+
+  ~TraceRegion() { clock_->tracer().pop_region(clock_->now_us()); }
+
+ private:
+  SimClock* clock_;
+};
+
+}  // namespace vmp
+
+#define VMP_TRACE_CONCAT2(a, b) a##b
+#define VMP_TRACE_CONCAT(a, b) VMP_TRACE_CONCAT2(a, b)
+
+/// Open a trace region for the rest of the enclosing scope.
+/// `owner` is a SimClock or a Cube; `name` a string literal without '/'.
+#define VMP_TRACE(owner, name) \
+  ::vmp::TraceRegion VMP_TRACE_CONCAT(vmp_trace_region_, __LINE__)(owner, name)

@@ -1,0 +1,138 @@
+#include "obs/tracer.hpp"
+
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+const char* to_string(ChargeKind k) {
+  switch (k) {
+    case ChargeKind::Comm: return "comm";
+    case ChargeKind::Compute: return "compute";
+    case ChargeKind::Router: return "router";
+    case ChargeKind::Host: return "host";
+  }
+  return "?";
+}
+
+void RegionProfile::add(const RegionProfile& o) {
+  comm_us += o.comm_us;
+  compute_us += o.compute_us;
+  router_us += o.router_us;
+  host_us += o.host_us;
+  comm_steps += o.comm_steps;
+  messages += o.messages;
+  elements_moved += o.elements_moved;
+  elements_serial += o.elements_serial;
+  flops_charged += o.flops_charged;
+  flops_total += o.flops_total;
+  router_cycles += o.router_cycles;
+  router_hops += o.router_hops;
+  if (dim_elements.size() < o.dim_elements.size())
+    dim_elements.resize(o.dim_elements.size(), 0);
+  for (std::size_t d = 0; d < o.dim_elements.size(); ++d)
+    dim_elements[d] += o.dim_elements[d];
+  mixed_dim_elements += o.mixed_dim_elements;
+}
+
+void Tracer::push_region(std::string_view name, double now_us) {
+  VMP_REQUIRE(name.find('/') == std::string_view::npos,
+              "region names must not contain '/'");
+  std::string path = cur_path_;
+  if (!path.empty()) path += '/';
+  path.append(name);
+  stack_.push_back(Frame{std::move(path), now_us});
+  refresh_cursor();
+}
+
+void Tracer::pop_region(double now_us) {
+  VMP_REQUIRE(!stack_.empty(), "pop_region with no open region");
+  const Frame& top = stack_.back();
+  if (recording_) {
+    spans_.push_back(RegionSpan{top.begin_us, now_us, intern(top.path),
+                                static_cast<std::uint32_t>(stack_.size() - 1)});
+  }
+  stack_.pop_back();
+  refresh_cursor();
+}
+
+void Tracer::on_charge(ChargeKind kind, double t_begin_us, double dur_us,
+                       int dim, std::uint64_t messages, std::uint64_t elements,
+                       std::uint64_t elements_serial, std::uint64_t flops,
+                       std::uint64_t flops_total, std::uint64_t packets) {
+  if (cur_prof_ == nullptr) cur_prof_ = &self_[cur_path_];
+  RegionProfile& p = *cur_prof_;
+  switch (kind) {
+    case ChargeKind::Comm:
+      p.comm_us += dur_us;
+      p.comm_steps += 1;
+      p.messages += messages;
+      p.elements_moved += elements;
+      p.elements_serial += elements_serial;
+      if (dim >= 0) {
+        if (p.dim_elements.size() <= static_cast<std::size_t>(dim))
+          p.dim_elements.resize(static_cast<std::size_t>(dim) + 1, 0);
+        p.dim_elements[static_cast<std::size_t>(dim)] += elements;
+      } else {
+        p.mixed_dim_elements += elements;
+      }
+      break;
+    case ChargeKind::Compute:
+      p.compute_us += dur_us;
+      p.flops_charged += flops;
+      p.flops_total += flops_total;
+      break;
+    case ChargeKind::Router:
+      p.router_us += dur_us;
+      p.router_cycles += 1;
+      p.router_hops += packets;
+      break;
+    case ChargeKind::Host:
+      p.host_us += dur_us;
+      break;
+  }
+  if (recording_) {
+    events_.push_back(TraceEvent{t_begin_us, dur_us, kind, dim, messages,
+                                 elements, flops, packets,
+                                 intern(cur_path_)});
+  }
+}
+
+std::map<std::string, RegionProfile> Tracer::inclusive_profiles() const {
+  std::map<std::string, RegionProfile> inc;
+  for (const auto& [path, prof] : self_) {
+    if (path.empty()) {
+      inc[path].add(prof);
+      continue;
+    }
+    // Credit every ancestor prefix, including the path itself.
+    for (std::size_t pos = 0; pos != std::string::npos;) {
+      pos = path.find('/', pos + 1);
+      inc[path.substr(0, pos)].add(prof);
+    }
+  }
+  return inc;
+}
+
+void Tracer::reset() {
+  self_.clear();
+  cur_prof_ = nullptr;
+  events_.clear();
+  spans_.clear();
+  paths_.clear();
+  path_ids_.clear();
+  for (Frame& f : stack_) f.begin_us = 0.0;
+}
+
+std::uint32_t Tracer::intern(const std::string& path) {
+  const auto [it, inserted] =
+      path_ids_.emplace(path, static_cast<std::uint32_t>(paths_.size()));
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+void Tracer::refresh_cursor() {
+  cur_path_ = stack_.empty() ? std::string() : stack_.back().path;
+  cur_prof_ = nullptr;  // re-resolved lazily on the next charge
+}
+
+}  // namespace vmp

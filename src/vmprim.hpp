@@ -10,6 +10,11 @@
 #include "hypercube/partition.hpp"     // IWYU pragma: export
 #include "hypercube/sim_clock.hpp"     // IWYU pragma: export
 
+#include "obs/tracer.hpp"              // IWYU pragma: export
+#include "obs/trace.hpp"               // IWYU pragma: export
+#include "obs/report.hpp"              // IWYU pragma: export
+#include "obs/chrome_trace.hpp"        // IWYU pragma: export
+
 #include "comm/allport.hpp"            // IWYU pragma: export
 #include "comm/collectives.hpp"        // IWYU pragma: export
 #include "comm/dist_buffer.hpp"        // IWYU pragma: export

@@ -16,19 +16,59 @@
 namespace vmp {
 namespace {
 
-TEST(Accounting, TimeDecomposesIntoCommComputeRouter) {
+TEST(Accounting, TimeDecomposesIntoCommComputeRouterHost) {
   Cube cube(4, CostParams::cm2());
   Grid grid(cube, 2, 2);
   DistMatrix<double> A(grid, 32, 32, MatrixLayout::cyclic());
   A.load(random_matrix(32, 32, 1));
   const std::vector<double> b = random_vector(32, 2);
   (void)gauss_solve(A, b);
+  cube.clock().charge_us(3.5);  // explicit front-end latency
   const SimClock& c = cube.clock();
-  EXPECT_NEAR(c.now_us(), c.comm_us() + c.compute_us() + c.router_us(),
-              1e-6 * c.now_us());
+  EXPECT_NEAR(c.now_us(),
+              c.comm_us() + c.compute_us() + c.router_us() + c.host_us(),
+              1e-9 * c.now_us());
   EXPECT_GT(c.comm_us(), 0.0);
   EXPECT_GT(c.compute_us(), 0.0);
   EXPECT_EQ(c.router_us(), 0.0) << "optimized path never uses the router";
+  EXPECT_DOUBLE_EQ(c.host_us(), 3.5);
+}
+
+TEST(Accounting, ChargeUsLandsInTheHostBucketNotElsewhere) {
+  Cube cube(2, CostParams::unit());
+  SimClock& c = cube.clock();
+  c.charge_us(7.25);
+  EXPECT_DOUBLE_EQ(c.now_us(), 7.25);
+  EXPECT_DOUBLE_EQ(c.host_us(), 7.25);
+  EXPECT_DOUBLE_EQ(c.comm_us(), 0.0);
+  EXPECT_DOUBLE_EQ(c.compute_us(), 0.0);
+  EXPECT_DOUBLE_EQ(c.router_us(), 0.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.host_us(), 0.0);
+  EXPECT_DOUBLE_EQ(c.now_us(), 0.0);
+}
+
+TEST(Accounting, SimTimerReportsPerScopeDeltas) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistMatrix<double> A(grid, 32, 32);
+  A.load(random_matrix(32, 32, 14));
+  (void)reduce_rows(A, Plus<double>{});  // pre-existing charges
+
+  const SimTimer timer(cube.clock());
+  const SimStats before = cube.clock().stats();
+  (void)reduce_rows(A, Plus<double>{});
+  const SimSpan span = timer.span();
+  EXPECT_GT(span.us, 0.0);
+  EXPECT_NEAR(span.us,
+              span.comm_us + span.compute_us + span.router_us + span.host_us,
+              1e-9 * span.us);
+  const SimStats delta = timer.stats_delta();
+  EXPECT_EQ(delta.comm_steps,
+            cube.clock().stats().comm_steps - before.comm_steps);
+  EXPECT_GT(delta.messages, 0u);
+  EXPECT_GT(delta.flops_charged, 0u);
+  EXPECT_EQ(delta.router_hops, 0u);
 }
 
 TEST(Accounting, SimulatedTimeIsMonotone) {
