@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                 const double serial_us = serial_charge(H);
 
                 Cube cube(d, CostParams::cm2());
+                if (h.faults()) cube.enable_faults(h.fault_plan());
                 Grid grid = Grid::square(cube);
                 DistMatrix<double> A(grid, n, n, layout);
                 A.load(H.data());
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
             const std::vector<double> b = random_vector(n, 43);
 
             Cube cube(6, CostParams::cm2());
+            if (h.faults()) cube.enable_faults(h.fault_plan());
             Grid grid = Grid::square(cube);
             DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
             A.load(H.data());

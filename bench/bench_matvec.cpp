@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
         h.run("matvec_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},
               [&](bench::Case& c) {
                 Cube cube(d, preset(costs));
+                if (h.faults()) cube.enable_faults(h.fault_plan());
                 Grid grid = Grid::square(cube);
                 DistMatrix<double> A(grid, n, n);
                 A.load(random_matrix(n, n, 31));
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
         h.run("vecmat_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},
               [&](bench::Case& c) {
                 Cube cube(d, preset(costs));
+                if (h.faults()) cube.enable_faults(h.fault_plan());
                 Grid grid = Grid::square(cube);
                 DistMatrix<double> A(grid, n, n);
                 A.load(random_matrix(n, n, 33));

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
       h.run("reduce_rows", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               (void)reduce_rows(f.A, Plus<double>{});
               finish(c, f.cube, n);
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
       h.run("reduce_cols", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               (void)reduce_cols(f.A, Plus<double>{});
               finish(c, f.cube, n);
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
             {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               (void)distribute_rows(f.v, n);
               finish(c, f.cube, n);
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
       h.run("extract_row", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               (void)extract_row(f.A, n / 2);
               finish(c, f.cube, n);
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
       h.run("extract_col", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               (void)extract_col(f.A, n / 2);
               finish(c, f.cube, n);
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
       h.run("insert_row", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
               f.cube.clock().reset();
               insert_row(f.A, n / 2, f.v);
               finish(c, f.cube, n);

@@ -18,6 +18,14 @@
 ///   --filter=SUBSTR  run only cases whose full name contains SUBSTR
 ///   --json=PATH      output path (default BENCH_<name>.json in the CWD)
 ///   --list           print case names without running them
+///   --faults[=SEED]  run under a standard transient fault plan (drops,
+///                    corruption, latency spikes; see Harness::fault_plan);
+///                    benches that honor it attach the plan to their cube
+///                    so recovery costs land in the reported profiles
+///
+/// The effective base seed (VMP_SEED env or the default) is printed at
+/// start-up and recorded in the JSON document, so any randomized run can
+/// be reproduced from its log.
 ///
 /// Usage:
 ///
@@ -45,7 +53,9 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/report.hpp"
+#include "util/rng.hpp"
 
 namespace vmp::bench {
 
@@ -80,10 +90,28 @@ class Harness {
  public:
   Harness(std::string name, int argc, char** argv) : name_(std::move(name)) {
     json_path_ = "BENCH_" + name_ + ".json";
+    seed_ = global_seed();
+    fault_seed_ = seed_;
     for (int i = 1; i < argc; ++i) parse_flag(argv[i]);
+    if (!list_) (void)announce_seed(name_.c_str());
   }
 
   [[nodiscard]] bool quick() const { return quick_; }
+
+  /// Base seed of this run (VMP_SEED env override, else the default).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// True when --faults was given: the bench should attach fault_plan() to
+  /// its cube(s) so the run exercises the recovery path.
+  [[nodiscard]] bool faults() const { return faults_; }
+
+  /// The standard transient plan benches run under --faults: 2% drops,
+  /// 1% corruption, 0.5% latency spikes of 25 µs — well inside the default
+  /// recovery budget, so results stay bit-identical while retry/reroute
+  /// costs appear in the profiles.
+  [[nodiscard]] FaultPlan fault_plan() const {
+    return FaultPlan::transient(fault_seed_, 0.02, 0.01, 0.005, 25.0);
+  }
 
   /// The cube-dimension sweep: --dims wins, then --quick's reduced list,
   /// then the full list.
@@ -188,10 +216,16 @@ class Harness {
       filter_ = f.substr(9);
     } else if (starts("--json=")) {
       json_path_ = f.substr(7);
+    } else if (f == "--faults") {
+      faults_ = true;
+    } else if (starts("--faults=")) {
+      faults_ = true;
+      fault_seed_ = static_cast<std::uint64_t>(std::atoll(f.c_str() + 9));
     } else if (f == "--help" || f == "-h") {
       std::printf(
           "%s [--dims=a,b] [--sizes=a,b] [--trials=N] [--warmup=N]\n"
-          "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n",
+          "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n"
+          "  [--faults[=SEED]]\n",
           name_.c_str());
       std::exit(0);
     } else {
@@ -230,6 +264,8 @@ class Harness {
     out += ",\"quick\":" + std::string(quick_ ? "true" : "false");
     out += ",\"trials\":" + std::to_string(trials_);
     out += ",\"warmup\":" + std::to_string(warmup_);
+    out += ",\"seed\":" + std::to_string(seed_);
+    out += ",\"faults\":" + std::string(faults_ ? "true" : "false");
     out += ",\"cases\":[";
     bool first_case = true;
     for (const Result& r : results_) {
@@ -277,6 +313,9 @@ class Harness {
   int warmup_ = 0;
   bool quick_ = false;
   bool list_ = false;
+  bool faults_ = false;
+  std::uint64_t seed_ = 0;
+  std::uint64_t fault_seed_ = 0;
   std::vector<Result> results_;
 };
 

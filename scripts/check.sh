@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
 # Full repository verification:
-#   1. tier-1: configure, build, and run the complete test suite;
+#   1. tier-1: configure, build, run the quick label first (the sub-minute
+#      inner loop), then the complete test suite;
 #   2. an address+undefined sanitizer build of the library, the tracer
 #      test binary and one benchmark, with the tests re-run under ASan/UBSan;
-#   3. one benchmark in --quick mode, with its BENCH_*.json report and the
-#      exported Chrome trace validated against their schemas.
+#   3. one benchmark in --quick mode (plus a --faults rerun), with its
+#      BENCH_*.json report and the exported Chrome trace validated against
+#      their schemas.
 #
-# Usage: scripts/check.sh [--no-sanitize]
+# Usage: scripts/check.sh [--no-sanitize] [--quick-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NO_SANITIZE=0
-[[ "${1:-}" == "--no-sanitize" ]] && NO_SANITIZE=1
+QUICK_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) NO_SANITIZE=1 ;;
+    --quick-only) QUICK_ONLY=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
-echo "== tier-1: build + full test suite =="
+echo "== tier-1: build + test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
+echo "-- quick label (ctest -L quick) --"
+(cd build && ctest -L quick --output-on-failure -j "$(nproc)")
+if [[ "$QUICK_ONLY" == 1 ]]; then
+  echo "== quick checks passed (skipping the rest: --quick-only) =="
+  exit 0
+fi
+echo "-- full suite --"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$NO_SANITIZE" == 0 ]]; then
@@ -33,6 +49,10 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_naive_vs_primitive --quick)
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_gauss --quick)
+# The same primitives under the standard transient fault plan: recovery
+# must stay within budget and the report must carry fault attribution.
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --quick --dims=4 \
+  --sizes=64 --faults --json=BENCH_bench_primitives_faults.json)
 
 python3 - "$workdir" <<'EOF'
 import json, math, sys
@@ -52,7 +72,8 @@ def check_profile(p, where):
     t = p["totals"]
     for k in ("now_us", "comm_us", "compute_us", "router_us", "host_us",
               "comm_steps", "messages", "elements_moved", "flops_charged",
-              "router_hops"):
+              "router_hops", "fault_retries", "fault_chksum_fails",
+              "fault_reroutes"):
         require(k in t, f"{where}: totals.{k}")
     # Conservation: region self buckets must sum to the global totals.
     sums = {k: 0.0 for k in ("comm_us", "compute_us", "router_us", "host_us")}
@@ -72,6 +93,7 @@ require(benches, "no BENCH_*.json written")
 for path in benches:
     d = json.loads(path.read_text())
     require(d["schema"] == "vmp-bench-v1", f"{path.name}: bench schema")
+    require({"seed", "faults"} <= d.keys(), f"{path.name}: seed/faults keys")
     require(d["cases"], f"{path.name}: no cases")
     for case in d["cases"]:
         require({"name", "args", "wall_ms", "counters"} <= case.keys(),

@@ -1,12 +1,24 @@
 #include "comm/router.hpp"
 
 #include <bit>
+#include <string>
 
 #include "hypercube/bits.hpp"
 #include "hypercube/check.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
+
+namespace {
+
+/// A queued packet plus its recovery state: a forced next hop set when the
+/// packet is detouring around a dead link.
+struct RoutedPacket {
+  Packet pk;
+  int force_dim = -1;
+};
+
+}  // namespace
 
 std::uint64_t NaiveRouter::run(
     std::vector<std::vector<Packet>> packets,
@@ -16,7 +28,7 @@ std::uint64_t NaiveRouter::run(
   const proc_t p = cube.procs();
   VMP_REQUIRE(packets.size() == p, "one injection queue per processor");
 
-  std::vector<std::deque<Packet>> queue(p);
+  std::vector<std::deque<RoutedPacket>> queue(p);
   std::size_t in_flight = 0;
   for (proc_t q = 0; q < p; ++q) {
     for (const Packet& pk : packets[q]) {
@@ -24,36 +36,107 @@ std::uint64_t NaiveRouter::run(
       if (pk.dst == q) {
         deliver(q, pk.tag, pk.value);  // already home: no router traffic
       } else {
-        queue[q].push_back(pk);
+        queue[q].push_back(RoutedPacket{pk, -1});
         ++in_flight;
       }
     }
   }
   cube.clock().note_router_packets(in_flight);
 
+  FaultInjector* fi = cube.faults();
   std::uint64_t cycles = 0;
-  std::vector<std::pair<proc_t, Packet>> moves;
+  std::uint64_t stalled_cycles = 0;
+  std::vector<std::pair<proc_t, RoutedPacket>> moves;
   while (in_flight > 0) {
     // One lockstep cycle: every processor forwards the head of its queue
     // one hop along the lowest differing address bit (e-cube routing).
+    const std::uint64_t round = fi ? fi->begin_round() : 0;
     moves.clear();
     for (proc_t q = 0; q < p; ++q) {
       if (queue[q].empty()) continue;
-      Packet pk = queue[q].front();
+      RoutedPacket rp = queue[q].front();
       queue[q].pop_front();
-      const int hop = std::countr_zero(pk.dst ^ q);
-      moves.emplace_back(cube_neighbor(q, hop), pk);
-    }
-    for (const auto& [where, pk] : moves) {
-      if (pk.dst == where) {
-        deliver(where, pk.tag, pk.value);
-        --in_flight;
+      int hop;
+      if (!fi) {
+        hop = std::countr_zero(rp.pk.dst ^ q);
       } else {
-        queue[where].push_back(pk);
+        if (fi->node_dead(round, q) || fi->node_dead(round, rp.pk.dst))
+          throw FaultError("naive router: packet endpoint is a dead node");
+        if (rp.force_dim >= 0) {
+          // Mid-detour: cross the dimension the dead link blocked.  The
+          // force is kept until the hop actually succeeds — a transient
+          // drop below requeues the packet with the force intact.
+          hop = rp.force_dim;
+          if (fi->link_dead(round, q, hop))
+            throw FaultError(
+                "naive router: detour crosses another dead link at "
+                "processor " +
+                std::to_string(q));
+        } else {
+          // Lowest differing bit whose link is live — any differing bit is
+          // still a shortest-path hop, so dodging dead links is free.
+          const std::uint32_t diff = rp.pk.dst ^ q;
+          hop = -1;
+          for (int d = 0; d < cube.dim(); ++d) {
+            if (((diff >> d) & 1u) != 0 && !fi->link_dead(round, q, d)) {
+              hop = d;
+              break;
+            }
+          }
+          if (hop < 0) {
+            // Every remaining shortest-path link is dead (typically the
+            // last hop): detour one live edge sideways, then force the
+            // packet across the blocked dimension from the detour node.
+            const int blocked = std::countr_zero(diff);
+            for (int d = 0; d < cube.dim(); ++d) {
+              if (((diff >> d) & 1u) != 0) continue;
+              if (fi->link_dead(round, q, d)) continue;
+              if (fi->node_dead(round, cube_neighbor(q, d))) continue;
+              hop = d;
+              break;
+            }
+            if (hop < 0)
+              throw FaultError(
+                  "naive router: no live link out of processor " +
+                  std::to_string(q));
+            rp.force_dim = blocked;
+            cube.clock().note_fault_reroute();
+          }
+        }
+        const FaultOutcome oc = fi->decide(round, 0, q, hop);
+        if (oc.drop || oc.corrupt) {
+          // Lost in transit or rejected by the hop checksum: the packet
+          // stays queued and retransmits next cycle (the cycle is still
+          // charged below — retries are never free).
+          if (oc.corrupt) cube.clock().note_fault_chksum_fail();
+          cube.clock().note_fault_retries(1);
+          queue[q].push_back(rp);
+          continue;
+        }
+        if (rp.force_dim == hop) rp.force_dim = -1;  // forced hop succeeded
+      }
+      moves.emplace_back(cube_neighbor(q, hop), rp);
+    }
+    bool delivered_any = false;
+    for (const auto& [where, rp] : moves) {
+      if (rp.pk.dst == where && rp.force_dim < 0) {
+        deliver(where, rp.pk.tag, rp.pk.value);
+        --in_flight;
+        delivered_any = true;
+      } else {
+        queue[where].push_back(rp);
       }
     }
     cube.clock().charge_router_cycle(moves.size());
     ++cycles;
+    stalled_cycles = delivered_any ? 0 : stalled_cycles + 1;
+    if (fi && stalled_cycles >
+                  static_cast<std::uint64_t>(fi->policy().max_retries +
+                                             cube.dim() + 2))
+      throw FaultError(
+          "naive router: fault recovery budget exhausted — no packet "
+          "delivered for " +
+          std::to_string(stalled_cycles) + " cycles");
   }
   return cycles;
 }

@@ -11,8 +11,11 @@
 /// touch (bench_ablation quantifies the cost).
 #pragma once
 
+#include <algorithm>
+
 #include "comm/collectives.hpp"
 #include "embed/dist_vector.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
@@ -65,6 +68,40 @@ template <class T>
                    [&](proc_t q) { return out.map().size(out.rank_of(q)); });
   }
   return out;
+}
+
+/// Graceful embedding remap off a failed node: rebuild the piece the
+/// failed processor held from a surviving replica in its replication
+/// subcube.  This models a hot spare taking over the dead processor's cube
+/// address — call it after the fault plan's node kill is resolved (the
+/// spare is reachable), and the vector is whole again without touching the
+/// host.  The re-replication broadcast is charged to the clock under the
+/// "fault_remap" region, so recovery shows up in profiles like every other
+/// fault cost.
+///
+/// Linear vectors carry no replicas; their lost piece is unrecoverable and
+/// the remap throws FaultError (degrade with a clear error, not silently
+/// wrong data).
+template <class T>
+void remap_off_failed(DistVector<T>& v, proc_t failed) {
+  Grid& grid = v.grid();
+  Cube& cube = grid.cube();
+  VMP_REQUIRE(failed < cube.procs(), "failed processor id out of range");
+  VMP_TRACE(cube, "fault_remap");
+  const SubcubeSet rep = v.replicated_over();
+  if (rep.k() == 0)
+    throw FaultError(
+        "remap_off_failed: vector is not replicated (Linear embedding) — "
+        "the failed node's piece has no surviving copy");
+  // Deterministic donor: the lowest surviving rank of the failed node's
+  // replication subcube (every subcube uses the same root rank, so the
+  // broadcast is one regular collective).
+  const std::uint32_t root = rep.rank(failed) == 0 ? 1u : 0u;
+  std::vector<T>& lost = v.data().vec(failed);
+  std::fill(lost.begin(), lost.end(), T{});
+  broadcast(cube, v.data(), rep, root);
+  VMP_ASSERT(v.replicas_consistent(),
+             "remap_off_failed left replicas inconsistent");
 }
 
 }  // namespace vmp

@@ -1,0 +1,99 @@
+/// \file fault.hpp
+/// \brief Deterministic fault plans for the simulated hypercube.
+///
+/// A FaultPlan is a *pure description* of what goes wrong and when: seeded
+/// transient fault rates (link drops, message corruption, per-edge latency
+/// spikes) plus explicit schedules of permanent link and node kills.  The
+/// plan never holds runtime state — every decision the injector makes is a
+/// pure hash of (plan seed, comm round, retry attempt, source, dimension),
+/// so a run under a given plan is bit-for-bit reproducible regardless of
+/// host threading, and two runs with the same seed produce the identical
+/// event trace (tests/test_fault_primitives.cpp asserts this).
+///
+/// Recovery semantics live in the machine layer (hypercube/machine.hpp):
+/// checksummed payloads, bounded retry with exponential backoff, and
+/// route-around over the cube's edge-disjoint paths.  Faults that exceed
+/// the RecoveryPolicy budget raise FaultError — a clear failure, never a
+/// wrong answer.  docs/faults.md describes the full contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace vmp {
+
+/// Raised when a fault exceeds the recovery budget (retry limit exhausted,
+/// no live route around a dead link, a message endpoint is a dead node).
+/// Distinct from ContractError: the *caller* did nothing wrong — the
+/// simulated machine degraded beyond what the policy can absorb.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Seeded, fully deterministic fault plan.  All probabilities are per
+/// message delivery attempt (transient faults are re-drawn on retry, so a
+/// retried message usually gets through); kills are permanent from
+/// `from_round` on, where rounds count lockstep communication rounds since
+/// the injector was attached.
+struct FaultPlan {
+  std::uint64_t seed = 1;     ///< base of every pseudo-random decision
+  double drop_prob = 0.0;     ///< transient message loss per attempt
+  double corrupt_prob = 0.0;  ///< transient payload corruption per attempt
+  double spike_prob = 0.0;    ///< per-edge latency spike per attempt
+  double spike_us = 0.0;      ///< extra latency charged per spike
+
+  /// Permanent death of the undirected cube edge (node, node ^ 1<<dim).
+  struct LinkKill {
+    std::uint64_t from_round = 0;
+    std::uint32_t node = 0;
+    int dim = 0;
+  };
+  /// Permanent death of one processor.
+  struct NodeKill {
+    std::uint64_t from_round = 0;
+    std::uint32_t node = 0;
+  };
+  std::vector<LinkKill> link_kills;
+  std::vector<NodeKill> node_kills;
+
+  /// The empty plan: attaching it must leave every charge bit-identical to
+  /// running without an injector (asserted by tests/test_fault_recovery).
+  [[nodiscard]] static FaultPlan none() { return FaultPlan{}; }
+
+  /// Transient-only plan: drops + corruption (+ optional spikes), no
+  /// permanent kills — always inside the recovery budget for reasonable
+  /// rates, the workhorse of the fault test sweep and `--faults` benches.
+  [[nodiscard]] static FaultPlan transient(std::uint64_t seed,
+                                           double drop_prob,
+                                           double corrupt_prob,
+                                           double spike_prob = 0.0,
+                                           double spike_us = 0.0) {
+    FaultPlan p;
+    p.seed = seed;
+    p.drop_prob = drop_prob;
+    p.corrupt_prob = corrupt_prob;
+    p.spike_prob = spike_prob;
+    p.spike_us = spike_us;
+    return p;
+  }
+
+  [[nodiscard]] bool has_transient() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || spike_prob > 0.0;
+  }
+};
+
+/// Bounds on what the communication layer spends recovering before it
+/// declares the machine degraded and throws FaultError.
+struct RecoveryPolicy {
+  int max_retries = 6;      ///< retransmissions per message per round
+  double backoff_us = 1.0;  ///< backoff before retry r: backoff_us · 2^(r-1)
+};
+
+/// FNV-1a over raw bytes — the message checksum.  Cheap, deterministic,
+/// and detects every single-bit corruption the injector produces.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t nbytes);
+
+}  // namespace vmp

@@ -1,0 +1,62 @@
+/// \file injector.hpp
+/// \brief Runtime fault oracle consulted by the communication layer.
+///
+/// The injector owns a FaultPlan plus a RecoveryPolicy and answers, for
+/// every message delivery attempt, "what goes wrong?".  Its only mutable
+/// state is the lockstep round counter (`begin_round`), advanced once per
+/// communication round on the host thread; every *decision* is a pure
+/// function of (seed, round, attempt, src, dim), so the injector is
+/// trivially deterministic and thread-agnostic.  Fault counters for tests
+/// and reports live in SimStats, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+
+namespace vmp {
+
+/// What happens to one message delivery attempt.
+struct FaultOutcome {
+  bool drop = false;      ///< message lost in transit, nothing arrives
+  bool corrupt = false;   ///< payload arrives bit-flipped (checksum catches)
+  double spike_us = 0.0;  ///< extra latency on this edge this attempt
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, RecoveryPolicy policy = {})
+      : plan_(std::move(plan)), policy_(policy) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const RecoveryPolicy& policy() const { return policy_; }
+
+  /// Advance to the next lockstep communication round; returns its id.
+  /// Called once per round by the machine, on the host thread.
+  std::uint64_t begin_round() { return round_++; }
+  [[nodiscard]] std::uint64_t rounds_started() const { return round_; }
+
+  /// Transient outcome for one delivery attempt of the message sent by
+  /// `src` across cube dimension `dim`.  Pure in all arguments.
+  [[nodiscard]] FaultOutcome decide(std::uint64_t round, int attempt,
+                                    std::uint32_t src, int dim) const;
+
+  /// True if the undirected edge (node, node ^ 1<<dim) is permanently dead
+  /// at `round`.
+  [[nodiscard]] bool link_dead(std::uint64_t round, std::uint32_t node,
+                               int dim) const;
+
+  /// True if processor `node` is permanently dead at `round`.
+  [[nodiscard]] bool node_dead(std::uint64_t round, std::uint32_t node) const;
+
+  /// Deterministic per-message hash — seeds the corruption bit flip.
+  [[nodiscard]] std::uint64_t message_hash(std::uint64_t round, int attempt,
+                                           std::uint32_t src, int dim) const;
+
+ private:
+  FaultPlan plan_;
+  RecoveryPolicy policy_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace vmp

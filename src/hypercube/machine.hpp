@@ -16,22 +16,47 @@
 /// run on a thread pool (Options::threads), which changes wall-clock speed
 /// only, never simulated time or results — the staging buffer inside
 /// `exchange` makes in-place combining (all-reduce style) race-free.
+///
+/// The machine can run under deterministic fault injection
+/// (`enable_faults`): seeded plans of drops, corruption, latency spikes and
+/// dead links/nodes, recovered by checksummed bounded retry and
+/// route-around.  Within-budget plans leave every result bit-identical;
+/// beyond budget the machine throws FaultError.  See docs/faults.md.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
+#include <type_traits>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hypercube/bits.hpp"
 #include "hypercube/check.hpp"
 #include "hypercube/cost_model.hpp"
 #include "hypercube/sim_clock.hpp"
 #include "hypercube/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp {
 
 /// Processor id inside a cube; addresses are dense in [0, 2^dim).
 using proc_t = std::uint32_t;
+
+/// One staged message of a lockstep round, as seen by the fault-recovery
+/// engine: the (src, dst) cube edge, the dimension it crosses, a caller
+/// context index (the all-port port), and the staged payload.
+template <class T>
+struct FaultMsg {
+  proc_t src = 0;
+  proc_t dst = 0;
+  int dim = 0;
+  std::size_t port = 0;
+  const std::vector<T>* payload = nullptr;
+};
 
 class Cube {
  public:
@@ -55,6 +80,21 @@ class Cube {
   [[nodiscard]] SimClock& clock() { return clock_; }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
   [[nodiscard]] const CostParams& costs() const { return clock_.params(); }
+
+  /// Attach a deterministic fault plan: from now on every communication
+  /// round consults the injector, checksums payloads, retries transient
+  /// losses with exponential backoff, and routes around dead links.  All
+  /// recovery time is charged to the simulated clock under `fault_*` trace
+  /// regions; results stay bit-identical to the fault-free run as long as
+  /// the plan stays within `policy`'s budget, and FaultError is thrown —
+  /// never a wrong answer returned — beyond it.  With no injector attached
+  /// (the default) the communication path is exactly the fault-free one.
+  void enable_faults(const FaultPlan& plan, RecoveryPolicy policy = {}) {
+    faults_ = std::make_unique<FaultInjector>(plan, policy);
+  }
+  void disable_faults() { faults_.reset(); }
+  [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
+  [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
 
   /// One lockstep compute step: run `fn(proc)` on every processor and charge
   /// `max_flops` (the analytic per-processor bound) to the clock.
@@ -110,6 +150,20 @@ class Cube {
       if (n > max_elems) max_elems = n;
     }
     if (messages == 0) return;
+    if (faults_) {
+      std::vector<FaultMsg<T>> msgs;
+      msgs.reserve(messages);
+      for (proc_t q = 0; q < procs_; ++q)
+        if (!staged[q].empty())
+          msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0, &staged[q]});
+      deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
+                             [&](const FaultMsg<T>& m) {
+                               recv(m.dst, std::span<const T>(
+                                               m.payload->data(),
+                                               m.payload->size()));
+                             });
+      return;
+    }
     pool_.parallel_for(0, procs_, [&](std::size_t q) {
       const std::vector<T>& in = staged[q ^ bit];
       if (!in.empty())
@@ -153,6 +207,24 @@ class Cube {
         if (n > max_port) max_port = n;
       }
     if (messages == 0) return;
+    if (faults_) {
+      std::vector<FaultMsg<T>> msgs;
+      msgs.reserve(messages);
+      for (std::size_t idx = 0; idx < nd; ++idx)
+        for (proc_t q = 0; q < procs_; ++q)
+          if (!staged[idx][q].empty())
+            msgs.push_back(FaultMsg<T>{
+                q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
+                &staged[idx][q]});
+      deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
+                             nd == 1 ? dims[0] : -1,
+                             [&](const FaultMsg<T>& m) {
+                               recv(m.dst, m.port,
+                                    std::span<const T>(m.payload->data(),
+                                                       m.payload->size()));
+                             });
+      return;
+    }
     pool_.parallel_for(0, procs_, [&](std::size_t q) {
       for (std::size_t idx = 0; idx < nd; ++idx) {
         const std::vector<T>& in =
@@ -196,6 +268,24 @@ class Cube {
       if (n > max_elems) max_elems = n;
     }
     if (messages == 0) return;
+    if (faults_) {
+      std::vector<FaultMsg<T>> msgs;
+      msgs.reserve(messages);
+      for (proc_t q = 0; q < procs_; ++q) {
+        if (staged[q].empty()) continue;
+        const proc_t pq = partner(q);
+        msgs.push_back(FaultMsg<T>{
+            q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
+            &staged[q]});
+      }
+      deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
+                             [&](const FaultMsg<T>& m) {
+                               recv(m.dst, std::span<const T>(
+                                               m.payload->data(),
+                                               m.payload->size()));
+                             });
+      return;
+    }
     pool_.parallel_for(0, procs_, [&](std::size_t q) {
       const proc_t pq = partner(static_cast<proc_t>(q));
       if (pq == static_cast<proc_t>(q)) return;
@@ -211,10 +301,159 @@ class Cube {
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
  private:
+  /// Recovery-aware delivery of one lockstep round's staged messages.
+  ///
+  /// Attempt 0 charges exactly the fault-free round cost (`max_elems`,
+  /// `messages`, `total` are the round's fault-free statistics), so an
+  /// inert plan leaves the clock bit-identical.  Every further cost is
+  /// extra and attributed to a `fault_*` trace region:
+  ///
+  ///  * dropped or checksum-rejected messages are retransmitted under
+  ///    "fault_retry" — exponential backoff plus one comm step over the
+  ///    surviving senders per attempt, bounded by RecoveryPolicy;
+  ///  * messages on a permanently dead link detour over three live edges
+  ///    (the cube's parallel-paths guarantee) under "fault_reroute";
+  ///  * per-edge latency spikes stall the round under "fault_spike".
+  ///
+  /// A dead endpoint, an exhausted retry budget, or a fully cut detour
+  /// throws FaultError — degraded runs fail loudly, never silently.
+  /// Deliveries happen on the host thread in deterministic (src-ascending)
+  /// order; each destination receives its payload exactly once, so results
+  /// match the fault-free delivery bit for bit.
+  template <class T, class DeliverFn>
+  void deliver_with_faults(std::vector<FaultMsg<T>> pending,
+                           std::size_t max_elems, std::size_t messages,
+                           std::size_t total, int charge_dim,
+                           DeliverFn&& deliver) {
+    FaultInjector& fi = *faults_;
+    const std::uint64_t round = fi.begin_round();
+    const RecoveryPolicy& rp = fi.policy();
+    std::vector<FaultMsg<T>> rerouted, failed;
+    int attempt = 0;
+    while (!pending.empty()) {
+      for (const FaultMsg<T>& m : pending) {
+        if (fi.node_dead(round, m.src) || fi.node_dead(round, m.dst))
+          throw FaultError(
+              "node " +
+              std::to_string(fi.node_dead(round, m.src) ? m.src : m.dst) +
+              " is dead (round " + std::to_string(round) +
+              "): lockstep round cannot complete — remap the embedding off "
+              "the failed node before continuing");
+      }
+      if (attempt == 0) {
+        clock_.charge_comm_step(max_elems, messages, total, charge_dim);
+      } else {
+        TraceRegion fault_region(clock_, "fault_retry");
+        clock_.charge_us(rp.backoff_us *
+                         static_cast<double>(std::uint64_t{1}
+                                             << (attempt - 1)));
+        std::size_t mx = 0, tot = 0;
+        for (const FaultMsg<T>& m : pending) {
+          mx = std::max(mx, m.payload->size());
+          tot += m.payload->size();
+        }
+        clock_.charge_comm_step(mx, pending.size(), tot, charge_dim);
+        clock_.note_fault_retries(pending.size());
+      }
+      double spike = 0.0;
+      failed.clear();
+      for (const FaultMsg<T>& m : pending) {
+        if (fi.link_dead(round, m.src, m.dim)) {
+          rerouted.push_back(m);
+          continue;
+        }
+        const FaultOutcome oc = fi.decide(round, attempt, m.src, m.dim);
+        spike = std::max(spike, oc.spike_us);
+        if (oc.drop) {
+          failed.push_back(m);
+          continue;
+        }
+        if (oc.corrupt && checksum_rejects<T>(m, round, attempt)) {
+          clock_.note_fault_chksum_fail();
+          failed.push_back(m);
+          continue;
+        }
+        deliver(m);
+      }
+      if (spike > 0.0) {
+        TraceRegion fault_region(clock_, "fault_spike");
+        clock_.charge_fault_latency(spike);
+      }
+      pending.swap(failed);
+      ++attempt;
+      if (!pending.empty() && attempt > rp.max_retries)
+        throw FaultError("fault recovery budget exhausted: " +
+                         std::to_string(pending.size()) +
+                         " message(s) undelivered after " +
+                         std::to_string(rp.max_retries) +
+                         " retries (round " + std::to_string(round) + ")");
+    }
+    for (const FaultMsg<T>& m : rerouted)
+      reroute_around_dead_link<T>(m, round, deliver);
+  }
+
+  /// Checksum verification of one (deterministically) corrupted payload:
+  /// flips one bit of a wire copy and checks FNV-1a catches it.  True
+  /// means the receiver rejected the payload (the message is retried); the
+  /// caller's buffer is never touched, so corruption can only cost time.
+  template <class T>
+  [[nodiscard]] bool checksum_rejects(const FaultMsg<T>& m,
+                                      std::uint64_t round, int attempt) const {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      const std::size_t nbytes = m.payload->size() * sizeof(T);
+      if (nbytes == 0) return true;
+      const auto* bytes =
+          reinterpret_cast<const unsigned char*>(m.payload->data());
+      const std::uint64_t sum = fnv1a(bytes, nbytes);
+      std::vector<unsigned char> wire(bytes, bytes + nbytes);
+      const std::uint64_t h =
+          faults_->message_hash(round, attempt, m.src, m.dim);
+      wire[static_cast<std::size_t>(h % nbytes)] ^=
+          static_cast<unsigned char>(1u << ((h >> 17) % 8));
+      return fnv1a(wire.data(), nbytes) != sum;
+    } else {
+      // No byte view to checksum — model corruption as a detected loss.
+      (void)round;
+      (void)attempt;
+      return true;
+    }
+  }
+
+  /// Deliver one message around its permanently dead (src, dst) edge via
+  /// the 3-hop detour src → src^bit2 → dst^bit2 → dst, charged hop by hop.
+  /// The lg p candidate detours are edge-disjoint; the first fully live
+  /// one (deterministic: lowest dimension) wins.
+  template <class T, class DeliverFn>
+  void reroute_around_dead_link(const FaultMsg<T>& m, std::uint64_t round,
+                                DeliverFn&& deliver) {
+    FaultInjector& fi = *faults_;
+    TraceRegion fault_region(clock_, "fault_reroute");
+    for (int d2 = 0; d2 < dim_; ++d2) {
+      if (d2 == m.dim) continue;
+      const std::uint32_t bit2 = std::uint32_t{1} << d2;
+      const proc_t a = m.src ^ bit2;
+      const proc_t b = m.dst ^ bit2;
+      if (fi.node_dead(round, a) || fi.node_dead(round, b)) continue;
+      if (fi.link_dead(round, m.src, d2) || fi.link_dead(round, a, m.dim) ||
+          fi.link_dead(round, b, d2))
+        continue;
+      const std::size_t n = m.payload->size();
+      const int hop_dims[3] = {d2, m.dim, d2};
+      for (const int hd : hop_dims) clock_.charge_comm_step(n, 1, n, hd);
+      clock_.note_fault_reroute();
+      deliver(m);
+      return;
+    }
+    throw FaultError("no live route around dead link (" +
+                     std::to_string(m.src) + ", dim " + std::to_string(m.dim) +
+                     "): every detour crosses another dead edge or node");
+  }
+
   int dim_;
   proc_t procs_;
   SimClock clock_;
   ThreadPool pool_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace vmp

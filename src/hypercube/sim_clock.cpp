@@ -12,6 +12,9 @@ SimStats operator-(const SimStats& a, const SimStats& b) {
   d.flops_total = a.flops_total - b.flops_total;
   d.router_packets = a.router_packets - b.router_packets;
   d.router_hops = a.router_hops - b.router_hops;
+  d.fault_retries = a.fault_retries - b.fault_retries;
+  d.fault_chksum_fails = a.fault_chksum_fails - b.fault_chksum_fails;
+  d.fault_reroutes = a.fault_reroutes - b.fault_reroutes;
   return d;
 }
 
@@ -50,6 +53,16 @@ void SimClock::charge_router_cycle(std::size_t packets_in_flight) {
   stats_.router_hops += packets_in_flight;
   tracer_.on_charge(ChargeKind::Router, t0, dt, -1, 0, 0, 0, 0, 0,
                     packets_in_flight);
+}
+
+void SimClock::charge_fault_latency(double us) {
+  const double t0 = now_us_;
+  now_us_ += us;
+  comm_us_ += us;
+  // A spike stalls the lockstep round: counts as one zero-message comm
+  // round so region counter sums still reproduce the global totals.
+  stats_.comm_steps += 1;
+  tracer_.on_charge(ChargeKind::Comm, t0, us, -1, 0, 0, 0, 0, 0, 0);
 }
 
 void SimClock::charge_us(double us) {

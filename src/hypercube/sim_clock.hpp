@@ -39,6 +39,11 @@ struct SimStats {
   std::uint64_t router_packets = 0;  ///< packets pushed through the general
                                      ///< router (naive path only)
   std::uint64_t router_hops = 0;     ///< packet-hops through the router
+  std::uint64_t fault_retries = 0;   ///< messages retransmitted after a
+                                     ///< transient fault (drop or corruption)
+  std::uint64_t fault_chksum_fails = 0;  ///< corrupted payloads the message
+                                         ///< checksum caught and discarded
+  std::uint64_t fault_reroutes = 0;  ///< messages sent around a dead link
 
   bool operator==(const SimStats&) const = default;
 };
@@ -75,6 +80,17 @@ class SimClock {
 
   /// Statistics-only: record packets injected into the general router.
   void note_router_packets(std::size_t n) { stats_.router_packets += n; }
+
+  /// Extra per-edge latency (a fault-plan spike) folded into the comm
+  /// bucket without counting a lockstep round.  Callers open a fault trace
+  /// region first so the charge is attributed to recovery, not progress.
+  void charge_fault_latency(double us);
+
+  /// Statistics-only fault recovery counters (charged time flows through
+  /// the regular charge_* calls under fault_* trace regions).
+  void note_fault_retries(std::size_t n) { stats_.fault_retries += n; }
+  void note_fault_chksum_fail() { stats_.fault_chksum_fails += 1; }
+  void note_fault_reroute() { stats_.fault_reroutes += 1; }
 
   [[nodiscard]] double now_us() const { return now_us_; }
   [[nodiscard]] double comm_us() const { return comm_us_; }

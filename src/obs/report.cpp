@@ -98,6 +98,9 @@ std::string profile_to_json(const SimClock& clock) {
   out += ",\"flops_total\":" + std::to_string(st.flops_total);
   out += ",\"router_packets\":" + std::to_string(st.router_packets);
   out += ",\"router_hops\":" + std::to_string(st.router_hops);
+  out += ",\"fault_retries\":" + std::to_string(st.fault_retries);
+  out += ",\"fault_chksum_fails\":" + std::to_string(st.fault_chksum_fails);
+  out += ",\"fault_reroutes\":" + std::to_string(st.fault_reroutes);
   out += "},\"regions\":[";
 
   const auto& self = clock.tracer().self_profiles();

@@ -73,6 +73,8 @@ struct TraceEvent {
   std::uint64_t flops = 0;
   std::uint64_t packets = 0;
   std::uint32_t path_id = 0;  ///< index into Tracer::paths()
+
+  bool operator==(const TraceEvent&) const = default;
 };
 
 /// One closed region instance on the simulated timeline (event-log mode).
@@ -81,6 +83,8 @@ struct RegionSpan {
   double end_us = 0.0;
   std::uint32_t path_id = 0;
   std::uint32_t depth = 0;  ///< nesting depth at open time (outermost = 0)
+
+  bool operator==(const RegionSpan&) const = default;
 };
 
 /// Region stack + per-region profile + optional event log.

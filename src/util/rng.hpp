@@ -1,9 +1,15 @@
 /// \file rng.hpp
 /// \brief Small deterministic PRNG (SplitMix64) for workload generation —
-///        reproducible across platforms, no <random> distribution variance.
+///        reproducible across platforms, no <random> distribution variance —
+///        plus the process-wide seed plumbing: every randomized test and
+///        bench derives its seed from global_seed(), which honors the
+///        VMP_SEED environment variable, so any failure seen in a log is
+///        reproducible by exporting the printed seed.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace vmp {
 
@@ -34,5 +40,33 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// The process-wide base seed: the value of the VMP_SEED environment
+/// variable when set (decimal, or hex with a 0x prefix), else a fixed
+/// default.  Read once; the same value is returned for the process's
+/// lifetime, so every consumer in a run agrees on it.
+[[nodiscard]] inline std::uint64_t global_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("VMP_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+      std::fprintf(stderr, "[vmp] ignoring unparsable VMP_SEED=%s\n", env);
+    }
+    return std::uint64_t{20260806};
+  }();
+  return seed;
+}
+
+/// global_seed(), announced on stdout so the effective seed of any
+/// randomized test or bench run survives in its log:
+///   [who] effective seed: N (set VMP_SEED to override)
+[[nodiscard]] inline std::uint64_t announce_seed(const char* who) {
+  const std::uint64_t seed = global_seed();
+  std::printf("[%s] effective seed: %llu (set VMP_SEED to override)\n", who,
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
 
 }  // namespace vmp

@@ -10,6 +10,9 @@
 #include "hypercube/partition.hpp"     // IWYU pragma: export
 #include "hypercube/sim_clock.hpp"     // IWYU pragma: export
 
+#include "fault/fault.hpp"             // IWYU pragma: export
+#include "fault/injector.hpp"          // IWYU pragma: export
+
 #include "obs/tracer.hpp"              // IWYU pragma: export
 #include "obs/trace.hpp"               // IWYU pragma: export
 #include "obs/report.hpp"              // IWYU pragma: export

@@ -1,0 +1,161 @@
+// Unit tests for the fault subsystem's pure layer: FaultPlan, the
+// deterministic injector (decisions are hashes, not stateful draws), the
+// kill schedules, and the FNV-1a message checksum.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "fault/injector.hpp"
+
+namespace vmp {
+namespace {
+
+TEST(FaultPlan, NoneIsInert) {
+  const FaultPlan p = FaultPlan::none();
+  EXPECT_FALSE(p.has_transient());
+  EXPECT_TRUE(p.link_kills.empty());
+  EXPECT_TRUE(p.node_kills.empty());
+  FaultInjector fi(p);
+  for (std::uint64_t r = 0; r < 64; ++r)
+    for (std::uint32_t src = 0; src < 16; ++src)
+      for (int d = 0; d < 4; ++d) {
+        const FaultOutcome o = fi.decide(r, 0, src, d);
+        EXPECT_FALSE(o.drop);
+        EXPECT_FALSE(o.corrupt);
+        EXPECT_EQ(o.spike_us, 0.0);
+        EXPECT_FALSE(fi.link_dead(r, src, d));
+        EXPECT_FALSE(fi.node_dead(r, src));
+      }
+}
+
+TEST(FaultInjector, DecideIsPureAndReproducible) {
+  const FaultPlan p = FaultPlan::transient(42, 0.3, 0.2, 0.1, 5.0);
+  FaultInjector a(p), b(p);
+  for (std::uint64_t r = 0; r < 32; ++r)
+    for (int attempt = 0; attempt < 4; ++attempt)
+      for (std::uint32_t src = 0; src < 8; ++src)
+        for (int d = 0; d < 3; ++d) {
+          const FaultOutcome oa = a.decide(r, attempt, src, d);
+          const FaultOutcome ob = b.decide(r, attempt, src, d);
+          EXPECT_EQ(oa.drop, ob.drop);
+          EXPECT_EQ(oa.corrupt, ob.corrupt);
+          EXPECT_EQ(oa.spike_us, ob.spike_us);
+          // Repeat call on the same injector: no hidden state.
+          const FaultOutcome oa2 = a.decide(r, attempt, src, d);
+          EXPECT_EQ(oa.drop, oa2.drop);
+          EXPECT_EQ(oa.corrupt, oa2.corrupt);
+          EXPECT_EQ(oa.spike_us, oa2.spike_us);
+        }
+}
+
+TEST(FaultInjector, DifferentSeedsDecideDifferently) {
+  FaultInjector a(FaultPlan::transient(1, 0.5, 0.0));
+  FaultInjector b(FaultPlan::transient(2, 0.5, 0.0));
+  int differing = 0;
+  for (std::uint64_t r = 0; r < 256; ++r)
+    differing += a.decide(r, 0, 0, 0).drop != b.decide(r, 0, 0, 0).drop;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, EmpiricalRatesTrackThePlan) {
+  const double kDrop = 0.05, kCorrupt = 0.03, kSpike = 0.02;
+  FaultInjector fi(FaultPlan::transient(7, kDrop, kCorrupt, kSpike, 9.0));
+  int drops = 0, corrupts = 0, spikes = 0, n = 0;
+  for (std::uint64_t r = 0; r < 500; ++r)
+    for (std::uint32_t src = 0; src < 32; ++src)
+      for (int d = 0; d < 5; ++d) {
+        const FaultOutcome o = fi.decide(r, 0, src, d);
+        drops += o.drop;
+        corrupts += o.corrupt;
+        spikes += o.spike_us > 0.0;
+        if (o.spike_us > 0.0) EXPECT_EQ(o.spike_us, 9.0);
+        EXPECT_FALSE(o.drop && o.corrupt);  // at most one transport fault
+        ++n;
+      }
+  const double N = n;
+  EXPECT_NEAR(drops / N, kDrop, 0.01);
+  EXPECT_NEAR(corrupts / N, kCorrupt, 0.01);
+  EXPECT_NEAR(spikes / N, kSpike, 0.01);
+}
+
+TEST(FaultInjector, RetriesRedrawIndependently) {
+  // A message dropped at attempt 0 must get a fresh draw at attempt 1 —
+  // otherwise retry could never succeed.  With drop_prob = 0.5 the retry
+  // succeeds about half the time; check both outcomes occur.
+  FaultInjector fi(FaultPlan::transient(11, 0.5, 0.0));
+  bool retry_ok = false, retry_fails = false;
+  for (std::uint64_t r = 0; r < 256; ++r) {
+    if (!fi.decide(r, 0, 3, 1).drop) continue;
+    (fi.decide(r, 1, 3, 1).drop ? retry_fails : retry_ok) = true;
+  }
+  EXPECT_TRUE(retry_ok);
+  EXPECT_TRUE(retry_fails);
+}
+
+TEST(FaultInjector, LinkKillScheduleIsUndirectedAndRoundGated) {
+  FaultPlan p;
+  p.link_kills.push_back({/*from_round=*/5, /*node=*/6, /*dim=*/1});
+  FaultInjector fi(p);
+  EXPECT_FALSE(fi.link_dead(0, 6, 1));
+  EXPECT_FALSE(fi.link_dead(4, 6, 1));
+  EXPECT_TRUE(fi.link_dead(5, 6, 1));
+  EXPECT_TRUE(fi.link_dead(100, 6, 1));
+  // The edge (6, 6^2) is undirected: the partner sees it dead too.
+  EXPECT_TRUE(fi.link_dead(5, 6u ^ 2u, 1));
+  // Other links of the same node stay alive.
+  EXPECT_FALSE(fi.link_dead(5, 6, 0));
+  EXPECT_FALSE(fi.link_dead(5, 6, 2));
+}
+
+TEST(FaultInjector, NodeKillScheduleIsRoundGated) {
+  FaultPlan p;
+  p.node_kills.push_back({/*from_round=*/3, /*node=*/2});
+  FaultInjector fi(p);
+  EXPECT_FALSE(fi.node_dead(2, 2));
+  EXPECT_TRUE(fi.node_dead(3, 2));
+  EXPECT_TRUE(fi.node_dead(99, 2));
+  EXPECT_FALSE(fi.node_dead(3, 1));
+}
+
+TEST(FaultInjector, RoundCounterAdvancesOncePerRound) {
+  FaultInjector fi(FaultPlan::none());
+  EXPECT_EQ(fi.rounds_started(), 0u);
+  EXPECT_EQ(fi.begin_round(), 0u);
+  EXPECT_EQ(fi.begin_round(), 1u);
+  EXPECT_EQ(fi.rounds_started(), 2u);
+}
+
+TEST(FaultInjector, MessageHashIsPureAndArgSensitive) {
+  FaultInjector fi(FaultPlan::transient(99, 0.1, 0.1));
+  const std::uint64_t h = fi.message_hash(1, 0, 2, 3);
+  EXPECT_EQ(h, fi.message_hash(1, 0, 2, 3));
+  EXPECT_NE(h, fi.message_hash(2, 0, 2, 3));
+  EXPECT_NE(h, fi.message_hash(1, 1, 2, 3));
+  EXPECT_NE(h, fi.message_hash(1, 0, 3, 3));
+  EXPECT_NE(h, fi.message_hash(1, 0, 2, 2));
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, DetectsEverySingleBitFlip) {
+  double payload[4] = {1.0, -2.5, 3.25, 0.0};
+  const std::uint64_t sum = fnv1a(payload, sizeof(payload));
+  unsigned char bytes[sizeof(payload)];
+  std::memcpy(bytes, payload, sizeof(payload));
+  for (std::size_t i = 0; i < sizeof(payload); ++i)
+    for (int b = 0; b < 8; ++b) {
+      bytes[i] ^= static_cast<unsigned char>(1u << b);
+      EXPECT_NE(fnv1a(bytes, sizeof(bytes)), sum)
+          << "flip byte " << i << " bit " << b << " went undetected";
+      bytes[i] ^= static_cast<unsigned char>(1u << b);
+    }
+}
+
+}  // namespace
+}  // namespace vmp

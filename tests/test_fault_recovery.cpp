@@ -1,0 +1,401 @@
+// Machine-level fault recovery: the exchange variants and the naive router
+// under seeded fault plans.  The contract under test is the tentpole's —
+// within-budget plans change *when* and *what is charged*, never the data
+// delivered; beyond-budget plans throw FaultError instead of degrading
+// silently.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/router.hpp"
+#include "embed/realign.hpp"
+#include "hypercube/machine.hpp"
+#include "obs/report.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+/// Run `rounds` full one-port exchange rounds (every processor swaps a
+/// small distinct payload with its dim-d partner, cycling d) and return
+/// every processor's final receive buffer.
+std::vector<std::vector<double>> exchange_workout(Cube& cube, int rounds) {
+  const proc_t p = cube.procs();
+  std::vector<std::vector<double>> held(p), got(p);
+  for (proc_t q = 0; q < p; ++q)
+    held[q] = {static_cast<double>(q), static_cast<double>(q) * 0.5 + 1.0};
+  for (int r = 0; r < rounds; ++r) {
+    const int d = r % cube.dim();
+    cube.exchange<double>(
+        d, [&](proc_t q) { return std::span<const double>(held[q]); },
+        [&](proc_t q, std::span<const double> in) {
+          got[q].assign(in.begin(), in.end());
+        });
+    for (proc_t q = 0; q < p; ++q) held[q] = got[q];
+  }
+  return held;
+}
+
+TEST(FaultRecovery, InertPlanIsBitIdenticalToNoInjector) {
+  Cube plain(3, CostParams::cm2());
+  plain.clock().tracer().set_recording(true);
+  const auto want = exchange_workout(plain, 6);
+
+  Cube faulty(3, CostParams::cm2());
+  faulty.clock().tracer().set_recording(true);
+  faulty.enable_faults(FaultPlan::none());
+  const auto got = exchange_workout(faulty, 6);
+
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(faulty.clock().now_us(), plain.clock().now_us());
+  EXPECT_EQ(faulty.clock().comm_us(), plain.clock().comm_us());
+  EXPECT_EQ(faulty.clock().stats().comm_steps, plain.clock().stats().comm_steps);
+  EXPECT_EQ(faulty.clock().stats().messages, plain.clock().stats().messages);
+  EXPECT_EQ(faulty.clock().stats().fault_retries, 0u);
+  // Even the event trace matches, event for event.
+  EXPECT_EQ(faulty.clock().tracer().events(), plain.clock().tracer().events());
+}
+
+TEST(FaultRecovery, DropsAreRetriedAndDataIsIdentical) {
+  Cube plain(3, CostParams::cm2());
+  const auto want = exchange_workout(plain, 12);
+
+  Cube faulty(3, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(5, /*drop=*/0.3, /*corrupt=*/0.0));
+  const auto got = exchange_workout(faulty, 12);
+
+  EXPECT_EQ(got, want);  // bit-identical payloads despite the losses
+  EXPECT_GT(faulty.clock().stats().fault_retries, 0u);
+  EXPECT_GT(faulty.clock().now_us(), plain.clock().now_us())
+      << "retries must cost simulated time";
+}
+
+TEST(FaultRecovery, CorruptionIsCaughtByChecksumAndRetried) {
+  Cube plain(3, CostParams::cm2());
+  const auto want = exchange_workout(plain, 12);
+
+  Cube faulty(3, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(6, 0.0, /*corrupt=*/0.3));
+  const auto got = exchange_workout(faulty, 12);
+
+  EXPECT_EQ(got, want);
+  EXPECT_GT(faulty.clock().stats().fault_chksum_fails, 0u);
+  EXPECT_EQ(faulty.clock().stats().fault_chksum_fails,
+            faulty.clock().stats().fault_retries)
+      << "every checksum reject is exactly one retry here (no drops)";
+}
+
+TEST(FaultRecovery, RecoveryCostsLandInFaultRegions) {
+  Cube cube(3, CostParams::cm2());
+  cube.enable_faults(FaultPlan::transient(5, 0.3, 0.1, 0.2, 40.0));
+  (void)exchange_workout(cube, 12);
+  ASSERT_GT(cube.clock().stats().fault_retries, 0u);
+  const auto inclusive = cube.clock().tracer().inclusive_profiles();
+  double retry_us = 0.0, spike_us = 0.0;
+  for (const auto& [path, prof] : inclusive) {
+    if (path.find("fault_retry") != std::string::npos)
+      retry_us += prof.total_us();
+    if (path.find("fault_spike") != std::string::npos)
+      spike_us += prof.total_us();
+  }
+  EXPECT_GT(retry_us, 0.0);
+  EXPECT_GT(spike_us, 0.0);
+  // The JSON report carries the same attribution.
+  const std::string json = profile_to_json(cube.clock());
+  EXPECT_NE(json.find("fault_retry"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_retries\":"), std::string::npos);
+}
+
+TEST(FaultRecovery, SpikeStallsTheRoundByItsLatency) {
+  // spike_prob = 1: every round pays exactly one spike (max over edges).
+  Cube plain(2, CostParams::cm2());
+  const auto want = exchange_workout(plain, 4);
+  Cube faulty(2, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(1, 0.0, 0.0, 1.0, 50.0));
+  const auto got = exchange_workout(faulty, 4);
+  EXPECT_EQ(got, want);
+  EXPECT_DOUBLE_EQ(faulty.clock().now_us(), plain.clock().now_us() + 4 * 50.0);
+}
+
+TEST(FaultRecovery, DeadLinkIsRoutedAroundParallelPaths) {
+  FaultPlan plan;
+  plan.link_kills.push_back({/*from_round=*/0, /*node=*/0, /*dim=*/0});
+
+  Cube plain(3, CostParams::cm2());
+  const auto want = exchange_workout(plain, 6);
+  Cube faulty(3, CostParams::cm2());
+  faulty.enable_faults(plan);
+  const auto got = exchange_workout(faulty, 6);
+
+  EXPECT_EQ(got, want);  // the detour carries the same payload
+  EXPECT_GT(faulty.clock().stats().fault_reroutes, 0u);
+  EXPECT_GT(faulty.clock().now_us(), plain.clock().now_us())
+      << "3-hop detours must cost more than the dead direct hop";
+  const std::string json = profile_to_json(faulty.clock());
+  EXPECT_NE(json.find("fault_reroute"), std::string::npos);
+}
+
+TEST(FaultRecovery, FullyCutDetourThrowsInsteadOfWrongAnswer) {
+  // Kill every link of node 0 except dim 0, then exchange across dim 0's
+  // dead partner link: no live detour exists in a 2-cube.
+  FaultPlan plan;
+  plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
+  plan.link_kills.push_back({0, /*node=*/0, /*dim=*/1});
+  Cube cube(2, CostParams::cm2());
+  cube.enable_faults(plan);
+  EXPECT_THROW(exchange_workout(cube, 1), FaultError);
+}
+
+TEST(FaultRecovery, DeadNodeThrowsWithRemapHint) {
+  FaultPlan plan;
+  plan.node_kills.push_back({/*from_round=*/0, /*node=*/3});
+  Cube cube(3, CostParams::cm2());
+  cube.enable_faults(plan);
+  try {
+    (void)exchange_workout(cube, 1);
+    FAIL() << "exchange involving a dead node must throw";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("remap"), std::string::npos)
+        << "the error should point at the embedding-remap recovery";
+  }
+}
+
+TEST(FaultRecovery, NodeKillInTheFutureIsHarmlessUntilItsRound) {
+  FaultPlan plan;
+  plan.node_kills.push_back({/*from_round=*/4, /*node=*/1});
+  Cube cube(2, CostParams::cm2());
+  cube.enable_faults(plan);
+  (void)exchange_workout(cube, 4);  // rounds 0..3: fine
+  EXPECT_THROW(exchange_workout(cube, 1), FaultError);  // round 4: dead
+}
+
+TEST(FaultRecovery, RetryBudgetExhaustionThrows) {
+  Cube cube(2, CostParams::cm2());
+  cube.enable_faults(FaultPlan::transient(3, /*drop=*/1.0, 0.0),
+                     RecoveryPolicy{/*max_retries=*/4, /*backoff_us=*/1.0});
+  try {
+    (void)exchange_workout(cube, 1);
+    FAIL() << "a 100% drop plan can never deliver";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+  }
+}
+
+TEST(FaultRecovery, BackoffGrowsExponentially) {
+  // drop_prob = 1 with a generous budget: attempt k pays backoff 2^(k-1).
+  // Compare total time under max_retries budgets that differ by one.
+  const auto time_with = [](int retries) {
+    Cube cube(2, CostParams::cm2());
+    cube.enable_faults(FaultPlan::transient(3, 1.0, 0.0),
+                       RecoveryPolicy{retries, /*backoff_us=*/8.0});
+    try {
+      (void)exchange_workout(cube, 1);
+    } catch (const FaultError&) {
+    }
+    return cube.clock().now_us();
+  };
+  const double t3 = time_with(3), t4 = time_with(4), t5 = time_with(5);
+  // Extra backoff of attempt k is 8·2^(k-1): the increments double (plus
+  // the constant retransmission step).
+  EXPECT_GT(t4 - t3, 0.0);
+  EXPECT_GT(t5 - t4, t4 - t3);
+}
+
+TEST(FaultRecovery, AllportExchangeRecovers) {
+  Cube plain(3, CostParams::cm2());
+  Cube faulty(3, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(9, 0.25, 0.1));
+  const int dims[2] = {0, 2};
+  const auto run = [&](Cube& cube) {
+    std::vector<std::vector<double>> got(cube.procs() * 2);
+    std::vector<std::vector<double>> payload(cube.procs());
+    for (proc_t q = 0; q < cube.procs(); ++q)
+      payload[q] = {static_cast<double>(q) + 0.25};
+    cube.exchange_allport<double>(
+        std::span<const int>(dims, 2),
+        [&](proc_t q, std::size_t) {
+          return std::span<const double>(payload[q]);
+        },
+        [&](proc_t q, std::size_t idx, std::span<const double> in) {
+          got[q * 2 + idx].assign(in.begin(), in.end());
+        });
+    return got;
+  };
+  EXPECT_EQ(run(faulty), run(plain));
+  EXPECT_GT(faulty.clock().stats().fault_retries, 0u);
+}
+
+TEST(FaultRecovery, NeighborExchangeRecovers) {
+  Cube plain(3, CostParams::cm2());
+  Cube faulty(3, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(13, 0.25, 0.1));
+  const auto run = [&](Cube& cube) {
+    std::vector<std::vector<double>> got(cube.procs());
+    std::vector<std::vector<double>> payload(cube.procs());
+    for (proc_t q = 0; q < cube.procs(); ++q)
+      payload[q] = {static_cast<double>(q) * 3.0};
+    cube.neighbor_exchange<double>(
+        [](proc_t q) { return q ^ 1u; },
+        [&](proc_t q) { return std::span<const double>(payload[q]); },
+        [&](proc_t q, std::span<const double> in) {
+          got[q].assign(in.begin(), in.end());
+        });
+    return got;
+  };
+  EXPECT_EQ(run(faulty), run(plain));
+  EXPECT_GT(faulty.clock().stats().fault_retries, 0u);
+}
+
+TEST(FaultRecovery, SameSeedReproducesTheExactEventTrace) {
+  const auto trace = [](std::uint64_t seed) {
+    Cube cube(3, CostParams::cm2());
+    cube.clock().tracer().set_recording(true);
+    cube.enable_faults(FaultPlan::transient(seed, 0.2, 0.1, 0.05, 30.0));
+    (void)exchange_workout(cube, 10);
+    return cube.clock().tracer().events();
+  };
+  const auto a = trace(77), b = trace(77), c = trace(78);
+  EXPECT_EQ(a, b) << "same plan seed must replay the identical event trace";
+  EXPECT_NE(a, c) << "a different seed should perturb the schedule";
+}
+
+TEST(FaultRecovery, DisableFaultsRestoresTheFastPath) {
+  Cube plain(3, CostParams::cm2());
+  const auto want = exchange_workout(plain, 4);
+  Cube cube(3, CostParams::cm2());
+  cube.enable_faults(FaultPlan::transient(5, 0.5, 0.0));
+  cube.disable_faults();
+  EXPECT_EQ(cube.faults(), nullptr);
+  const auto got = exchange_workout(cube, 4);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(cube.clock().now_us(), plain.clock().now_us());
+  EXPECT_EQ(cube.clock().stats().fault_retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The naive general router under faults.
+
+TEST(FaultRouter, TransientFaultsDoNotChangeDeliveries) {
+  const auto run = [](Cube& cube) {
+    NaiveRouter router(cube);
+    std::vector<std::vector<Packet>> packets(cube.procs());
+    for (proc_t q = 0; q < cube.procs(); ++q)
+      packets[q].push_back(
+          Packet{static_cast<proc_t>(cube.procs() - 1 - q), q,
+                 static_cast<double>(q) + 0.5});
+    std::vector<double> arrived(cube.procs(), -1.0);
+    std::vector<int> count(cube.procs(), 0);
+    (void)router.run(packets, [&](proc_t dst, std::uint64_t, double v) {
+      arrived[dst] = v;
+      ++count[dst];
+    });
+    for (int c : count) EXPECT_EQ(c, 1) << "exactly-once delivery";
+    return arrived;
+  };
+  Cube plain(4, CostParams::cm2());
+  Cube faulty(4, CostParams::cm2());
+  faulty.enable_faults(FaultPlan::transient(21, 0.2, 0.1));
+  EXPECT_EQ(run(faulty), run(plain));
+  EXPECT_GT(faulty.clock().stats().fault_retries, 0u);
+  EXPECT_GT(faulty.clock().now_us(), plain.clock().now_us());
+}
+
+TEST(FaultRouter, DeadLinkIsDodgedViaAnotherDimension) {
+  // 0 → 7 normally leaves over dim 0; kill that link and the packet must
+  // still arrive (dim 1 or 2 is an equally short first hop).
+  FaultPlan plan;
+  plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
+  Cube cube(3, CostParams::cm2());
+  cube.enable_faults(plan);
+  NaiveRouter router(cube);
+  std::vector<std::vector<Packet>> packets(cube.procs());
+  packets[0].push_back(Packet{7, 42, 3.25});
+  bool delivered = false;
+  (void)router.run(packets, [&](proc_t dst, std::uint64_t tag, double v) {
+    EXPECT_EQ(dst, 7u);
+    EXPECT_EQ(tag, 42u);
+    EXPECT_EQ(v, 3.25);
+    delivered = true;
+  });
+  EXPECT_TRUE(delivered);
+}
+
+TEST(FaultRouter, DeadLastHopForcesASidewaysDetour) {
+  // 0 → 1 differs only in dim 0; with (0,1) dead the router must detour
+  // sideways (a reroute) and still deliver.
+  FaultPlan plan;
+  plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
+  Cube cube(3, CostParams::cm2());
+  cube.enable_faults(plan);
+  NaiveRouter router(cube);
+  std::vector<std::vector<Packet>> packets(cube.procs());
+  packets[0].push_back(Packet{1, 7, -1.5});
+  bool delivered = false;
+  (void)router.run(packets, [&](proc_t dst, std::uint64_t tag, double v) {
+    EXPECT_EQ(dst, 1u);
+    EXPECT_EQ(tag, 7u);
+    EXPECT_EQ(v, -1.5);
+    delivered = true;
+  });
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(cube.clock().stats().fault_reroutes, 0u);
+}
+
+TEST(FaultRouter, HundredPercentDropExhaustsTheBudget) {
+  Cube cube(2, CostParams::cm2());
+  cube.enable_faults(FaultPlan::transient(2, 1.0, 0.0));
+  NaiveRouter router(cube);
+  std::vector<std::vector<Packet>> packets(cube.procs());
+  packets[0].push_back(Packet{3, 0, 1.0});
+  EXPECT_THROW(
+      (void)router.run(packets, [](proc_t, std::uint64_t, double) {}),
+      FaultError);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful embedding remap off a failed node.
+
+TEST(FaultRemap, ReplicatedVectorRecoversTheLostPiece) {
+  Cube cube(4, CostParams::cm2());
+  Grid grid(cube, 2, 2);
+  DistVector<double> v(grid, 24, Align::Cols);
+  v.load(random_vector(24, 3));
+  const std::vector<double> want = v.to_host();
+
+  const proc_t failed = 5;
+  // The node's local piece is lost with it (the hot spare boots blank).
+  for (double& x : v.data().vec(failed)) x = -999.0;
+  remap_off_failed(v, failed);
+
+  EXPECT_TRUE(v.replicas_consistent());
+  EXPECT_EQ(v.to_host(), want);
+  const std::string json = profile_to_json(cube.clock());
+  EXPECT_NE(json.find("fault_remap"), std::string::npos)
+      << "remap cost must be attributed in the profile";
+}
+
+TEST(FaultRemap, EveryNodeIsRecoverable) {
+  Cube cube(3, CostParams::cm2());
+  Grid grid(cube, 2, 1);
+  for (proc_t failed = 0; failed < cube.procs(); ++failed) {
+    DistVector<double> v(grid, 10, Align::Rows);
+    v.load(random_vector(10, 4));
+    const std::vector<double> want = v.to_host();
+    for (double& x : v.data().vec(failed)) x = 1e300;
+    remap_off_failed(v, failed);
+    EXPECT_EQ(v.to_host(), want) << "failed node " << failed;
+  }
+}
+
+TEST(FaultRemap, LinearVectorIsUnrecoverable) {
+  Cube cube(3, CostParams::cm2());
+  Grid grid(cube, 2, 1);
+  DistVector<double> v(grid, 16, Align::Linear);
+  v.load(random_vector(16, 5));
+  EXPECT_THROW(remap_off_failed(v, 2), FaultError);
+}
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,342 @@
+// Golden-schema tests for the two machine-readable report formats:
+// "vmp-profile-v1" (profile_to_json) and "vmp-bench-v1" (bench harness
+// documents).  Downstream tooling keys on exact field names, so adding,
+// renaming or dropping a key must fail here first — update the goldens
+// consciously, in the same change as the writer.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../bench/harness.hpp"
+#include "core/primitives.hpp"
+#include "obs/report.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+// Pin VMP_SEED before main() runs: global_seed() latches on first call, so
+// setting the environment from a file-scope initializer makes the override
+// visible no matter which test runs first (ctest runs each in its own
+// process; a direct ./test_report_schema run shares one).
+const bool kSeedEnvPinned = [] {
+  return setenv("VMP_SEED", "424242", /*overwrite=*/1) == 0;
+}();
+
+// --------------------------------------------------------------------------
+// A deliberately tiny JSON reader — just enough to validate our own output
+// (objects, arrays, strings with the escapes we emit, numbers, booleans).
+
+struct Json {
+  enum class Kind { Object, Array, String, Number, Bool, Null } kind;
+  std::map<std::string, Json> object;
+  std::vector<Json> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+
+  [[nodiscard]] std::set<std::string> keys() const {
+    std::set<std::string> out;
+    for (const auto& [k, v] : object) out.insert(k);
+    return out;
+  }
+  [[nodiscard]] const Json& at(const std::string& k) const {
+    const auto it = object.find(k);
+    EXPECT_NE(it, object.end()) << "missing key \"" << k << "\"";
+    static const Json null{Kind::Null, {}, {}, {}, 0.0, false};
+    return it == object.end() ? null : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    const Json v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      default: return number();
+    }
+  }
+  Json object() {
+    Json v{Json::Kind::Object, {}, {}, {}, 0.0, false};
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      Json key = string_value();
+      expect(':');
+      v.object.emplace(key.string, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+  Json array() {
+    Json v{Json::Kind::Array, {}, {}, {}, 0.0, false};
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+  Json string_value() {
+    Json v{Json::Kind::String, {}, {}, {}, 0.0, false};
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': pos_ += 4; c = '?'; break;  // good enough for key checks
+          default: c = esc;
+        }
+      }
+      v.string += c;
+    }
+    expect('"');
+    return v;
+  }
+  Json boolean() {
+    Json v{Json::Kind::Bool, {}, {}, {}, 0.0, false};
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else {
+      EXPECT_EQ(s_.compare(pos_, 5, "false"), 0) << "bad literal";
+      pos_ += 5;
+    }
+    return v;
+  }
+  Json number() {
+    Json v{Json::Kind::Number, {}, {}, {}, 0.0, false};
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    v.number = std::atof(s_.substr(start, pos_ - start).c_str());
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Golden key sets.
+
+const std::set<std::string> kProfileTopKeys = {"schema", "cost_model",
+                                               "totals", "regions"};
+const std::set<std::string> kCostModelKeys = {
+    "name", "startup_us", "per_elem_us", "flop_us", "router_startup_us"};
+const std::set<std::string> kTotalsKeys = {
+    "now_us",          "comm_us",        "compute_us",
+    "router_us",       "host_us",        "comm_steps",
+    "messages",        "elements_moved", "elements_serial",
+    "flops_charged",   "flops_total",    "router_packets",
+    "router_hops",     "fault_retries",  "fault_chksum_fails",
+    "fault_reroutes"};
+const std::set<std::string> kRegionProfileKeys = {
+    "comm_us",        "compute_us",      "router_us",
+    "host_us",        "total_us",        "comm_steps",
+    "messages",       "elements_moved",  "elements_serial",
+    "flops_charged",  "flops_total",     "router_cycles",
+    "router_hops",    "dim_elements",    "mixed_dim_elements"};
+const std::set<std::string> kBenchTopKeys = {
+    "schema", "name", "quick", "trials", "warmup", "seed", "faults", "cases"};
+
+/// A small workload whose profile exercises comm, compute, regions and
+/// (when `faults`) the recovery counters.
+[[nodiscard]] std::string profile_json(bool faults) {
+  Cube cube(4, CostParams::cm2());
+  if (faults)
+    cube.enable_faults(FaultPlan::transient(19, 0.1, 0.05, 0.02, 15.0));
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, 24, 24);
+  A.load(random_matrix(24, 24, 2));
+  (void)reduce_rows(A, Plus<double>{});
+  (void)extract_col(A, 3);
+  return profile_to_json(cube.clock());
+}
+
+TEST(ProfileSchema, TopLevelAndCostModelKeysAreExact) {
+  const Json doc = JsonParser(profile_json(false)).parse();
+  EXPECT_EQ(doc.keys(), kProfileTopKeys);
+  EXPECT_EQ(doc.at("schema").string, "vmp-profile-v1");
+  EXPECT_EQ(doc.at("cost_model").keys(), kCostModelKeys);
+  EXPECT_EQ(doc.at("cost_model").at("name").string, "cm2");
+}
+
+TEST(ProfileSchema, TotalsKeysAreExactIncludingFaultCounters) {
+  const Json doc = JsonParser(profile_json(false)).parse();
+  EXPECT_EQ(doc.at("totals").keys(), kTotalsKeys);
+  // Fault-free run: counters present but zero.
+  EXPECT_EQ(doc.at("totals").at("fault_retries").number, 0.0);
+  EXPECT_EQ(doc.at("totals").at("fault_chksum_fails").number, 0.0);
+  EXPECT_EQ(doc.at("totals").at("fault_reroutes").number, 0.0);
+}
+
+TEST(ProfileSchema, TotalsConserveTheClockDecomposition) {
+  const Json doc = JsonParser(profile_json(true)).parse();
+  const Json& t = doc.at("totals");
+  EXPECT_NEAR(t.at("now_us").number,
+              t.at("comm_us").number + t.at("compute_us").number +
+                  t.at("router_us").number + t.at("host_us").number,
+              1e-6 * (1.0 + t.at("now_us").number));
+  EXPECT_GT(t.at("fault_retries").number, 0.0)
+      << "the faulty workload should have retried at least once";
+}
+
+TEST(ProfileSchema, RegionEntriesCarryExactSelfAndTotalProfiles) {
+  const Json doc = JsonParser(profile_json(true)).parse();
+  const Json& regions = doc.at("regions");
+  ASSERT_EQ(regions.kind, Json::Kind::Array);
+  ASSERT_FALSE(regions.array.empty());
+  bool saw_fault_region = false;
+  for (const Json& r : regions.array) {
+    EXPECT_EQ(r.keys(), std::set<std::string>({"path", "self", "total"}));
+    EXPECT_EQ(r.at("self").keys(), kRegionProfileKeys);
+    EXPECT_EQ(r.at("total").keys(), kRegionProfileKeys);
+    if (r.at("path").string.find("fault_") != std::string::npos)
+      saw_fault_region = true;
+  }
+  EXPECT_TRUE(saw_fault_region)
+      << "recovery costs must be attributed to fault_* regions";
+}
+
+TEST(BenchSchema, DocumentAndCaseKeysAreExact) {
+  const std::string path = "schema_test_bench.json";
+  {
+    const char* argv[] = {"test_report_schema", "--dims=2", "--sizes=8",
+                          "--json=schema_test_bench.json"};
+    bench::Harness h("schema_test", 4, const_cast<char**>(argv));
+    for (int d : h.dims({2}, {2}))
+      for (std::size_t n : h.sizes({8}, {8}))
+        h.run("case", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+              [&](bench::Case& c) {
+                Cube cube(d, CostParams::cm2());
+                Grid grid = Grid::square(cube);
+                DistMatrix<double> A(grid, n, n);
+                A.load(random_matrix(n, n, 3));
+                (void)reduce_rows(A, Plus<double>{});
+                c.counter("sim_us", cube.clock().now_us());
+                c.label("labelled");
+                c.profile("run", cube.clock());
+              });
+    ASSERT_EQ(h.finish(), 0);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const Json doc = JsonParser(text).parse();
+  EXPECT_EQ(doc.keys(), kBenchTopKeys);
+  EXPECT_EQ(doc.at("schema").string, "vmp-bench-v1");
+  EXPECT_EQ(doc.at("name").string, "schema_test");
+  EXPECT_EQ(doc.at("seed").number,
+            static_cast<double>(global_seed()));
+  EXPECT_EQ(doc.at("faults").boolean, false);
+  ASSERT_EQ(doc.at("cases").array.size(), 1u);
+  const Json& kase = doc.at("cases").array[0];
+  EXPECT_EQ(kase.keys(),
+            std::set<std::string>({"name", "args", "label", "wall_ms",
+                                   "counters", "profiles"}));
+  EXPECT_EQ(kase.at("args").keys(), std::set<std::string>({"dim", "n"}));
+  // The embedded profile is a full vmp-profile-v1 document.
+  const Json& prof = kase.at("profiles").at("run");
+  EXPECT_EQ(prof.keys(), kProfileTopKeys);
+  EXPECT_EQ(prof.at("schema").string, "vmp-profile-v1");
+  EXPECT_EQ(prof.at("totals").keys(), kTotalsKeys);
+}
+
+TEST(BenchSchema, FaultsFlagIsRecordedInTheDocument) {
+  const std::string path = "schema_test_faults.json";
+  {
+    const char* argv[] = {"test_report_schema", "--faults=77",
+                          "--json=schema_test_faults.json"};
+    bench::Harness h("schema_test", 3, const_cast<char**>(argv));
+    EXPECT_TRUE(h.faults());
+    EXPECT_EQ(h.fault_plan().seed, 77u);
+    EXPECT_TRUE(h.fault_plan().has_transient());
+    h.run("noop", {}, [&](bench::Case&) {});
+    ASSERT_EQ(h.finish(), 0);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const Json doc = JsonParser(text).parse();
+  EXPECT_EQ(doc.at("faults").boolean, true);
+}
+
+TEST(VmpSeed, EnvOverrideIsHonored) {
+  ASSERT_TRUE(kSeedEnvPinned);
+  EXPECT_EQ(global_seed(), 424242u);
+  EXPECT_EQ(announce_seed("test_report_schema"), 424242u);
+}
+
+}  // namespace
+}  // namespace vmp
