@@ -10,6 +10,13 @@
 // The "factor" profile splits lu_factor into its pivot_search / update
 // subregions, and the factor_and_solve cases also write a Chrome
 // trace_event file (gauss_trace.json) loadable in Perfetto.
+//
+// The factor_forms cases compare the primitive-composed lu_factor against
+// lu_factor_fused (bit-identical results, one fused compute pass per step):
+//   sim_composed_us / sim_fused_us     simulated factor time per form
+//   wall_composed_ms / wall_fused_ms   host wall-clock per form
+#include <chrono>
+
 #include "harness.hpp"
 #include "vmprim.hpp"
 
@@ -63,6 +70,48 @@ int main(int argc, char** argv) {
                 c.label(blocked == 0 ? "cyclic" : "blocked");
               });
       }
+
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({32, 64, 128, 256}, {32})) {
+      h.run("factor_forms", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              const HostMatrix H = diag_dominant_matrix(n, 44);
+              Cube cube(d, CostParams::cm2());
+              if (h.faults()) cube.enable_faults(h.fault_plan());
+              Grid grid = Grid::square(cube);
+              DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
+
+              A.load(H.data());
+              cube.clock().reset();
+              const auto w0 = std::chrono::steady_clock::now();
+              (void)lu_factor(A);
+              const double wall_composed =
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - w0)
+                      .count();
+              const double sim_composed = cube.clock().now_us();
+              c.profile("composed", cube.clock());
+
+              A.load(H.data());
+              cube.clock().reset();
+              const auto w1 = std::chrono::steady_clock::now();
+              (void)lu_factor_fused(A);
+              const double wall_fused =
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - w1)
+                      .count();
+              const double sim_fused = cube.clock().now_us();
+              c.profile("fused", cube.clock());
+
+              c.counter("sim_composed_us", sim_composed);
+              c.counter("sim_fused_us", sim_fused);
+              c.counter("composed_over_fused", sim_composed / sim_fused);
+              c.counter("wall_composed_ms", wall_composed);
+              c.counter("wall_fused_ms", wall_fused);
+              c.counter("host_composed_over_fused", wall_composed / wall_fused);
+              c.label("cyclic");
+            });
+    }
 
   bool traced = false;
   for (std::size_t n : h.sizes({32, 64, 128, 256}, {32})) {

@@ -4,9 +4,15 @@
 // Counters:
 //   sim_composed_us  distribute → hadamard → reduce
 //   sim_fused_us     local multiply-accumulate + all-reduce
-//   composed_over_fused   overhead factor of the literal composition
+//   composed_over_fused      overhead factor of the literal composition
+//   wall_composed_ms / wall_fused_ms   host wall-clock per form
+//   host_composed_over_fused   wall-clock overhead of the composition
+//                            (the fused form skips both intermediate
+//                            matrices, so it also runs faster on the host)
 // Profiles "composed" and "fused" break each form into its primitive /
 // collective regions.
+#include <chrono>
+
 #include "harness.hpp"
 #include "vmprim.hpp"
 
@@ -16,6 +22,12 @@ using namespace vmp;
 
 CostParams preset(std::int64_t which) {
   return which == 0 ? CostParams::cm2() : CostParams::ipsc();
+}
+
+double wall_ms_of(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -37,17 +49,25 @@ int main(int argc, char** argv) {
                 x.load(random_vector(n, 32));
 
                 cube.clock().reset();
+                const auto w0 = std::chrono::steady_clock::now();
                 (void)matvec(A, x);
+                const double wall_composed = wall_ms_of(w0);
                 const double composed = cube.clock().now_us();
                 c.profile("composed", cube.clock());
                 cube.clock().reset();
+                const auto w1 = std::chrono::steady_clock::now();
                 (void)matvec_fused(A, x);
+                const double wall_fused = wall_ms_of(w1);
                 const double fused = cube.clock().now_us();
                 c.profile("fused", cube.clock());
 
                 c.counter("sim_composed_us", composed);
                 c.counter("sim_fused_us", fused);
                 c.counter("composed_over_fused", composed / fused);
+                c.counter("wall_composed_ms", wall_composed);
+                c.counter("wall_fused_ms", wall_fused);
+                c.counter("host_composed_over_fused",
+                          wall_composed / wall_fused);
                 c.label(cube.costs().name);
               });
         h.run("vecmat_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},
@@ -61,17 +81,25 @@ int main(int argc, char** argv) {
                 x.load(random_vector(n, 34));
 
                 cube.clock().reset();
+                const auto w0 = std::chrono::steady_clock::now();
                 (void)vecmat(x, A);
+                const double wall_composed = wall_ms_of(w0);
                 const double composed = cube.clock().now_us();
                 c.profile("composed", cube.clock());
                 cube.clock().reset();
+                const auto w1 = std::chrono::steady_clock::now();
                 (void)vecmat_fused(x, A);
+                const double wall_fused = wall_ms_of(w1);
                 const double fused = cube.clock().now_us();
                 c.profile("fused", cube.clock());
 
                 c.counter("sim_composed_us", composed);
                 c.counter("sim_fused_us", fused);
                 c.counter("composed_over_fused", composed / fused);
+                c.counter("wall_composed_ms", wall_composed);
+                c.counter("wall_fused_ms", wall_fused);
+                c.counter("host_composed_over_fused",
+                          wall_composed / wall_fused);
                 c.label(cube.costs().name);
               });
       }

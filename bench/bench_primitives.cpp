@@ -93,6 +93,28 @@ int main(int argc, char** argv) {
               insert_row(f.A, n / 2, f.v);
               finish(c, f.cube, n);
             });
+      // Steady-state pooling: one warm pass grows the cube's staging slots
+      // to bucket capacity, so the measured hot loop of exchange-heavy
+      // primitives must be pure pool hits — zero heap allocations.
+      // check.sh asserts pool_misses == 0 && pool_hits > 0 on these cases.
+      h.run("pool_steady_state",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
+              (void)reduce_rows(f.A, Plus<double>{});  // warm the slots
+              (void)extract_row(f.A, n / 2);
+              f.cube.clock().reset();
+              for (int it = 0; it < 8; ++it) {
+                (void)reduce_rows(f.A, Plus<double>{});
+                (void)extract_row(f.A, n / 2);
+              }
+              const SimStats& st = f.cube.clock().stats();
+              c.counter("pool_hits", static_cast<double>(st.pool_hits));
+              c.counter("pool_misses", static_cast<double>(st.pool_misses));
+              c.counter("alloc_bytes", static_cast<double>(st.alloc_bytes));
+              finish(c, f.cube, n);
+            });
     }
   return h.finish();
 }

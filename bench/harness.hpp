@@ -14,7 +14,8 @@
 ///   --sizes=64,128   override the problem-size sweep
 ///   --trials=N       wall-clock timing repetitions per case (default 1)
 ///   --warmup=N       untimed executions per case before the trials (default 0)
-///   --quick          use each sweep's reduced "quick" lists (CI-friendly)
+///   --quick          use each sweep's reduced "quick" lists and cap both
+///                    the trials and warm-up repetitions at 1 (CI-friendly)
 ///   --filter=SUBSTR  run only cases whose full name contains SUBSTR
 ///   --json=PATH      output path (default BENCH_<name>.json in the CWD)
 ///   --list           print case names without running them
@@ -98,6 +99,16 @@ class Harness {
 
   [[nodiscard]] bool quick() const { return quick_; }
 
+  /// Effective repetition counts: --quick caps BOTH the measured trials and
+  /// the untimed warm-up executions to one (a quick run must not hide N
+  /// warm-up passes behind the reduced sweep lists).
+  [[nodiscard]] int trials() const {
+    return quick_ ? std::min(trials_, 1) : trials_;
+  }
+  [[nodiscard]] int warmup() const {
+    return quick_ ? std::min(warmup_, 1) : warmup_;
+  }
+
   /// Base seed of this run (VMP_SEED env override, else the default).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
@@ -144,16 +155,17 @@ class Harness {
     res.name = kase;
     res.args = std::move(args);
     double wall_ms = 0.0;
-    for (int t = 0; t < warmup_ + trials_; ++t) {
+    const int nwarm = warmup(), ntrials = trials();
+    for (int t = 0; t < nwarm + ntrials; ++t) {
       Case c;
       const auto t0 = std::chrono::steady_clock::now();
       body(c);
       const auto t1 = std::chrono::steady_clock::now();
-      if (t < warmup_) continue;
+      if (t < nwarm) continue;
       wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
       res.c = std::move(c);
     }
-    res.wall_ms = wall_ms / trials_;
+    res.wall_ms = wall_ms / ntrials;
     print_case(full, res);
     results_.push_back(std::move(res));
   }
@@ -262,8 +274,8 @@ class Harness {
     std::string out = "{\"schema\":\"vmp-bench-v1\"";
     out += ",\"name\":" + json_string(name_);
     out += ",\"quick\":" + std::string(quick_ ? "true" : "false");
-    out += ",\"trials\":" + std::to_string(trials_);
-    out += ",\"warmup\":" + std::to_string(warmup_);
+    out += ",\"trials\":" + std::to_string(trials());
+    out += ",\"warmup\":" + std::to_string(warmup());
     out += ",\"seed\":" + std::to_string(seed_);
     out += ",\"faults\":" + std::string(faults_ ? "true" : "false");
     out += ",\"cases\":[";

@@ -36,18 +36,19 @@ int main() {
     last = cube.clock().now_us();
   };
 
-  // The four primitives.
-  const DistVector<double> row_sums = reduce_rows(A, Plus<double>{});
+  // The four primitives, through the axis-generic API (reduce_rows,
+  // distribute_rows, extract_row, insert_row are the named equivalents).
+  const DistVector<double> row_sums = reduce(A, Axis::Row, Plus<double>{});
   report("reduce:     row sums of the 256x256 matrix");
 
-  const DistMatrix<double> V = distribute_rows(v, n);
+  const DistMatrix<double> V = distribute(v, Axis::Row, n);
   report("distribute: v copied across all 256 rows");
 
-  const DistVector<double> r17 = extract_row(A, 17);
+  const DistVector<double> r17 = extract(A, Axis::Row, 17);
   report("extract:    row 17 pulled out as a vector");
 
   DistMatrix<double> B = A;  // copy, so A stays pristine
-  insert_row(B, 99, v);
+  insert(B, Axis::Row, 99, v);
   report("insert:     v written into row 99");
 
   // Composition: y = A·x as distribute -> elementwise multiply -> reduce.

@@ -49,6 +49,8 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_naive_vs_primitive --quick)
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_gauss --quick)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --quick --dims=4 \
+  --sizes=64)
 # The same primitives under the standard transient fault plan: recovery
 # must stay within budget and the report must carry fault attribution.
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --quick --dims=4 \
@@ -73,7 +75,7 @@ def check_profile(p, where):
     for k in ("now_us", "comm_us", "compute_us", "router_us", "host_us",
               "comm_steps", "messages", "elements_moved", "flops_charged",
               "router_hops", "fault_retries", "fault_chksum_fails",
-              "fault_reroutes"):
+              "fault_reroutes", "alloc_bytes", "pool_hits", "pool_misses"):
         require(k in t, f"{where}: totals.{k}")
     # Conservation: region self buckets must sum to the global totals.
     sums = {k: 0.0 for k in ("comm_us", "compute_us", "router_us", "host_us")}
@@ -113,6 +115,19 @@ for case in nvp["cases"]:
     require(fast["totals"]["comm_us"] + fast["totals"]["compute_us"] > 0,
             f"{case['name']}: optimized side must pay comm/compute")
 print("  naive-vs-primitive router/comm contrast ok")
+
+# Zero-allocation steady state: the primitive bench hot loop must be pure
+# pool hits once the staging slots are warm (no --faults here; retries are
+# allowed to stage recovery scratch).
+prim = json.loads((workdir / "BENCH_bench_primitives.json").read_text())
+pool_cases = [c for c in prim["cases"] if c["name"] == "pool_steady_state"]
+require(pool_cases, "bench_primitives: no pool_steady_state case")
+for case in pool_cases:
+    cnt = case["counters"]
+    require(cnt["pool_misses"] == 0,
+            f"pool_steady_state: {cnt['pool_misses']} steady-state misses")
+    require(cnt["pool_hits"] > 0, "pool_steady_state: no pool hits recorded")
+print("  bench_primitives steady-state pool hits == 100% ok")
 
 trace = json.loads((workdir / "gauss_trace.json").read_text())
 xs = [e for e in trace["traceEvents"] if e.get("ph") == "X"]

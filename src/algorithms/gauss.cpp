@@ -13,44 +13,60 @@
 
 namespace vmp {
 
+namespace {
+
+/// Pivot search shared by lu_factor and lu_factor_fused: find the largest
+/// |A[i][k]| over i >= k (ties to the smallest i, a MaxLoc reduction over
+/// the extracted column), swap it into row k, and return the refreshed
+/// pivot column and value — or nullopt when the step is numerically
+/// singular.  Both factorizations run the IDENTICAL communication
+/// sequence, so deterministic fault plans fire on the same rounds.
+struct PivotStep {
+  DistVector<double> col;
+  double pivval;
+};
+
+std::optional<PivotStep> pivot_search(DistMatrix<double>& A,
+                                      std::vector<std::size_t>& perm,
+                                      std::size_t k, double pivot_tol) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  VMP_TRACE(A.grid().cube(), "pivot_search");
+  DistVector<double> col = extract(A, Axis::Col, k);
+  const ValueIndex<double> best = vec_argmax_key(
+      col,
+      [&](double v, std::size_t g) { return g >= k ? std::abs(v) : kNegInf; });
+  if (best.index < 0 || best.value < pivot_tol) return std::nullopt;
+  const std::size_t piv_row = static_cast<std::size_t>(best.index);
+  if (piv_row != k) {
+    swap_rows(A, k, piv_row);
+    std::swap(perm[k], perm[piv_row]);
+    col = extract(A, Axis::Col, k);  // refresh after the interchange
+  }
+  const double pivval = vec_fetch(col, k);
+  return PivotStep{std::move(col), pivval};
+}
+
+}  // namespace
+
 DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
   VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
   VMP_TRACE(A.grid().cube(), "lu_factor");
   const std::size_t n = A.nrows();
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
   DistLuResult out;
   out.perm.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
-    std::optional<DistVector<double>> colp;
-    double pivval = 0.0;
-    {
-      VMP_TRACE(A.grid().cube(), "pivot_search");
-      // Pivot search: largest |A[i][k]| over i >= k, ties to the smallest i
-      // (a MaxLoc reduction over the extracted column).
-      DistVector<double> col = extract_col(A, k);
-      const ValueIndex<double> best = vec_argmax_key(
-          col, [&](double v, std::size_t g) {
-            return g >= k ? std::abs(v) : kNegInf;
-          });
-      if (best.index < 0 || best.value < pivot_tol) {
-        out.singular = true;
-        return out;
-      }
-      const std::size_t piv_row = static_cast<std::size_t>(best.index);
-      if (piv_row != k) {
-        swap_rows(A, k, piv_row);
-        std::swap(out.perm[k], out.perm[piv_row]);
-        col = extract_col(A, k);  // refresh after the interchange
-      }
-      pivval = vec_fetch(col, k);
-      colp.emplace(std::move(col));
+    std::optional<PivotStep> piv = pivot_search(A, out.perm, k, pivot_tol);
+    if (!piv) {
+      out.singular = true;
+      return out;
     }
+    const double pivval = piv->pivval;
 
     VMP_TRACE(A.grid().cube(), "update");
-    const DistVector<double>& col = *colp;
+    const DistVector<double>& col = piv->col;
 
     // Multipliers m_i = A[i][k] / pivot for i > k, zero elsewhere.
     DistVector<double> mult = col;
@@ -59,7 +75,7 @@ DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
     });
 
     // Pivot row, masked to the trailing columns.
-    DistVector<double> prow = extract_row(A, k);
+    DistVector<double> prow = extract(A, Axis::Row, k);
     vec_apply_indexed(prow,
                       [&](double v, std::size_t g) { return g > k ? v : 0.0; });
 
@@ -68,7 +84,73 @@ DistLuResult lu_factor(DistMatrix<double>& A, double pivot_tol) {
     rank1_update_range(A, -1.0, mult, prow, k + 1, k + 1);
 
     // Deposit the multipliers into the L part of column k.
-    insert_col_range(A, k, mult, k + 1, n);
+    insert_range(A, Axis::Col, k, mult, k + 1, n);
+  }
+  return out;
+}
+
+DistLuResult lu_factor_fused(DistMatrix<double>& A, double pivot_tol) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "LU needs a square matrix");
+  VMP_TRACE(A.grid().cube(), "lu_factor_fused");
+  const std::size_t n = A.nrows();
+  Grid& grid = A.grid();
+
+  DistLuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::optional<PivotStep> piv = pivot_search(A, out.perm, k, pivot_tol);
+    if (!piv) {
+      out.singular = true;
+      return out;
+    }
+    const double pivval = piv->pivval;
+
+    VMP_TRACE(A.grid().cube(), "update");
+    const DistVector<double>& col = piv->col;
+
+    // Same broadcast as the composed path — the fusion below removes only
+    // compute steps, so fault plans see the identical round sequence.
+    DistVector<double> prow = extract(A, Axis::Row, k);
+
+    // One fused local sweep replaces { multiplier scaling, pivot-row
+    // masking, rank1_update_range, insert_col_range }.  Each floating-
+    // point expression matches the composed path operation for operation
+    // (m = v / pivot, then blk += (-1.0 · m) · A[k][j]), the (i, j > k)
+    // window never reads a masked-out entry, and column k lies outside the
+    // window, so depositing the multipliers in the same sweep is
+    // interference-free — results are bit-identical.
+    std::uint64_t max_flops = 0, total_flops = 0;
+    grid.cube().each_proc([&](proc_t q) {
+      const std::size_t ar =
+          A.lrows(q) - A.rowmap().first_local_at_or_after(grid.prow(q), k + 1);
+      const std::size_t ac =
+          A.lcols(q) - A.colmap().first_local_at_or_after(grid.pcol(q), k + 1);
+      const std::uint64_t f = 2ull * ar * ac + ar;  // + ar: the divisions
+      max_flops = std::max(max_flops, f);
+      total_flops += f;
+    });
+    const std::uint32_t C = A.colmap().owner(k);
+    const std::size_t lck = A.colmap().local(k);
+    grid.cube().compute(max_flops, total_flops, [&](proc_t q) {
+      const std::size_t lr0 =
+          A.rowmap().first_local_at_or_after(grid.prow(q), k + 1);
+      const std::size_t lc0 =
+          A.colmap().first_local_at_or_after(grid.pcol(q), k + 1);
+      const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
+      std::span<double> blk = A.block(q);
+      const std::span<const double> cp = col.piece(q);
+      const std::span<const double> rp = prow.piece(q);
+      const bool owns_k = grid.pcol(q) == C;
+      for (std::size_t lr = lr0; lr < lrn; ++lr) {
+        const double m = cp[lr] / pivval;
+        const double scale = -1.0 * m;
+        for (std::size_t lc = lc0; lc < lcn; ++lc)
+          blk[lr * lcn + lc] += scale * rp[lc];
+        if (owns_k) blk[lr * lcn + lck] = m;
+      }
+    });
   }
   return out;
 }
@@ -145,7 +227,7 @@ std::vector<double> lu_solve(const DistMatrix<double>& LU,
   // Forward: L y = Pb (unit diagonal), column-oriented.
   for (std::size_t k = 0; k < n; ++k) {
     const double yk = vec_fetch(y, k);
-    DistVector<double> colk = extract_col(LU, k);
+    DistVector<double> colk = extract(LU, Axis::Col, k);
     vec_apply_indexed(colk,
                       [&](double v, std::size_t g) { return g > k ? v : 0.0; });
     vec_axpy(y, -yk, colk);
@@ -156,7 +238,7 @@ std::vector<double> lu_solve(const DistMatrix<double>& LU,
     const double ukk = mat_fetch(LU, k, k);
     const double xk = vec_fetch(y, k) / ukk;
     vec_store(y, k, xk);
-    DistVector<double> colk = extract_col(LU, k);
+    DistVector<double> colk = extract(LU, Axis::Col, k);
     vec_apply_indexed(colk,
                       [&](double v, std::size_t g) { return g < k ? v : 0.0; });
     vec_axpy(y, -xk, colk);

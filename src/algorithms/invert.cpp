@@ -62,7 +62,7 @@ InvertResult invert(const DistMatrix<double>& A, double pivot_tol) {
   InvertResult out{DistMatrix<double>(grid, n, n, A.layout()), false};
 
   for (std::size_t k = 0; k < n; ++k) {
-    DistVector<double> col = extract_col(B, k);
+    DistVector<double> col = extract(B, Axis::Col, k);
     const ValueIndex<double> best = vec_argmax_key(
         col,
         [&](double v, std::size_t g) { return g >= k ? std::abs(v) : kNegInf; });
@@ -73,14 +73,14 @@ InvertResult invert(const DistMatrix<double>& A, double pivot_tol) {
     const std::size_t piv = static_cast<std::size_t>(best.index);
     if (piv != k) {
       swap_rows(B, k, piv);
-      col = extract_col(B, k);
+      col = extract(B, Axis::Col, k);
     }
     const double pivval = vec_fetch(col, k);
 
     // Normalize the pivot row.
-    DistVector<double> prow = extract_row(B, k);
+    DistVector<double> prow = extract(B, Axis::Row, k);
     vec_apply(prow, [pivval](double x) { return x / pivval; });
-    insert_row(B, k, prow);
+    insert(B, Axis::Row, k, prow);
 
     // Eliminate column k from every OTHER row (above and below).
     vec_fill_range(col, k, k + 1, 0.0);
@@ -90,8 +90,8 @@ InvertResult invert(const DistMatrix<double>& A, double pivot_tol) {
   // The right half is A⁻¹; pull it out column by column (each a
   // broadcast-extract + local insert, like any other primitive use).
   for (std::size_t j = 0; j < n; ++j) {
-    DistVector<double> cj = extract_col(B, n + j);
-    insert_col(out.inverse, j, cj);
+    DistVector<double> cj = extract(B, Axis::Col, n + j);
+    insert(out.inverse, Axis::Col, j, cj);
   }
   return out;
 }

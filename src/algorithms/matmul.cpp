@@ -16,8 +16,8 @@ DistMatrix<double> matmul(const DistMatrix<double>& A,
     // Column k of A, replicated across grid columns; row k of B,
     // replicated across grid rows — exactly what the local rank-1
     // accumulation needs.
-    const DistVector<double> a = extract_col(A, k);
-    const DistVector<double> b = extract_row(B, k);
+    const DistVector<double> a = extract(A, Axis::Col, k);
+    const DistVector<double> b = extract(B, Axis::Row, k);
     VMP_ASSERT(a.part() == C.layout().rows && b.part() == C.layout().cols,
                "panel partitions must match the result embedding");
     rank1_update(C, 1.0, a, b);

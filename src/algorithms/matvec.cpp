@@ -9,16 +9,16 @@ namespace vmp {
 
 DistVector<double> matvec(const DistMatrix<double>& A,
                           const DistVector<double>& x) {
-  detail::require_cols_aligned(A, x);
+  detail::require_cols_aligned("matvec", A, x);
   VMP_TRACE(A.grid().cube(), "matvec");
-  const DistMatrix<double> X = distribute_rows(x, A.nrows(), A.layout().rows);
+  const DistMatrix<double> X = distribute(x, Axis::Row, A.nrows(), A.layout().rows);
   const DistMatrix<double> P = hadamard(A, X);
-  return reduce_rows(P, Plus<double>{});
+  return reduce(P, Axis::Row, Plus<double>{});
 }
 
 DistVector<double> matvec_fused(const DistMatrix<double>& A,
                                 const DistVector<double>& x) {
-  detail::require_cols_aligned(A, x);
+  detail::require_cols_aligned("matvec_fused", A, x);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "matvec_fused");
@@ -40,16 +40,16 @@ DistVector<double> matvec_fused(const DistMatrix<double>& A,
 
 DistVector<double> vecmat(const DistVector<double>& x,
                           const DistMatrix<double>& A) {
-  detail::require_rows_aligned(A, x);
+  detail::require_rows_aligned("vecmat", A, x);
   VMP_TRACE(A.grid().cube(), "vecmat");
-  const DistMatrix<double> X = distribute_cols(x, A.ncols(), A.layout().cols);
+  const DistMatrix<double> X = distribute(x, Axis::Col, A.ncols(), A.layout().cols);
   const DistMatrix<double> P = hadamard(A, X);
-  return reduce_cols(P, Plus<double>{});
+  return reduce(P, Axis::Col, Plus<double>{});
 }
 
 DistVector<double> vecmat_fused(const DistVector<double>& x,
                                 const DistMatrix<double>& A) {
-  detail::require_rows_aligned(A, x);
+  detail::require_rows_aligned("vecmat_fused", A, x);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "vecmat_fused");

@@ -32,4 +32,14 @@ namespace vmp {
 [[nodiscard]] DistVector<double> vecmat_fused(const DistVector<double>& x,
                                               const DistMatrix<double>& A);
 
+/// Pipeline-style spellings of the fused products (same functions).
+[[nodiscard]] inline DistVector<double> fused_matvec(
+    const DistMatrix<double>& A, const DistVector<double>& x) {
+  return matvec_fused(A, x);
+}
+[[nodiscard]] inline DistVector<double> fused_vecmat(
+    const DistVector<double>& x, const DistMatrix<double>& A) {
+  return vecmat_fused(x, A);
+}
+
 }  // namespace vmp

@@ -27,7 +27,7 @@ struct DistTableau {
 /// reduced cost below -eps; -1 if optimal.
 std::ptrdiff_t entering(DistTableau& tb, const SimplexOptions& o) {
   VMP_TRACE(tb.T.grid().cube(), "entering");
-  const DistVector<double> obj = extract_row(tb.T, 0);
+  const DistVector<double> obj = extract(tb.T, Axis::Row, 0);
   const std::size_t allowed = tb.allowed();
   const ValueIndex<double> best =
       o.rule == PivotRule::Bland
@@ -48,7 +48,7 @@ std::ptrdiff_t entering(DistTableau& tb, const SimplexOptions& o) {
 std::ptrdiff_t leaving(DistTableau& tb, const DistVector<double>& colv,
                        const SimplexOptions& o) {
   VMP_TRACE(tb.T.grid().cube(), "leaving");
-  DistVector<double> ratios = extract_col(tb.T, tb.width());
+  DistVector<double> ratios = extract(tb.T, Axis::Col, tb.width());
   vec_zip_indexed(ratios, colv, [&](double rhs, double a, std::size_t g) {
     return (g >= 1 && a > o.eps) ? rhs / a : kInf;
   });
@@ -65,16 +65,58 @@ std::ptrdiff_t leaving(DistTableau& tb, const DistVector<double>& colv,
 }
 
 /// Scale the pivot row, eliminate the pivot column from every other row —
-/// extract / insert / rank-1 update, all primitive-level.
-void pivot(DistTableau& tb, std::size_t prow_i, std::size_t pcol_j) {
+/// extract / insert / rank-1 update, all primitive-level.  With
+/// opts.fused_pivot the four local passes after the extracts collapse into
+/// one fused sweep; the communication sequence and every floating-point
+/// operation are unchanged, so results are bit-identical (the pivot row
+/// still goes through the composed path's store-then-update with a -0.0
+/// scale, which flips -0.0 entries to +0.0 exactly as rank1_update does).
+void pivot(DistTableau& tb, std::size_t prow_i, std::size_t pcol_j,
+           const SimplexOptions& o) {
   VMP_TRACE(tb.T.grid().cube(), "pivot");
-  DistVector<double> colv = extract_col(tb.T, pcol_j);
+  DistVector<double> colv = extract(tb.T, Axis::Col, pcol_j);
   const double piv = vec_fetch(colv, prow_i);
-  DistVector<double> prow = extract_row(tb.T, prow_i);
-  vec_apply(prow, [piv](double x) { return x / piv; });
-  insert_row(tb.T, prow_i, prow);
-  vec_fill_range(colv, prow_i, prow_i + 1, 0.0);
-  rank1_update(tb.T, -1.0, colv, prow);
+  DistVector<double> prow = extract(tb.T, Axis::Row, prow_i);
+  if (!o.fused_pivot) {
+    vec_apply(prow, [piv](double x) { return x / piv; });
+    insert(tb.T, Axis::Row, prow_i, prow);
+    vec_fill_range(colv, prow_i, prow_i + 1, 0.0);
+    rank1_update(tb.T, -1.0, colv, prow);
+    tb.basis[prow_i - 1] = pcol_j;
+    return;
+  }
+  Grid& grid = tb.T.grid();
+  const std::uint32_t R = tb.T.rowmap().owner(prow_i);
+  const std::size_t lrp = tb.T.rowmap().local(prow_i);
+  std::uint64_t max_flops = 0, total_flops = 0;
+  grid.cube().each_proc([&](proc_t q) {
+    const std::uint64_t lrn = tb.T.lrows(q), lcn = tb.T.lcols(q);
+    const std::uint64_t f = lcn + 2 * lrn * lcn;  // lcn: the row scaling
+    max_flops = std::max(max_flops, f);
+    total_flops += f;
+  });
+  grid.cube().compute(max_flops, total_flops, [&](proc_t q) {
+    const std::size_t lrn = tb.T.lrows(q), lcn = tb.T.lcols(q);
+    std::span<double> blk = tb.T.block(q);
+    std::vector<double>& rp = prow.data().vec(q);
+    for (double& x : rp) x = x / piv;
+    const std::span<const double> cp = colv.piece(q);
+    const bool owner_here = grid.prow(q) == R;
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      const bool is_pivot_row = owner_here && lr == lrp;
+      const double scale = -1.0 * (is_pivot_row ? 0.0 : cp[lr]);
+      if (is_pivot_row) {
+        for (std::size_t lc = 0; lc < lcn; ++lc) {
+          double v = rp[lc];
+          v += scale * rp[lc];
+          blk[lr * lcn + lc] = v;
+        }
+      } else {
+        for (std::size_t lc = 0; lc < lcn; ++lc)
+          blk[lr * lcn + lc] += scale * rp[lc];
+      }
+    }
+  });
   tb.basis[prow_i - 1] = pcol_j;
 }
 
@@ -85,11 +127,11 @@ LpStatus optimize(DistTableau& tb, const SimplexOptions& o,
     const std::ptrdiff_t j = entering(tb, o);
     if (j < 0) return LpStatus::Optimal;
     const DistVector<double> colv =
-        extract_col(tb.T, static_cast<std::size_t>(j));
+        extract(tb.T, Axis::Col, static_cast<std::size_t>(j));
     const std::ptrdiff_t i =
         leaving(tb, colv, o);
     if (i < 0) return LpStatus::Unbounded;
-    pivot(tb, static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    pivot(tb, static_cast<std::size_t>(i), static_cast<std::size_t>(j), o);
     ++iters;
   }
   return LpStatus::IterationLimit;
@@ -131,7 +173,7 @@ LpSolution simplex_solve(Grid& grid, const LpProblem& lp, SimplexOptions opts,
     // column, exactly as the serial reference does).
     for (std::size_t i = 1; i <= m; ++i) {
       if (tb.basis[i - 1] < tb.allowed()) continue;
-      const DistVector<double> rowi = extract_row(tb.T, i);
+      const DistVector<double> rowi = extract(tb.T, Axis::Row, i);
       const std::size_t allowed = tb.allowed();
       const ValueIndex<double> j =
           vec_argmin_key(rowi, [&](double v, std::size_t g) {
@@ -140,7 +182,7 @@ LpSolution simplex_solve(Grid& grid, const LpProblem& lp, SimplexOptions opts,
                        : kInf;
           });
       if (j.index >= 0) {
-        pivot(tb, i, static_cast<std::size_t>(j.index));
+        pivot(tb, i, static_cast<std::size_t>(j.index), opts);
         ++sol.iterations;
       }
     }
@@ -158,10 +200,10 @@ LpSolution simplex_solve(Grid& grid, const LpProblem& lp, SimplexOptions opts,
     for (std::size_t i = 1; i <= m; ++i) {
       const double f = vec_fetch(obj, tb.basis[i - 1]);
       if (f == 0.0) continue;
-      const DistVector<double> rowi = extract_row(tb.T, i);
+      const DistVector<double> rowi = extract(tb.T, Axis::Row, i);
       vec_axpy(obj, -f, rowi);
     }
-    insert_row(tb.T, 0, obj);
+    insert(tb.T, Axis::Row, 0, obj);
   }
   sol.status = optimize(tb, opts, sol.iterations);
   if (sol.status != LpStatus::Optimal) return sol;

@@ -15,6 +15,8 @@
 ///  * reduce_scatter       — recursive halving:      k·τ + ~n·t_c + ~n·t_a
 ///  * allgather            — recursive doubling:     k·τ + ~n·t_c
 ///  * allreduce_rsag       — halving + doubling:     2k·τ + ~2n·t_c + n·t_a
+///  * broadcast_pipelined  — segment pipeline: (k+S-1)(τ + ⌈n/S⌉·t_c)
+///  * allreduce_pipelined  — segmented doubling, same round count + k·n·t_a
 ///  * scan_* (prefix)      — rank-ordered parallel prefix, k rounds
 ///  * route_within         — combining dimension-order routing, k rounds
 ///
@@ -31,10 +33,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "hypercube/machine.hpp"
@@ -100,7 +104,7 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   std::vector<std::size_t> n_of(cube.procs());
   for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
 
-  DistBuffer<T> incoming(cube);
+  std::vector<unsigned char> got(cube.procs());
   for (int j = sc.k() - 1; j >= 0; --j) {
     const int d = sc.dim_of_rank_bit(j);
     const std::uint32_t half = 1u << j;
@@ -116,7 +120,16 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
       const std::size_t seg_hi = block_begin(n, P, lo_rank + width);
       return std::tuple{r, seg_lo, split, seg_hi};
     };
-    cube.each_proc([&](proc_t q) { incoming.vec(q).clear(); });
+    std::size_t max_kept = 0;
+    std::uint64_t total_combines = 0;
+    for (proc_t q = 0; q < cube.procs(); ++q) {
+      const auto [r, seg_lo, split, seg_hi] = geometry(q);
+      const std::size_t kept =
+          ((r >> j) & 1u) == 0 ? split - seg_lo : seg_hi - split;
+      max_kept = std::max(max_kept, kept);
+      total_combines += kept;
+    }
+    std::fill(got.begin(), got.end(), 0);
     cube.exchange<T>(
         d,
         [&](proc_t q) -> std::span<const T> {
@@ -129,37 +142,41 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
           return std::span<const T>(mine).first(split - seg_lo);
         },
         [&](proc_t q, std::span<const T> in) {
-          incoming.vec(q).assign(in.begin(), in.end());
+          // Combine straight into the kept range while sliding it to the
+          // front (the write index never passes the read index), so the
+          // round needs no incoming staging buffer and no per-round
+          // scratch vector — the steady-state loop is allocation-free.
+          const auto [r, seg_lo, split, seg_hi] = geometry(q);
+          std::vector<T>& mine = buf.vec(q);
+          const bool low = ((r >> j) & 1u) == 0;
+          const std::size_t kept_off = low ? 0 : split - seg_lo;
+          const std::size_t kept_len = low ? split - seg_lo : seg_hi - split;
+          VMP_ASSERT(in.size() == kept_len,
+                     "reduce_scatter incoming length mismatch");
+          for (std::size_t t = 0; t < kept_len; ++t) {
+            const T& a = mine[kept_off + t];
+            mine[t] = low ? op.combine(a, in[t]) : op.combine(in[t], a);
+          }
+          mine.resize(kept_len);
+          got[q] = 1;
         });
-    std::size_t max_kept = 0;
-    std::uint64_t total_combines = 0;
-    for (proc_t q = 0; q < cube.procs(); ++q) {
-      const auto [r, seg_lo, split, seg_hi] = geometry(q);
-      const std::size_t kept =
-          ((r >> j) & 1u) == 0 ? split - seg_lo : seg_hi - split;
-      max_kept = std::max(max_kept, kept);
-      total_combines += kept;
-    }
-    cube.compute(max_kept, total_combines, [&](proc_t q) {
+    // Degenerate case: the partner's copy of the kept block was empty, so
+    // no message arrived — still shrink to the kept range, uncombined.
+    cube.each_proc([&](proc_t q) {
+      if (got[q]) return;
       const auto [r, seg_lo, split, seg_hi] = geometry(q);
       std::vector<T>& mine = buf.vec(q);
-      const std::vector<T>& in = incoming.vec(q);
       const bool low = ((r >> j) & 1u) == 0;
       const std::size_t kept_off = low ? 0 : split - seg_lo;
       const std::size_t kept_len = low ? split - seg_lo : seg_hi - split;
-      VMP_ASSERT(in.size() == kept_len || in.empty(),
-                 "reduce_scatter incoming length mismatch");
-      std::vector<T> next(kept_len);
-      for (std::size_t t = 0; t < kept_len; ++t) {
-        const T& a = mine[kept_off + t];
-        if (in.empty()) {
-          next[t] = a;  // degenerate: partner's copy of this block was empty
-        } else {
-          next[t] = low ? op.combine(a, in[t]) : op.combine(in[t], a);
-        }
-      }
-      mine.swap(next);
+      if (kept_off != 0)
+        std::move(mine.begin() + static_cast<std::ptrdiff_t>(kept_off),
+                  mine.begin() + static_cast<std::ptrdiff_t>(kept_off +
+                                                             kept_len),
+                  mine.begin());
+      mine.resize(kept_len);
     });
+    cube.clock().charge_compute_step(max_kept, total_combines);
   }
 }
 
@@ -217,13 +234,113 @@ void allreduce_rsag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   allgather(cube, buf, sc, [&](proc_t q) { return n_of[q]; });
 }
 
-/// Model-driven choice between recursive doubling and reduce-scatter /
-/// all-gather, evaluated with the machine's actual cost parameters.
+// ---------------------------------------------------------------------------
+// Segment pipelining across cube dimensions.
+// ---------------------------------------------------------------------------
+
+/// The segment count minimizing the pipelined round model
+/// `(k+S-1)(τ + ⌈n/S⌉·t_c)`: S* = √((k-1)·n·t_c / τ), clamped to [1, n].
+/// A zero start-up cost degenerates to one segment per element.
+[[nodiscard]] inline std::uint32_t pipeline_segments(const CostParams& cp,
+                                                     int k, std::size_t n) {
+  if (n <= 1 || k <= 1) return 1;
+  double s = cp.startup_us > 0.0
+                 ? std::sqrt((static_cast<double>(k) - 1.0) *
+                             static_cast<double>(n) * cp.per_elem_us /
+                             cp.startup_us)
+                 : static_cast<double>(n);
+  s = std::floor(s + 0.5);
+  if (s < 1.0) s = 1.0;
+  if (s > static_cast<double>(n)) s = static_cast<double>(n);
+  return static_cast<std::uint32_t>(s);
+}
+
+/// Communication-round model of an S-segment pipeline over k dimensions:
+/// the last segment finishes after k+S-1 rounds of ⌈n/S⌉-element sends.
+/// Every pipelined collective charges AT MOST this (empty rounds elide).
+[[nodiscard]] inline double pipeline_rounds_model(const CostParams& cp, int k,
+                                                  std::size_t n,
+                                                  std::uint32_t nseg) {
+  const double seg = static_cast<double>((n + nseg - 1) / nseg);
+  return (static_cast<double>(k) + static_cast<double>(nseg) - 1.0) *
+         (cp.startup_us + seg * cp.per_elem_us);
+}
+
+/// Segment-pipelined recursive-doubling all-reduce: the array is cut into
+/// `nseg` blocks and segment s runs doubling step i in round s+i; active
+/// segments occupy DISTINCT cube dimensions, so every round is one
+/// all-port exchange of ~n/S elements instead of a one-port exchange of n.
+/// Combines follow the exact rank-ordered rule of `allreduce`, applied per
+/// segment — elementwise the combining sequence is identical, so results
+/// are bit-identical to recursive doubling (non-commutative ops included).
+/// (k+S-1)(τ + ⌈n/S⌉·t_c) + k·n·t_a: beats doubling once k·τ dominates.
+template <class T, class Op>
+void allreduce_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                         Op op, std::uint32_t nseg) {
+  if (sc.k() == 0) return;
+  VMP_REQUIRE(nseg >= 1, "allreduce_pipelined needs at least one segment");
+  VMP_TRACE(cube, "allreduce_pipelined");
+  const int k = sc.k();
+  const std::uint32_t S = nseg;
+  const auto seg_range = [&](proc_t q, std::uint32_t s) {
+    const std::size_t n = buf.vec(q).size();
+    return std::pair{block_begin(n, S, s), block_begin(n, S, s + 1)};
+  };
+  std::vector<int> dims;
+  std::vector<std::uint32_t> segs;
+  for (int t = 0; t < k + static_cast<int>(S) - 1; ++t) {
+    dims.clear();
+    segs.clear();
+    const std::uint32_t s_lo =
+        t >= k ? static_cast<std::uint32_t>(t - k + 1) : 0;
+    const std::uint32_t s_hi = std::min<std::uint32_t>(
+        S - 1, static_cast<std::uint32_t>(t));
+    for (std::uint32_t s = s_lo; s <= s_hi; ++s) {
+      dims.push_back(sc.dim_of_rank_bit(t - static_cast<int>(s)));
+      segs.push_back(s);
+    }
+    cube.exchange_allport<T>(
+        std::span<const int>(dims),
+        [&](proc_t q, std::size_t idx) -> std::span<const T> {
+          const auto [lo, hi] = seg_range(q, segs[idx]);
+          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+        },
+        [&](proc_t q, std::size_t idx, std::span<const T> in) {
+          const auto [lo, hi] = seg_range(q, segs[idx]);
+          std::vector<T>& mine = buf.vec(q);
+          VMP_ASSERT(in.size() == hi - lo,
+                     "allreduce_pipelined segment length mismatch");
+          const bool iam_high = bit_of(q, dims[idx]) != 0;
+          for (std::size_t e = 0; e < in.size(); ++e)
+            mine[lo + e] = iam_high ? op.combine(in[e], mine[lo + e])
+                                    : op.combine(mine[lo + e], in[e]);
+        });
+    // This round combined the contiguous range [seg s_lo, seg s_hi] on
+    // every processor; charge its per-processor max like `allreduce` does.
+    std::size_t max_comb = 0;
+    std::uint64_t total_comb = 0;
+    for (proc_t q = 0; q < cube.procs(); ++q) {
+      const std::size_t n = buf.vec(q).size();
+      const std::size_t len =
+          block_begin(n, S, s_hi + 1) - block_begin(n, S, s_lo);
+      max_comb = std::max(max_comb, len);
+      total_comb += len;
+    }
+    cube.clock().charge_compute_step(max_comb, total_comb);
+  }
+}
+
+/// Model-driven choice between recursive doubling, reduce-scatter /
+/// all-gather, and the segment pipeline, evaluated with the machine's
+/// actual cost parameters.  The pipeline is picked only when its model is
+/// strictly cheaper than both exact variants (its actual charge never
+/// exceeds the model, so the selection can only improve on the minimum).
 template <class T, class Op>
 void allreduce_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) return;
-  const double n = static_cast<double>(max_local_len(cube, buf));
+  const std::size_t nmax = max_local_len(cube, buf);
+  const double n = static_cast<double>(nmax);
   const double k = sc.k();
   const double frac =
       (static_cast<double>(sc.size()) - 1.0) / static_cast<double>(sc.size());
@@ -236,7 +353,12 @@ void allreduce_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   const double c_rsag = 2 * k * cp.startup_us +
                         2 * n * frac * cp.per_elem_us +
                         n * frac * cp.flop_us;
-  if (c_rsag < c_rd) {
+  const std::uint32_t S = pipeline_segments(cp, sc.k(), nmax);
+  const double c_pipe = pipeline_rounds_model(cp, sc.k(), nmax, S) +
+                        k * n * cp.flop_us;
+  if (S > 1 && c_pipe < c_rd && c_pipe < c_rsag) {
+    allreduce_pipelined(cube, buf, sc, op, S);
+  } else if (c_rsag < c_rd) {
     allreduce_rsag(cube, buf, sc, op);
   } else {
     allreduce(cube, buf, sc, op);
@@ -335,8 +457,77 @@ void broadcast_sag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   allgather(cube, buf, sc, n_of, root_rank);
 }
 
-/// Model-driven choice between binomial and scatter+all-gather broadcast.
-/// `n_of(q)` as in broadcast_sag.
+/// Segment-pipelined binomial broadcast: the payload is cut into `nseg`
+/// blocks which ripple down the spanning binomial tree one stage behind
+/// each other (segment s runs tree stage t-s in round t).  Active segments
+/// occupy DISTINCT cube dimensions, so every round is one all-port
+/// exchange of ~n/S elements: (k+S-1)(τ + ⌈n/S⌉·t_c), sitting between the
+/// binomial tree (S=1) and scatter+all-gather in the τ vs n·t_c tradeoff.
+/// Pure data motion, so results are bit-identical to `broadcast`.
+/// `n_of(q)` as in broadcast_sag (every member needs its subcube's payload
+/// length to size its copy and locate segment boundaries).
+template <class T, class NFn>
+void broadcast_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
+                         std::uint32_t root_rank, NFn n_of,
+                         std::uint32_t nseg) {
+  if (sc.k() == 0) return;
+  VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
+  VMP_REQUIRE(nseg >= 1, "broadcast_pipelined needs at least one segment");
+  VMP_TRACE(cube, "broadcast_pipelined");
+  const int k = sc.k();
+  const std::uint32_t S = nseg;
+  // Non-roots receive their segments in place: size them up front.
+  cube.each_proc([&](proc_t q) {
+    if (sc.rank(q) != root_rank) buf.vec(q).resize(n_of(q));
+  });
+  const auto seg_range = [&](proc_t q, std::uint32_t s) {
+    const std::size_t n = n_of(q);
+    return std::pair{block_begin(n, S, s), block_begin(n, S, s + 1)};
+  };
+  std::vector<int> dims;
+  std::vector<std::uint32_t> segs;
+  for (int t = 0; t < k + static_cast<int>(S) - 1; ++t) {
+    dims.clear();
+    segs.clear();
+    const std::uint32_t s_lo =
+        t >= k ? static_cast<std::uint32_t>(t - k + 1) : 0;
+    const std::uint32_t s_hi = std::min<std::uint32_t>(
+        S - 1, static_cast<std::uint32_t>(t));
+    for (std::uint32_t s = s_lo; s <= s_hi; ++s) {
+      // Stage st of the binomial tree crosses rank bit k-1-st, mirroring
+      // `broadcast`'s high-to-low dimension order.
+      const int st = t - static_cast<int>(s);
+      dims.push_back(sc.dim_of_rank_bit(k - 1 - st));
+      segs.push_back(s);
+    }
+    cube.exchange_allport<T>(
+        std::span<const int>(dims),
+        [&](proc_t q, std::size_t idx) -> std::span<const T> {
+          const std::uint32_t s = segs[idx];
+          const int st = t - static_cast<int>(s);
+          // Holders of segment s before stage st: relative ranks whose
+          // uncovered bits (below k-st) are all zero.
+          const std::uint32_t processed =
+              (std::uint32_t{1} << k) - (std::uint32_t{1} << (k - st));
+          const std::uint32_t rr = sc.rank(q) ^ root_rank;
+          if ((rr & ~processed) != 0) return {};
+          const auto [lo, hi] = seg_range(q, s);
+          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+        },
+        [&](proc_t q, std::size_t idx, std::span<const T> in) {
+          const auto [lo, hi] = seg_range(q, segs[idx]);
+          VMP_ASSERT(in.size() == hi - lo,
+                     "broadcast_pipelined segment length mismatch");
+          std::copy(in.begin(), in.end(),
+                    buf.vec(q).begin() + static_cast<std::ptrdiff_t>(lo));
+        });
+  }
+}
+
+/// Model-driven choice between binomial, scatter+all-gather, and the
+/// segment-pipelined broadcast.  The pipeline is picked only when its
+/// model is strictly cheaper than both exact variants (its actual charge
+/// never exceeds the model).  `n_of(q)` as in broadcast_sag.
 template <class T, class NFn>
 void broadcast_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     std::uint32_t root_rank, NFn n_of) {
@@ -354,7 +545,11 @@ void broadcast_auto(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   const double c_bin = k * (cp.startup_us + n * cp.per_elem_us);
   const double c_sag =
       2 * k * cp.startup_us + 2 * n * frac * cp.per_elem_us;
-  if (c_sag < c_bin) {
+  const std::uint32_t S = pipeline_segments(cp, sc.k(), nmax);
+  const double c_pipe = pipeline_rounds_model(cp, sc.k(), nmax, S);
+  if (S > 1 && c_pipe < c_bin && c_pipe < c_sag) {
+    broadcast_pipelined(cube, buf, sc, root_rank, n_of, S);
+  } else if (c_sag < c_bin) {
     broadcast_sag(cube, buf, sc, root_rank, n_of);
   } else {
     broadcast(cube, buf, sc, root_rank);

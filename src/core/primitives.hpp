@@ -29,8 +29,23 @@
 ///
 /// All forms REQUIRE correctly-embedded operands (alignment, partition kind
 /// and length must match); use vmp::realign to convert — the conversion is
-/// the "embedding change" the paper prices explicitly.
+/// the "embedding change" the paper prices explicitly.  Violations throw
+/// vmp::ShapeError (extents / index ranges) or vmp::AlignError (embedding
+/// mismatches), both rooted at vmp::ContractError — see hypercube/check.hpp.
+///
+/// Each primitive also has an axis-generic spelling (the preferred API):
+///
+///   extract(A, Axis::Row, i)        == extract_row(A, i)
+///   insert(A, Axis::Col, j, v)      == insert_col(A, j, v)
+///   reduce(A, Axis::Row, op)        == reduce_rows(A, op)
+///   distribute(v, Axis::Col, n)     == distribute_cols(v, n)
+///
+/// The named forms remain as documented aliases; both spellings are the
+/// same functions underneath and are bit-identical in results, charges and
+/// event traces.
 #pragma once
+
+#include <string>
 
 #include "comm/collectives.hpp"
 #include "comm/ops.hpp"
@@ -40,24 +55,60 @@
 
 namespace vmp {
 
+/// Which matrix axis a primitive addresses: Axis::Row names the row forms
+/// (extract_row, insert_row, reduce_rows, distribute_rows), Axis::Col the
+/// column forms.
+enum class Axis { Row, Col };
+
 namespace detail {
 
 template <class T>
-void require_cols_aligned(const DistMatrix<T>& A, const DistVector<T>& v) {
-  VMP_REQUIRE(&A.grid() == &v.grid(), "operands live on different grids");
-  VMP_REQUIRE(v.align() == Align::Cols, "vector must be Cols-aligned");
-  VMP_REQUIRE(v.part() == A.layout().cols,
-              "vector partition kind must match the matrix column axis");
-  VMP_REQUIRE(v.n() == A.ncols(), "vector length must equal ncols");
+[[nodiscard]] std::string shape_of(const DistMatrix<T>& A) {
+  return std::to_string(A.nrows()) + "x" + std::to_string(A.ncols());
 }
 
 template <class T>
-void require_rows_aligned(const DistMatrix<T>& A, const DistVector<T>& v) {
-  VMP_REQUIRE(&A.grid() == &v.grid(), "operands live on different grids");
-  VMP_REQUIRE(v.align() == Align::Rows, "vector must be Rows-aligned");
-  VMP_REQUIRE(v.part() == A.layout().rows,
-              "vector partition kind must match the matrix row axis");
-  VMP_REQUIRE(v.n() == A.nrows(), "vector length must equal nrows");
+void require_cols_aligned(const char* primitive, const DistMatrix<T>& A,
+                          const DistVector<T>& v) {
+  VMP_REQUIRE_ALIGN(&A.grid() == &v.grid(), primitive,
+                    "operands live on different grids");
+  VMP_REQUIRE_ALIGN(v.align() == Align::Cols, primitive,
+                    "vector must be Cols-aligned");
+  VMP_REQUIRE_ALIGN(v.part() == A.layout().cols, primitive,
+                    "vector partition kind must match the matrix column axis");
+  VMP_REQUIRE_SHAPE(v.n() == A.ncols(), primitive,
+                    "vector length must equal ncols (A is " + shape_of(A) +
+                        ", v has n=" + std::to_string(v.n()) + ")");
+}
+
+template <class T>
+void require_rows_aligned(const char* primitive, const DistMatrix<T>& A,
+                          const DistVector<T>& v) {
+  VMP_REQUIRE_ALIGN(&A.grid() == &v.grid(), primitive,
+                    "operands live on different grids");
+  VMP_REQUIRE_ALIGN(v.align() == Align::Rows, primitive,
+                    "vector must be Rows-aligned");
+  VMP_REQUIRE_ALIGN(v.part() == A.layout().rows, primitive,
+                    "vector partition kind must match the matrix row axis");
+  VMP_REQUIRE_SHAPE(v.n() == A.nrows(), primitive,
+                    "vector length must equal nrows (A is " + shape_of(A) +
+                        ", v has n=" + std::to_string(v.n()) + ")");
+}
+
+template <class T>
+void require_row_index(const char* primitive, const DistMatrix<T>& A,
+                       std::size_t i) {
+  VMP_REQUIRE_SHAPE(i < A.nrows(), primitive,
+                    "row index " + std::to_string(i) +
+                        " out of range (A is " + shape_of(A) + ")");
+}
+
+template <class T>
+void require_col_index(const char* primitive, const DistMatrix<T>& A,
+                       std::size_t j) {
+  VMP_REQUIRE_SHAPE(j < A.ncols(), primitive,
+                    "column index " + std::to_string(j) +
+                        " out of range (A is " + shape_of(A) + ")");
 }
 
 }  // namespace detail
@@ -122,8 +173,8 @@ template <class T>
 [[nodiscard]] DistMatrix<T> distribute_rows(const DistVector<T>& v,
                                             std::size_t nrows,
                                             Part rows_part = Part::Block) {
-  VMP_REQUIRE(v.align() == Align::Cols,
-              "distribute_rows needs a Cols-aligned vector");
+  VMP_REQUIRE_ALIGN(v.align() == Align::Cols, "distribute_rows",
+                    "needs a Cols-aligned vector");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "distribute_rows");
@@ -144,8 +195,8 @@ template <class T>
 [[nodiscard]] DistMatrix<T> distribute_cols(const DistVector<T>& v,
                                             std::size_t ncols,
                                             Part cols_part = Part::Block) {
-  VMP_REQUIRE(v.align() == Align::Rows,
-              "distribute_cols needs a Rows-aligned vector");
+  VMP_REQUIRE_ALIGN(v.align() == Align::Rows, "distribute_cols",
+                    "needs a Rows-aligned vector");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "distribute_cols");
@@ -169,7 +220,7 @@ template <class T>
 template <class T>
 [[nodiscard]] DistVector<T> extract_row(const DistMatrix<T>& A,
                                         std::size_t i) {
-  VMP_REQUIRE(i < A.nrows(), "row index out of range");
+  detail::require_row_index("extract_row", A, i);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "extract_row");
@@ -194,7 +245,7 @@ template <class T>
 template <class T>
 [[nodiscard]] DistVector<T> extract_col(const DistMatrix<T>& A,
                                         std::size_t j) {
-  VMP_REQUIRE(j < A.ncols(), "column index out of range");
+  detail::require_col_index("extract_col", A, j);
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "extract_col");
@@ -224,8 +275,8 @@ template <class T>
 /// owner row's processors copy their piece in place.
 template <class T>
 void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
-  VMP_REQUIRE(i < A.nrows(), "row index out of range");
-  detail::require_cols_aligned(A, v);
+  detail::require_row_index("insert_row", A, i);
+  detail::require_cols_aligned("insert_row", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_row");
   const std::uint32_t R = A.rowmap().owner(i);
@@ -244,8 +295,8 @@ void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
 /// Overwrite column j of A with a Rows-aligned vector.  Purely local.
 template <class T>
 void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
-  VMP_REQUIRE(j < A.ncols(), "column index out of range");
-  detail::require_rows_aligned(A, v);
+  detail::require_col_index("insert_col", A, j);
+  detail::require_rows_aligned("insert_col", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_col");
   const std::uint32_t C = A.colmap().owner(j);
@@ -268,9 +319,12 @@ void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
 template <class T>
 void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
                       std::size_t lo, std::size_t hi) {
-  VMP_REQUIRE(i < A.nrows(), "row index out of range");
-  VMP_REQUIRE(lo <= hi && hi <= A.ncols(), "bad column range");
-  detail::require_cols_aligned(A, v);
+  detail::require_row_index("insert_row_range", A, i);
+  VMP_REQUIRE_SHAPE(lo <= hi && hi <= A.ncols(), "insert_row_range",
+                    "bad column range [" + std::to_string(lo) + ", " +
+                        std::to_string(hi) + ") (A is " +
+                        detail::shape_of(A) + ")");
+  detail::require_cols_aligned("insert_row_range", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_row_range");
   const std::uint32_t R = A.rowmap().owner(i);
@@ -296,9 +350,12 @@ void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
 template <class T>
 void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
                       std::size_t lo, std::size_t hi) {
-  VMP_REQUIRE(j < A.ncols(), "column index out of range");
-  VMP_REQUIRE(lo <= hi && hi <= A.nrows(), "bad row range");
-  detail::require_rows_aligned(A, v);
+  detail::require_col_index("insert_col_range", A, j);
+  VMP_REQUIRE_SHAPE(lo <= hi && hi <= A.nrows(), "insert_col_range",
+                    "bad row range [" + std::to_string(lo) + ", " +
+                        std::to_string(hi) + ") (A is " +
+                        detail::shape_of(A) + ")");
+  detail::require_rows_aligned("insert_col_range", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_col_range");
   const std::uint32_t C = A.colmap().owner(j);
@@ -317,6 +374,60 @@ void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
       if (g >= lo && g < hi) blk[lr * lcn + lc] = piece[lr];
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Axis-generic forms (the preferred spellings).
+// ---------------------------------------------------------------------------
+
+/// Fold A along `axis` with `op`: Axis::Row folds each row (reduce_rows),
+/// Axis::Col each column (reduce_cols).
+template <class T, class Op>
+[[nodiscard]] DistVector<T> reduce(const DistMatrix<T>& A, Axis axis, Op op) {
+  return axis == Axis::Row ? reduce_rows(A, op) : reduce_cols(A, op);
+}
+
+/// Replicate v along `axis` into an n-extent matrix: Axis::Row stacks a
+/// Cols-aligned vector into n rows (distribute_rows), Axis::Col tiles a
+/// Rows-aligned vector into n columns (distribute_cols).
+template <class T>
+[[nodiscard]] DistMatrix<T> distribute(const DistVector<T>& v, Axis axis,
+                                       std::size_t n,
+                                       Part part = Part::Block) {
+  return axis == Axis::Row ? distribute_rows(v, n, part)
+                           : distribute_cols(v, n, part);
+}
+
+/// Pull line i of A along `axis`: Axis::Row yields row i (extract_row),
+/// Axis::Col yields column i (extract_col).
+template <class T>
+[[nodiscard]] DistVector<T> extract(const DistMatrix<T>& A, Axis axis,
+                                    std::size_t i) {
+  return axis == Axis::Row ? extract_row(A, i) : extract_col(A, i);
+}
+
+/// Overwrite line i of A along `axis` with v: Axis::Row writes row i
+/// (insert_row), Axis::Col writes column i (insert_col).
+template <class T>
+void insert(DistMatrix<T>& A, Axis axis, std::size_t i,
+            const DistVector<T>& v) {
+  if (axis == Axis::Row) {
+    insert_row(A, i, v);
+  } else {
+    insert_col(A, i, v);
+  }
+}
+
+/// Ranged axis-generic insert: only elements of line i whose cross-axis
+/// global index lies in [lo, hi) are written.
+template <class T>
+void insert_range(DistMatrix<T>& A, Axis axis, std::size_t i,
+                  const DistVector<T>& v, std::size_t lo, std::size_t hi) {
+  if (axis == Axis::Row) {
+    insert_row_range(A, i, v, lo, hi);
+  } else {
+    insert_col_range(A, i, v, lo, hi);
+  }
 }
 
 }  // namespace vmp

@@ -22,15 +22,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hypercube/check.hpp"
+
 namespace vmp {
 
 /// Raised when a fault exceeds the recovery budget (retry limit exhausted,
 /// no live route around a dead link, a message endpoint is a dead node).
 /// Distinct from ContractError: the *caller* did nothing wrong — the
-/// simulated machine degraded beyond what the policy can absorb.
-class FaultError : public std::runtime_error {
+/// simulated machine degraded beyond what the policy can absorb.  Rooted
+/// at vmp::Error like every other library exception.
+class FaultError : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  using Error::Error;
 };
 
 /// Seeded, fully deterministic fault plan.  All probabilities are per

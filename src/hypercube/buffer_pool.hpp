@@ -1,0 +1,153 @@
+/// \file buffer_pool.hpp
+/// \brief Size-bucketed recycling allocator for the machine's hot paths.
+///
+/// Every lockstep communication round needs scratch memory to stage the
+/// outgoing payloads (staging is what makes in-place combining race-free,
+/// see hypercube/machine.hpp).  Allocating that scratch from the heap per
+/// round dominates host wall-clock on large runs; the BufferPool instead
+/// recycles blocks through power-of-two byte buckets, so a steady-state
+/// exchange loop performs ZERO heap allocations.
+///
+/// The pool is owned by the Cube and used only from the host thread that
+/// drives the lockstep rounds (blocks are acquired before and released
+/// after any parallel_for), so no locking is needed.  Every acquire is
+/// counted in the owning SimClock's statistics:
+///
+///   pool_hits    — acquires served by recycling an existing block
+///   pool_misses  — acquires that had to touch the heap
+///   alloc_bytes  — heap bytes newly allocated on misses
+///
+/// which surface in the vmp-profile-v1 `totals` block, making the
+/// zero-allocation claim machine-checkable (scripts/check.sh asserts
+/// steady-state pool hits == 100% on the primitive bench hot loop).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hypercube/check.hpp"
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+class BufferPool {
+ public:
+  /// `clock` (optional) receives the hit/miss/alloc statistics.
+  explicit BufferPool(SimClock* clock = nullptr) : clock_(clock) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII lease of one pooled block; returns it to the pool's free list on
+  /// destruction.  Movable so it can be handed to helpers; never copyable.
+  class Block {
+   public:
+    Block() = default;
+    Block(Block&& other) noexcept { *this = std::move(other); }
+    Block& operator=(Block&& other) noexcept {
+      release();
+      pool_ = other.pool_;
+      bytes_ = other.bytes_;
+      bucket_ = other.bucket_;
+      other.pool_ = nullptr;
+      other.bytes_ = nullptr;
+      return *this;
+    }
+    Block(const Block&) = delete;
+    Block& operator=(const Block&) = delete;
+    ~Block() { release(); }
+
+    /// Start of the leased storage (aligned like ::operator new, i.e. for
+    /// any type without extended alignment).  Null for an empty lease.
+    [[nodiscard]] void* data() const { return bytes_; }
+    /// Usable capacity — the bucket size, ≥ the requested byte count.
+    [[nodiscard]] std::size_t size() const { return bytes_ ? size_of(bucket_) : 0; }
+
+   private:
+    friend class BufferPool;
+    Block(BufferPool* pool, std::byte* bytes, int bucket)
+        : pool_(pool), bytes_(bytes), bucket_(bucket) {}
+    void release() {
+      if (pool_ && bytes_) pool_->put_back(bytes_, bucket_);
+      pool_ = nullptr;
+      bytes_ = nullptr;
+    }
+    BufferPool* pool_ = nullptr;
+    std::byte* bytes_ = nullptr;
+    int bucket_ = 0;
+  };
+
+  /// Lease a block of at least `bytes` bytes.  Requests are rounded up to
+  /// the enclosing power-of-two bucket (minimum 64 bytes) so that nearby
+  /// sizes share a free list; zero-byte requests return an empty lease
+  /// without touching the pool.
+  [[nodiscard]] Block acquire(std::size_t bytes) {
+    if (bytes == 0) return Block{};
+    const int bucket = bucket_of(bytes);
+    auto& list = free_[static_cast<std::size_t>(bucket)];
+    if (!list.empty()) {
+      std::byte* p = list.back().release();
+      list.pop_back();
+      ++hits_;
+      if (clock_) clock_->note_pool_hit();
+      return Block{this, p, bucket};
+    }
+    const std::size_t sz = size_of(bucket);
+    auto p = std::make_unique<std::byte[]>(sz);
+    ++misses_;
+    heap_bytes_ += sz;
+    if (clock_) clock_->note_pool_miss(sz);
+    return Block{this, p.release(), bucket};
+  }
+
+  /// Drop every free block back to the heap (leased blocks are unaffected
+  /// and still return here afterwards).  Mainly for tests.
+  void trim() {
+    for (auto& list : free_) list.clear();
+  }
+
+  /// Lifetime counters of this pool (independent of any SimClock reset).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Total heap bytes this pool ever allocated (monotone; recycling never
+  /// increases it).
+  [[nodiscard]] std::uint64_t heap_bytes() const { return heap_bytes_; }
+  /// Number of blocks currently sitting in the free lists.
+  [[nodiscard]] std::size_t free_blocks() const {
+    std::size_t n = 0;
+    for (const auto& list : free_) n += list.size();
+    return n;
+  }
+
+  /// The bucket capacity a request of `bytes` bytes is served from:
+  /// the smallest power of two ≥ max(bytes, 64).
+  [[nodiscard]] static std::size_t bucket_bytes(std::size_t bytes) {
+    return bytes == 0 ? 0 : size_of(bucket_of(bytes));
+  }
+
+ private:
+  static constexpr std::size_t kMinBytes = 64;
+  static constexpr int kBuckets = 64;
+
+  [[nodiscard]] static int bucket_of(std::size_t bytes) {
+    const std::size_t want = bytes < kMinBytes ? kMinBytes : bytes;
+    return static_cast<int>(std::bit_width(want - 1));  // ceil log2
+  }
+  [[nodiscard]] static std::size_t size_of(int bucket) {
+    return std::size_t{1} << bucket;
+  }
+
+  void put_back(std::byte* p, int bucket) {
+    free_[static_cast<std::size_t>(bucket)].emplace_back(p);
+  }
+
+  SimClock* clock_ = nullptr;
+  std::vector<std::unique_ptr<std::byte[]>> free_[kBuckets];
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t heap_bytes_ = 0;
+};
+
+}  // namespace vmp

@@ -1,10 +1,24 @@
 /// \file check.hpp
-/// \brief Always-on precondition / invariant checking for the vmprim library.
+/// \brief Always-on precondition / invariant checking and the library's
+///        structured error hierarchy.
 ///
 /// The library follows the C++ Core Guidelines contract style (I.6 / E.12):
 /// preconditions are checked at public API boundaries with VMP_REQUIRE and
-/// internal invariants with VMP_ASSERT.  Violations throw vmp::ContractError
-/// so that tests can assert on misuse, instead of aborting the process.
+/// internal invariants with VMP_ASSERT.  Violations throw exceptions from a
+/// single hierarchy rooted at vmp::Error so callers can catch at the
+/// granularity they need:
+///
+///   vmp::Error                      every error the library raises
+///    ├─ vmp::ContractError          precondition / invariant violations
+///    │   ├─ vmp::ShapeError         operand extents / index ranges wrong
+///    │   └─ vmp::AlignError         operand embeddings (alignment,
+///    │                              partition kind, grid) incompatible
+///    └─ vmp::FaultError             fault recovery budget exceeded
+///                                   (fault/fault.hpp)
+///
+/// ShapeError / AlignError messages carry the primitive name and the
+/// operand shapes involved, so a failing call site reads like a diagnosis:
+///   "insert_row: vector length must equal ncols (A is 8x6, v has n=5)".
 #pragma once
 
 #include <sstream>
@@ -13,10 +27,30 @@
 
 namespace vmp {
 
-/// Thrown when a precondition or invariant of the library is violated.
-class ContractError : public std::logic_error {
+/// Root of every exception the vmprim library throws.
+class Error : public std::runtime_error {
  public:
-  using std::logic_error::logic_error;
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a precondition or invariant of the library is violated.
+class ContractError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A precondition on operand *shapes* failed: extents that must match
+/// don't, or an index lies outside its range.
+class ShapeError : public ContractError {
+ public:
+  using ContractError::ContractError;
+};
+
+/// A precondition on operand *embeddings* failed: alignment, partition
+/// kind, or grid of the operands are incompatible.
+class AlignError : public ContractError {
+ public:
+  using ContractError::ContractError;
 };
 
 namespace detail {
@@ -28,6 +62,16 @@ namespace detail {
   os << kind << " failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
   throw ContractError(os.str());
+}
+
+[[noreturn]] inline void shape_fail(const char* primitive,
+                                    const std::string& msg) {
+  throw ShapeError(std::string(primitive) + ": " + msg);
+}
+
+[[noreturn]] inline void align_fail(const char* primitive,
+                                    const std::string& msg) {
+  throw AlignError(std::string(primitive) + ": " + msg);
 }
 
 }  // namespace detail
@@ -47,4 +91,18 @@ namespace detail {
     if (!(cond))                                                           \
       ::vmp::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
                                    (msg));                                 \
+  } while (false)
+
+/// Shape precondition of a named primitive; throws vmp::ShapeError with the
+/// primitive name and a caller-supplied shape description on failure.
+#define VMP_REQUIRE_SHAPE(cond, primitive, msg)                            \
+  do {                                                                     \
+    if (!(cond)) ::vmp::detail::shape_fail((primitive), (msg));            \
+  } while (false)
+
+/// Embedding/alignment precondition of a named primitive; throws
+/// vmp::AlignError with the primitive name on failure.
+#define VMP_REQUIRE_ALIGN(cond, primitive, msg)                            \
+  do {                                                                     \
+    if (!(cond)) ::vmp::detail::align_fail((primitive), (msg));            \
   } while (false)

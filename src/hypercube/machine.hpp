@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -35,6 +36,7 @@
 
 #include "fault/injector.hpp"
 #include "hypercube/bits.hpp"
+#include "hypercube/buffer_pool.hpp"
 #include "hypercube/check.hpp"
 #include "hypercube/cost_model.hpp"
 #include "hypercube/sim_clock.hpp"
@@ -48,15 +50,71 @@ using proc_t = std::uint32_t;
 
 /// One staged message of a lockstep round, as seen by the fault-recovery
 /// engine: the (src, dst) cube edge, the dimension it crosses, a caller
-/// context index (the all-port port), and the staged payload.
+/// context index (the all-port port), and a view of the staged payload
+/// (which lives either in a persistent staging slot or a staged vector).
 template <class T>
 struct FaultMsg {
   proc_t src = 0;
   proc_t dst = 0;
   int dim = 0;
   std::size_t port = 0;
-  const std::vector<T>* payload = nullptr;
+  const T* data = nullptr;
+  std::size_t len = 0;
+  [[nodiscard]] std::span<const T> payload() const { return {data, len}; }
 };
+
+namespace detail {
+
+/// Payload types the zero-allocation staging path handles: memcpy-able and
+/// without extended alignment (pooled blocks are new-aligned).  Everything
+/// else falls back to the vector-staged path.
+template <class T>
+inline constexpr bool kPoolStageable =
+    std::is_trivially_copyable_v<T> && alignof(T) <= alignof(std::max_align_t);
+
+/// One persistent staging slot of the zero-allocation exchange path.  The
+/// payload is copied here AT send() TIME (the span send() returns only has
+/// to live for the duration of the call), and the slot's capacity persists
+/// across rounds, so a steady-state exchange loop never touches the heap.
+/// `grew` records the bytes freshly heap-allocated by this round's growth
+/// (0 on reuse); the host thread folds it into the pool hit/miss
+/// statistics after the collect pass.
+struct StageBuf {
+  std::unique_ptr<std::byte[]> bytes;
+  std::size_t cap = 0;   ///< capacity in bytes (bucket-rounded, monotone)
+  std::size_t len = 0;   ///< elements staged this round
+  std::size_t grew = 0;  ///< bytes newly allocated this round
+
+  void skip() {
+    len = 0;
+    grew = 0;
+  }
+
+  template <class T>
+  void stage(std::span<const T> s) {
+    const std::size_t need = s.size() * sizeof(T);
+    grew = 0;
+    if (need > cap) {
+      const std::size_t want = BufferPool::bucket_bytes(need);
+      bytes = std::make_unique<std::byte[]>(want);
+      cap = want;
+      grew = want;
+    }
+    if (need != 0) std::memcpy(bytes.get(), s.data(), need);
+    len = s.size();
+  }
+
+  template <class T>
+  [[nodiscard]] const T* data() const {
+    return reinterpret_cast<const T*>(bytes.get());
+  }
+  template <class T>
+  [[nodiscard]] std::span<const T> view() const {
+    return {data<T>(), len};
+  }
+};
+
+}  // namespace detail
 
 class Cube {
  public:
@@ -132,44 +190,90 @@ class Cube {
   /// Charged `τ + max_elems · t_c` — one message start-up regardless of
   /// message length, the amortization at the heart of the paper's
   /// optimized primitives.  If nobody sends, the round is free (elided).
+  ///
+  /// For memcpy-able payload types the staging copy lands in per-processor
+  /// slots whose capacity persists across rounds (bucket-rounded like the
+  /// BufferPool), so a steady-state exchange loop performs zero heap
+  /// allocations; other types stage through per-processor vectors.
   template <class T, class SendFn, class RecvFn>
   void exchange(int d, SendFn&& send, RecvFn&& recv) {
     VMP_REQUIRE(d >= 0 && d < dim_, "exchange dimension out of range");
     const std::uint32_t bit = std::uint32_t{1} << d;
-    std::vector<std::vector<T>> staged(procs_);
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      std::span<const T> s = send(static_cast<proc_t>(q));
-      staged[q].assign(s.begin(), s.end());
-    });
-    std::size_t max_elems = 0, total = 0, messages = 0;
-    for (proc_t q = 0; q < procs_; ++q) {
-      const std::size_t n = staged[q].size();
-      if (n == 0) continue;
-      ++messages;
-      total += n;
-      if (n > max_elems) max_elems = n;
+    if constexpr (detail::kPoolStageable<T>) {
+      detail::StageBuf* stage = stage_slots(procs_);
+      // Staging before any delivery: the copy is what lets recv combine
+      // into (or overwrite) the very buffer send exposed — and send's span
+      // only has to outlive its own call.
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        const std::span<const T> s = send(static_cast<proc_t>(q));
+        stage[q].stage(s);
+      });
+      std::size_t max_elems = 0, total = 0, messages = 0;
+      for (proc_t q = 0; q < procs_; ++q) {
+        const std::size_t n = stage[q].len;
+        if (n == 0) continue;
+        note_stage_use(stage[q]);
+        ++messages;
+        total += n;
+        if (n > max_elems) max_elems = n;
+      }
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (proc_t q = 0; q < procs_; ++q)
+          if (stage[q].len != 0)
+            msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0,
+                                       stage[q].template data<T>(),
+                                       stage[q].len});
+        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.payload());
+                               });
+        return;
+      }
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        const detail::StageBuf& in = stage[q ^ bit];
+        if (in.len != 0)
+          recv(static_cast<proc_t>(q), in.template view<T>());
+      });
+      clock_.charge_comm_step(max_elems, messages, total, d);
+    } else {
+      std::vector<std::vector<T>> staged(procs_);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        std::span<const T> s = send(static_cast<proc_t>(q));
+        staged[q].assign(s.begin(), s.end());
+      });
+      std::size_t max_elems = 0, total = 0, messages = 0;
+      for (proc_t q = 0; q < procs_; ++q) {
+        const std::size_t n = staged[q].size();
+        if (n == 0) continue;
+        ++messages;
+        total += n;
+        if (n > max_elems) max_elems = n;
+      }
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (proc_t q = 0; q < procs_; ++q)
+          if (!staged[q].empty())
+            msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0, staged[q].data(),
+                                       staged[q].size()});
+        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.payload());
+                               });
+        return;
+      }
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        const std::vector<T>& in = staged[q ^ bit];
+        if (!in.empty())
+          recv(static_cast<proc_t>(q),
+               std::span<const T>(in.data(), in.size()));
+      });
+      clock_.charge_comm_step(max_elems, messages, total, d);
     }
-    if (messages == 0) return;
-    if (faults_) {
-      std::vector<FaultMsg<T>> msgs;
-      msgs.reserve(messages);
-      for (proc_t q = 0; q < procs_; ++q)
-        if (!staged[q].empty())
-          msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0, &staged[q]});
-      deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
-                             [&](const FaultMsg<T>& m) {
-                               recv(m.dst, std::span<const T>(
-                                               m.payload->data(),
-                                               m.payload->size()));
-                             });
-      return;
-    }
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      const std::vector<T>& in = staged[q ^ bit];
-      if (!in.empty())
-        recv(static_cast<proc_t>(q), std::span<const T>(in.data(), in.size()));
-    });
-    clock_.charge_comm_step(max_elems, messages, total, d);
   }
 
   /// One lockstep ALL-PORT communication round: several cube dimensions are
@@ -189,53 +293,99 @@ class Cube {
         VMP_REQUIRE(dims[a] != dims[b], "all-port dims must be distinct");
     }
     const std::size_t nd = dims.size();
-    std::vector<std::vector<std::vector<T>>> staged(nd);
-    for (std::size_t idx = 0; idx < nd; ++idx) staged[idx].resize(procs_);
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      for (std::size_t idx = 0; idx < nd; ++idx) {
-        std::span<const T> s = send(static_cast<proc_t>(q), idx);
-        staged[idx][q].assign(s.begin(), s.end());
-      }
-    });
-    std::size_t max_port = 0, total = 0, messages = 0;
-    for (std::size_t idx = 0; idx < nd; ++idx)
-      for (proc_t q = 0; q < procs_; ++q) {
-        const std::size_t n = staged[idx][q].size();
+    if constexpr (detail::kPoolStageable<T>) {
+      detail::StageBuf* stage = stage_slots(nd * procs_);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        for (std::size_t idx = 0; idx < nd; ++idx) {
+          const std::span<const T> s = send(static_cast<proc_t>(q), idx);
+          stage[idx * procs_ + q].stage(s);
+        }
+      });
+      std::size_t max_port = 0, total = 0, messages = 0;
+      for (std::size_t t = 0; t < nd * procs_; ++t) {
+        const std::size_t n = stage[t].len;
         if (n == 0) continue;
+        note_stage_use(stage[t]);
         ++messages;
         total += n;
         if (n > max_port) max_port = n;
       }
-    if (messages == 0) return;
-    if (faults_) {
-      std::vector<FaultMsg<T>> msgs;
-      msgs.reserve(messages);
-      for (std::size_t idx = 0; idx < nd; ++idx)
-        for (proc_t q = 0; q < procs_; ++q)
-          if (!staged[idx][q].empty())
-            msgs.push_back(FaultMsg<T>{
-                q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
-                &staged[idx][q]});
-      deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
-                             nd == 1 ? dims[0] : -1,
-                             [&](const FaultMsg<T>& m) {
-                               recv(m.dst, m.port,
-                                    std::span<const T>(m.payload->data(),
-                                                       m.payload->size()));
-                             });
-      return;
-    }
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      for (std::size_t idx = 0; idx < nd; ++idx) {
-        const std::vector<T>& in =
-            staged[idx][q ^ (std::uint32_t{1} << dims[idx])];
-        if (!in.empty())
-          recv(static_cast<proc_t>(q), idx,
-               std::span<const T>(in.data(), in.size()));
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (std::size_t idx = 0; idx < nd; ++idx)
+          for (proc_t q = 0; q < procs_; ++q) {
+            const detail::StageBuf& s = stage[idx * procs_ + q];
+            if (s.len != 0)
+              msgs.push_back(FaultMsg<T>{
+                  q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
+                  s.template data<T>(), s.len});
+          }
+        deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
+                               nd == 1 ? dims[0] : -1,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.port, m.payload());
+                               });
+        return;
       }
-    });
-    clock_.charge_comm_step(max_port, messages, total,
-                            nd == 1 ? dims[0] : -1);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        for (std::size_t idx = 0; idx < nd; ++idx) {
+          const detail::StageBuf& in =
+              stage[idx * procs_ + (q ^ (std::uint32_t{1} << dims[idx]))];
+          if (in.len != 0)
+            recv(static_cast<proc_t>(q), idx, in.template view<T>());
+        }
+      });
+      clock_.charge_comm_step(max_port, messages, total,
+                              nd == 1 ? dims[0] : -1);
+    } else {
+      std::vector<std::vector<std::vector<T>>> staged(nd);
+      for (std::size_t idx = 0; idx < nd; ++idx) staged[idx].resize(procs_);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        for (std::size_t idx = 0; idx < nd; ++idx) {
+          std::span<const T> s = send(static_cast<proc_t>(q), idx);
+          staged[idx][q].assign(s.begin(), s.end());
+        }
+      });
+      std::size_t max_port = 0, total = 0, messages = 0;
+      for (std::size_t idx = 0; idx < nd; ++idx)
+        for (proc_t q = 0; q < procs_; ++q) {
+          const std::size_t n = staged[idx][q].size();
+          if (n == 0) continue;
+          ++messages;
+          total += n;
+          if (n > max_port) max_port = n;
+        }
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (std::size_t idx = 0; idx < nd; ++idx)
+          for (proc_t q = 0; q < procs_; ++q)
+            if (!staged[idx][q].empty())
+              msgs.push_back(FaultMsg<T>{
+                  q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
+                  staged[idx][q].data(), staged[idx][q].size()});
+        deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
+                               nd == 1 ? dims[0] : -1,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.port, m.payload());
+                               });
+        return;
+      }
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        for (std::size_t idx = 0; idx < nd; ++idx) {
+          const std::vector<T>& in =
+              staged[idx][q ^ (std::uint32_t{1} << dims[idx])];
+          if (!in.empty())
+            recv(static_cast<proc_t>(q), idx,
+                 std::span<const T>(in.data(), in.size()));
+        }
+      });
+      clock_.charge_comm_step(max_port, messages, total,
+                              nd == 1 ? dims[0] : -1);
+    }
   }
 
   /// One lockstep irregular round: every processor may exchange with ONE
@@ -253,54 +403,122 @@ class Cube {
                   "neighbor_exchange partner must be a cube neighbour");
       VMP_REQUIRE(partner(pq) == q, "neighbor_exchange must be symmetric");
     }
-    std::vector<std::vector<T>> staged(procs_);
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) return;
-      std::span<const T> s = send(static_cast<proc_t>(q));
-      staged[q].assign(s.begin(), s.end());
-    });
-    std::size_t max_elems = 0, total = 0, messages = 0;
-    for (proc_t q = 0; q < procs_; ++q) {
-      const std::size_t n = staged[q].size();
-      if (n == 0) continue;
-      ++messages;
-      total += n;
-      if (n > max_elems) max_elems = n;
-    }
-    if (messages == 0) return;
-    if (faults_) {
-      std::vector<FaultMsg<T>> msgs;
-      msgs.reserve(messages);
+    if constexpr (detail::kPoolStageable<T>) {
+      detail::StageBuf* stage = stage_slots(procs_);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) {
+          stage[q].skip();
+          return;
+        }
+        const std::span<const T> s = send(static_cast<proc_t>(q));
+        stage[q].stage(s);
+      });
+      std::size_t max_elems = 0, total = 0, messages = 0;
       for (proc_t q = 0; q < procs_; ++q) {
-        if (staged[q].empty()) continue;
-        const proc_t pq = partner(q);
-        msgs.push_back(FaultMsg<T>{
-            q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
-            &staged[q]});
+        const std::size_t n = stage[q].len;
+        if (n == 0) continue;
+        note_stage_use(stage[q]);
+        ++messages;
+        total += n;
+        if (n > max_elems) max_elems = n;
       }
-      deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
-                             [&](const FaultMsg<T>& m) {
-                               recv(m.dst, std::span<const T>(
-                                               m.payload->data(),
-                                               m.payload->size()));
-                             });
-      return;
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (proc_t q = 0; q < procs_; ++q) {
+          if (stage[q].len == 0) continue;
+          const proc_t pq = partner(q);
+          msgs.push_back(FaultMsg<T>{
+              q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
+              stage[q].template data<T>(), stage[q].len});
+        }
+        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.payload());
+                               });
+        return;
+      }
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        const proc_t pq = partner(static_cast<proc_t>(q));
+        if (pq == static_cast<proc_t>(q)) return;
+        const detail::StageBuf& in = stage[pq];
+        if (in.len != 0)
+          recv(static_cast<proc_t>(q), in.template view<T>());
+      });
+      clock_.charge_comm_step(max_elems, messages, total);
+    } else {
+      std::vector<std::vector<T>> staged(procs_);
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) return;
+        std::span<const T> s = send(static_cast<proc_t>(q));
+        staged[q].assign(s.begin(), s.end());
+      });
+      std::size_t max_elems = 0, total = 0, messages = 0;
+      for (proc_t q = 0; q < procs_; ++q) {
+        const std::size_t n = staged[q].size();
+        if (n == 0) continue;
+        ++messages;
+        total += n;
+        if (n > max_elems) max_elems = n;
+      }
+      if (messages == 0) return;
+      if (faults_) {
+        std::vector<FaultMsg<T>> msgs;
+        msgs.reserve(messages);
+        for (proc_t q = 0; q < procs_; ++q) {
+          if (staged[q].empty()) continue;
+          const proc_t pq = partner(q);
+          msgs.push_back(FaultMsg<T>{
+              q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
+              staged[q].data(), staged[q].size()});
+        }
+        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
+                               [&](const FaultMsg<T>& m) {
+                                 recv(m.dst, m.payload());
+                               });
+        return;
+      }
+      pool_.parallel_for(0, procs_, [&](std::size_t q) {
+        const proc_t pq = partner(static_cast<proc_t>(q));
+        if (pq == static_cast<proc_t>(q)) return;
+        const std::vector<T>& in = staged[pq];
+        if (!in.empty())
+          recv(static_cast<proc_t>(q),
+               std::span<const T>(in.data(), in.size()));
+      });
+      clock_.charge_comm_step(max_elems, messages, total);
     }
-    pool_.parallel_for(0, procs_, [&](std::size_t q) {
-      const proc_t pq = partner(static_cast<proc_t>(q));
-      if (pq == static_cast<proc_t>(q)) return;
-      const std::vector<T>& in = staged[pq];
-      if (!in.empty())
-        recv(static_cast<proc_t>(q), std::span<const T>(in.data(), in.size()));
-    });
-    clock_.charge_comm_step(max_elems, messages, total);
   }
 
   /// The thread pool backing per-processor loops (exposed for the general
   /// router, which runs its own delivery cycles).
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
+  /// The cube's recycling allocator for hot-path scratch (exchange staging,
+  /// router queues, collective workspaces).  Host-thread only.
+  [[nodiscard]] BufferPool& buffers() { return buffers_; }
+  [[nodiscard]] const BufferPool& buffers() const { return buffers_; }
+
  private:
+  /// The persistent staging slots behind the zero-allocation exchange path.
+  /// Grown (never shrunk) to the round's slot count; slot capacities are
+  /// retained across rounds so steady-state staging is allocation-free.
+  detail::StageBuf* stage_slots(std::size_t slots) {
+    if (stage_.size() < slots) stage_.resize(slots);
+    return stage_.data();
+  }
+
+  /// Fold one staged send into the pool statistics: a slot reused without
+  /// growth counts as a pool hit, a grown slot as a miss of the bytes it
+  /// newly allocated.  Host thread only (SimClock is not thread-safe).
+  void note_stage_use(const detail::StageBuf& sb) {
+    if (sb.grew != 0)
+      clock_.note_pool_miss(sb.grew);
+    else
+      clock_.note_pool_hit();
+  }
+
   /// Recovery-aware delivery of one lockstep round's staged messages.
   ///
   /// Attempt 0 charges exactly the fault-free round cost (`max_elems`,
@@ -349,8 +567,8 @@ class Cube {
                                              << (attempt - 1)));
         std::size_t mx = 0, tot = 0;
         for (const FaultMsg<T>& m : pending) {
-          mx = std::max(mx, m.payload->size());
-          tot += m.payload->size();
+          mx = std::max(mx, m.len);
+          tot += m.len;
         }
         clock_.charge_comm_step(mx, pending.size(), tot, charge_dim);
         clock_.note_fault_retries(pending.size());
@@ -400,10 +618,9 @@ class Cube {
   [[nodiscard]] bool checksum_rejects(const FaultMsg<T>& m,
                                       std::uint64_t round, int attempt) const {
     if constexpr (std::is_trivially_copyable_v<T>) {
-      const std::size_t nbytes = m.payload->size() * sizeof(T);
+      const std::size_t nbytes = m.len * sizeof(T);
       if (nbytes == 0) return true;
-      const auto* bytes =
-          reinterpret_cast<const unsigned char*>(m.payload->data());
+      const auto* bytes = reinterpret_cast<const unsigned char*>(m.data);
       const std::uint64_t sum = fnv1a(bytes, nbytes);
       std::vector<unsigned char> wire(bytes, bytes + nbytes);
       const std::uint64_t h =
@@ -437,7 +654,7 @@ class Cube {
       if (fi.link_dead(round, m.src, d2) || fi.link_dead(round, a, m.dim) ||
           fi.link_dead(round, b, d2))
         continue;
-      const std::size_t n = m.payload->size();
+      const std::size_t n = m.len;
       const int hop_dims[3] = {d2, m.dim, d2};
       for (const int hd : hop_dims) clock_.charge_comm_step(n, 1, n, hd);
       clock_.note_fault_reroute();
@@ -453,6 +670,8 @@ class Cube {
   proc_t procs_;
   SimClock clock_;
   ThreadPool pool_;
+  BufferPool buffers_{&clock_};
+  std::vector<detail::StageBuf> stage_;
   std::unique_ptr<FaultInjector> faults_;
 };
 

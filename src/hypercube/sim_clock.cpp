@@ -15,6 +15,9 @@ SimStats operator-(const SimStats& a, const SimStats& b) {
   d.fault_retries = a.fault_retries - b.fault_retries;
   d.fault_chksum_fails = a.fault_chksum_fails - b.fault_chksum_fails;
   d.fault_reroutes = a.fault_reroutes - b.fault_reroutes;
+  d.alloc_bytes = a.alloc_bytes - b.alloc_bytes;
+  d.pool_hits = a.pool_hits - b.pool_hits;
+  d.pool_misses = a.pool_misses - b.pool_misses;
   return d;
 }
 

@@ -44,6 +44,10 @@ struct SimStats {
   std::uint64_t fault_chksum_fails = 0;  ///< corrupted payloads the message
                                          ///< checksum caught and discarded
   std::uint64_t fault_reroutes = 0;  ///< messages sent around a dead link
+  std::uint64_t alloc_bytes = 0;     ///< heap bytes newly allocated for
+                                     ///< pooled hot-path buffers (misses)
+  std::uint64_t pool_hits = 0;       ///< buffer-pool acquires served by reuse
+  std::uint64_t pool_misses = 0;     ///< buffer-pool acquires that hit the heap
 
   bool operator==(const SimStats&) const = default;
 };
@@ -91,6 +95,15 @@ class SimClock {
   void note_fault_retries(std::size_t n) { stats_.fault_retries += n; }
   void note_fault_chksum_fail() { stats_.fault_chksum_fails += 1; }
   void note_fault_reroute() { stats_.fault_reroutes += 1; }
+
+  /// Statistics-only buffer-pool counters (hypercube/buffer_pool.hpp):
+  /// hot-path scratch acquisitions served by reuse vs. fresh heap memory.
+  /// Host-side bookkeeping, so no simulated time is charged.
+  void note_pool_hit() { stats_.pool_hits += 1; }
+  void note_pool_miss(std::size_t bytes) {
+    stats_.pool_misses += 1;
+    stats_.alloc_bytes += bytes;
+  }
 
   [[nodiscard]] double now_us() const { return now_us_; }
   [[nodiscard]] double comm_us() const { return comm_us_; }

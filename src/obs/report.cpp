@@ -101,6 +101,9 @@ std::string profile_to_json(const SimClock& clock) {
   out += ",\"fault_retries\":" + std::to_string(st.fault_retries);
   out += ",\"fault_chksum_fails\":" + std::to_string(st.fault_chksum_fails);
   out += ",\"fault_reroutes\":" + std::to_string(st.fault_reroutes);
+  out += ",\"alloc_bytes\":" + std::to_string(st.alloc_bytes);
+  out += ",\"pool_hits\":" + std::to_string(st.pool_hits);
+  out += ",\"pool_misses\":" + std::to_string(st.pool_misses);
   out += "},\"regions\":[";
 
   const auto& self = clock.tracer().self_profiles();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "hypercube/bits.hpp"          // IWYU pragma: export
+#include "hypercube/buffer_pool.hpp"   // IWYU pragma: export
 #include "hypercube/check.hpp"         // IWYU pragma: export
 #include "hypercube/cost_model.hpp"    // IWYU pragma: export
 #include "hypercube/gray.hpp"          // IWYU pragma: export

@@ -13,7 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "algorithms/gauss.hpp"
+#include "algorithms/matvec.hpp"
+#include "algorithms/simplex.hpp"
 #include "core/primitives.hpp"
+#include "fault/fault.hpp"
 #include "util/rng.hpp"
 #include "util/workloads.hpp"
 
@@ -172,6 +176,205 @@ TEST_P(RandomSweep, AllPrimitivesMatchHostReferences) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomSweep, ::testing::Range(0, 24));
+
+// The axis-generic wrappers (extract/insert/reduce/distribute over
+// vmp::Axis) are thin delegations to the named forms: same results, same
+// simulated charges, same event traces — checked here bit-for-bit by
+// running the named spelling on one machine and the generic spelling on an
+// identical twin.
+TEST_P(RandomSweep, AxisWrappersMatchNamedFormsExactly) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+
+  const std::vector<double> host =
+      random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const Part part = c.cyclic ? Part::Cyclic : Part::Block;
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+
+  Cube cn(c.d, costs), cg(c.d, costs);  // named / generic twins
+  Grid gn(cn, c.gr, c.gc), gg(cg, c.gr, c.gc);
+  cn.clock().tracer().set_recording(true);
+  cg.clock().tracer().set_recording(true);
+
+  DistMatrix<double> An(gn, c.nrows, c.ncols, layout);
+  DistMatrix<double> Ag(gg, c.nrows, c.ncols, layout);
+  An.load(host);
+  Ag.load(host);
+  const std::vector<double> vc_host =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  const std::vector<double> vr_host =
+      random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 16));
+  DistVector<double> vcn(gn, c.ncols, Align::Cols, part);
+  DistVector<double> vcg(gg, c.ncols, Align::Cols, part);
+  DistVector<double> vrn(gn, c.nrows, Align::Rows, part);
+  DistVector<double> vrg(gg, c.nrows, Align::Rows, part);
+  vcn.load(vc_host);
+  vcg.load(vc_host);
+  vrn.load(vr_host);
+  vrg.load(vr_host);
+
+  SplitMix64 rng(c.data_seed ^ 0xfeedULL);
+  const std::size_t pick_i = rng.below(c.nrows);
+  const std::size_t pick_j = rng.below(c.ncols);
+  const std::size_t lo = rng.below(c.nrows);
+
+  EXPECT_EQ(extract_row(An, pick_i).to_host(),
+            extract(Ag, Axis::Row, pick_i).to_host());
+  EXPECT_EQ(extract_col(An, pick_j).to_host(),
+            extract(Ag, Axis::Col, pick_j).to_host());
+  EXPECT_EQ(reduce_rows(An, Plus<double>{}).to_host(),
+            reduce(Ag, Axis::Row, Plus<double>{}).to_host());
+  EXPECT_EQ(reduce_cols(An, Max<double>{}).to_host(),
+            reduce(Ag, Axis::Col, Max<double>{}).to_host());
+  EXPECT_EQ(distribute_rows(vcn, c.nrows, part).to_host(),
+            distribute(vcg, Axis::Row, c.nrows, part).to_host());
+  EXPECT_EQ(distribute_cols(vrn, c.ncols, part).to_host(),
+            distribute(vrg, Axis::Col, c.ncols, part).to_host());
+  insert_row(An, pick_i, vcn);
+  insert(Ag, Axis::Row, pick_i, vcg);
+  EXPECT_EQ(An.to_host(), Ag.to_host()) << "insert row";
+  insert_col(An, pick_j, vrn);
+  insert(Ag, Axis::Col, pick_j, vrg);
+  EXPECT_EQ(An.to_host(), Ag.to_host()) << "insert col";
+  insert_col_range(An, pick_j, vrn, lo, c.nrows);
+  insert_range(Ag, Axis::Col, pick_j, vrg, lo, c.nrows);
+  EXPECT_EQ(An.to_host(), Ag.to_host()) << "insert col range";
+
+  // Identical simulated time and identical event traces, charge for charge.
+  EXPECT_EQ(cn.clock().now_us(), cg.clock().now_us());
+  EXPECT_EQ(cn.clock().tracer().paths(), cg.clock().tracer().paths());
+  EXPECT_TRUE(cn.clock().tracer().events() == cg.clock().tracer().events())
+      << "wrapper and named-form event traces diverge";
+}
+
+// fused_matvec / fused_vecmat drop the intermediate matrices but keep the
+// identical communication sequence and local combine order, so results are
+// bit-identical to the primitive composition — with and without a fault
+// plan — at the same or lower simulated cost.
+TEST_P(RandomSweep, FusedMatvecBitIdenticalToComposed) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+  const bool faulty = trial % 2 == 1;
+
+  // Twin machines: fault rounds must line up call for call, so composed
+  // and fused run on separate cubes driven by the same plan.
+  Cube c0(c.d, costs), c1(c.d, costs);
+  if (faulty) {
+    c0.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+    c1.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  }
+  Grid g0(c0, c.gr, c.gc), g1(c1, c.gr, c.gc);
+  const std::vector<double> host =
+      random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed));
+  DistMatrix<double> A0(g0, c.nrows, c.ncols, layout);
+  DistMatrix<double> A1(g1, c.nrows, c.ncols, layout);
+  A0.load(host);
+  A1.load(host);
+
+  {
+    const std::vector<double> xh =
+        random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+    DistVector<double> x0(g0, c.ncols, Align::Cols, layout.cols);
+    DistVector<double> x1(g1, c.ncols, Align::Cols, layout.cols);
+    x0.load(xh);
+    x1.load(xh);
+    c0.clock().reset();
+    c1.clock().reset();
+    const std::vector<double> composed = matvec(A0, x0).to_host();
+    const std::vector<double> fused = fused_matvec(A1, x1).to_host();
+    EXPECT_EQ(composed, fused) << "matvec fused vs composed";
+    // Same or lower simulated cost; in particular the paper's optimality
+    // regime m > p·lg p must never favor the composition.
+    EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9);
+  }
+  {
+    const std::vector<double> xh =
+        random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 16));
+    DistVector<double> x0(g0, c.nrows, Align::Rows, layout.rows);
+    DistVector<double> x1(g1, c.nrows, Align::Rows, layout.rows);
+    x0.load(xh);
+    x1.load(xh);
+    c0.clock().reset();
+    c1.clock().reset();
+    const std::vector<double> composed = vecmat(x0, A0).to_host();
+    const std::vector<double> fused = fused_vecmat(x1, A1).to_host();
+    EXPECT_EQ(composed, fused) << "vecmat fused vs composed";
+    EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9);
+  }
+}
+
+// lu_factor_fused runs the identical pivot searches and broadcasts but
+// collapses each step's four local passes into one fused sweep: factors,
+// permutation and simulated-vs-composed cost are checked across random
+// dims, layouts and fault plans.
+TEST_P(RandomSweep, FusedLuBitIdenticalToComposed) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const std::size_t n = std::max<std::size_t>(2, std::min<std::size_t>(
+                                                     c.nrows, 20));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+  const bool faulty = trial % 2 == 0;
+
+  Cube c0(c.d, costs), c1(c.d, costs);
+  if (faulty) {
+    c0.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+    c1.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  }
+  Grid g0(c0, c.gr, c.gc), g1(c1, c.gr, c.gc);
+  const HostMatrix H = diag_dominant_matrix(n, c.data_seed);
+  DistMatrix<double> A0(g0, n, n, layout);
+  DistMatrix<double> A1(g1, n, n, layout);
+  A0.load(H.data());
+  A1.load(H.data());
+
+  c0.clock().reset();
+  c1.clock().reset();
+  const DistLuResult r0 = lu_factor(A0);
+  const DistLuResult r1 = lu_factor_fused(A1);
+  EXPECT_EQ(r0.singular, r1.singular);
+  EXPECT_EQ(r0.perm, r1.perm);
+  EXPECT_EQ(A0.to_host(), A1.to_host()) << "LU factors diverge";
+  EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9)
+      << "fused factor must not cost more simulated time";
+}
+
+// The fused simplex pivot (SimplexOptions::fused_pivot) must walk the
+// exact same vertex sequence and produce the bitwise-identical solution.
+TEST_P(RandomSweep, FusedSimplexPivotBitIdenticalToComposed) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const std::size_t ncons = 2 + c.nrows % 6, nvars = 2 + c.ncols % 6;
+  const LpProblem lp = trial % 2 == 0
+                           ? random_feasible_lp(ncons, nvars, c.data_seed)
+                           : random_phase1_lp(ncons, nvars, c.data_seed);
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+
+  Cube c0(c.d, costs), c1(c.d, costs);
+  Grid g0(c0, c.gr, c.gc), g1(c1, c.gr, c.gc);
+  SimplexOptions composed_opts, fused_opts;
+  fused_opts.fused_pivot = true;
+  const LpSolution s0 = simplex_solve(g0, lp, composed_opts, layout);
+  const LpSolution s1 = simplex_solve(g1, lp, fused_opts, layout);
+  EXPECT_EQ(s0.status, s1.status);
+  EXPECT_EQ(s0.iterations, s1.iterations);
+  EXPECT_EQ(s0.phase1_iterations, s1.phase1_iterations);
+  EXPECT_EQ(s0.objective, s1.objective) << "objective diverges bitwise";
+  EXPECT_EQ(s0.x, s1.x) << "solution vector diverges bitwise";
+  EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9);
+}
 
 }  // namespace
 }  // namespace vmp

@@ -189,7 +189,8 @@ const std::set<std::string> kTotalsKeys = {
     "messages",        "elements_moved", "elements_serial",
     "flops_charged",   "flops_total",    "router_packets",
     "router_hops",     "fault_retries",  "fault_chksum_fails",
-    "fault_reroutes"};
+    "fault_reroutes",  "alloc_bytes",    "pool_hits",
+    "pool_misses"};
 const std::set<std::string> kRegionProfileKeys = {
     "comm_us",        "compute_us",      "router_us",
     "host_us",        "total_us",        "comm_steps",
