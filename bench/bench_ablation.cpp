@@ -24,14 +24,14 @@ int main(int argc, char** argv) {
               Cube cube(d, CostParams::cm2());
               const SubcubeSet sc = SubcubeSet::contiguous(0, d);
               DistBuffer<double> buf(cube);
-              buf.vec(0) = random_vector(n, 71);
+              buf.assign(0, random_vector(n, 71));
               cube.clock().reset();
               broadcast(cube, buf, sc, 0);
               const double t_bin = cube.clock().now_us();
               c.profile("binomial", cube.clock());
 
               DistBuffer<double> buf2(cube);
-              buf2.vec(0) = random_vector(n, 71);
+              buf2.assign(0, random_vector(n, 71));
               cube.clock().reset();
               broadcast_sag(cube, buf2, sc, 0, [n](proc_t) { return n; });
               const double t_sag = cube.clock().now_us();
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
               const SubcubeSet sc = SubcubeSet::contiguous(0, d);
               DistBuffer<double> buf(cube);
               cube.each_proc(
-                  [&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+                  [&](proc_t q) { buf.assign(q, random_vector(n, q)); });
               cube.clock().reset();
               allreduce(cube, buf, sc, Plus<double>{});
               const double t_rd = cube.clock().now_us();
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
               DistBuffer<double> buf2(cube);
               cube.each_proc(
-                  [&](proc_t q) { buf2.vec(q) = random_vector(n, q); });
+                  [&](proc_t q) { buf2.assign(q, random_vector(n, q)); });
               cube.clock().reset();
               allreduce_rsag(cube, buf2, sc, Plus<double>{});
               const double t_rsag = cube.clock().now_us();
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
                 for (std::size_t t = 0; t < per_proc; ++t) {
                   const proc_t dst =
                       static_cast<proc_t>(rng.below(cube.procs()));
-                  items.vec(q).push_back(RouteItem<double>{dst, t, 1.0});
+                  items.push_back(q, RouteItem<double>{dst, t, 1.0});
                   packets[q].push_back(Packet{dst, t, 1.0});
                 }
               });

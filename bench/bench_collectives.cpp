@@ -97,21 +97,21 @@ int main(int argc, char** argv) {
               double t_bin = 0, t_sag = 0, t_esbt = 0;
               {
                 DistBuffer<double> buf(cube);
-                buf.vec(0) = random_vector(n, 1);
+                buf.assign(0, random_vector(n, 1));
                 cube.clock().reset();
                 broadcast(cube, buf, sc, 0);
                 t_bin = cube.clock().now_us();
               }
               {
                 DistBuffer<double> buf(cube);
-                buf.vec(0) = random_vector(n, 1);
+                buf.assign(0, random_vector(n, 1));
                 cube.clock().reset();
                 broadcast_sag(cube, buf, sc, 0, [n](proc_t) { return n; });
                 t_sag = cube.clock().now_us();
               }
               {
                 DistBuffer<double> buf(cube);
-                buf.vec(0) = random_vector(n, 1);
+                buf.assign(0, random_vector(n, 1));
                 cube.clock().reset();
                 broadcast_esbt(cube, buf, sc, 0, [n](proc_t) { return n; });
                 t_esbt = cube.clock().now_us();
@@ -132,14 +132,14 @@ int main(int argc, char** argv) {
               const SubcubeSet sc = SubcubeSet::contiguous(0, d);
               DistBuffer<double> g(cube);
               cube.each_proc(
-                  [&](proc_t q) { g.vec(q) = random_vector(n, q); });
+                  [&](proc_t q) { g.assign(q, random_vector(n, q)); });
               cube.clock().reset();
               shift_blocks(cube, g, sc, 1, RingOrder::Gray);
               const double t_gray = cube.clock().now_us();
 
               DistBuffer<double> b(cube);
               cube.each_proc(
-                  [&](proc_t q) { b.vec(q) = random_vector(n, q); });
+                  [&](proc_t q) { b.assign(q, random_vector(n, q)); });
               cube.clock().reset();
               shift_blocks(cube, b, sc, 1, RingOrder::Binary);
               const double t_binary = cube.clock().now_us();

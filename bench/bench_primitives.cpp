@@ -93,6 +93,22 @@ int main(int argc, char** argv) {
               insert_row(f.A, n / 2, f.v);
               finish(c, f.cube, n);
             });
+      // Host round trip: load + to_host are pure strided block copies
+      // between the host image and each tile of the slab arena.  The wall
+      // clock of this case is the direct measure of the contiguous-storage
+      // payoff (no per-element owner lookups, no per-processor vectors).
+      h.run("host_round_trip",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Fixture f(d, n);
+              if (h.faults()) f.cube.enable_faults(h.fault_plan());
+              f.cube.clock().reset();
+              f.A.load(random_matrix(n, n, 17));
+              const std::vector<double> back = f.A.to_host();
+              c.counter("host_bytes",
+                        static_cast<double>(back.size() * sizeof(double)));
+              finish(c, f.cube, n);
+            });
       // Steady-state pooling: one warm pass grows the cube's staging slots
       // to bucket capacity, so the measured hot loop of exchange-heavy
       // primitives must be pure pool hits — zero heap allocations.

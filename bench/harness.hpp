@@ -278,6 +278,9 @@ class Harness {
     out += ",\"warmup\":" + std::to_string(warmup());
     out += ",\"seed\":" + std::to_string(seed_);
     out += ",\"faults\":" + std::string(faults_ ? "true" : "false");
+    // Always present so a --quick --faults=SEED run is reproducible from its
+    // document alone (fault_seed == seed when --faults carried no override).
+    out += ",\"fault_seed\":" + std::to_string(fault_seed_);
     out += ",\"cases\":[";
     bool first_case = true;
     for (const Result& r : results_) {

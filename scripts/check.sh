@@ -136,4 +136,44 @@ require(ts and ts == sorted(ts), "gauss_trace.json: ts not monotone")
 print(f"  gauss_trace.json: {len(xs)} events, monotone ok")
 EOF
 
+echo "== perf trajectory: wall-clock vs bench/baselines =="
+# Re-run the two tracked benches with the exact sweep the baselines were
+# recorded with, then print a one-line delta per bench (matched case by
+# case on name+args).  Informational: the table makes the perf trajectory
+# visible; it does not gate the check.
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_matvec --dims=4,6,8 \
+  --sizes=1024 --trials=3 --json=PERF_bench_matvec.json)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --dims=4,6,8 \
+  --sizes=1024 --trials=3 --json=PERF_bench_primitives.json)
+python3 - "$workdir" <<'EOF'
+import json, sys
+from pathlib import Path
+
+workdir = Path(sys.argv[1])
+for name in ("bench_matvec", "bench_primitives"):
+    base_path = Path("bench/baselines") / f"BENCH_{name}.json"
+    if not base_path.exists():
+        print(f"  {name}: no baseline at {base_path}, skipping")
+        continue
+    base = json.loads(base_path.read_text())
+    cur = json.loads((workdir / f"PERF_{name}.json").read_text())
+    key = lambda c: (c["name"], tuple(sorted(c["args"].items())))
+    cur_by_key = {key(c): c for c in cur["cases"]}
+    b_ms = c_ms = 0.0
+    matched = 0
+    for bc in base["cases"]:
+        cc = cur_by_key.get(key(bc))
+        if cc is None:
+            continue
+        matched += 1
+        b_ms += bc["wall_ms"]
+        c_ms += cc["wall_ms"]
+    if not matched:
+        print(f"  {name}: no cases match the baseline sweep")
+        continue
+    delta = 100.0 * (c_ms - b_ms) / b_ms
+    print(f"  {name}: {matched} cases, baseline {b_ms:8.2f} ms -> "
+          f"current {c_ms:8.2f} ms  ({delta:+.1f}% wall)")
+EOF
+
 echo "== all checks passed =="

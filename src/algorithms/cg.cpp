@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "algorithms/matvec.hpp"
+#include "core/kernels.hpp"
 #include "core/vector_ops.hpp"
 #include "embed/realign.hpp"
 
@@ -70,8 +71,8 @@ DistVector<double> extract_diagonal(const DistMatrix<double>& A) {
     const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
     const std::size_t lcn = A.lcols(q);
     const std::span<const double> blk = A.block(q);
-    std::vector<double>& piece = diag.data().vec(q);
-    std::fill(piece.begin(), piece.end(), 0.0);
+    const std::span<double> piece = diag.data().tile(q);
+    kern::fill(piece, 0.0);
     for (std::size_t lc = 0; lc < lcn; ++lc) {
       const std::size_t j = A.colmap().global(C, lc);
       if (A.rowmap().owner(j) != R) continue;  // diagonal not in my block

@@ -48,7 +48,7 @@ void fft_impl(DistVector<cplx>& v, double sign) {
     if (t < local_bits) {
       // Both butterfly partners live in the same block.
       cube.compute(10 * block / 2, 10 * (n / 2), [&](proc_t q) {
-        std::vector<cplx>& piece = v.data().vec(q);
+        const std::span<cplx> piece = v.data().tile(q);
         for (std::size_t base = 0; base < block; base += 2 * half) {
           for (std::size_t k = 0; k < half; ++k) {
             const cplx w = std::polar(1.0, angle * static_cast<double>(k));
@@ -65,15 +65,15 @@ void fft_impl(DistVector<cplx>& v, double sign) {
       // block exchange, then every processor computes its own half.
       const int dim = t - local_bits;
       DistBuffer<cplx> incoming(cube);
+      incoming.reserve_each(block);
       cube.exchange<cplx>(
-          dim, [&](proc_t q) { return std::span<const cplx>(v.data().vec(q)); },
-          [&](proc_t q, std::span<const cplx> in) {
-            incoming.vec(q).assign(in.begin(), in.end());
-          });
+          dim,
+          [&](proc_t q) { return std::span<const cplx>(v.data().tile(q)); },
+          [&](proc_t q, std::span<const cplx> in) { incoming.assign(q, in); });
       cube.compute(10 * block, 10 * n, [&](proc_t q) {
         const bool iam_high = bit_of(q, dim) != 0;
-        std::vector<cplx>& piece = v.data().vec(q);
-        const std::vector<cplx>& other = incoming.vec(q);
+        const std::span<cplx> piece = v.data().tile(q);
+        const std::span<const cplx> other = incoming.tile(q);
         const std::size_t gbase = static_cast<std::size_t>(q) * block;
         for (std::size_t s = 0; s < block; ++s) {
           // Twiddle index: the global index of the LOW partner mod 2^t.

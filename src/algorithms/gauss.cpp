@@ -192,9 +192,9 @@ DistLuResult lu_factor_naive(DistMatrix<double>& A, double pivot_tol) {
     const DistMatrix<double> M = naive_distribute_cols(mult, n, A.layout());
     const DistMatrix<double> R = naive_distribute_rows(prow, n, A.layout());
     A.grid().cube().compute(2 * A.max_block(), 2 * n * n, [&](proc_t q) {
-      std::vector<double>& a = A.data().vec(q);
-      const std::vector<double>& m = M.data().vec(q);
-      const std::vector<double>& r = R.data().vec(q);
+      const std::span<double> a = A.data().tile(q);
+      const std::span<const double> m = M.data().tile(q);
+      const std::span<const double> r = R.data().tile(q);
       for (std::size_t t = 0; t < a.size(); ++t) a[t] -= m[t] * r[t];
     });
     // Deposit the multipliers below the diagonal while keeping the U part

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_vector.hpp"
 
 namespace vmp {
@@ -30,8 +31,8 @@ template <class T>
   DistBuffer<std::uint64_t> counts(cube, bins);
   const std::size_t mx = max_local_len(cube, v.data());
   cube.compute(mx, v.n(), [&](proc_t q) {
-    std::vector<std::uint64_t>& mine = counts.vec(q);
-    std::fill(mine.begin(), mine.end(), 0);
+    const std::span<std::uint64_t> mine = counts.tile(q);
+    kern::fill(mine, std::uint64_t{0});
     for (const T& x : v.piece(q)) {
       const double t = static_cast<double>(x - lo) /
                        static_cast<double>(hi - lo) *
@@ -42,7 +43,8 @@ template <class T>
     }
   });
   allreduce_auto(cube, counts, v.partitioned_over(), Plus<std::uint64_t>{});
-  return counts.vec(0);
+  const std::span<const std::uint64_t> h = counts.tile(0);
+  return std::vector<std::uint64_t>(h.begin(), h.end());
 }
 
 }  // namespace vmp

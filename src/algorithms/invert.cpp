@@ -47,7 +47,7 @@ InvertResult invert(const DistMatrix<double>& A, double pivot_tol) {
     cube.each_proc([&](proc_t q) {
       const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
       const std::size_t lcn = B.lcols(q);
-      std::vector<double>& blk = B.data().vec(q);
+      const std::span<double> blk = B.data().tile(q);
       for (std::size_t lr = 0; lr < B.lrows(q); ++lr) {
         const std::size_t i = B.rowmap().global(R, lr);
         for (std::size_t lc = 0; lc < lcn; ++lc) {

@@ -1,6 +1,7 @@
 #include "algorithms/matmul.hpp"
 
 #include "core/elementwise.hpp"
+#include "core/kernels.hpp"
 #include "core/primitives.hpp"
 
 namespace vmp {
@@ -58,14 +59,15 @@ DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
     const std::size_t a_lc0 = A.colmap().local(k0);
     const std::size_t a_rows_max =
         (A.nrows() + grid.prows() - 1) / grid.prows();
+    apanel.reserve_each(a_rows_max * w);
     cube.compute(a_rows_max * w, A.nrows() * w, [&](proc_t q) {
-      apanel.vec(q).assign(A.lrows(q) * w, 0.0);
+      apanel.assign(q, A.lrows(q) * w, 0.0);
       if (grid.pcol(q) != Ac) return;
       const std::size_t lcn = A.lcols(q);
       const std::span<const double> blk = A.block(q);
+      const std::span<double> ap = apanel.tile(q);
       for (std::size_t lr = 0; lr < A.lrows(q); ++lr)
-        for (std::size_t kk = 0; kk < w; ++kk)
-          apanel.vec(q)[lr * w + kk] = blk[lr * lcn + a_lc0 + kk];
+        kern::copy(blk.subspan(lr * lcn + a_lc0, w), ap.subspan(lr * w, w));
     });
     broadcast_auto(cube, apanel, grid.within_row(), Ac,
                    [&](proc_t q) { return A.lrows(q) * w; });
@@ -75,14 +77,16 @@ DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
     const std::size_t b_lr0 = B.rowmap().local(k0);
     const std::size_t b_cols_max =
         (B.ncols() + grid.pcols() - 1) / grid.pcols();
+    bpanel.reserve_each(b_cols_max * w);
     cube.compute(b_cols_max * w, B.ncols() * w, [&](proc_t q) {
-      bpanel.vec(q).assign(w * B.lcols(q), 0.0);
+      bpanel.assign(q, w * B.lcols(q), 0.0);
       if (grid.prow(q) != Br) return;
       const std::size_t lcn = B.lcols(q);
       const std::span<const double> blk = B.block(q);
+      const std::span<double> bp = bpanel.tile(q);
       for (std::size_t kk = 0; kk < w; ++kk)
-        for (std::size_t lc = 0; lc < lcn; ++lc)
-          bpanel.vec(q)[kk * lcn + lc] = blk[(b_lr0 + kk) * lcn + lc];
+        kern::copy(blk.subspan((b_lr0 + kk) * lcn, lcn),
+                   bp.subspan(kk * lcn, lcn));
     });
     broadcast_auto(cube, bpanel, grid.within_col(), Br,
                    [&](proc_t q) { return w * B.lcols(q); });
@@ -92,14 +96,12 @@ DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
                  [&](proc_t q) {
                    const std::size_t lrn = C.lrows(q), lcn = C.lcols(q);
                    std::span<double> cblk = C.block(q);
-                   const std::vector<double>& ap = apanel.vec(q);
-                   const std::vector<double>& bp = bpanel.vec(q);
+                   const std::span<const double> ap = apanel.tile(q);
+                   const std::span<const double> bp = bpanel.tile(q);
                    for (std::size_t lr = 0; lr < lrn; ++lr)
-                     for (std::size_t kk = 0; kk < w; ++kk) {
-                       const double a = ap[lr * w + kk];
-                       for (std::size_t lc = 0; lc < lcn; ++lc)
-                         cblk[lr * lcn + lc] += a * bp[kk * lcn + lc];
-                     }
+                     for (std::size_t kk = 0; kk < w; ++kk)
+                       kern::axpy(cblk.subspan(lr * lcn, lcn), ap[lr * w + kk],
+                                  bp.subspan(kk * lcn, lcn));
                  });
     k0 = k1;
   }

@@ -27,7 +27,7 @@ DistVector<double> matvec_fused(const DistMatrix<double>& A,
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const double> blk = A.block(q);
     const std::span<const double> xp = x.piece(q);
-    std::vector<double>& yp = y.data().vec(q);
+    const std::span<double> yp = y.data().tile(q);
     for (std::size_t lr = 0; lr < lrn; ++lr) {
       double s = 0.0;
       for (std::size_t lc = 0; lc < lcn; ++lc) s += blk[lr * lcn + lc] * xp[lc];
@@ -58,7 +58,7 @@ DistVector<double> vecmat_fused(const DistVector<double>& x,
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const double> blk = A.block(q);
     const std::span<const double> xp = x.piece(q);
-    std::vector<double>& yp = y.data().vec(q);
+    const std::span<double> yp = y.data().tile(q);
     for (std::size_t lc = 0; lc < lcn; ++lc) yp[lc] = 0.0;
     for (std::size_t lr = 0; lr < lrn; ++lr)
       for (std::size_t lc = 0; lc < lcn; ++lc)

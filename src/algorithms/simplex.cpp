@@ -98,7 +98,7 @@ void pivot(DistTableau& tb, std::size_t prow_i, std::size_t pcol_j,
   grid.cube().compute(max_flops, total_flops, [&](proc_t q) {
     const std::size_t lrn = tb.T.lrows(q), lcn = tb.T.lcols(q);
     std::span<double> blk = tb.T.block(q);
-    std::vector<double>& rp = prow.data().vec(q);
+    const std::span<double> rp = prow.data().tile(q);
     for (double& x : rp) x = x / piv;
     const std::span<const double> cp = colv.piece(q);
     const bool owner_here = grid.prow(q) == R;

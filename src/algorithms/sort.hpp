@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_vector.hpp"
 
 namespace vmp {
@@ -30,20 +31,17 @@ template <class T>
 void compare_split(Cube& cube, DistBuffer<T>& data, int dim,
                    const std::vector<bool>& keep_low) {
   cube.exchange<T>(
-      dim, [&](proc_t q) { return std::span<const T>(data.vec(q)); },
+      dim, [&](proc_t q) { return std::span<const T>(data.tile(q)); },
       [&](proc_t q, std::span<const T> in) {
-        std::vector<T>& mine = data.vec(q);
+        const std::span<T> mine = data.tile(q);
         std::vector<T> merged;
         merged.reserve(mine.size() + in.size());
         std::merge(mine.begin(), mine.end(), in.begin(), in.end(),
                    std::back_inserter(merged));
-        if (keep_low[q]) {
-          mine.assign(merged.begin(),
-                      merged.begin() + static_cast<std::ptrdiff_t>(mine.size()));
-        } else {
-          mine.assign(merged.end() - static_cast<std::ptrdiff_t>(mine.size()),
-                      merged.end());
-        }
+        const auto keep = keep_low[q]
+                              ? std::span<const T>(merged).first(mine.size())
+                              : std::span<const T>(merged).last(mine.size());
+        kern::copy(keep, mine);
       });
   const std::size_t mx = max_local_len(cube, data);
   cube.clock().charge_compute_step(2 * mx, 2 * mx * cube.procs());
@@ -65,14 +63,16 @@ void vec_sort(DistVector<T>& v) {
   // Pad every block to mx with sentinels and sort locally:
   // (n/p)·lg(n/p) comparisons.
   DistBuffer<T> work(cube);
+  work.reserve_each(mx);
   cube.each_proc([&](proc_t q) {
-    work.vec(q) = v.data().vec(q);
-    work.vec(q).resize(mx, std::numeric_limits<T>::max());
+    work.assign(q, v.data().tile(q));
+    work.resize(q, mx, std::numeric_limits<T>::max());
   });
   const std::uint64_t lg =
       mx <= 1 ? 1 : static_cast<std::uint64_t>(log2_ceil(mx));
   cube.compute(mx * lg, v.n() * lg, [&](proc_t q) {
-    std::sort(work.vec(q).begin(), work.vec(q).end());
+    const std::span<T> mine = work.tile(q);
+    std::sort(mine.begin(), mine.end());
   });
 
   // Bitonic merge over the processor ranks.  Stage k orders 2^(k+1)-rank
@@ -94,20 +94,20 @@ void vec_sort(DistVector<T>& v) {
   // padded position g: one combining routing sweep rebalances to the
   // Block partition.
   DistBuffer<RouteItem<T>> items(cube);
+  items.reserve_each(mx);
   cube.each_proc([&](proc_t q) {
     const std::size_t base = static_cast<std::size_t>(q) * mx;
-    const std::vector<T>& mine = work.vec(q);
+    const std::span<const T> mine = work.tile(q);
     for (std::size_t s = 0; s < mine.size(); ++s) {
       const std::size_t g = base + s;
       if (g >= n) break;  // sentinel region
-      items.vec(q).push_back(RouteItem<T>{
+      items.push_back(q, RouteItem<T>{
           static_cast<proc_t>(v.map().owner(g)), v.map().local(g), mine[s]});
     }
   });
   route_within(cube, items, grid.whole());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& piece = v.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) piece[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), v.data().tile(q));
   });
 }
 

@@ -45,9 +45,13 @@ void broadcast_esbt(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
   const std::uint32_t K = static_cast<std::uint32_t>(k);
 
-  // Non-roots receive segments out of order: size their arrays up front.
+  // Non-roots receive segments out of order: size their tiles up front.
+  std::size_t cap = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    cap = std::max(cap, static_cast<std::size_t>(n_of(q)));
+  buf.reserve_each(cap);
   cube.each_proc([&](proc_t q) {
-    if (sc.rank(q) != root_rank) buf.vec(q).assign(n_of(q), T{});
+    if (sc.rank(q) != root_rank) buf.assign(q, n_of(q), T{});
   });
 
   // holder[i] tracking is analytic: in tree i's ROTATED relative-rank
@@ -70,14 +74,14 @@ void broadcast_esbt(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
           const std::size_t lo = block_begin(n, K, static_cast<std::uint32_t>(i));
           const std::size_t hi =
               block_begin(n, K, static_cast<std::uint32_t>(i) + 1);
-          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+          return std::span<const T>(buf.tile(q)).subspan(lo, hi - lo);
         },
         [&](proc_t q, std::size_t i, std::span<const T> in) {
           const std::size_t n = n_of(q);
           const std::size_t lo = block_begin(n, K, static_cast<std::uint32_t>(i));
-          VMP_ASSERT(lo + in.size() <= buf.vec(q).size(),
+          VMP_ASSERT(lo + in.size() <= buf.len(q),
                      "esbt segment out of range");
-          std::copy(in.begin(), in.end(), buf.vec(q).begin() + static_cast<std::ptrdiff_t>(lo));
+          kern::copy(in, buf.tile(q).subspan(lo, in.size()));
         });
     processed |= 1u << j;
   }

@@ -30,6 +30,12 @@
 ///
 /// Payload lengths may differ from subcube to subcube (they arise from
 /// non-divisible matrix extents) but must agree within each subcube.
+///
+/// Collectives whose delivery callbacks GROW a tile (all-gather's appends,
+/// broadcast's assigns, routing's inserts) pre-reserve the final capacity
+/// on the host thread before entering the exchange — slab tiles may change
+/// length concurrently but may not outgrow their stride off the host
+/// thread (see comm/dist_buffer.hpp).
 #pragma once
 
 #include <algorithm>
@@ -41,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernels.hpp"
 #include "hypercube/machine.hpp"
 #include "hypercube/partition.hpp"
 #include "obs/trace.hpp"
@@ -50,12 +57,12 @@
 
 namespace vmp {
 
-/// Host-side helper: largest local array length (used for flop charging).
+/// Host-side helper: largest local tile length (used for flop charging).
 template <class T>
 [[nodiscard]] std::size_t max_local_len(const Cube& cube,
                                         const DistBuffer<T>& buf) {
   std::size_t m = 0;
-  for (proc_t q = 0; q < cube.procs(); ++q) m = std::max(m, buf.vec(q).size());
+  for (proc_t q = 0; q < cube.procs(); ++q) m = std::max(m, buf.len(q));
   return m;
 }
 
@@ -74,14 +81,14 @@ void allreduce(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, Op op) {
   for (int i = 0; i < sc.k(); ++i) {
     const int d = sc.dim_of_rank_bit(i);
     cube.exchange<T>(
-        d, [&](proc_t q) { return std::span<const T>(buf.vec(q)); },
+        d, [&](proc_t q) -> std::span<const T> { return buf.tile(q); },
         [&](proc_t q, std::span<const T> in) {
-          std::vector<T>& mine = buf.vec(q);
+          const std::span<T> mine = buf.tile(q);
           VMP_ASSERT(in.size() == mine.size(), "allreduce length mismatch");
           const bool iam_high = bit_of(q, d) != 0;
-          for (std::size_t t = 0; t < mine.size(); ++t)
-            mine[t] = iam_high ? op.combine(in[t], mine[t])
-                               : op.combine(mine[t], in[t]);
+          kern::zip(mine, in, [&](const T& m, const T& v) {
+            return iam_high ? op.combine(v, m) : op.combine(m, v);
+          });
         });
     cube.clock().charge_compute_step(n, n * cube.procs());
   }
@@ -102,7 +109,7 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   VMP_TRACE(cube, "reduce_scatter");
   const std::uint32_t P = sc.size();
   std::vector<std::size_t> n_of(cube.procs());
-  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
+  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.len(q);
 
   std::vector<unsigned char> got(cube.procs());
   for (int j = sc.k() - 1; j >= 0; --j) {
@@ -134,20 +141,21 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         d,
         [&](proc_t q) -> std::span<const T> {
           const auto [r, seg_lo, split, seg_hi] = geometry(q);
-          const std::vector<T>& mine = buf.vec(q);
+          const std::span<const T> mine = buf.tile(q);
           VMP_ASSERT(mine.size() == seg_hi - seg_lo,
                      "reduce_scatter segment length mismatch");
           if (((r >> j) & 1u) == 0)  // keep front, send back half
-            return std::span<const T>(mine).subspan(split - seg_lo);
-          return std::span<const T>(mine).first(split - seg_lo);
+            return mine.subspan(split - seg_lo);
+          return mine.first(split - seg_lo);
         },
         [&](proc_t q, std::span<const T> in) {
           // Combine straight into the kept range while sliding it to the
           // front (the write index never passes the read index), so the
           // round needs no incoming staging buffer and no per-round
-          // scratch vector — the steady-state loop is allocation-free.
+          // scratch — the steady-state loop is allocation-free.  The
+          // trailing resize only shrinks, so it is delivery-safe.
           const auto [r, seg_lo, split, seg_hi] = geometry(q);
-          std::vector<T>& mine = buf.vec(q);
+          const std::span<T> mine = buf.tile(q);
           const bool low = ((r >> j) & 1u) == 0;
           const std::size_t kept_off = low ? 0 : split - seg_lo;
           const std::size_t kept_len = low ? split - seg_lo : seg_hi - split;
@@ -157,7 +165,7 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
             const T& a = mine[kept_off + t];
             mine[t] = low ? op.combine(a, in[t]) : op.combine(in[t], a);
           }
-          mine.resize(kept_len);
+          buf.resize(q, kept_len);
           got[q] = 1;
         });
     // Degenerate case: the partner's copy of the kept block was empty, so
@@ -165,16 +173,14 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
     cube.each_proc([&](proc_t q) {
       if (got[q]) return;
       const auto [r, seg_lo, split, seg_hi] = geometry(q);
-      std::vector<T>& mine = buf.vec(q);
+      const std::span<T> mine = buf.tile(q);
       const bool low = ((r >> j) & 1u) == 0;
       const std::size_t kept_off = low ? 0 : split - seg_lo;
       const std::size_t kept_len = low ? split - seg_lo : seg_hi - split;
       if (kept_off != 0)
-        std::move(mine.begin() + static_cast<std::ptrdiff_t>(kept_off),
-                  mine.begin() + static_cast<std::ptrdiff_t>(kept_off +
-                                                             kept_len),
-                  mine.begin());
-      mine.resize(kept_len);
+        kern::copy(std::span<const T>(mine.subspan(kept_off, kept_len)),
+                   mine.first(kept_len));
+      buf.resize(q, kept_len);
     });
     cube.clock().charge_compute_step(max_kept, total_combines);
   }
@@ -194,22 +200,27 @@ void allgather(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, NFn n_of,
                std::uint32_t rank_xor = 0) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "allgather");
+  // Delivery appends/prepends into the tiles: reserve the assembled length
+  // up front so no round needs to grow the arena mid-exchange.
+  std::size_t cap = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    cap = std::max(cap, static_cast<std::size_t>(n_of(q)));
+  buf.reserve_each(cap);
   for (int j = 0; j < sc.k(); ++j) {
     const int d = sc.dim_of_rank_bit(j);
     cube.exchange<T>(
-        d, [&](proc_t q) { return std::span<const T>(buf.vec(q)); },
+        d, [&](proc_t q) -> std::span<const T> { return buf.tile(q); },
         [&](proc_t q, std::span<const T> in) {
           const std::uint32_t rr = sc.rank(q) ^ rank_xor;
-          std::vector<T>& mine = buf.vec(q);
           if (((rr >> j) & 1u) == 0) {
-            mine.insert(mine.end(), in.begin(), in.end());  // partner higher
+            buf.append(q, in);  // partner higher
           } else {
-            mine.insert(mine.begin(), in.begin(), in.end());  // partner lower
+            buf.prepend(q, in);  // partner lower
           }
         });
   }
   for (proc_t q = 0; q < cube.procs(); ++q) {
-    VMP_ASSERT(buf.vec(q).size() == n_of(q),
+    VMP_ASSERT(buf.len(q) == n_of(q),
                "allgather did not assemble the expected length");
   }
 }
@@ -229,7 +240,7 @@ void allreduce_rsag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "allreduce_rsag");
   std::vector<std::size_t> n_of(cube.procs());
-  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.vec(q).size();
+  for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.len(q);
   reduce_scatter(cube, buf, sc, op);
   allgather(cube, buf, sc, [&](proc_t q) { return n_of[q]; });
 }
@@ -283,7 +294,7 @@ void allreduce_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   const int k = sc.k();
   const std::uint32_t S = nseg;
   const auto seg_range = [&](proc_t q, std::uint32_t s) {
-    const std::size_t n = buf.vec(q).size();
+    const std::size_t n = buf.len(q);
     return std::pair{block_begin(n, S, s), block_begin(n, S, s + 1)};
   };
   std::vector<int> dims;
@@ -303,24 +314,24 @@ void allreduce_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         std::span<const int>(dims),
         [&](proc_t q, std::size_t idx) -> std::span<const T> {
           const auto [lo, hi] = seg_range(q, segs[idx]);
-          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+          return std::span<const T>(buf.tile(q)).subspan(lo, hi - lo);
         },
         [&](proc_t q, std::size_t idx, std::span<const T> in) {
           const auto [lo, hi] = seg_range(q, segs[idx]);
-          std::vector<T>& mine = buf.vec(q);
           VMP_ASSERT(in.size() == hi - lo,
                      "allreduce_pipelined segment length mismatch");
+          const std::span<T> seg = buf.tile(q).subspan(lo, hi - lo);
           const bool iam_high = bit_of(q, dims[idx]) != 0;
-          for (std::size_t e = 0; e < in.size(); ++e)
-            mine[lo + e] = iam_high ? op.combine(in[e], mine[lo + e])
-                                    : op.combine(mine[lo + e], in[e]);
+          kern::zip(seg, in, [&](const T& m, const T& v) {
+            return iam_high ? op.combine(v, m) : op.combine(m, v);
+          });
         });
     // This round combined the contiguous range [seg s_lo, seg s_hi] on
     // every processor; charge its per-processor max like `allreduce` does.
     std::size_t max_comb = 0;
     std::uint64_t total_comb = 0;
     for (proc_t q = 0; q < cube.procs(); ++q) {
-      const std::size_t n = buf.vec(q).size();
+      const std::size_t n = buf.len(q);
       const std::size_t len =
           block_begin(n, S, s_hi + 1) - block_begin(n, S, s_lo);
       max_comb = std::max(max_comb, len);
@@ -378,6 +389,7 @@ void broadcast(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "broadcast");
   VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
+  buf.reserve_each(max_local_len(cube, buf));  // non-roots receive in place
   std::uint32_t processed = 0;  // relative-rank bits already covered
   for (int j = sc.k() - 1; j >= 0; --j) {
     const int d = sc.dim_of_rank_bit(j);
@@ -386,12 +398,10 @@ void broadcast(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         [&](proc_t q) -> std::span<const T> {
           const std::uint32_t rr = sc.rank(q) ^ root_rank;
           if ((rr & ~processed) == 0)  // current holder
-            return std::span<const T>(buf.vec(q));
+            return buf.tile(q);
           return {};
         },
-        [&](proc_t q, std::span<const T> in) {
-          buf.vec(q).assign(in.begin(), in.end());
-        });
+        [&](proc_t q, std::span<const T> in) { buf.assign(q, in); });
     processed |= 1u << j;
   }
 }
@@ -406,11 +416,15 @@ void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   VMP_TRACE(cube, "scatter");
   VMP_REQUIRE(root_rank < sc.size(), "scatter root rank out of range");
   const std::uint32_t P = sc.size();
+  std::size_t cap = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    cap = std::max(cap, static_cast<std::size_t>(n_of(q)));
+  buf.reserve_each(cap);
   // Non-roots are overwritten by their incoming block; processors whose
   // block is EMPTY (payload shorter than the subcube) receive nothing, so
   // clear any pre-sized state up front or stale data survives the scatter.
   cube.each_proc([&](proc_t q) {
-    if (sc.rank(q) != root_rank) buf.vec(q).clear();
+    if (sc.rank(q) != root_rank) buf.clear(q);
   });
   std::uint32_t processed = 0;
   for (int j = sc.k() - 1; j >= 0; --j) {
@@ -425,11 +439,9 @@ void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
           const std::size_t n = n_of(q);
           const std::size_t lo = block_begin(n, P, rr);
           const std::size_t cut = block_begin(n, P, rr + half);
-          return std::span<const T>(buf.vec(q)).subspan(cut - lo);
+          return std::span<const T>(buf.tile(q)).subspan(cut - lo);
         },
-        [&](proc_t q, std::span<const T> in) {
-          buf.vec(q).assign(in.begin(), in.end());
-        });
+        [&](proc_t q, std::span<const T> in) { buf.assign(q, in); });
     // Holders shrink to the bottom half of their coverage (bookkeeping).
     cube.each_proc([&](proc_t q) {
       const std::uint32_t rr = sc.rank(q) ^ root_rank;
@@ -437,7 +449,7 @@ void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
       const std::size_t n = n_of(q);
       const std::size_t lo = block_begin(n, P, rr);
       const std::size_t cut = block_begin(n, P, rr + half);
-      buf.vec(q).resize(cut - lo);
+      buf.resize(q, cut - lo);
     });
     processed |= 1u << j;
   }
@@ -476,9 +488,13 @@ void broadcast_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   VMP_TRACE(cube, "broadcast_pipelined");
   const int k = sc.k();
   const std::uint32_t S = nseg;
+  std::size_t cap = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    cap = std::max(cap, static_cast<std::size_t>(n_of(q)));
+  buf.reserve_each(cap);
   // Non-roots receive their segments in place: size them up front.
   cube.each_proc([&](proc_t q) {
-    if (sc.rank(q) != root_rank) buf.vec(q).resize(n_of(q));
+    if (sc.rank(q) != root_rank) buf.resize(q, n_of(q));
   });
   const auto seg_range = [&](proc_t q, std::uint32_t s) {
     const std::size_t n = n_of(q);
@@ -512,14 +528,13 @@ void broadcast_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
           const std::uint32_t rr = sc.rank(q) ^ root_rank;
           if ((rr & ~processed) != 0) return {};
           const auto [lo, hi] = seg_range(q, s);
-          return std::span<const T>(buf.vec(q)).subspan(lo, hi - lo);
+          return std::span<const T>(buf.tile(q)).subspan(lo, hi - lo);
         },
         [&](proc_t q, std::size_t idx, std::span<const T> in) {
           const auto [lo, hi] = seg_range(q, segs[idx]);
           VMP_ASSERT(in.size() == hi - lo,
                      "broadcast_pipelined segment length mismatch");
-          std::copy(in.begin(), in.end(),
-                    buf.vec(q).begin() + static_cast<std::ptrdiff_t>(lo));
+          kern::copy(in, buf.tile(q).subspan(lo, in.size()));
         });
   }
 }
@@ -577,14 +592,14 @@ void reduce_to_rank(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         [&](proc_t q) -> std::span<const T> {
           const std::uint32_t rr = sc.rank(q) ^ root_rank;
           if ((rr & ((2u << j) - 1u)) == (1u << j))  // low bits 0, bit j set
-            return std::span<const T>(buf.vec(q));
+            return buf.tile(q);
           return {};
         },
         [&](proc_t q, std::span<const T> in) {
-          std::vector<T>& mine = buf.vec(q);
+          const std::span<T> mine = buf.tile(q);
           VMP_ASSERT(in.size() == mine.size(), "reduce length mismatch");
-          for (std::size_t t = 0; t < mine.size(); ++t)
-            mine[t] = op.combine(mine[t], in[t]);
+          kern::zip(mine, in,
+                    [&](const T& m, const T& v) { return op.combine(m, v); });
         });
     cube.clock().charge_compute_step(n, n * (cube.procs() >> (j + 1)));
   }
@@ -602,25 +617,27 @@ void scan_exclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) {
     for (proc_t q = 0; q < cube.procs(); ++q)
-      std::fill(buf.vec(q).begin(), buf.vec(q).end(), op.identity());
+      kern::fill(buf.tile(q), op.identity());
     return;
   }
   VMP_TRACE(cube, "scan");
   const std::size_t n = max_local_len(cube, buf);
   DistBuffer<T> prefix(cube);
   DistBuffer<T> total(cube);
+  prefix.reserve_each(n);
+  total.reserve_each(n);
   cube.each_proc([&](proc_t q) {
-    prefix.vec(q).assign(buf.vec(q).size(), op.identity());
-    total.vec(q) = buf.vec(q);
+    prefix.assign(q, buf.len(q), op.identity());
+    total.assign(q, buf.tile(q));
   });
   for (int j = 0; j < sc.k(); ++j) {
     const int d = sc.dim_of_rank_bit(j);
     cube.exchange<T>(
-        d, [&](proc_t q) { return std::span<const T>(total.vec(q)); },
+        d, [&](proc_t q) -> std::span<const T> { return total.tile(q); },
         [&](proc_t q, std::span<const T> in) {
           const bool iam_high = ((sc.rank(q) >> j) & 1u) != 0;
-          std::vector<T>& pre = prefix.vec(q);
-          std::vector<T>& tot = total.vec(q);
+          const std::span<T> pre = prefix.tile(q);
+          const std::span<T> tot = total.tile(q);
           VMP_ASSERT(in.size() == tot.size(), "scan length mismatch");
           for (std::size_t t = 0; t < tot.size(); ++t) {
             if (iam_high) {
@@ -633,22 +650,19 @@ void scan_exclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         });
     cube.clock().charge_compute_step(2 * n, 2 * n * cube.procs());
   }
-  cube.each_proc([&](proc_t q) { buf.vec(q).swap(prefix.vec(q)); });
+  buf.swap(prefix);  // O(1) arena exchange, no per-tile copies
 }
 
 /// Inclusive scan: rank r holds the combination of ranks 0..r.
 template <class T, class Op>
 void scan_inclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
-  DistBuffer<T> orig(cube);
-  cube.each_proc([&](proc_t q) { orig.vec(q) = buf.vec(q); });
+  DistBuffer<T> orig(buf);
   scan_exclusive(cube, buf, sc, op);
   const std::size_t n = max_local_len(cube, buf);
   cube.compute(n, [&](proc_t q) {
-    std::vector<T>& mine = buf.vec(q);
-    const std::vector<T>& o = orig.vec(q);
-    for (std::size_t t = 0; t < mine.size(); ++t)
-      mine[t] = op.combine(mine[t], o[t]);
+    kern::zip(buf.tile(q), orig.tile(q),
+              [&](const T& m, const T& v) { return op.combine(m, v); });
   });
 }
 
@@ -676,7 +690,7 @@ void route_within(Cube& cube, DistBuffer<RouteItem<T>>& items,
                   const SubcubeSet& sc) {
   VMP_TRACE(cube, "route_within");
   for (proc_t q = 0; q < cube.procs(); ++q)
-    for (const RouteItem<T>& it : items.vec(q))
+    for (const RouteItem<T>& it : items.tile(q))
       VMP_REQUIRE(sc.subcube_id(it.dst) == sc.subcube_id(q),
                   "route_within destination escapes the subcube");
   DistBuffer<RouteItem<T>> outbox(cube);
@@ -684,28 +698,35 @@ void route_within(Cube& cube, DistBuffer<RouteItem<T>>& items,
     const int d = sc.dim_of_rank_bit(j);
     const std::uint32_t bit = 1u << d;
     cube.each_proc([&](proc_t q) {
-      std::vector<RouteItem<T>>& mine = items.vec(q);
-      std::vector<RouteItem<T>>& out = outbox.vec(q);
-      out.clear();
+      const std::span<RouteItem<T>> mine = items.tile(q);
+      outbox.clear(q);
       std::size_t w = 0;
       for (std::size_t t = 0; t < mine.size(); ++t) {
         if ((mine[t].dst & bit) != (q & bit)) {
-          out.push_back(mine[t]);
+          outbox.push_back(q, mine[t]);
         } else {
           mine[w++] = mine[t];
         }
       }
-      mine.resize(w);
+      items.resize(q, w);
     });
+    // Delivery appends the partner's outbox: reserve the post-round
+    // capacity on the host thread before the exchange.
+    std::size_t cap = 0;
+    for (proc_t q = 0; q < cube.procs(); ++q)
+      cap = std::max(cap, items.len(q) + outbox.len(q ^ bit));
+    items.reserve_each(cap);
     cube.exchange<RouteItem<T>>(
         d,
-        [&](proc_t q) { return std::span<const RouteItem<T>>(outbox.vec(q)); },
+        [&](proc_t q) -> std::span<const RouteItem<T>> {
+          return outbox.tile(q);
+        },
         [&](proc_t q, std::span<const RouteItem<T>> in) {
-          items.vec(q).insert(items.vec(q).end(), in.begin(), in.end());
+          items.append(q, in);
         });
   }
   for (proc_t q = 0; q < cube.procs(); ++q)
-    for (const RouteItem<T>& it : items.vec(q))
+    for (const RouteItem<T>& it : items.tile(q))
       VMP_ASSERT(it.dst == q, "route_within left an item undelivered");
 }
 

@@ -1,13 +1,40 @@
 /// \file dist_buffer.hpp
 /// \brief Per-processor local storage: the only data container collectives
-///        and primitives touch.  Each processor owns one resizable array;
-///        nothing is globally addressable — data crosses processor
-///        boundaries only through Cube::exchange (and is charged for it).
+///        and primitives touch.  Nothing is globally addressable — data
+///        crosses processor boundaries only through Cube::exchange (and is
+///        charged for it).
+///
+/// Storage is one contiguous ARENA per distributed object: a single
+/// allocation holding all P tiles at computed offsets, leased from the
+/// Cube's BufferPool via acquire_slab so that temporaries inside a fused
+/// pipeline recycle the same power-of-two blocks and are allocation-free in
+/// steady state.  Callers see processor q's tile only as a std::span via
+/// tile(q) / on(q).
+///
+/// Layout: tile q starts at base + q · stride where stride (in elements) is
+/// rounded so every tile begins on a 64-byte boundary; len(q) ≤ stride is
+/// the live length.  Tiles never overlap and the per-tile spans jointly
+/// cover disjoint arena ranges, so concurrent delivery callbacks (one per
+/// destination processor, see hypercube/machine.hpp) may mutate different
+/// tiles' ELEMENTS and LENGTHS freely — as long as no tile outgrows the
+/// stride.  Growing the stride reallocates the arena and is therefore only
+/// legal on the host thread (guarded by ThreadPool::in_parallel); hot paths
+/// pre-reserve with reserve_each before entering compute/exchange.
+///
+/// The simulated machine is oblivious to all of this: charges, SimStats and
+/// event traces depend only on element counts and exchange shapes, so the
+/// slab changes host wall-clock and allocation counters, nothing else.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
 #include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/kernels.hpp"
 #include "hypercube/check.hpp"
 #include "hypercube/machine.hpp"
 
@@ -15,40 +42,215 @@ namespace vmp {
 
 template <class T>
 class DistBuffer {
+  // The arena moves tiles with memmove on growth and hands out spans over
+  // raw pool bytes, so elements must be trivially copyable and must not
+  // demand more alignment than the 64-byte tile boundary provides.
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DistBuffer elements live in a raw slab arena");
+  static_assert(alignof(T) <= 64, "tile alignment is 64 bytes");
+
  public:
   DistBuffer() = default;
 
-  /// One (initially empty) local array per processor.
-  explicit DistBuffer(const Cube& cube) : local_(cube.procs()) {}
+  /// One (initially empty) tile per processor; no arena until first growth.
+  explicit DistBuffer(Cube& cube)
+      : cube_(&cube), procs_(cube.procs()), len_(cube.procs(), 0) {}
 
-  /// One local array of `elems_each` value-initialized elements per proc.
-  DistBuffer(const Cube& cube, std::size_t elems_each)
-      : local_(cube.procs(), std::vector<T>(elems_each)) {}
-
-  [[nodiscard]] proc_t procs() const {
-    return static_cast<proc_t>(local_.size());
+  /// One tile of `elems_each` value-initialized elements per processor.
+  DistBuffer(Cube& cube, std::size_t elems_each) : DistBuffer(cube) {
+    reserve_each(elems_each);
+    for (proc_t q = 0; q < procs_; ++q) assign(q, elems_each, T{});
   }
 
-  /// Resizable access to processor q's local array.
-  [[nodiscard]] std::vector<T>& vec(proc_t q) {
-    VMP_REQUIRE(q < local_.size(), "processor id out of range");
-    return local_[q];
+  DistBuffer(const DistBuffer& other)
+      : cube_(other.cube_),
+        procs_(other.procs_),
+        stride_(other.stride_),
+        len_(other.len_) {
+    if (stride_ > 0) {
+      block_ = cube_->buffers().acquire_slab(arena_bytes(procs_, stride_));
+      base_ = aligned_base(block_);
+      for (proc_t q = 0; q < procs_; ++q)
+        kern::copy(other.tile(q), std::span<T>(tile_ptr(q), len_[q]));
+    }
   }
-  [[nodiscard]] const std::vector<T>& vec(proc_t q) const {
-    VMP_REQUIRE(q < local_.size(), "processor id out of range");
-    return local_[q];
+  DistBuffer& operator=(const DistBuffer& other) {
+    if (this != &other) {
+      DistBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+  DistBuffer(DistBuffer&& other) noexcept { swap(other); }
+  DistBuffer& operator=(DistBuffer&& other) noexcept {
+    if (this != &other) {
+      DistBuffer tmp(std::move(other));
+      swap(tmp);
+    }
+    return *this;
+  }
+  ~DistBuffer() = default;
+
+  /// Exchange arenas wholesale (O(1); no element copies).
+  void swap(DistBuffer& other) noexcept {
+    std::swap(cube_, other.cube_);
+    std::swap(procs_, other.procs_);
+    std::swap(stride_, other.stride_);
+    len_.swap(other.len_);
+    std::swap(block_, other.block_);
+    std::swap(base_, other.base_);
   }
 
-  /// Span view of processor q's local array.
-  [[nodiscard]] std::span<T> on(proc_t q) {
-    return std::span<T>(vec(q));
+  [[nodiscard]] proc_t procs() const { return procs_; }
+
+  /// Live element count of processor q's tile.
+  [[nodiscard]] std::size_t len(proc_t q) const {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    return len_[q];
   }
-  [[nodiscard]] std::span<const T> on(proc_t q) const {
-    return std::span<const T>(vec(q));
+
+  /// Per-tile capacity in elements (uniform across processors).
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+
+  /// Span view of processor q's tile — the only element access there is.
+  [[nodiscard]] std::span<T> tile(proc_t q) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    return {tile_ptr(q), len_[q]};
+  }
+  [[nodiscard]] std::span<const T> tile(proc_t q) const {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    return {tile_ptr(q), len_[q]};
+  }
+  [[nodiscard]] std::span<T> on(proc_t q) { return tile(q); }
+  [[nodiscard]] std::span<const T> on(proc_t q) const { return tile(q); }
+
+  /// Host-side copy of tile q as a std::vector (tests and debugging only).
+  [[nodiscard]] std::vector<T> host_vec(proc_t q) const {
+    const std::span<const T> t = tile(q);
+    return std::vector<T>(t.begin(), t.end());
+  }
+
+  /// Grow every tile's capacity to at least `elems` (lengths unchanged).
+  /// Host-thread only; call before compute/exchange whose callbacks append.
+  void reserve_each(std::size_t elems) { ensure_stride(elems); }
+
+  /// Set tile q's length to n; new elements are value-initialized (or
+  /// copies of `fill_v`).  Shrinking and growing within the stride only
+  /// touch this tile, so delivery callbacks may call it; growth past the
+  /// stride reallocates and must happen on the host thread.
+  void resize(proc_t q, std::size_t n) { resize(q, n, T{}); }
+  void resize(proc_t q, std::size_t n, const T& fill_v) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(n);
+    if (n > len_[q])
+      kern::fill(std::span<T>(tile_ptr(q) + len_[q], n - len_[q]), fill_v);
+    len_[q] = n;
+  }
+
+  /// tile(q) = n copies of v.
+  void assign(proc_t q, std::size_t n, const T& v) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(n);
+    kern::fill(std::span<T>(tile_ptr(q), n), v);
+    len_[q] = n;
+  }
+
+  /// tile(q) = src (overlap with this arena is fine; memmove semantics).
+  void assign(proc_t q, std::span<const T> src) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(src.size());
+    kern::copy(src, std::span<T>(tile_ptr(q), src.size()));
+    len_[q] = src.size();
+  }
+
+  void clear(proc_t q) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    len_[q] = 0;
+  }
+
+  void push_back(proc_t q, const T& v) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(len_[q] + 1);
+    tile_ptr(q)[len_[q]] = v;
+    ++len_[q];
+  }
+
+  /// Append src to the end of tile q.
+  void append(proc_t q, std::span<const T> src) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(len_[q] + src.size());
+    kern::copy(src, std::span<T>(tile_ptr(q) + len_[q], src.size()));
+    len_[q] += src.size();
+  }
+
+  /// Insert src before the existing elements of tile q (shifts them up).
+  void prepend(proc_t q, std::span<const T> src) {
+    VMP_REQUIRE(q < procs_, "processor id out of range");
+    ensure_stride(len_[q] + src.size());
+    T* t = tile_ptr(q);
+    kern::copy(std::span<const T>(t, len_[q]),
+               std::span<T>(t + src.size(), len_[q]));
+    kern::copy(src, std::span<T>(t, src.size()));
+    len_[q] += src.size();
   }
 
  private:
-  std::vector<std::vector<T>> local_;
+  static constexpr std::size_t kAlign = 64;
+
+  /// Smallest stride quantum keeping every tile 64-byte aligned.
+  [[nodiscard]] static constexpr std::size_t align_elems() {
+    return kAlign / std::gcd(sizeof(T), kAlign);
+  }
+  [[nodiscard]] static constexpr std::size_t round_stride(std::size_t n) {
+    const std::size_t a = align_elems();
+    return (n + a - 1) / a * a;
+  }
+  [[nodiscard]] static std::size_t arena_bytes(proc_t procs,
+                                               std::size_t stride) {
+    return static_cast<std::size_t>(procs) * stride * sizeof(T) + kAlign;
+  }
+  [[nodiscard]] static T* aligned_base(const BufferPool::Block& b) {
+    if (b.data() == nullptr) return nullptr;
+    auto addr = reinterpret_cast<std::uintptr_t>(b.data());
+    addr = (addr + kAlign - 1) & ~std::uintptr_t{kAlign - 1};
+    return reinterpret_cast<T*>(addr);
+  }
+
+  [[nodiscard]] T* tile_ptr(proc_t q) {
+    return base_ + std::size_t{q} * stride_;
+  }
+  [[nodiscard]] const T* tile_ptr(proc_t q) const {
+    return base_ + std::size_t{q} * stride_;
+  }
+
+  /// Reallocate the arena if any tile needs capacity `min_elems`.  Doubles
+  /// the stride geometrically so repeated push_backs stay amortized O(1);
+  /// the old block's RAII release feeds the pool for the next object.
+  void ensure_stride(std::size_t min_elems) {
+    if (min_elems <= stride_) return;
+    VMP_REQUIRE(cube_ != nullptr, "DistBuffer not bound to a cube");
+    VMP_REQUIRE(!cube_->pool().in_parallel(),
+                "slab growth is host-thread only: reserve_each before "
+                "entering compute/exchange");
+    const std::size_t want =
+        round_stride(min_elems > 2 * stride_ ? min_elems : 2 * stride_);
+    BufferPool::Block nb =
+        cube_->buffers().acquire_slab(arena_bytes(procs_, want));
+    T* nbase = aligned_base(nb);
+    for (proc_t q = 0; q < procs_; ++q)
+      kern::copy(std::span<const T>(tile_ptr(q), len_[q]),
+                 std::span<T>(nbase + std::size_t{q} * want, len_[q]));
+    block_ = std::move(nb);
+    base_ = nbase;
+    stride_ = want;
+  }
+
+  Cube* cube_ = nullptr;
+  proc_t procs_ = 0;
+  std::size_t stride_ = 0;  ///< per-tile capacity, in elements
+  std::vector<std::size_t> len_;
+  BufferPool::Block block_;
+  T* base_ = nullptr;
 };
 
 }  // namespace vmp

@@ -55,8 +55,7 @@ void shift_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
     // staged send/recv the engine provides — every processor sends to
     // dest_of(q) and receives from the inverse, which is NOT its exchange
     // partner, so stage manually through a scratch buffer.)
-    DistBuffer<T> scratch(cube);
-    cube.each_proc([&](proc_t q) { scratch.vec(q) = buf.vec(q); });
+    DistBuffer<T> scratch(buf);
     // All partners are at Hamming distance 1, but the relation q -> dest is
     // a cycle, not an involution; charge one lockstep round explicitly and
     // deliver directly (equivalent cost: every processor drives one port).
@@ -65,32 +64,31 @@ void shift_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
       const proc_t dst = dest_of(q);
       VMP_ASSERT(hamming_distance(q, dst) == 1,
                  "Gray ring neighbour must be a cube neighbour");
-      const std::size_t n = scratch.vec(q).size();
+      const std::size_t n = scratch.len(q);
       if (n == 0) return;
       ++messages;
       total += n;
       max_elems = std::max(max_elems, n);
     });
     cube.each_proc(
-        [&](proc_t q) { buf.vec(dest_of(q)).swap(scratch.vec(q)); });
+        [&](proc_t q) { buf.assign(dest_of(q), scratch.tile(q)); });
     if (messages > 0) cube.clock().charge_comm_step(max_elems, messages, total);
     return;
   }
 
   // Binary order: ring neighbours may differ in many bits — route.
   DistBuffer<RouteItem<T>> items(cube);
+  items.reserve_each(max_local_len(cube, buf));
   cube.each_proc([&](proc_t q) {
     const proc_t dst = dest_of(q);
-    const std::vector<T>& mine = buf.vec(q);
-    items.vec(q).reserve(mine.size());
+    const std::span<const T> mine = buf.tile(q);
     for (std::size_t t = 0; t < mine.size(); ++t)
-      items.vec(q).push_back(RouteItem<T>{dst, t, mine[t]});
+      items.push_back(q, RouteItem<T>{dst, t, mine[t]});
   });
   route_within(cube, items, sc);
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& dst = buf.vec(q);
-    dst.assign(items.vec(q).size(), T{});
-    for (const RouteItem<T>& it : items.vec(q)) dst[it.tag] = it.value;
+    buf.assign(q, items.len(q), T{});
+    kern::scatter_tagged(items.tile(q), buf.tile(q));
   });
 }
 

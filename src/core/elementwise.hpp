@@ -5,6 +5,7 @@
 #pragma once
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_matrix.hpp"
 #include "embed/dist_vector.hpp"
 
@@ -14,7 +15,7 @@ namespace vmp {
 template <class T, class F>
 void mat_apply(DistMatrix<T>& A, F f) {
   A.grid().cube().compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
-    for (T& x : A.data().vec(q)) x = f(x);
+    kern::apply(A.data().tile(q), f);
   });
 }
 
@@ -26,11 +27,12 @@ void mat_apply_indexed(DistMatrix<T>& A, F f) {
     const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     std::span<T> blk = A.block(q);
+    const std::size_t c0 = A.colmap().global_begin(C);
+    const std::size_t cstep = A.colmap().global_step();
     for (std::size_t lr = 0; lr < lrn; ++lr) {
       const std::size_t i = A.rowmap().global(R, lr);
-      for (std::size_t lc = 0; lc < lcn; ++lc)
-        blk[lr * lcn + lc] =
-            f(blk[lr * lcn + lc], i, A.colmap().global(C, lc));
+      kern::apply_indexed(blk.subspan(lr * lcn, lcn), c0, cstep,
+                          [&](const T& x, std::size_t j) { return f(x, i, j); });
     }
   });
 }
@@ -40,9 +42,7 @@ template <class T, class F>
 void mat_zip(DistMatrix<T>& A, const DistMatrix<T>& B, F f) {
   VMP_REQUIRE(A.aligned_with(B), "mat_zip operands must be aligned");
   A.grid().cube().compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
-    std::vector<T>& a = A.data().vec(q);
-    const std::vector<T>& b = B.data().vec(q);
-    for (std::size_t t = 0; t < a.size(); ++t) a[t] = f(a[t], b[t]);
+    kern::zip(A.data().tile(q), B.data().tile(q), f);
   });
 }
 
@@ -54,10 +54,8 @@ template <class T>
   VMP_REQUIRE(A.aligned_with(B), "hadamard operands must be aligned");
   DistMatrix<T> C(A.grid(), A.nrows(), A.ncols(), A.layout());
   A.grid().cube().compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
-    const std::vector<T>& a = A.data().vec(q);
-    const std::vector<T>& b = B.data().vec(q);
-    std::vector<T>& c = C.data().vec(q);
-    for (std::size_t t = 0; t < a.size(); ++t) c[t] = a[t] * b[t];
+    kern::zip_into(A.data().tile(q), B.data().tile(q), C.data().tile(q),
+                   [](const T& x, const T& y) { return x * y; });
   });
   return C;
 }
@@ -68,10 +66,8 @@ void mat_axpy(DistMatrix<T>& Y, T alpha, const DistMatrix<T>& X) {
   VMP_REQUIRE(Y.aligned_with(X), "mat_axpy operands must be aligned");
   Y.grid().cube().compute(2 * Y.max_block(), 2 * Y.nrows() * Y.ncols(),
                           [&](proc_t q) {
-                            std::vector<T>& y = Y.data().vec(q);
-                            const std::vector<T>& x = X.data().vec(q);
-                            for (std::size_t t = 0; t < y.size(); ++t)
-                              y[t] += alpha * x[t];
+                            kern::axpy(Y.data().tile(q), alpha,
+                                       X.data().tile(q));
                           });
 }
 
@@ -95,11 +91,8 @@ void rank1_update(DistMatrix<T>& A, T alpha, const DistVector<T>& c,
         std::span<T> blk = A.block(q);
         const std::span<const T> cp = c.piece(q);
         const std::span<const T> rp = r.piece(q);
-        for (std::size_t lr = 0; lr < lrn; ++lr) {
-          const T scale = alpha * cp[lr];
-          for (std::size_t lc = 0; lc < lcn; ++lc)
-            blk[lr * lcn + lc] += scale * rp[lc];
-        }
+        for (std::size_t lr = 0; lr < lrn; ++lr)
+          kern::axpy(blk.subspan(lr * lcn, lcn), alpha * cp[lr], rp);
       });
 }
 
@@ -139,11 +132,9 @@ void rank1_update_range(DistMatrix<T>& A, T alpha, const DistVector<T>& c,
     std::span<T> blk = A.block(q);
     const std::span<const T> cp = c.piece(q);
     const std::span<const T> rp = r.piece(q);
-    for (std::size_t lr = lr0; lr < lrn; ++lr) {
-      const T scale = alpha * cp[lr];
-      for (std::size_t lc = lc0; lc < lcn; ++lc)
-        blk[lr * lcn + lc] += scale * rp[lc];
-    }
+    for (std::size_t lr = lr0; lr < lrn; ++lr)
+      kern::axpy(blk.subspan(lr * lcn + lc0, lcn - lc0), alpha * cp[lr],
+                 rp.subspan(lc0));
   });
 }
 
@@ -165,12 +156,13 @@ template <class T, class Op>
   Cube& cube = grid.cube();
   DistBuffer<T> acc(cube, 1);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
-    T a = op.identity();
-    for (const T& x : A.data().vec(q)) a = op.combine(a, x);
-    acc.vec(q)[0] = a;
+    acc.tile(q)[0] = kern::fold(A.data().tile(q), op.identity(),
+                                [&](const T& a, const T& x) {
+                                  return op.combine(a, x);
+                                });
   });
   allreduce(cube, acc, grid.whole(), op);
-  return acc.vec(0)[0];
+  return acc.tile(0)[0];
 }
 
 }  // namespace vmp

@@ -1,0 +1,160 @@
+/// \file kernels.hpp
+/// \brief The strided-kernel layer: every local (per-processor) loop in the
+///        library funnels through these dozen primitives.
+///
+/// A simulated processor's local work is one of a handful of shapes — fill,
+/// copy, elementwise map/zip, axpy, fold, strided gather/scatter, tag
+/// scatter, exclusive scan.  Before this layer each call site hand-rolled
+/// its loop; now elementwise.hpp, vector_ops.hpp, scan_ops.hpp, the four
+/// primitives and the collectives' pack/unpack all call `vmp::kern`, which
+/// gives the compiler one contiguous- or constant-stride loop per shape to
+/// vectorise and gives us one place to audit floating-point evaluation
+/// order.
+///
+/// INVARIANT: every kernel evaluates element operations in ascending index
+/// order with exactly the same association as the loops it replaced, so
+/// results are bit-identical to the pre-slab code.  Simulated charges never
+/// originate here — callers charge flops through Cube::compute as before;
+/// these are pure host-side loops.
+///
+/// Indexed kernels exploit that both embeddings (Block, Cyclic) are affine
+/// in the local slot: global = g0 + s·gstep (see AxisMap::global_begin).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace vmp::kern {
+
+/// dst[i] = v for all i.
+template <typename T>
+void fill(std::span<T> dst, const T& v) {
+  for (T& x : dst) x = v;
+}
+
+/// dst[i] = src[i]; ranges may overlap (memmove semantics) so the slab's
+/// in-arena shifts (prepend/append) can reuse it.
+template <typename U, typename T>
+void copy(std::span<U> src, std::span<T> dst) {
+  static_assert(std::is_same_v<std::remove_const_t<U>, T>,
+                "copy spans must have the same element type");
+  if (src.empty()) return;
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    std::memmove(dst.data(), src.data(), src.size() * sizeof(T));
+  } else {
+    if (dst.data() <= src.data()) {
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    } else {
+      for (std::size_t i = src.size(); i-- > 0;) dst[i] = src[i];
+    }
+  }
+}
+
+/// x[i] = f(x[i]) in place.
+template <typename T, typename F>
+void apply(std::span<T> x, F&& f) {
+  for (T& v : x) v = f(v);
+}
+
+/// x[s] = f(x[s], g0 + s·gstep): in-place map that also sees the element's
+/// global index, reconstructed from the affine (base, step) of the axis map.
+template <typename T, typename F>
+void apply_indexed(std::span<T> x, std::size_t g0, std::size_t gstep, F&& f) {
+  std::size_t g = g0;
+  for (T& v : x) {
+    v = f(v, g);
+    g += gstep;
+  }
+}
+
+/// dst[i] = f(dst[i], src[i]).
+template <typename T, typename U, typename F>
+void zip(std::span<T> dst, std::span<U> src, F&& f) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = f(dst[i], src[i]);
+}
+
+/// out[i] = f(a[i], b[i]) into a third range.
+template <typename U, typename V, typename T, typename F>
+void zip_into(std::span<U> a, std::span<V> b, std::span<T> out,
+              F&& f) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = f(a[i], b[i]);
+}
+
+/// dst[s] = f(dst[s], src[s], g0 + s·gstep).
+template <typename T, typename U, typename F>
+void zip_indexed(std::span<T> dst, std::span<U> src, std::size_t g0,
+                 std::size_t gstep, F&& f) {
+  std::size_t g = g0;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = f(dst[i], src[i], g);
+    g += gstep;
+  }
+}
+
+/// y[i] += a · x[i] — the rank-1 update's row kernel.
+template <typename T, typename U>
+void axpy(std::span<T> y, const T& a, std::span<U> x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+/// x[i] *= a.
+template <typename T>
+void scale(std::span<T> x, const T& a) {
+  for (T& v : x) v *= a;
+}
+
+/// Left fold in ascending index order: combine(...combine(init, x[0])...).
+template <typename U, typename Acc, typename F>
+[[nodiscard]] Acc fold(std::span<U> x, Acc init, F&& combine) {
+  Acc acc = init;
+  for (const auto& v : x) acc = combine(acc, v);
+  return acc;
+}
+
+/// Ascending-order dot product: sum += a[i] · b[i].
+template <typename U, typename V>
+[[nodiscard]] std::remove_const_t<U> dot(std::span<U> a, std::span<V> b) {
+  std::remove_const_t<U> s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// dst[i] = src[i · stride] — e.g. extracting one matrix column from a
+/// row-major tile (stride = local row width).
+template <typename T>
+void gather_strided(const T* src, std::size_t stride, std::span<T> dst) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i * stride];
+}
+
+/// dst[i · stride] = src[i] — the inverse of gather_strided.
+template <typename U, typename T>
+void scatter_strided(std::span<U> src, T* dst, std::size_t stride) {
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i * stride] = src[i];
+}
+
+/// dst[items[i].tag] = items[i].value — the routed-message unpack shared by
+/// transpose, swap, permute, sort and binary shift.  Item is any type with
+/// `.tag` and `.value` members (comm/route.hpp's RouteItem).
+template <typename Item, typename T>
+void scatter_tagged(std::span<Item> items, std::span<T> dst) {
+  for (const Item& it : items) dst[it.tag] = it.value;
+}
+
+/// In-place exclusive scan with carry-in; returns the carry-out
+/// (combine-fold of carry and every element).  Evaluation order matches
+/// scan_ops.hpp's original per-piece loop exactly:
+///   next = combine(acc, x); x = acc; acc = next.
+template <typename T, typename F>
+[[nodiscard]] T scan_exclusive(std::span<T> x, T carry, F&& combine) {
+  T acc = carry;
+  for (T& v : x) {
+    const T next = combine(acc, v);
+    v = acc;
+    acc = next;
+  }
+  return acc;
+}
+
+}  // namespace vmp::kern

@@ -51,7 +51,7 @@ namespace vmp {
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    out.data().vec(dst)[tag] = x;
+    out.data().tile(dst)[tag] = x;
   });
   return out;
 }
@@ -78,7 +78,7 @@ namespace vmp {
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    out.data().vec(dst)[tag] += x;
+    out.data().tile(dst)[tag] += x;
   });
   return out;
 }
@@ -107,7 +107,7 @@ namespace vmp {
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    out.data().vec(dst)[tag] = x;
+    out.data().tile(dst)[tag] = x;
   });
   return out;
 }
@@ -132,7 +132,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
   }
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    A.data().vec(dst)[tag] = x;
+    A.data().tile(dst)[tag] = x;
   });
 }
 
@@ -159,7 +159,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    out.data().vec(dst)[tag] = x;
+    out.data().tile(dst)[tag] = x;
   });
   return out;
 }
@@ -189,7 +189,7 @@ inline void naive_insert_row(DistMatrix<double>& A, std::size_t i,
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    out.data().vec(dst)[tag] = x;
+    out.data().tile(dst)[tag] = x;
   });
   return out;
 }
@@ -215,7 +215,7 @@ inline void naive_insert_col(DistMatrix<double>& A, std::size_t j,
   }
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    A.data().vec(dst)[tag] = x;
+    A.data().tile(dst)[tag] = x;
   });
 }
 
@@ -258,12 +258,12 @@ inline void naive_swap_rows(DistMatrix<double>& A, std::size_t i,
         A.rowmap().local(i) * A.lcols(qi) + A.colmap().local(g);
     const std::size_t slot_j =
         A.rowmap().local(j) * A.lcols(qj) + A.colmap().local(g);
-    inject[qi].push_back(Packet{qj, slot_j, A.data().vec(qi)[slot_i]});
-    inject[qj].push_back(Packet{qi, slot_i, A.data().vec(qj)[slot_j]});
+    inject[qi].push_back(Packet{qj, slot_j, A.data().tile(qi)[slot_i]});
+    inject[qj].push_back(Packet{qi, slot_i, A.data().tile(qj)[slot_j]});
   }
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double x) {
-    A.data().vec(dst)[tag] = x;
+    A.data().tile(dst)[tag] = x;
   });
 }
 
@@ -294,13 +294,13 @@ inline void naive_swap_rows(DistMatrix<double>& A, std::size_t i,
   });
   NaiveRouter router(cube);
   router.run(std::move(inject), [&](proc_t dst, std::uint64_t tag, double v) {
-    X.data().vec(dst)[tag] = v;
+    X.data().tile(dst)[tag] = v;
   });
 
   // Local products (every virtual processor multiplies its element).
   cube.compute(X.max_block(), X.nrows() * X.ncols(), [&](proc_t q) {
-    std::vector<double>& xv = X.data().vec(q);
-    const std::vector<double>& av = A.data().vec(q);
+    const std::span<double> xv = X.data().tile(q);
+    const std::span<const double> av = A.data().tile(q);
     for (std::size_t t = 0; t < xv.size(); ++t) xv[t] *= av[t];
   });
 
@@ -319,7 +319,7 @@ inline void naive_swap_rows(DistMatrix<double>& A, std::size_t i,
     }
   });
   router.run(std::move(inject2), [&](proc_t dst, std::uint64_t tag, double v) {
-    y.data().vec(dst)[tag] += v;
+    y.data().tile(dst)[tag] += v;
   });
   return y;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_vector.hpp"
 
 namespace vmp {
@@ -20,10 +21,7 @@ template <class T>
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   DistVector<T> out(grid, v.n(), v.align(), v.part());
-  cube.each_proc([&](proc_t q) {
-    std::vector<T>& piece = out.data().vec(q);
-    std::fill(piece.begin(), piece.end(), fill);
-  });
+  cube.each_proc([&](proc_t q) { kern::fill(out.data().tile(q), fill); });
 
   // Route v[s] to the holder of destination index s - offset (so that
   // out[g] = v[g + offset]).  Every replica of the destination must be
@@ -45,15 +43,13 @@ template <class T>
       for (std::uint32_t rr = 0; rr < rep.size(); ++rr) {
         const proc_t dst =
             rep.k() == 0 ? canon : rep.with_rank(canon, rr);
-        items.vec(q).push_back(
-            RouteItem<T>{dst, out.map().local(gu), piece[s]});
+        items.push_back(q, RouteItem<T>{dst, out.map().local(gu), piece[s]});
       }
     }
   });
   route_within(cube, items, grid.whole());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& piece = out.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) piece[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), out.data().tile(q));
   });
   return out;
 }
@@ -86,15 +82,13 @@ template <class T>
       const proc_t canon = out.canonical_proc(dst_rank);
       for (std::uint32_t rr = 0; rr < rep.size(); ++rr) {
         const proc_t dst = rep.k() == 0 ? canon : rep.with_rank(canon, rr);
-        items.vec(q).push_back(
-            RouteItem<T>{dst, out.map().local(g), piece[s]});
+        items.push_back(q, RouteItem<T>{dst, out.map().local(g), piece[s]});
       }
     }
   });
   route_within(cube, items, grid.whole());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& piece = out.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) piece[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), out.data().tile(q));
   });
   return out;
 }

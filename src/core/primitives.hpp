@@ -49,6 +49,7 @@
 
 #include "comm/collectives.hpp"
 #include "comm/ops.hpp"
+#include "core/kernels.hpp"
 #include "obs/trace.hpp"
 #include "embed/dist_matrix.hpp"
 #include "embed/dist_vector.hpp"
@@ -129,13 +130,12 @@ template <class T, class Op>
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
-    std::vector<T>& piece = out.data().vec(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr) {
-      T acc = op.identity();
-      for (std::size_t lc = 0; lc < lcn; ++lc)
-        acc = op.combine(acc, blk[lr * lcn + lc]);
-      piece[lr] = acc;
-    }
+    const std::span<T> piece = out.data().tile(q);
+    for (std::size_t lr = 0; lr < lrn; ++lr)
+      piece[lr] = kern::fold(blk.subspan(lr * lcn, lcn), op.identity(),
+                             [&](const T& a, const T& x) {
+                               return op.combine(a, x);
+                             });
   });
   allreduce_auto(cube, out.data(), grid.within_row(), op);
   return out;
@@ -152,11 +152,11 @@ template <class T, class Op>
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
-    std::vector<T>& piece = out.data().vec(q);
-    for (std::size_t lc = 0; lc < lcn; ++lc) piece[lc] = op.identity();
+    const std::span<T> piece = out.data().tile(q);
+    kern::fill(piece, op.identity());
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      for (std::size_t lc = 0; lc < lcn; ++lc)
-        piece[lc] = op.combine(piece[lc], blk[lr * lcn + lc]);
+      kern::zip(piece, blk.subspan(lr * lcn, lcn),
+                [&](const T& a, const T& x) { return op.combine(a, x); });
   });
   allreduce_auto(cube, out.data(), grid.within_col(), op);
   return out;
@@ -184,7 +184,7 @@ template <class T>
     const std::span<const T> piece = v.piece(q);
     std::span<T> blk = out.block(q);
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lc];
+      kern::copy(piece.first(lcn), blk.subspan(lr * lcn, lcn));
   });
   return out;
 }
@@ -206,7 +206,7 @@ template <class T>
     const std::span<const T> piece = v.piece(q);
     std::span<T> blk = out.block(q);
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lr];
+      kern::fill(blk.subspan(lr * lcn, lcn), piece[lr]);
   });
   return out;
 }
@@ -233,8 +233,7 @@ template <class T>
     if (grid.prow(q) != R) return;
     const std::size_t lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
-    std::vector<T>& piece = out.data().vec(q);
-    for (std::size_t lc = 0; lc < lcn; ++lc) piece[lc] = blk[lr * lcn + lc];
+    kern::copy(blk.subspan(lr * lcn, lcn), out.data().tile(q));
   });
   broadcast_auto(cube, out.data(), grid.within_col(), R,
                  [&](proc_t q) { return out.map().size(out.rank_of(q)); });
@@ -258,9 +257,9 @@ template <class T>
     if (grid.pcol(q) != C) return;
     const std::size_t lcn = A.lcols(q);
     const std::size_t lrn = A.lrows(q);
+    (void)lrn;
     const std::span<const T> blk = A.block(q);
-    std::vector<T>& piece = out.data().vec(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr) piece[lr] = blk[lr * lcn + lc];
+    kern::gather_strided(blk.data() + lc, lcn, out.data().tile(q));
   });
   broadcast_auto(cube, out.data(), grid.within_row(), C,
                  [&](proc_t q) { return out.map().size(out.rank_of(q)); });
@@ -287,8 +286,7 @@ void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
     if (grid.prow(q) != R) return;
     const std::size_t lcn = A.lcols(q);
     std::span<T> blk = A.block(q);
-    const std::span<const T> piece = v.piece(q);
-    for (std::size_t lc = 0; lc < lcn; ++lc) blk[lr * lcn + lc] = piece[lc];
+    kern::copy(v.piece(q).first(lcn), blk.subspan(lr * lcn, lcn));
   });
 }
 
@@ -308,8 +306,7 @@ void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
     const std::size_t lcn = A.lcols(q);
     const std::size_t lrn = A.lrows(q);
     std::span<T> blk = A.block(q);
-    const std::span<const T> piece = v.piece(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr) blk[lr * lcn + lc] = piece[lr];
+    kern::scatter_strided(v.piece(q).first(lrn), blk.data() + lc, lcn);
   });
 }
 
@@ -335,12 +332,13 @@ void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
     if (grid.prow(q) != R) return;
     const std::uint32_t C = grid.pcol(q);
     const std::size_t lcn = A.lcols(q);
+    // Global indices grow with the local slot, so [lo, hi) is one
+    // contiguous local window.
+    const std::size_t s_lo = A.colmap().first_local_at_or_after(C, lo);
+    const std::size_t s_hi = A.colmap().first_local_at_or_after(C, hi);
     std::span<T> blk = A.block(q);
-    const std::span<const T> piece = v.piece(q);
-    for (std::size_t lc = 0; lc < lcn; ++lc) {
-      const std::size_t g = A.colmap().global(C, lc);
-      if (g >= lo && g < hi) blk[lr * lcn + lc] = piece[lc];
-    }
+    kern::copy(v.piece(q).subspan(s_lo, s_hi - s_lo),
+               blk.subspan(lr * lcn + s_lo, s_hi - s_lo));
   });
 }
 
@@ -366,13 +364,11 @@ void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
     if (grid.pcol(q) != C) return;
     const std::uint32_t R = grid.prow(q);
     const std::size_t lcn = A.lcols(q);
-    const std::size_t lrn = A.lrows(q);
+    const std::size_t s_lo = A.rowmap().first_local_at_or_after(R, lo);
+    const std::size_t s_hi = A.rowmap().first_local_at_or_after(R, hi);
     std::span<T> blk = A.block(q);
-    const std::span<const T> piece = v.piece(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr) {
-      const std::size_t g = A.rowmap().global(R, lr);
-      if (g >= lo && g < hi) blk[lr * lcn + lc] = piece[lr];
-    }
+    kern::scatter_strided(v.piece(q).subspan(s_lo, s_hi - s_lo),
+                          blk.data() + s_lo * lcn + lc, lcn);
   });
 }
 

@@ -12,25 +12,11 @@
 #pragma once
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "core/vector_ops.hpp"
 #include "embed/dist_vector.hpp"
 
 namespace vmp {
-
-namespace detail {
-
-template <class T, class Op>
-void scan_piece_exclusive(std::vector<T>& piece, T& carry_in_out, Op op) {
-  T acc = carry_in_out;
-  for (T& x : piece) {
-    const T next = op.combine(acc, x);
-    x = acc;
-    acc = next;
-  }
-  carry_in_out = acc;
-}
-
-}  // namespace detail
 
 /// Exclusive scan over the elements of v in global index order:
 /// out[g] = op(v[0], …, v[g-1]), identity at g = 0.  In place.
@@ -45,9 +31,10 @@ void vec_scan_exclusive(DistVector<T>& v, Op op) {
   // 1. local: piece totals (one pass) …
   DistBuffer<T> totals(cube, 1);
   cube.compute(mx, v.n(), [&](proc_t q) {
-    T acc = op.identity();
-    for (const T& x : v.data().vec(q)) acc = op.combine(acc, x);
-    totals.vec(q)[0] = acc;
+    totals.tile(q)[0] = kern::fold(v.data().tile(q), op.identity(),
+                                   [&](const T& a, const T& x) {
+                                     return op.combine(a, x);
+                                   });
   });
   // 2. … an exclusive scan of the totals across the partition ranks
   //    (replicated subcube families see identical totals, so running the
@@ -55,8 +42,10 @@ void vec_scan_exclusive(DistVector<T>& v, Op op) {
   scan_exclusive(cube, totals, v.partitioned_over(), op);
   // 3. … then a local exclusive scan seeded with the incoming carry.
   cube.compute(mx, v.n(), [&](proc_t q) {
-    T carry = totals.vec(q)[0];
-    detail::scan_piece_exclusive(v.data().vec(q), carry, op);
+    (void)kern::scan_exclusive(v.data().tile(q), totals.tile(q)[0],
+                               [&](const T& a, const T& x) {
+                                 return op.combine(a, x);
+                               });
   });
 }
 
@@ -121,17 +110,17 @@ void vec_scan_exclusive_segmented(DistVector<T>& v,
   DistBuffer<Pair> totals(cube, 1);
   cube.compute(2 * mx, 2 * v.n(), [&](proc_t q) {
     Pair acc = seg.identity();
-    const std::vector<T>& piece = v.data().vec(q);
-    const std::vector<std::uint8_t>& fl = flags.data().vec(q);
+    const std::span<const T> piece = v.data().tile(q);
+    const std::span<const std::uint8_t> fl = flags.data().tile(q);
     for (std::size_t s = 0; s < piece.size(); ++s)
       acc = seg.combine(acc, Pair{piece[s], fl[s] != 0});
-    totals.vec(q)[0] = acc;
+    totals.tile(q)[0] = acc;
   });
   scan_exclusive(cube, totals, v.partitioned_over(), seg);
   cube.compute(2 * mx, 2 * v.n(), [&](proc_t q) {
-    Pair carry = totals.vec(q)[0];
-    std::vector<T>& piece = v.data().vec(q);
-    const std::vector<std::uint8_t>& fl = flags.data().vec(q);
+    Pair carry = totals.tile(q)[0];
+    const std::span<T> piece = v.data().tile(q);
+    const std::span<const std::uint8_t> fl = flags.data().tile(q);
     for (std::size_t s = 0; s < piece.size(); ++s) {
       const Pair cur{piece[s], fl[s] != 0};
       // A segment head sees the identity, not the carried prefix.

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_matrix.hpp"
 
 namespace vmp {
@@ -44,15 +45,13 @@ void swap_rows(DistMatrix<T>& A, std::size_t i, std::size_t j) {
     const proc_t dst = grid.at(mine_is_i ? Rj : Ri, grid.pcol(q));
     const std::size_t lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
-    items.vec(q).reserve(lcn);
     for (std::size_t lc = 0; lc < lcn; ++lc)
-      items.vec(q).push_back(
+      items.push_back(q,
           RouteItem<T>{dst, ldst * lcn + lc, blk[lsrc * lcn + lc]});
   });
   route_within(cube, items, grid.within_col());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& blk = A.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), A.data().tile(q));
   });
 }
 
@@ -92,15 +91,13 @@ void swap_cols(DistMatrix<T>& A, std::size_t i, std::size_t j) {
     const std::size_t lcn_dst = A.colmap().size(Cdst);
     const std::size_t lrn = A.lrows(q);
     const std::span<const T> blk = A.block(q);
-    items.vec(q).reserve(lrn);
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      items.vec(q).push_back(
+      items.push_back(q,
           RouteItem<T>{dst, lr * lcn_dst + ldst, blk[lr * lcn + lsrc]});
   });
   route_within(cube, items, grid.within_row());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& blk = A.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), A.data().tile(q));
   });
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "embed/dist_matrix.hpp"
 
 namespace vmp {
@@ -23,11 +24,11 @@ template <class T>
                   MatrixLayout{A.layout().cols, A.layout().rows});
 
   DistBuffer<RouteItem<T>> items(cube);
+  items.reserve_each(A.max_block());
   cube.each_proc([&](proc_t q) {
     const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
-    items.vec(q).reserve(lrn * lcn);
     for (std::size_t lr = 0; lr < lrn; ++lr) {
       const std::size_t i = A.rowmap().global(R, lr);
       for (std::size_t lc = 0; lc < lcn; ++lc) {
@@ -35,14 +36,13 @@ template <class T>
         const proc_t dst = B.owner(j, i);
         const std::size_t slot =
             B.rowmap().local(j) * B.lcols(dst) + B.colmap().local(i);
-        items.vec(q).push_back(RouteItem<T>{dst, slot, blk[lr * lcn + lc]});
+        items.push_back(q, RouteItem<T>{dst, slot, blk[lr * lcn + lc]});
       }
     }
   });
   route_within(cube, items, grid.whole());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& blk = B.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) blk[it.tag] = it.value;
+    kern::scatter_tagged(items.tile(q), B.data().tile(q));
   });
   return B;
 }

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "comm/collectives.hpp"
+#include "core/kernels.hpp"
 #include "comm/ops.hpp"
 #include "embed/dist_vector.hpp"
 
@@ -21,7 +22,7 @@ template <class T, class F>
 void vec_apply(DistVector<T>& v, F f) {
   const std::size_t mx = max_local_len(v.grid().cube(), v.data());
   v.grid().cube().compute(mx, v.n(), [&](proc_t q) {
-    for (T& x : v.data().vec(q)) x = f(x);
+    kern::apply(v.data().tile(q), f);
   });
 }
 
@@ -31,9 +32,8 @@ void vec_apply_indexed(DistVector<T>& v, F f) {
   const std::size_t mx = max_local_len(v.grid().cube(), v.data());
   v.grid().cube().compute(mx, v.n(), [&](proc_t q) {
     const std::uint32_t r = v.rank_of(q);
-    std::vector<T>& piece = v.data().vec(q);
-    for (std::size_t s = 0; s < piece.size(); ++s)
-      piece[s] = f(piece[s], v.map().global(r, s));
+    kern::apply_indexed(v.data().tile(q), v.map().global_begin(r),
+                        v.map().global_step(), f);
   });
 }
 
@@ -43,9 +43,7 @@ void vec_zip(DistVector<T>& a, const DistVector<T>& b, F f) {
   VMP_REQUIRE(a.aligned_with(b), "vec_zip operands must be aligned");
   const std::size_t mx = max_local_len(a.grid().cube(), a.data());
   a.grid().cube().compute(mx, a.n(), [&](proc_t q) {
-    std::vector<T>& av = a.data().vec(q);
-    const std::vector<T>& bv = b.data().vec(q);
-    for (std::size_t t = 0; t < av.size(); ++t) av[t] = f(av[t], bv[t]);
+    kern::zip(a.data().tile(q), b.data().tile(q), f);
   });
 }
 
@@ -56,10 +54,8 @@ void vec_zip_indexed(DistVector<T>& a, const DistVector<T>& b, F f) {
   const std::size_t mx = max_local_len(a.grid().cube(), a.data());
   a.grid().cube().compute(mx, a.n(), [&](proc_t q) {
     const std::uint32_t r = a.rank_of(q);
-    std::vector<T>& av = a.data().vec(q);
-    const std::vector<T>& bv = b.data().vec(q);
-    for (std::size_t s = 0; s < av.size(); ++s)
-      av[s] = f(av[s], bv[s], a.map().global(r, s));
+    kern::zip_indexed(a.data().tile(q), b.data().tile(q),
+                      a.map().global_begin(r), a.map().global_step(), f);
   });
 }
 
@@ -93,12 +89,13 @@ template <class T, class Op>
   DistBuffer<T> acc(cube, 1);
   const std::size_t mx = max_local_len(cube, v.data());
   cube.compute(mx, v.n(), [&](proc_t q) {
-    T a = op.identity();
-    for (const T& x : v.data().vec(q)) a = op.combine(a, x);
-    acc.vec(q)[0] = a;
+    acc.tile(q)[0] = kern::fold(v.data().tile(q), op.identity(),
+                                [&](const T& a, const T& x) {
+                                  return op.combine(a, x);
+                                });
   });
   allreduce(cube, acc, v.partitioned_over(), op);
-  return acc.vec(0)[0];
+  return acc.tile(0)[0];
 }
 
 /// Dot product of two identically-embedded vectors (local multiply-add,
@@ -111,14 +108,10 @@ template <class T>
   DistBuffer<T> acc(cube, 1);
   const std::size_t mx = max_local_len(cube, a.data());
   cube.compute(2 * mx, 2 * a.n(), [&](proc_t q) {
-    const std::vector<T>& av = a.data().vec(q);
-    const std::vector<T>& bv = b.data().vec(q);
-    T s{};
-    for (std::size_t t = 0; t < av.size(); ++t) s += av[t] * bv[t];
-    acc.vec(q)[0] = s;
+    acc.tile(q)[0] = kern::dot(a.data().tile(q), b.data().tile(q));
   });
   allreduce(cube, acc, a.partitioned_over(), Plus<T>{});
-  return acc.vec(0)[0];
+  return acc.tile(0)[0];
 }
 
 /// Locate the element minimizing key(value, g); elements whose key is
@@ -143,10 +136,10 @@ template <class T, class KeyFn>
       best = op.combine(best,
                         ValueIndex<double>{k, static_cast<std::int64_t>(g)});
     }
-    acc.vec(q)[0] = best;
+    acc.tile(q)[0] = best;
   });
   allreduce(cube, acc, v.partitioned_over(), op);
-  return acc.vec(0)[0];
+  return acc.tile(0)[0];
 }
 
 /// Locate the element maximizing key(value, g); -infinity keys excluded.
@@ -169,10 +162,10 @@ template <class T, class KeyFn>
       best = op.combine(best,
                         ValueIndex<double>{k, static_cast<std::int64_t>(g)});
     }
-    acc.vec(q)[0] = best;
+    acc.tile(q)[0] = best;
   });
   allreduce(cube, acc, v.partitioned_over(), op);
-  return acc.vec(0)[0];
+  return acc.tile(0)[0];
 }
 
 /// Read one element back to the host, charging one one-element message (the

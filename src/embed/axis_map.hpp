@@ -58,6 +58,22 @@ class AxisMap {
                                 : cyclic_global(parts_, r, s);
   }
 
+  /// Both embeddings are AFFINE in the local slot:
+  ///   global(r, s) == global_begin(r) + s · global_step()
+  /// (Block: block start + s; Cyclic: r + s · parts).  The strided kernels
+  /// in core/kernels.hpp lean on this to turn per-element index math into
+  /// one (base, step) pair per local piece.
+  [[nodiscard]] std::size_t global_begin(std::uint32_t r) const {
+    VMP_REQUIRE(r < parts_, "part out of range");
+    return kind_ == Part::Block ? block_begin(n_, parts_, r)
+                                : static_cast<std::size_t>(r);
+  }
+  /// Global-index distance between consecutive local slots: 1 for Block,
+  /// parts() for Cyclic.
+  [[nodiscard]] std::size_t global_step() const {
+    return kind_ == Part::Block ? 1 : static_cast<std::size_t>(parts_);
+  }
+
   /// First local slot on part r whose global index is ≥ lo.  Under both
   /// partition kinds global indices increase with the local slot, so the
   /// active window [lo, n) is always a contiguous local suffix — the fact

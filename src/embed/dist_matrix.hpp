@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "comm/dist_buffer.hpp"
+#include "core/kernels.hpp"
 #include "embed/axis_map.hpp"
 #include "embed/grid.hpp"
 #include "hypercube/check.hpp"
@@ -42,8 +43,9 @@ class DistMatrix {
         rowmap_(nrows, grid.prows(), layout.rows),
         colmap_(ncols, grid.pcols(), layout.cols),
         data_(grid.cube()) {
+    data_.reserve_each(max_block());
     grid.cube().each_proc([&](proc_t q) {
-      data_.vec(q).assign(lrows(q) * lcols(q), T{});
+      data_.assign(q, lrows(q) * lcols(q), T{});
     });
   }
 
@@ -78,12 +80,12 @@ class DistMatrix {
   /// Reference to local element (lr, lc) of processor q.
   [[nodiscard]] T& local_at(proc_t q, std::size_t lr, std::size_t lc) {
     VMP_REQUIRE(lr < lrows(q) && lc < lcols(q), "local index out of range");
-    return data_.vec(q)[lr * lcols(q) + lc];
+    return data_.tile(q)[lr * lcols(q) + lc];
   }
   [[nodiscard]] const T& local_at(proc_t q, std::size_t lr,
                                   std::size_t lc) const {
     VMP_REQUIRE(lr < lrows(q) && lc < lcols(q), "local index out of range");
-    return data_.vec(q)[lr * lcols(q) + lc];
+    return data_.tile(q)[lr * lcols(q) + lc];
   }
 
   [[nodiscard]] DistBuffer<T>& data() { return data_; }
@@ -103,34 +105,52 @@ class DistMatrix {
 
   // -- host I/O (untimed) ---------------------------------------------------
 
-  /// Load from a row-major host array of nrows*ncols elements.
+  /// Load from a row-major host array of nrows*ncols elements.  Each local
+  /// row is one contiguous (Block columns) or one strided (Cyclic columns)
+  /// copy of a host-row slice — the 2-D analogue of DistVector::load.
   void load(std::span<const T> host) {
     VMP_REQUIRE(host.size() == nrows() * ncols(), "host array size mismatch");
     grid_->cube().each_proc([&](proc_t q) {
       const std::uint32_t R = grid_->prow(q);
       const std::uint32_t C = grid_->pcol(q);
       const std::size_t lc_n = lcols(q);
-      std::vector<T>& b = data_.vec(q);
+      if (lc_n == 0) return;
+      const std::size_t c0 = colmap_.global_begin(C);
+      const std::size_t cstep = colmap_.global_step();
+      const std::span<T> b = data_.tile(q);
       for (std::size_t lr = 0; lr < lrows(q); ++lr) {
         const std::size_t gi = rowmap_.global(R, lr);
-        for (std::size_t lc = 0; lc < lc_n; ++lc)
-          b[lr * lc_n + lc] = host[gi * ncols() + colmap_.global(C, lc)];
+        const T* hrow = host.data() + gi * ncols() + c0;
+        const std::span<T> brow = b.subspan(lr * lc_n, lc_n);
+        if (cstep == 1) {
+          kern::copy(std::span<const T>(hrow, lc_n), brow);
+        } else {
+          kern::gather_strided(hrow, cstep, brow);
+        }
       }
     });
   }
 
-  /// Read back to a row-major host array.
+  /// Read back to a row-major host array (inverse copies of `load`).
   [[nodiscard]] std::vector<T> to_host() const {
     std::vector<T> out(nrows() * ncols());
     grid_->cube().each_proc([&](proc_t q) {
       const std::uint32_t R = grid_->prow(q);
       const std::uint32_t C = grid_->pcol(q);
       const std::size_t lc_n = lcols(q);
-      const std::vector<T>& b = data_.vec(q);
+      if (lc_n == 0) return;
+      const std::size_t c0 = colmap_.global_begin(C);
+      const std::size_t cstep = colmap_.global_step();
+      const std::span<const T> b = data_.tile(q);
       for (std::size_t lr = 0; lr < lrows(q); ++lr) {
         const std::size_t gi = rowmap_.global(R, lr);
-        for (std::size_t lc = 0; lc < lc_n; ++lc)
-          out[gi * ncols() + colmap_.global(C, lc)] = b[lr * lc_n + lc];
+        T* hrow = out.data() + gi * ncols() + c0;
+        const std::span<const T> brow = b.subspan(lr * lc_n, lc_n);
+        if (cstep == 1) {
+          kern::copy(brow, std::span<T>(hrow, lc_n));
+        } else {
+          kern::scatter_strided(brow, hrow, cstep);
+        }
       }
     });
     return out;

@@ -16,10 +16,12 @@
 /// updates of Gaussian elimination / simplex purely local.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "comm/dist_buffer.hpp"
+#include "core/kernels.hpp"
 #include "embed/axis_map.hpp"
 #include "embed/grid.hpp"
 #include "hypercube/check.hpp"
@@ -53,8 +55,12 @@ class DistVector {
     } else {
       map_ = AxisMap(n, grid.prows(), part);
     }
+    std::size_t cap = 0;
+    for (std::uint32_t r = 0; r < map_.parts(); ++r)
+      cap = std::max(cap, map_.size(r));
+    data_.reserve_each(cap);
     grid.cube().each_proc(
-        [&](proc_t q) { data_.vec(q).assign(map_.size(rank_of(q)), T{}); });
+        [&](proc_t q) { data_.assign(q, map_.size(rank_of(q)), T{}); });
   }
 
   [[nodiscard]] Grid& grid() const { return *grid_; }
@@ -112,20 +118,40 @@ class DistVector {
 
   // -- host I/O (untimed; for loading inputs and checking results) ---------
 
-  /// Overwrite the whole vector (all replicas) from a host array.
+  /// Overwrite the whole vector (all replicas) from a host array.  A local
+  /// piece is an affine slice of the host array (global = g0 + s·step), so
+  /// each piece is one contiguous or one strided copy kernel.
   void load(std::span<const T> host) {
     VMP_REQUIRE(host.size() == n_, "host array length mismatch");
     grid_->cube().each_proc([&](proc_t q) {
       const std::uint32_t r = rank_of(q);
-      std::vector<T>& v = data_.vec(q);
-      for (std::size_t s = 0; s < v.size(); ++s) v[s] = host[map_.global(r, s)];
+      const std::span<T> piece_q = data_.tile(q);
+      if (piece_q.empty()) return;
+      const std::size_t g0 = map_.global_begin(r);
+      const std::size_t step = map_.global_step();
+      if (step == 1) {
+        kern::copy(host.subspan(g0, piece_q.size()), piece_q);
+      } else {
+        kern::gather_strided(host.data() + g0, step, piece_q);
+      }
     });
   }
 
-  /// Read the whole vector to the host (canonical replica).
+  /// Read the whole vector to the host (canonical replica): one contiguous
+  /// or strided copy per partition rank instead of n owner lookups.
   [[nodiscard]] std::vector<T> to_host() const {
     std::vector<T> out(n_);
-    for (std::size_t g = 0; g < n_; ++g) out[g] = at(g);
+    for (std::uint32_t r = 0; r < map_.parts(); ++r) {
+      const std::span<const T> piece_r = data_.tile(canonical_proc(r));
+      if (piece_r.empty()) continue;
+      const std::size_t g0 = map_.global_begin(r);
+      const std::size_t step = map_.global_step();
+      if (step == 1) {
+        kern::copy(piece_r, std::span<T>(out).subspan(g0, piece_r.size()));
+      } else {
+        kern::scatter_strided(piece_r, out.data() + g0, step);
+      }
+    }
     return out;
   }
 
@@ -133,7 +159,7 @@ class DistVector {
   [[nodiscard]] T at(std::size_t g) const {
     const std::uint32_t r = map_.owner(g);
     const proc_t q = canonical_proc(r);
-    return data_.vec(q)[map_.local(g)];
+    return data_.tile(q)[map_.local(g)];
   }
 
   /// Host-side write of one element into EVERY replica (untimed; for test
@@ -142,7 +168,7 @@ class DistVector {
     const std::uint32_t r = map_.owner(g);
     const std::size_t s = map_.local(g);
     grid_->cube().each_proc([&](proc_t q) {
-      if (rank_of(q) == r) data_.vec(q)[s] = value;
+      if (rank_of(q) == r) data_.tile(q)[s] = value;
     });
   }
 
@@ -150,8 +176,10 @@ class DistVector {
   [[nodiscard]] bool replicas_consistent() const {
     bool ok = true;
     grid_->cube().each_proc([&](proc_t q) {
-      const proc_t canon = canonical_proc(rank_of(q));
-      if (data_.vec(q) != data_.vec(canon)) ok = false;
+      const std::span<const T> mine = data_.tile(q);
+      const std::span<const T> canon = data_.tile(canonical_proc(rank_of(q)));
+      if (!std::equal(mine.begin(), mine.end(), canon.begin(), canon.end()))
+        ok = false;
     });
     return ok;
   }

@@ -33,32 +33,32 @@ template <class T>
 
   DistVector<T> out(grid, v.n(), target, target_part);
   if (target == v.align() && target_part == v.part()) {
-    cube.each_proc([&](proc_t q) { out.data().vec(q) = v.data().vec(q); });
+    cube.each_proc(
+        [&](proc_t q) { out.data().assign(q, v.data().tile(q)); });
     return out;
   }
 
   // Canonical replicas emit every element toward the target's canonical
   // processor, tagged with its target local slot.
   DistBuffer<RouteItem<T>> items(cube);
+  items.reserve_each(max_local_len(cube, v.data()));
   cube.each_proc([&](proc_t q) {
     const std::uint32_t r = v.rank_of(q);
     if (q != v.canonical_proc(r)) return;
     const std::span<const T> piece = v.piece(q);
-    items.vec(q).reserve(piece.size());
     for (std::size_t s = 0; s < piece.size(); ++s) {
       const std::size_t g = v.map().global(r, s);
       const std::uint32_t dst_rank = out.map().owner(g);
-      items.vec(q).push_back(RouteItem<T>{out.canonical_proc(dst_rank),
-                                          out.map().local(g), piece[s]});
+      items.push_back(q, RouteItem<T>{out.canonical_proc(dst_rank),
+                                      out.map().local(g), piece[s]});
     }
   });
   route_within(cube, items, grid.whole());
   cube.each_proc([&](proc_t q) {
-    std::vector<T>& dst = out.data().vec(q);
-    for (const RouteItem<T>& it : items.vec(q)) {
+    const std::span<T> dst = out.data().tile(q);
+    for (const RouteItem<T>& it : items.tile(q))
       VMP_ASSERT(it.tag < dst.size(), "realign slot out of range");
-      dst[it.tag] = it.value;
-    }
+    kern::scatter_tagged(items.tile(q), dst);
   });
 
   // Re-replicate across the target's replication subcubes.
@@ -97,8 +97,7 @@ void remap_off_failed(DistVector<T>& v, proc_t failed) {
   // replication subcube (every subcube uses the same root rank, so the
   // broadcast is one regular collective).
   const std::uint32_t root = rep.rank(failed) == 0 ? 1u : 0u;
-  std::vector<T>& lost = v.data().vec(failed);
-  std::fill(lost.begin(), lost.end(), T{});
+  kern::fill(v.data().tile(failed), T{});
   broadcast(cube, v.data(), rep, root);
   VMP_ASSERT(v.replicas_consistent(),
              "remap_off_failed left replicas inconsistent");

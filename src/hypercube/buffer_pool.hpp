@@ -84,22 +84,15 @@ class BufferPool {
   /// sizes share a free list; zero-byte requests return an empty lease
   /// without touching the pool.
   [[nodiscard]] Block acquire(std::size_t bytes) {
-    if (bytes == 0) return Block{};
-    const int bucket = bucket_of(bytes);
-    auto& list = free_[static_cast<std::size_t>(bucket)];
-    if (!list.empty()) {
-      std::byte* p = list.back().release();
-      list.pop_back();
-      ++hits_;
-      if (clock_) clock_->note_pool_hit();
-      return Block{this, p, bucket};
-    }
-    const std::size_t sz = size_of(bucket);
-    auto p = std::make_unique<std::byte[]>(sz);
-    ++misses_;
-    heap_bytes_ += sz;
-    if (clock_) clock_->note_pool_miss(sz);
-    return Block{this, p.release(), bucket};
+    return acquire_impl(bytes, /*slab=*/false);
+  }
+
+  /// Same lease, but counted as slab-arena storage (comm/dist_buffer.hpp):
+  /// a miss additionally lands in SimStats::slab_allocs / slab_bytes, so
+  /// profiles can split heap traffic into staging scratch vs. the arenas
+  /// backing distributed objects.
+  [[nodiscard]] Block acquire_slab(std::size_t bytes) {
+    return acquire_impl(bytes, /*slab=*/true);
   }
 
   /// Drop every free block back to the heap (leased blocks are unaffected
@@ -130,6 +123,32 @@ class BufferPool {
  private:
   static constexpr std::size_t kMinBytes = 64;
   static constexpr int kBuckets = 64;
+
+  [[nodiscard]] Block acquire_impl(std::size_t bytes, bool slab) {
+    if (bytes == 0) return Block{};
+    const int bucket = bucket_of(bytes);
+    auto& list = free_[static_cast<std::size_t>(bucket)];
+    if (!list.empty()) {
+      std::byte* p = list.back().release();
+      list.pop_back();
+      ++hits_;
+      if (clock_) clock_->note_pool_hit();
+      return Block{this, p, bucket};
+    }
+    const std::size_t sz = size_of(bucket);
+    // For-overwrite: leased storage is always written before it is read
+    // (staging buffers are packed, arena tiles are filled/assigned), and
+    // zero-initializing a power-of-two bucket would touch up to 2× the
+    // requested bytes — the dominant cold-path cost for slab arenas.
+    auto p = std::make_unique_for_overwrite<std::byte[]>(sz);
+    ++misses_;
+    heap_bytes_ += sz;
+    if (clock_) {
+      clock_->note_pool_miss(sz);
+      if (slab) clock_->note_slab_alloc(sz);
+    }
+    return Block{this, p.release(), bucket};
+  }
 
   [[nodiscard]] static int bucket_of(std::size_t bytes) {
     const std::size_t want = bytes < kMinBytes ? kMinBytes : bytes;

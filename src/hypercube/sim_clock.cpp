@@ -18,6 +18,8 @@ SimStats operator-(const SimStats& a, const SimStats& b) {
   d.alloc_bytes = a.alloc_bytes - b.alloc_bytes;
   d.pool_hits = a.pool_hits - b.pool_hits;
   d.pool_misses = a.pool_misses - b.pool_misses;
+  d.slab_allocs = a.slab_allocs - b.slab_allocs;
+  d.slab_bytes = a.slab_bytes - b.slab_bytes;
   return d;
 }
 

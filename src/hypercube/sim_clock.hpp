@@ -48,6 +48,10 @@ struct SimStats {
                                      ///< pooled hot-path buffers (misses)
   std::uint64_t pool_hits = 0;       ///< buffer-pool acquires served by reuse
   std::uint64_t pool_misses = 0;     ///< buffer-pool acquires that hit the heap
+  std::uint64_t slab_allocs = 0;     ///< slab arenas (DistBuffer storage) whose
+                                     ///< pool acquire had to touch the heap
+  std::uint64_t slab_bytes = 0;      ///< heap bytes of those arenas (a subset
+                                     ///< of alloc_bytes)
 
   bool operator==(const SimStats&) const = default;
 };
@@ -103,6 +107,15 @@ class SimClock {
   void note_pool_miss(std::size_t bytes) {
     stats_.pool_misses += 1;
     stats_.alloc_bytes += bytes;
+  }
+
+  /// Statistics-only: one slab arena (comm/dist_buffer.hpp) whose pooled
+  /// acquire missed and allocated `bytes` fresh heap bytes.  Reported on
+  /// top of the note_pool_miss the acquire itself records, so profiles can
+  /// split heap traffic into staging scratch vs. distributed-object slabs.
+  void note_slab_alloc(std::size_t bytes) {
+    stats_.slab_allocs += 1;
+    stats_.slab_bytes += bytes;
   }
 
   [[nodiscard]] double now_us() const { return now_us_; }

@@ -53,9 +53,28 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// RAII marker for ThreadPool::in_parallel(): covers the inline (zero
+/// worker) path too, so misuse of shared storage inside loop bodies is
+/// caught deterministically even in fully serial runs.
+class ActiveScope {
+ public:
+  explicit ActiveScope(std::atomic<int>& a) : a_(a) {
+    a_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActiveScope() { a_.fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int>& a_;
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
+  ActiveScope active(active_);
   const std::size_t count = end - begin;
   if (workers_.empty() || count == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
@@ -77,6 +96,27 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   done_cv_.wait(lock, [&] { return task.remaining == 0; });
   current_ = nullptr;
   if (task.error) std::rethrow_exception(task.error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (workers_.empty()) {
+    ActiveScope active(active_);
+    body(begin, end);
+    return;
+  }
+  // Reuse the index machinery: each handed-out index is one chunk of the
+  // range, so the per-element closure overhead is paid once per chunk.
+  const std::size_t count = end - begin;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (4 * static_cast<std::size_t>(size())));
+  const std::size_t nchunks = (count + chunk - 1) / chunk;
+  parallel_for(0, nchunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    body(lo, std::min(end, lo + chunk));
+  });
 }
 
 }  // namespace vmp

@@ -8,6 +8,7 @@
 /// single machine.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -40,6 +41,21 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Range form: `body(lo, hi)` receives whole contiguous chunks of
+  /// [begin, end) instead of single indices, so a body that sweeps a
+  /// contiguous slab (fill, copy, axpy) runs one tight loop per chunk
+  /// rather than one closure call per element.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// True while a parallel_for is executing (even with zero workers, where
+  /// the body runs inline): storage shared between the loop bodies must not
+  /// be reallocated, and the slab layer uses this flag to fail loudly if a
+  /// tile tries to grow mid-loop instead of racing.
+  [[nodiscard]] bool in_parallel() const {
+    return active_.load(std::memory_order_relaxed) != 0;
+  }
+
  private:
   struct Task {
     std::size_t begin = 0;
@@ -61,6 +77,7 @@ class ThreadPool {
   Task* current_ = nullptr;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  std::atomic<int> active_{0};  // parallel_for nesting depth (host-written)
 };
 
 }  // namespace vmp

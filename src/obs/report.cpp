@@ -104,6 +104,8 @@ std::string profile_to_json(const SimClock& clock) {
   out += ",\"alloc_bytes\":" + std::to_string(st.alloc_bytes);
   out += ",\"pool_hits\":" + std::to_string(st.pool_hits);
   out += ",\"pool_misses\":" + std::to_string(st.pool_misses);
+  out += ",\"slab_allocs\":" + std::to_string(st.slab_allocs);
+  out += ",\"slab_bytes\":" + std::to_string(st.slab_bytes);
   out += "},\"regions\":[";
 
   const auto& self = clock.tracer().self_profiles();

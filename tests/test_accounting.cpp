@@ -112,7 +112,7 @@ TEST_P(AutoSelect, BroadcastAutoMatchesTheCheaperVariant) {
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
   const auto run = [&](auto fn) {
     DistBuffer<double> buf(cube);
-    buf.vec(0) = random_vector(n, 5);
+    buf.assign(0, random_vector(n, 5));
     cube.clock().reset();
     fn(buf);
     return cube.clock().now_us();
@@ -135,7 +135,7 @@ TEST_P(AutoSelect, AllreduceAutoMatchesTheCheaperVariant) {
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
   const auto run = [&](auto fn) {
     DistBuffer<double> buf(cube);
-    cube.each_proc([&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+    cube.each_proc([&](proc_t q) { buf.assign(q, random_vector(n, q)); });
     cube.clock().reset();
     fn(buf);
     return cube.clock().now_us();

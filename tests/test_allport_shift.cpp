@@ -28,12 +28,12 @@ TEST(AllportExchange, MovesDataOnEveryPortInOneStep) {
         return std::span<const int>(tmp);
       },
       [&](proc_t q, std::size_t idx, std::span<const int> in) {
-        got.vec(q)[idx] = in[0];
+        got.tile(q)[idx] = in[0];
       });
   cube.each_proc([&](proc_t q) {
     for (std::size_t idx = 0; idx < 3; ++idx) {
       const proc_t partner = q ^ (1u << idx);
-      EXPECT_EQ(got.vec(q)[idx], static_cast<int>(partner * 10 + idx));
+      EXPECT_EQ(got.tile(q)[idx], static_cast<int>(partner * 10 + idx));
     }
   });
   // One all-port step: τ + 1·t_c = 2 under the unit model.
@@ -72,18 +72,19 @@ TEST(NeighborExchange, IrregularPartnersInOneStep) {
     }
   };
   DistBuffer<int> buf(cube);
-  cube.each_proc([&](proc_t q) { buf.vec(q).assign(2, int(q)); });
+  cube.each_proc([&](proc_t q) { buf.assign(q, 2, int(q)); });
   DistBuffer<int> got(cube);
+  got.reserve_each(2);  // delivery assigns; slab growth is host-only
   cube.neighbor_exchange<int>(
-      partner, [&](proc_t q) { return std::span<const int>(buf.vec(q)); },
+      partner, [&](proc_t q) { return std::span<const int>(buf.tile(q)); },
       [&](proc_t q, std::span<const int> in) {
-        got.vec(q).assign(in.begin(), in.end());
+        got.assign(q, in);
       });
-  EXPECT_EQ(got.vec(0), std::vector<int>({1, 1}));
-  EXPECT_EQ(got.vec(1), std::vector<int>({0, 0}));
-  EXPECT_EQ(got.vec(2), std::vector<int>({6, 6}));
-  EXPECT_EQ(got.vec(6), std::vector<int>({2, 2}));
-  EXPECT_TRUE(got.vec(3).empty());
+  EXPECT_EQ(got.host_vec(0), std::vector<int>({1, 1}));
+  EXPECT_EQ(got.host_vec(1), std::vector<int>({0, 0}));
+  EXPECT_EQ(got.host_vec(2), std::vector<int>({6, 6}));
+  EXPECT_EQ(got.host_vec(6), std::vector<int>({2, 2}));
+  EXPECT_TRUE(got.tile(3).empty());
   EXPECT_EQ(cube.clock().stats().comm_steps, 1u);
 }
 
@@ -121,11 +122,11 @@ TEST_P(EsbtSweep, MatchesBinomialBroadcastResult) {
     DistBuffer<double> buf(cube);
     const std::vector<double> payload = random_vector(n, 81 + root);
     cube.each_proc([&](proc_t q) {
-      if (sc.rank(q) == root) buf.vec(q) = payload;
+      if (sc.rank(q) == root) buf.assign(q, payload);
     });
     broadcast_esbt(cube, buf, sc, root, [n](proc_t) { return n; });
     cube.each_proc(
-        [&](proc_t q) { EXPECT_EQ(buf.vec(q), payload) << "q=" << q; });
+        [&](proc_t q) { EXPECT_EQ(buf.host_vec(q), payload) << "q=" << q; });
   }
 }
 
@@ -137,13 +138,13 @@ TEST_P(EsbtSweep, BeatsBinomialOnTransferTimeForLargePayloads) {
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
 
   DistBuffer<double> b1(cube);
-  b1.vec(0) = random_vector(n, 82);
+  b1.assign(0, random_vector(n, 82));
   cube.clock().reset();
   broadcast(cube, b1, sc, 0);
   const double t_binomial = cube.clock().now_us();
 
   DistBuffer<double> b2(cube);
-  b2.vec(0) = random_vector(n, 82);
+  b2.assign(0, random_vector(n, 82));
   cube.clock().reset();
   broadcast_esbt(cube, b2, sc, 0, [n](proc_t) { return n; });
   const double t_esbt = cube.clock().now_us();
@@ -174,15 +175,15 @@ TEST_P(ShiftSweep, RotatesBlocksByOnePosition) {
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
   DistBuffer<double> buf(cube);
   cube.each_proc([&](proc_t q) {
-    buf.vec(q).assign(3, static_cast<double>(ring_pos(order, sc.rank(q))));
+    buf.assign(q, 3, static_cast<double>(ring_pos(order, sc.rank(q))));
   });
   shift_blocks(cube, buf, sc, by, order);
   const std::uint32_t P = sc.size();
   cube.each_proc([&](proc_t q) {
     const std::uint32_t pos = ring_pos(order, sc.rank(q));
     const std::uint32_t src = (pos + P - static_cast<std::uint32_t>(by)) % P;
-    ASSERT_EQ(buf.vec(q).size(), 3u);
-    EXPECT_EQ(buf.vec(q)[0], static_cast<double>(src)) << "q=" << q;
+    ASSERT_EQ(buf.len(q), 3u);
+    EXPECT_EQ(buf.tile(q)[0], static_cast<double>(src)) << "q=" << q;
   });
 }
 
@@ -199,7 +200,7 @@ TEST(Shift, GrayIsOneStepBinaryIsManySteps) {
   const std::size_t n = 512;
 
   DistBuffer<double> g(cube);
-  cube.each_proc([&](proc_t q) { g.vec(q) = random_vector(n, q); });
+  cube.each_proc([&](proc_t q) { g.assign(q, random_vector(n, q)); });
   cube.clock().reset();
   shift_blocks(cube, g, sc, 1, RingOrder::Gray);
   const double t_gray = cube.clock().now_us();
@@ -207,7 +208,7 @@ TEST(Shift, GrayIsOneStepBinaryIsManySteps) {
 
   cube.clock().reset();
   DistBuffer<double> b(cube);
-  cube.each_proc([&](proc_t q) { b.vec(q) = random_vector(n, q); });
+  cube.each_proc([&](proc_t q) { b.assign(q, random_vector(n, q)); });
   shift_blocks(cube, b, sc, 1, RingOrder::Binary);
   const double t_binary = cube.clock().now_us();
 

@@ -89,16 +89,16 @@ TEST(PooledStaging, SteadyStateExchangeLoopNeverTouchesTheHeap) {
   DistBuffer<double> buf(cube, 64);
   cube.each_proc([&](proc_t q) {
     for (std::size_t t = 0; t < 64; ++t)
-      buf.vec(q)[t] = static_cast<double>(q * 64 + t);
+      buf.tile(q)[t] = static_cast<double>(q * 64 + t);
   });
   // Warm pass: every staging slot grows to its bucket capacity once.
-  cube.exchange<double>(0, [&](proc_t q) { return std::span<const double>(buf.vec(q)); },
+  cube.exchange<double>(0, [&](proc_t q) { return std::span<const double>(buf.tile(q)); },
                         [&](proc_t, std::span<const double>) {});
   cube.clock().reset();
   for (int it = 0; it < 16; ++it)
     for (int d = 0; d < cube.dim(); ++d)
       cube.exchange<double>(
-          d, [&](proc_t q) { return std::span<const double>(buf.vec(q)); },
+          d, [&](proc_t q) { return std::span<const double>(buf.tile(q)); },
           [&](proc_t, std::span<const double>) {});
   const SimStats& st = cube.clock().stats();
   EXPECT_EQ(st.pool_misses, 0u) << "steady-state exchange allocated";

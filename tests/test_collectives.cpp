@@ -52,13 +52,13 @@ class CollectiveSweep : public ::testing::TestWithParam<Case> {
 TEST_P(CollectiveSweep, AllreduceSum) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   allreduce(*cube, buf, *sc, Plus<double>{});
   cube->each_proc([&](proc_t q) {
     for (std::size_t t = 0; t < n; ++t) {
       double want = 0;
       for (proc_t peer : peers(q)) want += payload(peer, n)[t];
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want) << "q=" << q << " t=" << t;
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t], want) << "q=" << q << " t=" << t;
     }
   });
 }
@@ -66,13 +66,13 @@ TEST_P(CollectiveSweep, AllreduceSum) {
 TEST_P(CollectiveSweep, AllreduceMin) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   allreduce(*cube, buf, *sc, Min<double>{});
   cube->each_proc([&](proc_t q) {
     for (std::size_t t = 0; t < n; ++t) {
       double want = std::numeric_limits<double>::max();
       for (proc_t peer : peers(q)) want = std::min(want, payload(peer, n)[t]);
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t], want);
     }
   });
 }
@@ -80,14 +80,14 @@ TEST_P(CollectiveSweep, AllreduceMin) {
 TEST_P(CollectiveSweep, ReduceScatterThenAllgatherEqualsAllreduce) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   allreduce_rsag(*cube, buf, *sc, Plus<double>{});
   cube->each_proc([&](proc_t q) {
-    ASSERT_EQ(buf.vec(q).size(), n);
+    ASSERT_EQ(buf.len(q), n);
     for (std::size_t t = 0; t < n; ++t) {
       double want = 0;
       for (proc_t peer : peers(q)) want += payload(peer, n)[t];
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t], want);
     }
   });
 }
@@ -95,17 +95,17 @@ TEST_P(CollectiveSweep, ReduceScatterThenAllgatherEqualsAllreduce) {
 TEST_P(CollectiveSweep, ReduceScatterBlocks) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   reduce_scatter(*cube, buf, *sc, Plus<double>{});
   const std::uint32_t P = sc->size();
   cube->each_proc([&](proc_t q) {
     const std::uint32_t r = sc->rank(q);
-    ASSERT_EQ(buf.vec(q).size(), block_size(n, P, r));
-    for (std::size_t s = 0; s < buf.vec(q).size(); ++s) {
+    ASSERT_EQ(buf.len(q), block_size(n, P, r));
+    for (std::size_t s = 0; s < buf.len(q); ++s) {
       const std::size_t t = block_begin(n, P, r) + s;
       double want = 0;
       for (proc_t peer : peers(q)) want += payload(peer, n)[t];
-      EXPECT_DOUBLE_EQ(buf.vec(q)[s], want);
+      EXPECT_DOUBLE_EQ(buf.tile(q)[s], want);
     }
   });
 }
@@ -116,12 +116,12 @@ TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
        root += std::max<std::uint32_t>(1, sc->size() / 4)) {
     DistBuffer<double> buf(*cube);
     cube->each_proc([&](proc_t q) {
-      if (sc->rank(q) == root) buf.vec(q) = payload(q, n);
+      if (sc->rank(q) == root) buf.assign(q, payload(q, n));
     });
     broadcast(*cube, buf, *sc, root);
     cube->each_proc([&](proc_t q) {
       const proc_t holder = sc->with_rank(q, root);
-      EXPECT_EQ(buf.vec(q), payload(holder, n)) << "q=" << q;
+      EXPECT_EQ(buf.host_vec(q), payload(holder, n)) << "q=" << q;
     });
   }
 }
@@ -132,12 +132,12 @@ TEST_P(CollectiveSweep, BroadcastSagFromEveryRoot) {
        root += std::max<std::uint32_t>(1, sc->size() / 4)) {
     DistBuffer<double> buf(*cube);
     cube->each_proc([&](proc_t q) {
-      if (sc->rank(q) == root) buf.vec(q) = payload(q, n);
+      if (sc->rank(q) == root) buf.assign(q, payload(q, n));
     });
     broadcast_sag(*cube, buf, *sc, root, [n](proc_t) { return n; });
     cube->each_proc([&](proc_t q) {
       const proc_t holder = sc->with_rank(q, root);
-      EXPECT_EQ(buf.vec(q), payload(holder, n)) << "q=" << q;
+      EXPECT_EQ(buf.host_vec(q), payload(holder, n)) << "q=" << q;
     });
   }
 }
@@ -154,13 +154,13 @@ TEST_P(CollectiveSweep, AllgatherAssemblesInRankOrder) {
     std::vector<double> piece(len);
     for (std::size_t s = 0; s < len; ++s)
       piece[s] = static_cast<double>(sc->subcube_id(q) * 100000 + b + s);
-    buf.vec(q) = piece;
+    buf.assign(q, piece);
   });
   allgather(*cube, buf, *sc, n);
   cube->each_proc([&](proc_t q) {
-    ASSERT_EQ(buf.vec(q).size(), n);
+    ASSERT_EQ(buf.len(q), n);
     for (std::size_t t = 0; t < n; ++t)
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t],
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t],
                        static_cast<double>(sc->subcube_id(q) * 100000 + t));
   });
 }
@@ -170,14 +170,14 @@ TEST_P(CollectiveSweep, ReduceToEveryRank) {
   for (std::uint32_t root = 0; root < sc->size();
        root += std::max<std::uint32_t>(1, sc->size() / 4)) {
     DistBuffer<double> buf(*cube);
-    cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+    cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
     reduce_to_rank(*cube, buf, *sc, Plus<double>{}, root);
     cube->each_proc([&](proc_t q) {
       if (sc->rank(q) != root) return;
       for (std::size_t t = 0; t < n; ++t) {
         double want = 0;
         for (proc_t peer : peers(q)) want += payload(peer, n)[t];
-        EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+        EXPECT_DOUBLE_EQ(buf.tile(q)[t], want);
       }
     });
   }
@@ -186,7 +186,7 @@ TEST_P(CollectiveSweep, ReduceToEveryRank) {
 TEST_P(CollectiveSweep, ExclusiveScanMatchesPrefixSums) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   scan_exclusive(*cube, buf, *sc, Plus<double>{});
   cube->each_proc([&](proc_t q) {
     const std::uint32_t r = sc->rank(q);
@@ -194,7 +194,7 @@ TEST_P(CollectiveSweep, ExclusiveScanMatchesPrefixSums) {
       double want = 0;
       for (std::uint32_t rr = 0; rr < r; ++rr)
         want += payload(sc->with_rank(q, rr), n)[t];
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want) << "q=" << q << " t=" << t;
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t], want) << "q=" << q << " t=" << t;
     }
   });
 }
@@ -202,7 +202,7 @@ TEST_P(CollectiveSweep, ExclusiveScanMatchesPrefixSums) {
 TEST_P(CollectiveSweep, InclusiveScanMatchesPrefixSums) {
   const std::size_t n = GetParam().n;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   scan_inclusive(*cube, buf, *sc, Plus<double>{});
   cube->each_proc([&](proc_t q) {
     const std::uint32_t r = sc->rank(q);
@@ -210,7 +210,7 @@ TEST_P(CollectiveSweep, InclusiveScanMatchesPrefixSums) {
       double want = 0;
       for (std::uint32_t rr = 0; rr <= r; ++rr)
         want += payload(sc->with_rank(q, rr), n)[t];
-      EXPECT_DOUBLE_EQ(buf.vec(q)[t], want);
+      EXPECT_DOUBLE_EQ(buf.tile(q)[t], want);
     }
   });
 }
@@ -227,15 +227,15 @@ TEST_P(CollectiveSweep, RouteWithinDeliversEverything) {
           static_cast<std::uint32_t>(rng()) & (sc->size() - 1);
       const proc_t dst = sc->with_rank(q, r);
       const double val = static_cast<double>(q * 1000 + t);
-      items.vec(q).push_back(RouteItem<double>{dst, t, val});
+      items.push_back(q, RouteItem<double>{dst, t, val});
       expected[dst].push_back({t, val});
     }
   });
   route_within(*cube, items, *sc);
   cube->each_proc([&](proc_t q) {
-    ASSERT_EQ(items.vec(q).size(), expected[q].size()) << "q=" << q;
+    ASSERT_EQ(items.len(q), expected[q].size()) << "q=" << q;
     std::vector<std::pair<std::uint64_t, double>> got;
-    for (const auto& it : items.vec(q)) got.push_back({it.tag, it.value});
+    for (const auto& it : items.tile(q)) got.push_back({it.tag, it.value});
     std::sort(got.begin(), got.end());
     std::sort(expected[q].begin(), expected[q].end());
     EXPECT_EQ(got, expected[q]);
@@ -246,7 +246,7 @@ TEST_P(CollectiveSweep, SimulatedTimeAdvancesForRealWork) {
   const std::size_t n = GetParam().n;
   if (sc->k() == 0 || n == 0) return;
   DistBuffer<double> buf(*cube);
-  cube->each_proc([&](proc_t q) { buf.vec(q) = payload(q, n); });
+  cube->each_proc([&](proc_t q) { buf.assign(q, payload(q, n)); });
   const double before = cube->clock().now_us();
   allreduce(*cube, buf, *sc, Plus<double>{});
   EXPECT_GT(cube->clock().now_us(), before);

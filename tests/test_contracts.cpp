@@ -32,8 +32,8 @@ TEST(Contracts, ExchangeDimensionBounds) {
 TEST(Contracts, DistBufferProcBounds) {
   Cube cube(2, CostParams::unit());
   DistBuffer<int> buf(cube);
-  EXPECT_THROW((void)buf.vec(4), ContractError);
-  EXPECT_NO_THROW((void)buf.vec(3));
+  EXPECT_THROW((void)buf.tile(4), ContractError);
+  EXPECT_NO_THROW((void)buf.tile(3));
 }
 
 TEST(Contracts, SubcubeRankBounds) {
@@ -46,7 +46,7 @@ TEST(Contracts, SubcubeRankBounds) {
 TEST(Contracts, AllreduceLengthMismatchWithinSubcube) {
   Cube cube(2, CostParams::unit());
   DistBuffer<double> buf(cube);
-  cube.each_proc([&](proc_t q) { buf.vec(q).assign(q == 0 ? 3 : 4, 1.0); });
+  cube.each_proc([&](proc_t q) { buf.assign(q, q == 0 ? 3 : 4, 1.0); });
   EXPECT_THROW(
       allreduce(cube, buf, SubcubeSet::contiguous(0, 2), Plus<double>{}),
       ContractError);
@@ -63,7 +63,7 @@ TEST(Contracts, RouteEscapingSubcubeRejected) {
   Cube cube(3, CostParams::unit());
   DistBuffer<RouteItem<double>> items(cube);
   // Destination outside the dims-{0,1} subcube of the source.
-  items.vec(0).push_back(RouteItem<double>{4, 0, 1.0});
+  items.push_back(0, RouteItem<double>{4, 0, 1.0});
   EXPECT_THROW(route_within(cube, items, SubcubeSet::contiguous(0, 2)),
                ContractError);
 }

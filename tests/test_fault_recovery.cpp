@@ -366,7 +366,7 @@ TEST(FaultRemap, ReplicatedVectorRecoversTheLostPiece) {
 
   const proc_t failed = 5;
   // The node's local piece is lost with it (the hot spare boots blank).
-  for (double& x : v.data().vec(failed)) x = -999.0;
+  for (double& x : v.data().tile(failed)) x = -999.0;
   remap_off_failed(v, failed);
 
   EXPECT_TRUE(v.replicas_consistent());
@@ -383,7 +383,7 @@ TEST(FaultRemap, EveryNodeIsRecoverable) {
     DistVector<double> v(grid, 10, Align::Rows);
     v.load(random_vector(10, 4));
     const std::vector<double> want = v.to_host();
-    for (double& x : v.data().vec(failed)) x = 1e300;
+    for (double& x : v.data().tile(failed)) x = 1e300;
     remap_off_failed(v, failed);
     EXPECT_EQ(v.to_host(), want) << "failed node " << failed;
   }

@@ -46,16 +46,16 @@ TEST(Cube, ExchangeMovesDataAndCharges) {
   Cube cube(3, CostParams::unit());
   DistBuffer<int> in(cube), out(cube);
   cube.each_proc([&](proc_t q) {
-    in.vec(q).assign(4, static_cast<int>(q));
-    out.vec(q).assign(4, -1);
+    in.assign(q, 4, static_cast<int>(q));
+    out.assign(q, 4, -1);
   });
   cube.exchange<int>(
-      1, [&](proc_t q) { return std::span<const int>(in.vec(q)); },
+      1, [&](proc_t q) { return std::span<const int>(in.tile(q)); },
       [&](proc_t q, std::span<const int> data) {
-        std::copy(data.begin(), data.end(), out.vec(q).begin());
+        std::copy(data.begin(), data.end(), out.tile(q).begin());
       });
   cube.each_proc([&](proc_t q) {
-    for (int x : out.vec(q)) EXPECT_EQ(x, static_cast<int>(q ^ 2u));
+    for (int x : out.tile(q)) EXPECT_EQ(x, static_cast<int>(q ^ 2u));
   });
   // One step: τ + 4·t_c = 1 + 4 under the unit model.
   EXPECT_DOUBLE_EQ(cube.clock().now_us(), 5.0);
@@ -76,15 +76,15 @@ TEST(Cube, InPlaceCombineIsSafe) {
   // recv may overwrite the very buffer send exposed (staging protects it).
   Cube cube(2, CostParams::unit());
   DistBuffer<int> buf(cube);
-  cube.each_proc([&](proc_t q) { buf.vec(q).assign(1, int(q) + 1); });
+  cube.each_proc([&](proc_t q) { buf.assign(q, 1, int(q) + 1); });
   cube.exchange<int>(
-      0, [&](proc_t q) { return std::span<const int>(buf.vec(q)); },
+      0, [&](proc_t q) { return std::span<const int>(buf.tile(q)); },
       [&](proc_t q, std::span<const int> data) {
-        buf.vec(q)[0] += data[0];
+        buf.tile(q)[0] += data[0];
       });
   cube.each_proc([&](proc_t q) {
     const int partner = static_cast<int>(q ^ 1u) + 1;
-    EXPECT_EQ(buf.vec(q)[0], int(q) + 1 + partner);
+    EXPECT_EQ(buf.tile(q)[0], int(q) + 1 + partner);
   });
 }
 
@@ -93,19 +93,19 @@ TEST(Cube, ResultsIdenticalUnderHostThreading) {
     Cube cube(4, CostParams::cm2(), Cube::Options{threads});
     DistBuffer<double> buf(cube);
     cube.each_proc([&](proc_t q) {
-      buf.vec(q).assign(16, static_cast<double>(q));
+      buf.assign(q, 16, static_cast<double>(q));
     });
     for (int d = 0; d < 4; ++d) {
       cube.exchange<double>(
-          d, [&](proc_t q) { return std::span<const double>(buf.vec(q)); },
+          d, [&](proc_t q) { return std::span<const double>(buf.tile(q)); },
           [&](proc_t q, std::span<const double> in) {
             for (std::size_t t = 0; t < in.size(); ++t)
-              buf.vec(q)[t] += in[t];
+              buf.tile(q)[t] += in[t];
           });
     }
     std::vector<double> flat;
     cube.each_proc([&](proc_t q) {
-      flat.insert(flat.end(), buf.vec(q).begin(), buf.vec(q).end());
+      flat.insert(flat.end(), buf.tile(q).begin(), buf.tile(q).end());
     });
     return std::pair{flat, cube.clock().now_us()};
   };

@@ -108,7 +108,7 @@ TEST_P(NonCommutative, AllreduceRespectsRankOrder) {
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
   DistBuffer<Affine> buf(cube);
   cube.each_proc([&](proc_t q) {
-    buf.vec(q).assign(3, Affine{1.0 + 0.25 * q, 0.5 * q - 1.0});
+    buf.assign(q, 3, Affine{1.0 + 0.25 * q, 0.5 * q - 1.0});
   });
   const AffineCompose op;
   // Host reference: fold in rank order.
@@ -117,7 +117,7 @@ TEST_P(NonCommutative, AllreduceRespectsRankOrder) {
     want = op.combine(want, Affine{1.0 + 0.25 * r, 0.5 * r - 1.0});
   allreduce(cube, buf, sc, op);
   cube.each_proc([&](proc_t q) {
-    for (const Affine& f : buf.vec(q)) {
+    for (const Affine& f : buf.tile(q)) {
       EXPECT_DOUBLE_EQ(f.a, want.a) << "q=" << q;
       EXPECT_DOUBLE_EQ(f.b, want.b) << "q=" << q;
     }
@@ -131,7 +131,7 @@ TEST_P(NonCommutative, ReduceScatterRespectsRankOrder) {
   const std::size_t n = 6;
   DistBuffer<Affine> buf(cube);
   cube.each_proc([&](proc_t q) {
-    buf.vec(q).assign(n, Affine{1.0 + 0.125 * q, 0.25 * q});
+    buf.assign(q, n, Affine{1.0 + 0.125 * q, 0.25 * q});
   });
   const AffineCompose op;
   Affine want{};
@@ -139,7 +139,7 @@ TEST_P(NonCommutative, ReduceScatterRespectsRankOrder) {
     want = op.combine(want, Affine{1.0 + 0.125 * r, 0.25 * r});
   reduce_scatter(cube, buf, sc, op);
   cube.each_proc([&](proc_t q) {
-    for (const Affine& f : buf.vec(q)) {
+    for (const Affine& f : buf.tile(q)) {
       EXPECT_DOUBLE_EQ(f.a, want.a);
       EXPECT_DOUBLE_EQ(f.b, want.b);
     }
@@ -154,13 +154,13 @@ TEST_P(NonCommutative, ScanComputesRankPrefixes) {
   const auto at = [](proc_t r) {
     return Affine{1.0 + 0.5 * (r % 3), 1.0 - 0.25 * r};
   };
-  cube.each_proc([&](proc_t q) { buf.vec(q).assign(2, at(q)); });
+  cube.each_proc([&](proc_t q) { buf.assign(q, 2, at(q)); });
   const AffineCompose op;
   scan_exclusive(cube, buf, sc, op);
   cube.each_proc([&](proc_t q) {
     Affine want{};
     for (proc_t r = 0; r < q; ++r) want = op.combine(want, at(r));
-    for (const Affine& f : buf.vec(q)) {
+    for (const Affine& f : buf.tile(q)) {
       EXPECT_DOUBLE_EQ(f.a, want.a) << "q=" << q;
       EXPECT_DOUBLE_EQ(f.b, want.b) << "q=" << q;
     }

@@ -16,6 +16,7 @@
 #include "algorithms/gauss.hpp"
 #include "algorithms/matvec.hpp"
 #include "algorithms/simplex.hpp"
+#include "comm/dist_buffer.hpp"
 #include "core/primitives.hpp"
 #include "fault/fault.hpp"
 #include "util/rng.hpp"
@@ -308,6 +309,100 @@ TEST_P(RandomSweep, FusedMatvecBitIdenticalToComposed) {
     EXPECT_EQ(composed, fused) << "vecmat fused vs composed";
     EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9);
   }
+}
+
+// Slab-storage invariance (tentpole check of the contiguous-arena
+// refactor): the arena layout behind every DistBuffer is a host-side
+// concern only.  A machine whose buffer pool is cold and a twin whose
+// pool has been churned — arenas acquired, grown through reallocation,
+// destroyed and recycled — must produce bit-identical results, identical
+// simulated clocks, identical traffic counters and charge-for-charge
+// identical event traces for the same workload, with and without a fault
+// plan.  Only the host allocation counters (pool hits/misses, heap bytes,
+// slab allocs/bytes) may differ between the twins.
+TEST_P(RandomSweep, SlabChurnInvisibleToSimulatedMachine) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+  const bool faulty = trial % 2 == 1;
+
+  Cube c0(c.d, costs), c1(c.d, costs);  // cold / churned twins
+  if (faulty) {
+    c0.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+    c1.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  }
+  // Churn only the second machine's pool: acquire arenas of assorted
+  // sizes, force stride growth (reallocation into larger slabs), then
+  // drop everything so later acquisitions are recycled free-list blocks
+  // with histories the cold twin never sees.
+  {
+    DistBuffer<double> big(c1, 300);
+    DistBuffer<double> grower(c1);
+    for (int s = 0; s < 150; ++s) grower.push_back(0, 1.0 * s);
+    DistBuffer<double> small(c1, 5);
+  }
+  c0.clock().tracer().set_recording(true);
+  c1.clock().tracer().set_recording(true);
+
+  Grid g0(c0, c.gr, c.gc), g1(c1, c.gr, c.gc);
+  const std::vector<double> host =
+      random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed));
+  DistMatrix<double> A0(g0, c.nrows, c.ncols, layout);
+  DistMatrix<double> A1(g1, c.nrows, c.ncols, layout);
+  A0.load(host);
+  A1.load(host);
+  const std::vector<double> xh =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  DistVector<double> x0(g0, c.ncols, Align::Cols, layout.cols);
+  DistVector<double> x1(g1, c.ncols, Align::Cols, layout.cols);
+  x0.load(xh);
+  x1.load(xh);
+
+  SplitMix64 rng(c.data_seed ^ 0xabcdULL);
+  const std::size_t pick_i = rng.below(c.nrows);
+  const std::size_t pick_j = rng.below(c.ncols);
+
+  // A workload mixing all four primitive families plus the fused pipeline:
+  // data motion, reduction, replication and compute.
+  EXPECT_EQ(extract_row(A0, pick_i).to_host(),
+            extract_row(A1, pick_i).to_host());
+  EXPECT_EQ(extract_col(A0, pick_j).to_host(),
+            extract_col(A1, pick_j).to_host());
+  EXPECT_EQ(reduce_rows(A0, Plus<double>{}).to_host(),
+            reduce_rows(A1, Plus<double>{}).to_host());
+  EXPECT_EQ(reduce_cols(A0, Max<double>{}).to_host(),
+            reduce_cols(A1, Max<double>{}).to_host());
+  EXPECT_EQ(distribute_rows(x0, c.nrows).to_host(),
+            distribute_rows(x1, c.nrows).to_host());
+  insert_row(A0, pick_i, x0);
+  insert_row(A1, pick_i, x1);
+  EXPECT_EQ(A0.to_host(), A1.to_host()) << "insert_row";
+  EXPECT_EQ(fused_matvec(A0, x0).to_host(), fused_matvec(A1, x1).to_host())
+      << "fused matvec";
+
+  // Identical simulated time, charge for charge.
+  EXPECT_EQ(c0.clock().now_us(), c1.clock().now_us());
+  EXPECT_EQ(c0.clock().tracer().paths(), c1.clock().tracer().paths());
+  EXPECT_TRUE(c0.clock().tracer().events() == c1.clock().tracer().events())
+      << "cold and churned event traces diverge";
+
+  // Identical traffic/work/fault counters once the host-side allocation
+  // counters (the only fields churn is allowed to move) are masked out.
+  SimStats s0 = c0.clock().stats(), s1 = c1.clock().stats();
+  EXPECT_NE(s0.pool_hits + s0.pool_misses, s1.pool_hits + s1.pool_misses)
+      << "churn must actually have perturbed the pool";
+  s0.alloc_bytes = s1.alloc_bytes = 0;
+  s0.pool_hits = s1.pool_hits = 0;
+  s0.pool_misses = s1.pool_misses = 0;
+  s0.slab_allocs = s1.slab_allocs = 0;
+  s0.slab_bytes = s1.slab_bytes = 0;
+  EXPECT_TRUE(s0 == s1) << "simulated counters diverge between twins";
+  if (faulty)
+    EXPECT_EQ(c0.clock().stats().fault_retries,
+              c1.clock().stats().fault_retries);
 }
 
 // lu_factor_fused runs the identical pivot searches and broadcasts but

@@ -190,7 +190,7 @@ const std::set<std::string> kTotalsKeys = {
     "flops_charged",   "flops_total",    "router_packets",
     "router_hops",     "fault_retries",  "fault_chksum_fails",
     "fault_reroutes",  "alloc_bytes",    "pool_hits",
-    "pool_misses"};
+    "pool_misses",     "slab_allocs",    "slab_bytes"};
 const std::set<std::string> kRegionProfileKeys = {
     "comm_us",        "compute_us",      "router_us",
     "host_us",        "total_us",        "comm_steps",
@@ -198,7 +198,8 @@ const std::set<std::string> kRegionProfileKeys = {
     "flops_charged",  "flops_total",     "router_cycles",
     "router_hops",    "dim_elements",    "mixed_dim_elements"};
 const std::set<std::string> kBenchTopKeys = {
-    "schema", "name", "quick", "trials", "warmup", "seed", "faults", "cases"};
+    "schema", "name",   "quick",      "trials", "warmup",
+    "seed",   "faults", "fault_seed", "cases"};
 
 /// A small workload whose profile exercises comm, compute, regions and
 /// (when `faults`) the recovery counters.
@@ -331,6 +332,42 @@ TEST(BenchSchema, FaultsFlagIsRecordedInTheDocument) {
   std::remove(path.c_str());
   const Json doc = JsonParser(text).parse();
   EXPECT_EQ(doc.at("faults").boolean, true);
+}
+
+TEST(BenchSchema, QuickAndFaultsComposeAndAreRecorded) {
+  // --quick and --faults=SEED together must both be honored AND both be
+  // visible in the document: quick=true, faults=true, fault_seed=SEED.
+  const std::string path = "schema_test_quick_faults.json";
+  {
+    const char* argv[] = {"test_report_schema", "--quick", "--faults=91",
+                          "--trials=5", "--warmup=3",
+                          "--json=schema_test_quick_faults.json"};
+    bench::Harness h("schema_test", 6, const_cast<char**>(argv));
+    EXPECT_TRUE(h.quick());
+    EXPECT_TRUE(h.faults());
+    EXPECT_EQ(h.fault_plan().seed, 91u);
+    EXPECT_EQ(h.trials(), 1) << "--quick caps trials even with --faults";
+    EXPECT_EQ(h.warmup(), 1) << "--quick caps warmup even with --faults";
+    int executions = 0;
+    h.run("noop", {}, [&](bench::Case&) { ++executions; });
+    EXPECT_EQ(executions, 2);  // 1 warmup + 1 trial
+    ASSERT_EQ(h.finish(), 0);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const Json doc = JsonParser(text).parse();
+  EXPECT_EQ(doc.keys(), kBenchTopKeys);
+  EXPECT_EQ(doc.at("quick").boolean, true);
+  EXPECT_EQ(doc.at("faults").boolean, true);
+  EXPECT_EQ(doc.at("fault_seed").number, 91.0);
+  EXPECT_EQ(doc.at("trials").number, 1.0);
+  EXPECT_EQ(doc.at("warmup").number, 1.0);
 }
 
 TEST(VmpSeed, EnvOverrideIsHonored) {

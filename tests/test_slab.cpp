@@ -1,0 +1,246 @@
+// Unit tests for the slab arena behind DistBuffer: tile offset and
+// alignment invariants, span aliasing (disjoint tiles, full coverage),
+// move semantics (O(1) arena transfer), pool recycling across
+// construct/destroy cycles, and the host round-trip copies built on the
+// strided kernels (DistVector/DistMatrix load → to_host).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/dist_buffer.hpp"
+#include "embed/dist_matrix.hpp"
+#include "embed/dist_vector.hpp"
+#include "embed/grid.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+template <class T>
+[[nodiscard]] std::uintptr_t addr(std::span<T> s) {
+  return reinterpret_cast<std::uintptr_t>(s.data());
+}
+
+// ---------------------------------------------------------------------------
+// Tile offsets and alignment
+// ---------------------------------------------------------------------------
+
+TEST(Slab, TilesAre64ByteAlignedAtUniformStride) {
+  Cube cube(3, CostParams::unit());
+  DistBuffer<double> buf(cube, 7);
+  ASSERT_GE(buf.stride(), 7u);
+  // The stride quantum keeps every tile on a 64-byte boundary.
+  const std::size_t quantum = 64 / std::gcd(sizeof(double), std::size_t{64});
+  EXPECT_EQ(buf.stride() % quantum, 0u);
+  for (proc_t q = 0; q < cube.procs(); ++q) {
+    EXPECT_EQ(addr(buf.tile(q)) % 64, 0u) << "tile " << q << " misaligned";
+    EXPECT_EQ(buf.len(q), 7u);
+  }
+  // Tiles sit at base + q·stride: consecutive tiles are exactly one stride
+  // apart in the same arena.
+  for (proc_t q = 0; q + 1 < cube.procs(); ++q)
+    EXPECT_EQ(addr(buf.tile(q + 1)) - addr(buf.tile(q)),
+              buf.stride() * sizeof(double));
+}
+
+TEST(Slab, OddSizedElementTypeKeepsTileAlignment) {
+  Cube cube(2, CostParams::unit());
+  DistBuffer<RouteItem<double>> items(cube, 3);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    EXPECT_EQ(addr(items.tile(q)) % 64, 0u) << "tile " << q;
+  EXPECT_EQ(items.stride() * sizeof(RouteItem<double>) % 64, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span aliasing: disjoint tiles, no cross-talk, growth preserves contents
+// ---------------------------------------------------------------------------
+
+TEST(Slab, TileSpansAreDisjointAndCoverDistinctRanges) {
+  Cube cube(3, CostParams::unit());
+  DistBuffer<int> buf(cube, 5);
+  for (proc_t q = 0; q < cube.procs(); ++q) {
+    const std::span<int> t = buf.tile(q);
+    for (std::size_t s = 0; s < t.size(); ++s)
+      t[s] = static_cast<int>(q * 100 + s);
+  }
+  // Ranges must not overlap...
+  for (proc_t a = 0; a < cube.procs(); ++a)
+    for (proc_t b = static_cast<proc_t>(a + 1); b < cube.procs(); ++b) {
+      const std::uintptr_t alo = addr(buf.tile(a));
+      const std::uintptr_t ahi = alo + buf.len(a) * sizeof(int);
+      const std::uintptr_t blo = addr(buf.tile(b));
+      EXPECT_TRUE(ahi <= blo || blo + buf.len(b) * sizeof(int) <= alo)
+          << "tiles " << a << " and " << b << " overlap";
+    }
+  // ...and writes through one tile must not leak into another.
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (std::size_t s = 0; s < buf.len(q); ++s)
+      EXPECT_EQ(buf.tile(q)[s], static_cast<int>(q * 100 + s));
+}
+
+TEST(Slab, GrowthPreservesEveryTileAndDoublesGeometrically) {
+  Cube cube(2, CostParams::unit());
+  DistBuffer<double> buf(cube);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (int s = 0; s < 3; ++s) buf.push_back(q, q * 10.0 + s);
+  const std::size_t stride0 = buf.stride();
+  // Force several reallocations through one tile; the others must survive.
+  for (int s = 3; s < 200; ++s) buf.push_back(0, 0.0 + s);
+  EXPECT_GE(buf.stride(), 200u);
+  EXPECT_GT(buf.stride(), stride0);
+  for (proc_t q = 1; q < cube.procs(); ++q) {
+    ASSERT_EQ(buf.len(q), 3u);
+    for (std::size_t s = 0; s < 3; ++s)
+      EXPECT_EQ(buf.tile(q)[s], q * 10.0 + s);
+  }
+  for (std::size_t s = 0; s < 200; ++s)
+    EXPECT_EQ(buf.tile(0)[s], static_cast<double>(s));
+}
+
+// ---------------------------------------------------------------------------
+// Move semantics and copies
+// ---------------------------------------------------------------------------
+
+TEST(Slab, MoveTransfersTheArenaWithoutCopying) {
+  Cube cube(2, CostParams::unit());
+  DistBuffer<double> a(cube, 16);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (std::size_t s = 0; s < 16; ++s)
+      a.tile(q)[s] = q * 1000.0 + static_cast<double>(s);
+  const std::uintptr_t arena = addr(a.tile(0));
+
+  DistBuffer<double> b(std::move(a));
+  EXPECT_EQ(addr(b.tile(0)), arena) << "move must not reallocate";
+  EXPECT_EQ(a.procs(), 0u) << "moved-from buffer is empty";
+
+  DistBuffer<double> c;
+  c = std::move(b);
+  EXPECT_EQ(addr(c.tile(0)), arena);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (std::size_t s = 0; s < 16; ++s)
+      EXPECT_EQ(c.tile(q)[s], q * 1000.0 + static_cast<double>(s));
+}
+
+TEST(Slab, SwapExchangesArenasInConstantTime) {
+  Cube cube(2, CostParams::unit());
+  DistBuffer<int> a(cube, 4);
+  DistBuffer<int> b(cube, 8);
+  a.tile(1)[0] = 7;
+  b.tile(1)[0] = 9;
+  const std::uintptr_t pa = addr(a.tile(0)), pb = addr(b.tile(0));
+  a.swap(b);
+  EXPECT_EQ(addr(a.tile(0)), pb);
+  EXPECT_EQ(addr(b.tile(0)), pa);
+  EXPECT_EQ(a.len(1), 8u);
+  EXPECT_EQ(a.tile(1)[0], 9);
+  EXPECT_EQ(b.tile(1)[0], 7);
+}
+
+TEST(Slab, CopyIsDeepAndIndependent) {
+  Cube cube(2, CostParams::unit());
+  DistBuffer<double> a(cube, 6);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (std::size_t s = 0; s < 6; ++s) a.tile(q)[s] = q + 0.5 * s;
+  DistBuffer<double> b(a);
+  EXPECT_NE(addr(b.tile(0)), addr(a.tile(0))) << "copy must own its arena";
+  b.tile(0)[0] = -1.0;
+  EXPECT_EQ(a.tile(0)[0], 0.0) << "copies must not alias";
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    for (std::size_t s = 1; s < 6; ++s) EXPECT_EQ(b.tile(q)[s], a.tile(q)[s]);
+}
+
+// ---------------------------------------------------------------------------
+// Pool recycling across construct/destroy cycles
+// ---------------------------------------------------------------------------
+
+TEST(Slab, ArenaReturnsToThePoolAndIsRecycled) {
+  Cube cube(3, CostParams::cm2());
+  { DistBuffer<double> warm(cube, 256); }  // first arena: a pool miss
+  const SimStats warm_stats = cube.clock().stats();
+  EXPECT_GT(warm_stats.slab_allocs, 0u);
+  EXPECT_GT(warm_stats.slab_bytes, 0u);
+
+  // Same-shaped objects constructed after destruction must be served
+  // entirely from the free list: no new misses, no new slab allocations.
+  for (int it = 0; it < 8; ++it) {
+    DistBuffer<double> buf(cube, 256);
+    buf.tile(0)[0] = static_cast<double>(it);
+  }
+  const SimStats after = cube.clock().stats();
+  EXPECT_EQ(after.pool_misses, warm_stats.pool_misses);
+  EXPECT_EQ(after.slab_allocs, warm_stats.slab_allocs);
+  EXPECT_EQ(after.slab_bytes, warm_stats.slab_bytes);
+  EXPECT_GT(after.pool_hits, warm_stats.pool_hits);
+}
+
+TEST(Slab, SlabAllocsCountArenasNotStagingScratch) {
+  Cube cube(2, CostParams::cm2());
+  const std::uint64_t slabs0 = cube.clock().stats().slab_allocs;
+  DistBuffer<double> buf(cube, 32);
+  EXPECT_GT(cube.clock().stats().slab_allocs, slabs0);
+  const std::uint64_t slabs1 = cube.clock().stats().slab_allocs;
+  // An exchange allocates staging scratch (pool misses on a cold pool) but
+  // no slab arenas.
+  cube.exchange<double>(
+      0, [&](proc_t q) { return std::span<const double>(buf.tile(q)); },
+      [&](proc_t, std::span<const double>) {});
+  EXPECT_EQ(cube.clock().stats().slab_allocs, slabs1);
+}
+
+// ---------------------------------------------------------------------------
+// Host round trips through the strided copy kernels (satellite of the slab
+// refactor: to_host is contiguous/strided block copies, not per-element
+// owner lookups)
+// ---------------------------------------------------------------------------
+
+class RoundTripSweep
+    : public ::testing::TestWithParam<std::tuple<Align, Part, std::size_t>> {};
+
+TEST_P(RoundTripSweep, VectorLoadToHostIsIdentity) {
+  const auto [align, part, n] = GetParam();
+  if (align == Align::Linear && part == Part::Cyclic) GTEST_SKIP();
+  Cube cube(4, CostParams::unit());
+  Grid grid = Grid::square(cube);
+  DistVector<double> v(grid, n, align, part);
+  const std::vector<double> host = random_vector(n, 31);
+  v.load(host);
+  EXPECT_TRUE(v.replicas_consistent());
+  EXPECT_EQ(v.to_host(), host);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTripSweep,
+    ::testing::Combine(::testing::Values(Align::Linear, Align::Cols,
+                                         Align::Rows),
+                       ::testing::Values(Part::Block, Part::Cyclic),
+                       ::testing::Values(0ul, 1ul, 13ul, 64ul, 100ul)));
+
+class MatrixRoundTripSweep
+    : public ::testing::TestWithParam<
+          std::tuple<MatrixLayout, std::size_t, std::size_t>> {};
+
+TEST_P(MatrixRoundTripSweep, MatrixLoadToHostIsIdentity) {
+  const auto [layout, m, n] = GetParam();
+  Cube cube(4, CostParams::unit());
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, m, n, layout);
+  const std::vector<double> host = random_matrix(m, n, 47);
+  A.load(host);
+  EXPECT_EQ(A.to_host(), host);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatrixRoundTripSweep,
+    ::testing::Combine(::testing::Values(MatrixLayout::blocked(),
+                                         MatrixLayout::cyclic(),
+                                         MatrixLayout{Part::Block,
+                                                      Part::Cyclic}),
+                       ::testing::Values(1ul, 9ul, 32ul),
+                       ::testing::Values(1ul, 17ul, 32ul)));
+
+}  // namespace
+}  // namespace vmp

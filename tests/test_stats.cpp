@@ -23,7 +23,7 @@ TEST(Stats, BinomialBroadcastMovesPMinus1Messages) {
     Fx f(d);
     const std::size_t n = 10;
     DistBuffer<double> buf(f.cube);
-    buf.vec(0) = random_vector(n, 1);
+    buf.assign(0, random_vector(n, 1));
     broadcast(f.cube, buf, f.sc, 0);
     const SimStats& st = f.cube.clock().stats();
     EXPECT_EQ(st.comm_steps, static_cast<std::uint64_t>(d));
@@ -39,7 +39,7 @@ TEST(Stats, AllreduceDoublingMovesKPMessages) {
     Fx f(d);
     const std::size_t n = 6;
     DistBuffer<double> buf(f.cube);
-    f.cube.each_proc([&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+    f.cube.each_proc([&](proc_t q) { buf.assign(q, random_vector(n, q)); });
     allreduce(f.cube, buf, f.sc, Plus<double>{});
     const SimStats& st = f.cube.clock().stats();
     EXPECT_EQ(st.comm_steps, static_cast<std::uint64_t>(d));
@@ -55,7 +55,7 @@ TEST(Stats, ReduceScatterMovesHalvingVolumes) {
   Fx f(d);
   const std::size_t n = 32;  // divisible by P = 16
   DistBuffer<double> buf(f.cube);
-  f.cube.each_proc([&](proc_t q) { buf.vec(q) = random_vector(n, q); });
+  f.cube.each_proc([&](proc_t q) { buf.assign(q, random_vector(n, q)); });
   reduce_scatter(f.cube, buf, f.sc, Plus<double>{});
   const SimStats& st = f.cube.clock().stats();
   EXPECT_EQ(st.comm_steps, 4u);
@@ -68,7 +68,7 @@ TEST(Stats, EsbtUsesAllPortsEachRound) {
   Fx f(d);
   const std::size_t n = 64;  // 4 segments of 16
   DistBuffer<double> buf(f.cube);
-  buf.vec(0) = random_vector(n, 2);
+  buf.assign(0, random_vector(n, 2));
   broadcast_esbt(f.cube, buf, f.sc, 0, [n](proc_t) { return n; });
   const SimStats& st = f.cube.clock().stats();
   EXPECT_EQ(st.comm_steps, 4u);
@@ -108,10 +108,10 @@ TEST(Stats, ExchangeCountsMaxNotSum) {
   // One proc sends 10 elements, another 2: the round is paced by 10.
   Cube cube(1, CostParams::unit());
   DistBuffer<int> buf(cube);
-  buf.vec(0).assign(10, 1);
-  buf.vec(1).assign(2, 2);
+  buf.assign(0, 10, 1);
+  buf.assign(1, 2, 2);
   cube.exchange<int>(
-      0, [&](proc_t q) { return std::span<const int>(buf.vec(q)); },
+      0, [&](proc_t q) { return std::span<const int>(buf.tile(q)); },
       [&](proc_t, std::span<const int>) {});
   EXPECT_DOUBLE_EQ(cube.clock().now_us(), 1.0 + 10.0);
   EXPECT_EQ(cube.clock().stats().elements_moved, 12u);

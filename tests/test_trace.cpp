@@ -95,10 +95,10 @@ TEST(Tracer, DimensionHistogramTracksExchangedElements) {
   {
     TraceRegion r(cube, "xch");
     DistBuffer<double> buf(cube);
-    cube.each_proc([&](proc_t q) { buf.vec(q).assign(4, double(q)); });
+    cube.each_proc([&](proc_t q) { buf.assign(q, 4, double(q)); });
     for (int d = 0; d < 3; ++d) {
       cube.exchange<double>(
-          d, [&](proc_t q) { return std::span<const double>(buf.vec(q)); },
+          d, [&](proc_t q) { return std::span<const double>(buf.tile(q)); },
           [&](proc_t, std::span<const double>) {});
     }
   }
