@@ -6,6 +6,9 @@
 //   elems_per_proc m/p, the load-balance unit the costs should track
 //   comm_steps     lockstep communication rounds (the τ count)
 // Each case also embeds the per-region cost profile of the timed call.
+#include <chrono>
+#include <span>
+
 #include "harness.hpp"
 #include "vmprim.hpp"
 
@@ -132,5 +135,43 @@ int main(int argc, char** argv) {
               finish(c, f.cube, n);
             });
     }
+  // bench_engine — raw per-step dispatch cost of the worker-team engine,
+  // with the simulated work held at (near) zero so nothing but protocol
+  // remains: publish the step, run the (empty) per-processor loop, pass the
+  // barrier, reduce the lane partials.  `steps_per_sec` / `rounds_per_sec`
+  // are the wall-clock counters docs/perf.md tracks; both loops run inside
+  // one session, the posture every multi-round collective uses.
+  for (int d : h.dims({4, 5, 6, 7, 8}, {4, 8})) {
+    h.run("engine_empty_steps", {{"dim", d}}, [&](bench::Case& c) {
+      Cube cube(d, CostParams::cm2());
+      constexpr int kSteps = 20000;
+      const auto batch = cube.session();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int s = 0; s < kSteps; ++s) cube.compute(0, 0, [](proc_t) {});
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      c.counter("steps", kSteps);
+      c.counter("steps_per_sec", static_cast<double>(kSteps) / secs);
+      c.counter("ns_per_step", 1e9 * secs / kSteps);
+    });
+    h.run("engine_exchange_1elem", {{"dim", d}}, [&](bench::Case& c) {
+      Cube cube(d, CostParams::cm2());
+      if (h.faults()) cube.enable_faults(h.fault_plan());
+      std::vector<double> cell(cube.procs(), 1.0);
+      constexpr int kRounds = 4000;
+      const auto batch = cube.session();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int s = 0; s < kRounds; ++s)
+        cube.exchange<double>(
+            s % d, [&](proc_t q) { return std::span<const double>(&cell[q], 1); },
+            [&](proc_t q, std::span<const double> in) { cell[q] += in[0]; });
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      c.counter("rounds", kRounds);
+      c.counter("rounds_per_sec", static_cast<double>(kRounds) / secs);
+      c.counter("ns_per_round", 1e9 * secs / kRounds);
+      c.counter("sim_us", cube.clock().now_us());
+    });
+  }
   return h.finish();
 }

@@ -23,6 +23,10 @@
 ///                    corruption, latency spikes; see Harness::fault_plan);
 ///                    benches that honor it attach the plan to their cube
 ///                    so recovery costs land in the reported profiles
+///   --threads=N      host lanes for the worker team (sets VMP_THREADS, the
+///                    default every Cube reads: 0 = hardware concurrency,
+///                    1 = serial); the resolved lane count is recorded as
+///                    "threads" in the JSON document
 ///
 /// The effective base seed (VMP_SEED env or the default) is printed at
 /// start-up and recorded in the JSON document, so any randomized run can
@@ -55,6 +59,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "hypercube/team.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
 
@@ -111,6 +116,13 @@ class Harness {
 
   /// Base seed of this run (VMP_SEED env override, else the default).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Host lanes every cube in this run uses: the --threads override (which
+  /// sets VMP_THREADS before any cube exists) or the environment default,
+  /// resolved to an actual lane count for reproducibility.
+  [[nodiscard]] unsigned threads() const {
+    return WorkerTeam::resolve_lanes(env_threads());
+  }
 
   /// True when --faults was given: the bench should attach fault_plan() to
   /// its cube(s) so the run exercises the recovery path.
@@ -233,11 +245,15 @@ class Harness {
     } else if (starts("--faults=")) {
       faults_ = true;
       fault_seed_ = static_cast<std::uint64_t>(std::atoll(f.c_str() + 9));
+    } else if (starts("--threads=")) {
+      // Through the environment so every Cube the bench creates (all are
+      // constructed after flag parsing) picks it up as its default.
+      setenv("VMP_THREADS", f.c_str() + 10, 1);
     } else if (f == "--help" || f == "-h") {
       std::printf(
           "%s [--dims=a,b] [--sizes=a,b] [--trials=N] [--warmup=N]\n"
           "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n"
-          "  [--faults[=SEED]]\n",
+          "  [--faults[=SEED]] [--threads=N]\n",
           name_.c_str());
       std::exit(0);
     } else {
@@ -281,6 +297,7 @@ class Harness {
     // Always present so a --quick --faults=SEED run is reproducible from its
     // document alone (fault_seed == seed when --faults carried no override).
     out += ",\"fault_seed\":" + std::to_string(fault_seed_);
+    out += ",\"threads\":" + std::to_string(threads());
     out += ",\"cases\":[";
     bool first_case = true;
     for (const Result& r : results_) {

@@ -8,16 +8,23 @@
 #      BENCH_*.json report and the exported Chrome trace validated against
 #      their schemas.
 #
-# Usage: scripts/check.sh [--no-sanitize] [--quick-only]
+# Usage: scripts/check.sh [--no-sanitize] [--quick-only] [--tsan]
+#
+# --tsan adds a ThreadSanitizer build of the whole tree and re-runs the
+# quick-label tests under VMP_THREADS=4, so every team step really runs
+# multi-lane while TSan watches the publish/park protocol.  Opt-in (it
+# roughly doubles the build); CI runs it on every push.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NO_SANITIZE=0
 QUICK_ONLY=0
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) NO_SANITIZE=1 ;;
     --quick-only) QUICK_ONLY=1 ;;
+    --tsan) TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,6 +49,14 @@ if [[ "$NO_SANITIZE" == 0 ]]; then
   ./build-asan/tests/test_trace
   ./build-asan/tests/test_accounting \
     --gtest_filter='Accounting.*:Charging.*:Threading.*'
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== thread-sanitizer build: quick label under VMP_THREADS=4 =="
+  cmake -B build-tsan -S . -DVMP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j >/dev/null
+  (cd build-tsan && VMP_THREADS=4 ctest -L quick --output-on-failure \
+    -j "$(nproc)")
 fi
 
 echo "== bench smoke: --quick run + report validation =="
@@ -137,20 +152,28 @@ print(f"  gauss_trace.json: {len(xs)} events, monotone ok")
 EOF
 
 echo "== perf trajectory: wall-clock vs bench/baselines =="
-# Re-run the two tracked benches with the exact sweep the baselines were
-# recorded with, then print a one-line delta per bench (matched case by
-# case on name+args).  Informational: the table makes the perf trajectory
-# visible; it does not gate the check.
+# Re-run every tracked bench with the exact sweep its baseline was recorded
+# with, then print a one-line delta per bench (matched case by case on
+# name+args, so cases added since a baseline simply don't participate).
+# Informational: the table makes the perf trajectory visible; it does not
+# gate the check.
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_matvec --dims=4,6,8 \
   --sizes=1024 --trials=3 --json=PERF_bench_matvec.json)
 (cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --dims=4,6,8 \
   --sizes=1024 --trials=3 --json=PERF_bench_primitives.json)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_collectives --dims=4,8 \
+  --sizes=1024 --trials=3 --json=PERF_bench_collectives.json)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_gauss --dims=4,6,8 \
+  --sizes=128 --trials=3 --json=PERF_bench_gauss.json)
+(cd "$workdir" && "$OLDPWD"/build/bench/bench_ablation --dims=4,8 \
+  --sizes=512 --trials=3 --json=PERF_bench_ablation.json)
 python3 - "$workdir" <<'EOF'
 import json, sys
 from pathlib import Path
 
 workdir = Path(sys.argv[1])
-for name in ("bench_matvec", "bench_primitives"):
+for name in ("bench_matvec", "bench_primitives", "bench_collectives",
+             "bench_gauss", "bench_ablation"):
     base_path = Path("bench/baselines") / f"BENCH_{name}.json"
     if not base_path.exists():
         print(f"  {name}: no baseline at {base_path}, skipping")

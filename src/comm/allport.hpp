@@ -57,6 +57,7 @@ void broadcast_esbt(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   // holder[i] tracking is analytic: in tree i's ROTATED relative-rank
   // space the holder set after processing bits {k-1..j+1} is exactly the
   // ranks with no unprocessed bit set — the standard binomial invariant.
+  const auto batch = cube.session();
   std::uint32_t processed = 0;
   std::vector<int> dims(K);
   for (int j = k - 1; j >= 0; --j) {

@@ -77,6 +77,7 @@ template <class T, class Op>
 void allreduce(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, Op op) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "allreduce");
+  const auto batch = cube.session();
   const std::size_t n = max_local_len(cube, buf);
   for (int i = 0; i < sc.k(); ++i) {
     const int d = sc.dim_of_rank_bit(i);
@@ -107,6 +108,7 @@ void reduce_scatter(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "reduce_scatter");
+  const auto batch = cube.session();
   const std::uint32_t P = sc.size();
   std::vector<std::size_t> n_of(cube.procs());
   for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.len(q);
@@ -200,6 +202,7 @@ void allgather(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, NFn n_of,
                std::uint32_t rank_xor = 0) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "allgather");
+  const auto batch = cube.session();
   // Delivery appends/prepends into the tiles: reserve the assembled length
   // up front so no round needs to grow the arena mid-exchange.
   std::size_t cap = 0;
@@ -239,6 +242,7 @@ void allreduce_rsag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "allreduce_rsag");
+  const auto batch = cube.session();
   std::vector<std::size_t> n_of(cube.procs());
   for (proc_t q = 0; q < cube.procs(); ++q) n_of[q] = buf.len(q);
   reduce_scatter(cube, buf, sc, op);
@@ -291,6 +295,7 @@ void allreduce_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   if (sc.k() == 0) return;
   VMP_REQUIRE(nseg >= 1, "allreduce_pipelined needs at least one segment");
   VMP_TRACE(cube, "allreduce_pipelined");
+  const auto batch = cube.session();
   const int k = sc.k();
   const std::uint32_t S = nseg;
   const auto seg_range = [&](proc_t q, std::uint32_t s) {
@@ -388,6 +393,7 @@ void broadcast(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                std::uint32_t root_rank) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "broadcast");
+  const auto batch = cube.session();
   VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
   buf.reserve_each(max_local_len(cube, buf));  // non-roots receive in place
   std::uint32_t processed = 0;  // relative-rank bits already covered
@@ -414,6 +420,7 @@ void scatter_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     std::uint32_t root_rank, NFn n_of) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "scatter");
+  const auto batch = cube.session();
   VMP_REQUIRE(root_rank < sc.size(), "scatter root rank out of range");
   const std::uint32_t P = sc.size();
   std::size_t cap = 0;
@@ -465,6 +472,7 @@ void broadcast_sag(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                    std::uint32_t root_rank, NFn n_of) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "broadcast_sag");
+  const auto batch = cube.session();
   scatter_blocks(cube, buf, sc, root_rank, n_of);
   allgather(cube, buf, sc, n_of, root_rank);
 }
@@ -486,6 +494,7 @@ void broadcast_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   VMP_REQUIRE(root_rank < sc.size(), "broadcast root rank out of range");
   VMP_REQUIRE(nseg >= 1, "broadcast_pipelined needs at least one segment");
   VMP_TRACE(cube, "broadcast_pipelined");
+  const auto batch = cube.session();
   const int k = sc.k();
   const std::uint32_t S = nseg;
   std::size_t cap = 0;
@@ -583,6 +592,7 @@ void reduce_to_rank(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
                     Op op, std::uint32_t root_rank) {
   if (sc.k() == 0) return;
   VMP_TRACE(cube, "reduce_to_rank");
+  const auto batch = cube.session();
   VMP_REQUIRE(root_rank < sc.size(), "reduce root rank out of range");
   const std::size_t n = max_local_len(cube, buf);
   for (int j = 0; j < sc.k(); ++j) {
@@ -621,6 +631,7 @@ void scan_exclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
     return;
   }
   VMP_TRACE(cube, "scan");
+  const auto batch = cube.session();
   const std::size_t n = max_local_len(cube, buf);
   DistBuffer<T> prefix(cube);
   DistBuffer<T> total(cube);
@@ -689,6 +700,7 @@ template <class T>
 void route_within(Cube& cube, DistBuffer<RouteItem<T>>& items,
                   const SubcubeSet& sc) {
   VMP_TRACE(cube, "route_within");
+  const auto batch = cube.session();
   for (proc_t q = 0; q < cube.procs(); ++q)
     for (const RouteItem<T>& it : items.tile(q))
       VMP_REQUIRE(sc.subcube_id(it.dst) == sc.subcube_id(q),

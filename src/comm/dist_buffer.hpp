@@ -18,7 +18,7 @@
 /// destination processor, see hypercube/machine.hpp) may mutate different
 /// tiles' ELEMENTS and LENGTHS freely — as long as no tile outgrows the
 /// stride.  Growing the stride reallocates the arena and is therefore only
-/// legal on the host thread (guarded by ThreadPool::in_parallel); hot paths
+/// legal on the host thread (guarded by WorkerTeam::in_step); hot paths
 /// pre-reserve with reserve_each before entering compute/exchange.
 ///
 /// The simulated machine is oblivious to all of this: charges, SimStats and
@@ -229,7 +229,7 @@ class DistBuffer {
   void ensure_stride(std::size_t min_elems) {
     if (min_elems <= stride_) return;
     VMP_REQUIRE(cube_ != nullptr, "DistBuffer not bound to a cube");
-    VMP_REQUIRE(!cube_->pool().in_parallel(),
+    VMP_REQUIRE(!cube_->team().in_step(),
                 "slab growth is host-thread only: reserve_each before "
                 "entering compute/exchange");
     const std::size_t want =

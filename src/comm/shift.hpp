@@ -76,7 +76,9 @@ void shift_blocks(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
     return;
   }
 
-  // Binary order: ring neighbours may differ in many bits — route.
+  // Binary order: ring neighbours may differ in many bits — route.  The
+  // whole sweep (k routing rounds) runs inside one team activation.
+  const auto batch = cube.session();
   DistBuffer<RouteItem<T>> items(cube);
   items.reserve_each(max_local_len(cube, buf));
   cube.each_proc([&](proc_t q) {

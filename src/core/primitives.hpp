@@ -126,6 +126,7 @@ template <class T, class Op>
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "reduce_rows");
+  const auto batch = cube.session();
   DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
@@ -148,6 +149,7 @@ template <class T, class Op>
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "reduce_cols");
+  const auto batch = cube.session();
   DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
@@ -178,6 +180,7 @@ template <class T>
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "distribute_rows");
+  const auto batch = cube.session();
   DistMatrix<T> out(grid, nrows, v.n(), MatrixLayout{rows_part, v.part()});
   cube.compute(out.max_block(), nrows * v.n(), [&](proc_t q) {
     const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
@@ -200,6 +203,7 @@ template <class T>
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "distribute_cols");
+  const auto batch = cube.session();
   DistMatrix<T> out(grid, v.n(), ncols, MatrixLayout{v.part(), cols_part});
   cube.compute(out.max_block(), v.n() * ncols, [&](proc_t q) {
     const std::size_t lrn = out.lrows(q), lcn = out.lcols(q);
@@ -224,6 +228,7 @@ template <class T>
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "extract_row");
+  const auto batch = cube.session();
   DistVector<T> out(grid, A.ncols(), Align::Cols, A.layout().cols);
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
@@ -248,6 +253,7 @@ template <class T>
   Grid& grid = A.grid();
   Cube& cube = grid.cube();
   VMP_TRACE(cube, "extract_col");
+  const auto batch = cube.session();
   DistVector<T> out(grid, A.nrows(), Align::Rows, A.layout().rows);
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
@@ -278,6 +284,7 @@ void insert_row(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v) {
   detail::require_cols_aligned("insert_row", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_row");
+  const auto batch = grid.cube().session();
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
   const std::size_t max_piece =
@@ -297,6 +304,7 @@ void insert_col(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v) {
   detail::require_rows_aligned("insert_col", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_col");
+  const auto batch = grid.cube().session();
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
   const std::size_t max_piece =
@@ -324,6 +332,7 @@ void insert_row_range(DistMatrix<T>& A, std::size_t i, const DistVector<T>& v,
   detail::require_cols_aligned("insert_row_range", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_row_range");
+  const auto batch = grid.cube().session();
   const std::uint32_t R = A.rowmap().owner(i);
   const std::size_t lr = A.rowmap().local(i);
   const std::size_t max_piece =
@@ -356,6 +365,7 @@ void insert_col_range(DistMatrix<T>& A, std::size_t j, const DistVector<T>& v,
   detail::require_rows_aligned("insert_col_range", A, v);
   Grid& grid = A.grid();
   VMP_TRACE(grid.cube(), "insert_col_range");
+  const auto batch = grid.cube().session();
   const std::uint32_t C = A.colmap().owner(j);
   const std::size_t lc = A.colmap().local(j);
   const std::size_t max_piece =

@@ -27,6 +27,8 @@ void vec_scan_exclusive(DistVector<T>& v, Op op) {
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
   const std::size_t mx = max_local_len(cube, v.data());
+  // Local pass, lg p scan rounds, local pass: one team activation.
+  const auto batch = cube.session();
 
   // 1. local: piece totals (one pass) …
   DistBuffer<T> totals(cube, 1);
@@ -106,6 +108,7 @@ void vec_scan_exclusive_segmented(DistVector<T>& v,
   using Pair = detail::SegPair<T>;
   const detail::SegOp<T, Op> seg{op};
   const std::size_t mx = max_local_len(cube, v.data());
+  const auto batch = cube.session();
 
   DistBuffer<Pair> totals(cube, 1);
   cube.compute(2 * mx, 2 * v.n(), [&](proc_t q) {

@@ -23,6 +23,9 @@ template <class T>
   DistMatrix<T> B(grid, A.ncols(), A.nrows(),
                   MatrixLayout{A.layout().cols, A.layout().rows});
 
+  // One team activation for the whole sweep (pack, lg p routing rounds,
+  // scatter).
+  const auto batch = cube.session();
   DistBuffer<RouteItem<T>> items(cube);
   items.reserve_each(A.max_block());
   cube.each_proc([&](proc_t q) {

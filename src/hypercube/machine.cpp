@@ -8,7 +8,7 @@ Cube::Cube(int dim, CostParams params, Options opts)
     : dim_(dim),
       procs_(dim >= 0 && dim < 31 ? (proc_t{1} << dim) : 0),
       clock_(params),
-      pool_(opts.threads) {
+      team_(opts.threads) {
   VMP_REQUIRE(dim >= 0 && dim < 31, "cube dimension must be in [0, 31)");
 }
 

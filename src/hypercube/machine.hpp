@@ -12,10 +12,15 @@
 ///                       cube dimension `d`; every processor whose partner
 ///                       offers data receives it; charged `τ + max_n · t_c`.
 ///
-/// Correctness never depends on host threading: the per-processor loops may
-/// run on a thread pool (Options::threads), which changes wall-clock speed
-/// only, never simulated time or results — the staging buffer inside
-/// `exchange` makes in-place combining (all-reduce style) race-free.
+/// Correctness never depends on host threading: the per-processor loops run
+/// on a persistent SPMD worker team (hypercube/team.hpp, Options::threads /
+/// VMP_THREADS) whose lanes own static processor ranges.  Host threads
+/// change wall-clock speed only, never simulated time or results — the
+/// staging buffer inside `exchange` makes in-place combining (all-reduce
+/// style) race-free, and the per-step statistics are reduced from per-lane
+/// integer partials whose sums and maxima are independent of the partition.
+/// Multi-round loops open a `session()` so their steps run back to back
+/// inside one team activation (see docs/threading.md).
 ///
 /// The machine can run under deterministic fault injection
 /// (`enable_faults`): seeded plans of drops, corruption, latency spikes and
@@ -32,6 +37,8 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <typeindex>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -40,7 +47,7 @@
 #include "hypercube/check.hpp"
 #include "hypercube/cost_model.hpp"
 #include "hypercube/sim_clock.hpp"
-#include "hypercube/thread_pool.hpp"
+#include "hypercube/team.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
@@ -77,8 +84,7 @@ inline constexpr bool kPoolStageable =
 /// to live for the duration of the call), and the slot's capacity persists
 /// across rounds, so a steady-state exchange loop never touches the heap.
 /// `grew` records the bytes freshly heap-allocated by this round's growth
-/// (0 on reuse); the host thread folds it into the pool hit/miss
-/// statistics after the collect pass.
+/// (0 on reuse); the staging lane folds it into its hit/miss partial.
 struct StageBuf {
   std::unique_ptr<std::byte[]> bytes;
   std::size_t cap = 0;   ///< capacity in bytes (bucket-rounded, monotone)
@@ -114,14 +120,68 @@ struct StageBuf {
   }
 };
 
+/// Per-lane partial of one round's message statistics, accumulated while
+/// the same lane stages its processor range and reduced in lane order at
+/// the barrier.  Everything here is an integer sum or maximum, so the
+/// reduced totals are identical for ANY partition of the processors across
+/// lanes — this is what keeps SimStats bit-identical across thread counts.
+/// Padded so lanes never share a cache line while accumulating.
+struct alignas(64) ExPartial {
+  std::size_t max_elems = 0;
+  std::size_t total = 0;
+  std::size_t messages = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t miss_bytes = 0;
+
+  /// Fold one staged send of `len` elements that freshly allocated `grew`
+  /// bytes (0 on slot reuse).  Empty sends count nothing, matching the
+  /// elided-message rule.
+  void note(std::size_t len, std::size_t grew) {
+    if (len == 0) return;
+    ++messages;
+    total += len;
+    if (len > max_elems) max_elems = len;
+    if (grew != 0) {
+      ++pool_misses;
+      miss_bytes += grew;
+    } else {
+      ++pool_hits;
+    }
+  }
+
+  void merge(const ExPartial& o) {
+    if (o.max_elems > max_elems) max_elems = o.max_elems;
+    total += o.total;
+    messages += o.messages;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    miss_bytes += o.miss_bytes;
+  }
+};
+
+/// Type-erased holder for the persistent vector staging slots of the
+/// non-memcpy exchange path (one `std::vector<std::vector<T>>` per payload
+/// type, slot capacities retained across rounds).
+struct VecStageBase {
+  virtual ~VecStageBase() = default;
+};
+
+template <class T>
+struct VecStage : VecStageBase {
+  std::vector<std::vector<T>> slots;
+};
+
 }  // namespace detail
 
 class Cube {
  public:
   struct Options {
-    /// Host threads running the per-processor loops; 0 = one per hardware
-    /// thread, 1 = fully serial (deterministic wall-clock, same results).
-    unsigned threads = 1;
+    /// Host threads (team lanes) running the per-processor loops;
+    /// 0 = one per hardware thread, 1 = fully serial (deterministic
+    /// wall-clock, same results at any setting).  Defaults to the
+    /// VMP_THREADS environment variable (unset → 1).
+    unsigned threads = env_threads();
   };
 
   explicit Cube(int dim, CostParams params = CostParams::cm2());
@@ -134,6 +194,8 @@ class Cube {
   [[nodiscard]] int dim() const { return dim_; }
   /// Number of processors, `2^dim()`.
   [[nodiscard]] proc_t procs() const { return procs_; }
+  /// Host lanes executing the per-processor loops (≥ 1; 1 = fully serial).
+  [[nodiscard]] unsigned threads() const { return team_.lanes(); }
 
   [[nodiscard]] SimClock& clock() { return clock_; }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
@@ -160,8 +222,9 @@ class Cube {
   /// processors when known, else `max_flops * procs()`.
   template <class F>
   void compute(std::uint64_t max_flops, std::uint64_t total_flops, F&& fn) {
-    pool_.parallel_for(0, procs_,
-                       [&](std::size_t q) { fn(static_cast<proc_t>(q)); });
+    team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+      for (std::size_t q = lo; q < hi; ++q) fn(static_cast<proc_t>(q));
+    });
     clock_.charge_compute_step(max_flops, total_flops);
   }
 
@@ -191,88 +254,92 @@ class Cube {
   /// message length, the amortization at the heart of the paper's
   /// optimized primitives.  If nobody sends, the round is free (elided).
   ///
-  /// For memcpy-able payload types the staging copy lands in per-processor
-  /// slots whose capacity persists across rounds (bucket-rounded like the
-  /// BufferPool), so a steady-state exchange loop performs zero heap
-  /// allocations; other types stage through per-processor vectors.
+  /// Staging lands in per-processor slots whose capacity persists across
+  /// rounds (memcpy-able payloads use raw bucket-rounded slots, other
+  /// types persistent per-processor vectors), so a steady-state exchange
+  /// loop performs zero heap allocations; slot reuse and growth feed the
+  /// SimStats pool counters.  The staging pass also accumulates the
+  /// round's message statistics into per-lane partials — no serial host
+  /// scan runs between staging and delivery.
   template <class T, class SendFn, class RecvFn>
   void exchange(int d, SendFn&& send, RecvFn&& recv) {
     VMP_REQUIRE(d >= 0 && d < dim_, "exchange dimension out of range");
     const std::uint32_t bit = std::uint32_t{1} << d;
     if constexpr (detail::kPoolStageable<T>) {
       detail::StageBuf* stage = stage_slots(procs_);
+      detail::ExPartial* parts = lane_partials();
       // Staging before any delivery: the copy is what lets recv combine
       // into (or overwrite) the very buffer send exposed — and send's span
-      // only has to outlive its own call.
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        const std::span<const T> s = send(static_cast<proc_t>(q));
-        stage[q].stage(s);
+      // only has to outlive its own call.  The partial accumulates in a
+      // stack local (registers — the staging memcpy can't alias it) and is
+      // stored to the lane's slot once.
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q) {
+          stage[q].stage(send(static_cast<proc_t>(q)));
+          p.note(stage[q].len, stage[q].grew);
+        }
+        parts[lane] = p;
       });
-      std::size_t max_elems = 0, total = 0, messages = 0;
-      for (proc_t q = 0; q < procs_; ++q) {
-        const std::size_t n = stage[q].len;
-        if (n == 0) continue;
-        note_stage_use(stage[q]);
-        ++messages;
-        total += n;
-        if (n > max_elems) max_elems = n;
-      }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (proc_t q = 0; q < procs_; ++q)
           if (stage[q].len != 0)
             msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0,
                                        stage[q].template data<T>(),
                                        stage[q].len});
-        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
-                               [&](const FaultMsg<T>& m) {
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, d, [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        const detail::StageBuf& in = stage[q ^ bit];
-        if (in.len != 0)
-          recv(static_cast<proc_t>(q), in.template view<T>());
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const detail::StageBuf& in = stage[q ^ bit];
+          if (in.len != 0)
+            recv(static_cast<proc_t>(q), in.template view<T>());
+        }
       });
-      clock_.charge_comm_step(max_elems, messages, total, d);
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total, d);
     } else {
-      std::vector<std::vector<T>> staged(procs_);
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        std::span<const T> s = send(static_cast<proc_t>(q));
-        staged[q].assign(s.begin(), s.end());
+      std::vector<std::vector<T>>& slots = vec_stage_slots<T>(procs_);
+      detail::ExPartial* parts = lane_partials();
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q) {
+          std::span<const T> s = send(static_cast<proc_t>(q));
+          p.note(s.size(), vec_stage_one(slots[q], s));
+        }
+        parts[lane] = p;
       });
-      std::size_t max_elems = 0, total = 0, messages = 0;
-      for (proc_t q = 0; q < procs_; ++q) {
-        const std::size_t n = staged[q].size();
-        if (n == 0) continue;
-        ++messages;
-        total += n;
-        if (n > max_elems) max_elems = n;
-      }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (proc_t q = 0; q < procs_; ++q)
-          if (!staged[q].empty())
-            msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0, staged[q].data(),
-                                       staged[q].size()});
-        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, d,
-                               [&](const FaultMsg<T>& m) {
+          if (!slots[q].empty())
+            msgs.push_back(FaultMsg<T>{q, q ^ bit, d, 0, slots[q].data(),
+                                       slots[q].size()});
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, d, [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        const std::vector<T>& in = staged[q ^ bit];
-        if (!in.empty())
-          recv(static_cast<proc_t>(q),
-               std::span<const T>(in.data(), in.size()));
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const std::vector<T>& in = slots[q ^ bit];
+          if (!in.empty())
+            recv(static_cast<proc_t>(q),
+                 std::span<const T>(in.data(), in.size()));
+        }
       });
-      clock_.charge_comm_step(max_elems, messages, total, d);
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total, d);
     }
   }
 
@@ -295,25 +362,22 @@ class Cube {
     const std::size_t nd = dims.size();
     if constexpr (detail::kPoolStageable<T>) {
       detail::StageBuf* stage = stage_slots(nd * procs_);
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        for (std::size_t idx = 0; idx < nd; ++idx) {
-          const std::span<const T> s = send(static_cast<proc_t>(q), idx);
-          stage[idx * procs_ + q].stage(s);
-        }
+      detail::ExPartial* parts = lane_partials();
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q)
+          for (std::size_t idx = 0; idx < nd; ++idx) {
+            detail::StageBuf& sb = stage[idx * procs_ + q];
+            sb.stage(send(static_cast<proc_t>(q), idx));
+            p.note(sb.len, sb.grew);
+          }
+        parts[lane] = p;
       });
-      std::size_t max_port = 0, total = 0, messages = 0;
-      for (std::size_t t = 0; t < nd * procs_; ++t) {
-        const std::size_t n = stage[t].len;
-        if (n == 0) continue;
-        note_stage_use(stage[t]);
-        ++messages;
-        total += n;
-        if (n > max_port) max_port = n;
-      }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (std::size_t idx = 0; idx < nd; ++idx)
           for (proc_t q = 0; q < procs_; ++q) {
             const detail::StageBuf& s = stage[idx * procs_ + q];
@@ -322,68 +386,67 @@ class Cube {
                   q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
                   s.template data<T>(), s.len});
           }
-        deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
-                               nd == 1 ? dims[0] : -1,
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, nd == 1 ? dims[0] : -1,
                                [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.port, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        for (std::size_t idx = 0; idx < nd; ++idx) {
-          const detail::StageBuf& in =
-              stage[idx * procs_ + (q ^ (std::uint32_t{1} << dims[idx]))];
-          if (in.len != 0)
-            recv(static_cast<proc_t>(q), idx, in.template view<T>());
-        }
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q)
+          for (std::size_t idx = 0; idx < nd; ++idx) {
+            const detail::StageBuf& in =
+                stage[idx * procs_ + (q ^ (std::uint32_t{1} << dims[idx]))];
+            if (in.len != 0)
+              recv(static_cast<proc_t>(q), idx, in.template view<T>());
+          }
       });
-      clock_.charge_comm_step(max_port, messages, total,
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total,
                               nd == 1 ? dims[0] : -1);
     } else {
-      std::vector<std::vector<std::vector<T>>> staged(nd);
-      for (std::size_t idx = 0; idx < nd; ++idx) staged[idx].resize(procs_);
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        for (std::size_t idx = 0; idx < nd; ++idx) {
-          std::span<const T> s = send(static_cast<proc_t>(q), idx);
-          staged[idx][q].assign(s.begin(), s.end());
-        }
+      std::vector<std::vector<T>>& slots = vec_stage_slots<T>(nd * procs_);
+      detail::ExPartial* parts = lane_partials();
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q)
+          for (std::size_t idx = 0; idx < nd; ++idx) {
+            std::span<const T> s = send(static_cast<proc_t>(q), idx);
+            p.note(s.size(), vec_stage_one(slots[idx * procs_ + q], s));
+          }
+        parts[lane] = p;
       });
-      std::size_t max_port = 0, total = 0, messages = 0;
-      for (std::size_t idx = 0; idx < nd; ++idx)
-        for (proc_t q = 0; q < procs_; ++q) {
-          const std::size_t n = staged[idx][q].size();
-          if (n == 0) continue;
-          ++messages;
-          total += n;
-          if (n > max_port) max_port = n;
-        }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (std::size_t idx = 0; idx < nd; ++idx)
-          for (proc_t q = 0; q < procs_; ++q)
-            if (!staged[idx][q].empty())
+          for (proc_t q = 0; q < procs_; ++q) {
+            const std::vector<T>& s = slots[idx * procs_ + q];
+            if (!s.empty())
               msgs.push_back(FaultMsg<T>{
                   q, q ^ (std::uint32_t{1} << dims[idx]), dims[idx], idx,
-                  staged[idx][q].data(), staged[idx][q].size()});
-        deliver_with_faults<T>(std::move(msgs), max_port, messages, total,
-                               nd == 1 ? dims[0] : -1,
+                  s.data(), s.size()});
+          }
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, nd == 1 ? dims[0] : -1,
                                [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.port, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        for (std::size_t idx = 0; idx < nd; ++idx) {
-          const std::vector<T>& in =
-              staged[idx][q ^ (std::uint32_t{1} << dims[idx])];
-          if (!in.empty())
-            recv(static_cast<proc_t>(q), idx,
-                 std::span<const T>(in.data(), in.size()));
-        }
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q)
+          for (std::size_t idx = 0; idx < nd; ++idx) {
+            const std::vector<T>& in =
+                slots[idx * procs_ + (q ^ (std::uint32_t{1} << dims[idx]))];
+            if (!in.empty())
+              recv(static_cast<proc_t>(q), idx,
+                   std::span<const T>(in.data(), in.size()));
+          }
       });
-      clock_.charge_comm_step(max_port, messages, total,
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total,
                               nd == 1 ? dims[0] : -1);
     }
   }
@@ -405,27 +468,24 @@ class Cube {
     }
     if constexpr (detail::kPoolStageable<T>) {
       detail::StageBuf* stage = stage_slots(procs_);
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) {
-          stage[q].skip();
-          return;
+      detail::ExPartial* parts = lane_partials();
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q) {
+          if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) {
+            stage[q].skip();
+            continue;
+          }
+          stage[q].stage(send(static_cast<proc_t>(q)));
+          p.note(stage[q].len, stage[q].grew);
         }
-        const std::span<const T> s = send(static_cast<proc_t>(q));
-        stage[q].stage(s);
+        parts[lane] = p;
       });
-      std::size_t max_elems = 0, total = 0, messages = 0;
-      for (proc_t q = 0; q < procs_; ++q) {
-        const std::size_t n = stage[q].len;
-        if (n == 0) continue;
-        note_stage_use(stage[q]);
-        ++messages;
-        total += n;
-        if (n > max_elems) max_elems = n;
-      }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (proc_t q = 0; q < procs_; ++q) {
           if (stage[q].len == 0) continue;
           const proc_t pq = partner(q);
@@ -433,67 +493,78 @@ class Cube {
               q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
               stage[q].template data<T>(), stage[q].len});
         }
-        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
-                               [&](const FaultMsg<T>& m) {
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, -1, [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        const proc_t pq = partner(static_cast<proc_t>(q));
-        if (pq == static_cast<proc_t>(q)) return;
-        const detail::StageBuf& in = stage[pq];
-        if (in.len != 0)
-          recv(static_cast<proc_t>(q), in.template view<T>());
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const proc_t pq = partner(static_cast<proc_t>(q));
+          if (pq == static_cast<proc_t>(q)) continue;
+          const detail::StageBuf& in = stage[pq];
+          if (in.len != 0)
+            recv(static_cast<proc_t>(q), in.template view<T>());
+        }
       });
-      clock_.charge_comm_step(max_elems, messages, total);
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total);
     } else {
-      std::vector<std::vector<T>> staged(procs_);
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) return;
-        std::span<const T> s = send(static_cast<proc_t>(q));
-        staged[q].assign(s.begin(), s.end());
+      std::vector<std::vector<T>>& slots = vec_stage_slots<T>(procs_);
+      detail::ExPartial* parts = lane_partials();
+      team_.step(procs_, [&](unsigned lane, std::size_t lo, std::size_t hi) {
+        detail::ExPartial p;
+        for (std::size_t q = lo; q < hi; ++q) {
+          if (partner(static_cast<proc_t>(q)) == static_cast<proc_t>(q)) {
+            slots[q].clear();
+            continue;
+          }
+          std::span<const T> s = send(static_cast<proc_t>(q));
+          p.note(s.size(), vec_stage_one(slots[q], s));
+        }
+        parts[lane] = p;
       });
-      std::size_t max_elems = 0, total = 0, messages = 0;
-      for (proc_t q = 0; q < procs_; ++q) {
-        const std::size_t n = staged[q].size();
-        if (n == 0) continue;
-        ++messages;
-        total += n;
-        if (n > max_elems) max_elems = n;
-      }
-      if (messages == 0) return;
+      const detail::ExPartial r = reduce_partials();
+      if (r.messages == 0) return;
       if (faults_) {
         std::vector<FaultMsg<T>> msgs;
-        msgs.reserve(messages);
+        msgs.reserve(r.messages);
         for (proc_t q = 0; q < procs_; ++q) {
-          if (staged[q].empty()) continue;
+          if (slots[q].empty()) continue;
           const proc_t pq = partner(q);
           msgs.push_back(FaultMsg<T>{
               q, pq, std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), 0,
-              staged[q].data(), staged[q].size()});
+              slots[q].data(), slots[q].size()});
         }
-        deliver_with_faults<T>(std::move(msgs), max_elems, messages, total, -1,
-                               [&](const FaultMsg<T>& m) {
+        deliver_with_faults<T>(std::move(msgs), r.max_elems, r.messages,
+                               r.total, -1, [&](const FaultMsg<T>& m) {
                                  recv(m.dst, m.payload());
                                });
         return;
       }
-      pool_.parallel_for(0, procs_, [&](std::size_t q) {
-        const proc_t pq = partner(static_cast<proc_t>(q));
-        if (pq == static_cast<proc_t>(q)) return;
-        const std::vector<T>& in = staged[pq];
-        if (!in.empty())
-          recv(static_cast<proc_t>(q),
-               std::span<const T>(in.data(), in.size()));
+      team_.step(procs_, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const proc_t pq = partner(static_cast<proc_t>(q));
+          if (pq == static_cast<proc_t>(q)) continue;
+          const std::vector<T>& in = slots[pq];
+          if (!in.empty())
+            recv(static_cast<proc_t>(q),
+                 std::span<const T>(in.data(), in.size()));
+        }
       });
-      clock_.charge_comm_step(max_elems, messages, total);
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total);
     }
   }
 
-  /// The thread pool backing per-processor loops (exposed for the general
-  /// router, which runs its own delivery cycles).
-  [[nodiscard]] ThreadPool& pool() { return pool_; }
+  /// The persistent worker team backing the per-processor loops.
+  [[nodiscard]] WorkerTeam& team() { return team_; }
+  [[nodiscard]] const WorkerTeam& team() const { return team_; }
+
+  /// Open a batch session on the team: multi-round loops (a collective's
+  /// lg p dimensions, an all-port schedule, a routing sweep) hold one of
+  /// these so their steps run inside a single team activation.  Purely a
+  /// wall-clock hint — simulated results are identical with or without.
+  [[nodiscard]] WorkerTeam::Session session() { return team_.session(); }
 
   /// The cube's recycling allocator for hot-path scratch (exchange staging,
   /// router queues, collective workspaces).  Host-thread only.
@@ -509,14 +580,49 @@ class Cube {
     return stage_.data();
   }
 
-  /// Fold one staged send into the pool statistics: a slot reused without
-  /// growth counts as a pool hit, a grown slot as a miss of the bytes it
-  /// newly allocated.  Host thread only (SimClock is not thread-safe).
-  void note_stage_use(const detail::StageBuf& sb) {
-    if (sb.grew != 0)
-      clock_.note_pool_miss(sb.grew);
-    else
-      clock_.note_pool_hit();
+  /// The persistent per-processor vectors of the non-memcpy staging path,
+  /// one set per payload type, grown (never shrunk) like the raw slots.
+  template <class T>
+  std::vector<std::vector<T>>& vec_stage_slots(std::size_t slots) {
+    std::unique_ptr<detail::VecStageBase>& entry =
+        vec_stage_[std::type_index(typeid(T))];
+    if (!entry) entry = std::make_unique<detail::VecStage<T>>();
+    auto& v = static_cast<detail::VecStage<T>*>(entry.get())->slots;
+    if (v.size() < slots) v.resize(slots);
+    return v;
+  }
+
+  /// Stage one payload into a persistent vector slot; returns the bytes
+  /// freshly heap-allocated (0 on capacity reuse), mirroring
+  /// StageBuf::grew so both paths feed the pool counters identically.
+  template <class T>
+  static std::size_t vec_stage_one(std::vector<T>& slot,
+                                   std::span<const T> s) {
+    const std::size_t old_cap = slot.capacity();
+    slot.assign(s.begin(), s.end());
+    return slot.capacity() > old_cap ? slot.capacity() * sizeof(T) : 0;
+  }
+
+  /// Per-lane statistic partials for one round (the backing vector is
+  /// reused across rounds, so this allocates only once per Cube).  No
+  /// zeroing: every lane — including lanes whose range is empty — stores
+  /// its freshly-accumulated partial into its slot during the staging step.
+  detail::ExPartial* lane_partials() {
+    partials_.resize(team_.lanes());
+    return partials_.data();
+  }
+
+  /// Reduce the lane partials in lane order and fold the hit/miss counts
+  /// into the clock.  Sums and maxima of integers — the result does not
+  /// depend on how processors were partitioned across lanes.
+  detail::ExPartial reduce_partials() {
+    detail::ExPartial r;
+    for (const detail::ExPartial& p : partials_) r.merge(p);
+    if (r.messages != 0) {
+      clock_.note_pool_hits(r.pool_hits);
+      clock_.note_pool_misses(r.pool_misses, r.miss_bytes);
+    }
+    return r;
   }
 
   /// Recovery-aware delivery of one lockstep round's staged messages.
@@ -669,9 +775,12 @@ class Cube {
   int dim_;
   proc_t procs_;
   SimClock clock_;
-  ThreadPool pool_;
+  WorkerTeam team_;
   BufferPool buffers_{&clock_};
   std::vector<detail::StageBuf> stage_;
+  std::vector<detail::ExPartial> partials_;
+  std::unordered_map<std::type_index, std::unique_ptr<detail::VecStageBase>>
+      vec_stage_;
   std::unique_ptr<FaultInjector> faults_;
 };
 

@@ -109,6 +109,15 @@ class SimClock {
     stats_.alloc_bytes += bytes;
   }
 
+  /// Batched forms: the team engine reduces per-lane hit/miss partials and
+  /// folds them in with two calls instead of one per message.  Pure sums,
+  /// so the totals are identical to the per-message form in any order.
+  void note_pool_hits(std::uint64_t n) { stats_.pool_hits += n; }
+  void note_pool_misses(std::uint64_t n, std::uint64_t bytes) {
+    stats_.pool_misses += n;
+    stats_.alloc_bytes += bytes;
+  }
+
   /// Statistics-only: one slab arena (comm/dist_buffer.hpp) whose pooled
   /// acquire missed and allocated `bytes` fresh heap bytes.  Reported on
   /// top of the note_pool_miss the acquire itself records, so profiles can

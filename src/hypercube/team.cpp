@@ -1,0 +1,153 @@
+#include "hypercube/team.hpp"
+
+#include <cstdlib>
+
+namespace vmp {
+
+namespace {
+
+/// Spin budgets (in yield iterations) before a worker parks on the
+/// condvar.  Outside a session the team parks almost immediately — an idle
+/// Cube must not burn a core.  Inside a session the next step is known to
+/// be imminent (the caller opened the batch precisely because it is about
+/// to issue a run of steps), so spinning longer trades a little CPU for
+/// skipping the wake-up latency between rounds.
+constexpr int kIdleSpin = 16;
+constexpr int kSessionSpin = 4096;
+
+}  // namespace
+
+unsigned env_threads() {
+  const char* s = std::getenv("VMP_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return 1;
+  return static_cast<unsigned>(v);
+}
+
+unsigned WorkerTeam::resolve_lanes(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return threads;
+}
+
+WorkerTeam::WorkerTeam(unsigned threads) {
+  nlanes_ = resolve_lanes(threads);
+  if (nlanes_ <= 1) {
+    nlanes_ = 1;
+    return;
+  }
+  lane_state_ = std::make_unique<LaneState[]>(nlanes_ - 1);
+  workers_.reserve(nlanes_ - 1);
+  for (unsigned w = 1; w < nlanes_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+WorkerTeam::~WorkerTeam() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_.store(true, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+std::uint64_t WorkerTeam::await_command(std::uint64_t seen) {
+  int spins = 0;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return seen;
+    const std::uint64_t g = gen_.load(std::memory_order_acquire);
+    if (g != seen) return g;
+    const int budget = session_open_.load(std::memory_order_relaxed) != 0
+                           ? kSessionSpin
+                           : kIdleSpin;
+    if (++spins < budget) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park.  The increment of parked_ and the re-read of gen_ are both
+    // seq_cst, pairing with the host's seq_cst publish of gen_ followed by
+    // its seq_cst read of parked_: either the host sees us parked (and
+    // notifies under the mutex), or we see its new generation in the wait
+    // predicate before sleeping.  No lost wake-up either way.
+    std::unique_lock<std::mutex> lk(mutex_);
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_seq_cst) ||
+             gen_.load(std::memory_order_seq_cst) != seen;
+    });
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    spins = 0;
+  }
+}
+
+void WorkerTeam::worker_loop(unsigned lane) {
+  LaneState& st = lane_state_[lane - 1];
+  const unsigned nlanes = lanes();
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::uint64_t g = await_command(seen);
+    if (g == seen) return;  // stop requested
+    seen = g;
+    const std::size_t lo = lane_begin(items_, lane, nlanes);
+    const std::size_t hi = lane_begin(items_, lane + 1, nlanes);
+    if (lo != hi) {
+      try {
+        fn_(ctx_, lane, lo, hi);
+      } catch (...) {
+        st.error = std::current_exception();
+      }
+    }
+    st.done.store(g, std::memory_order_release);
+  }
+}
+
+void WorkerTeam::run_step(std::size_t items, void* ctx, StepFn fn) {
+  StepScope scope(*this);
+  ctx_ = ctx;
+  fn_ = fn;
+  items_ = items;
+  // Publish: the seq_cst bump releases the command fields to the workers'
+  // acquire loads of gen_.
+  const std::uint64_t g = gen_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (parked_.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    cv_.notify_all();
+  }
+  // The host is lane 0 and computes its own share while the workers run
+  // theirs.
+  const unsigned nlanes = lanes();
+  const std::size_t hi = lane_begin(items, 1, nlanes);
+  std::exception_ptr host_error;
+  if (hi != 0) {
+    try {
+      fn(ctx, 0, 0, hi);
+    } catch (...) {
+      host_error = std::current_exception();
+    }
+  }
+  // Barrier: one acquire load per lane pairs with its release store of
+  // done, so everything each lane wrote is visible here.  The barrier
+  // always completes before any rethrow — the team must be quiescent when
+  // an exception escapes.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    LaneState& st = lane_state_[w];
+    while (st.done.load(std::memory_order_acquire) != g)
+      std::this_thread::yield();
+  }
+  if (host_error) std::rethrow_exception(host_error);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (lane_state_[w].error) {
+      std::exception_ptr e = lane_state_[w].error;
+      lane_state_[w].error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace vmp

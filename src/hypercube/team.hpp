@@ -1,0 +1,195 @@
+/// \file team.hpp
+/// \brief Persistent SPMD worker team executing the machine's lockstep
+///        steps as phase sequences separated by generation barriers.
+///
+/// The previous engine forked a mutex/condvar `parallel_for` for every
+/// lockstep round; at d=8 with small tiles the fork/join protocol and the
+/// serial host scans between phases dominated wall-clock.  The team model
+/// matches what the machine actually is — a strict SPMD phase sequence —
+/// so the host threads mirror it:
+///
+///  * Workers are created ONCE per Cube and pinned to a static partition:
+///    lane `w` of `L` always owns items `[n·w/L, n·(w+1)/L)`.  The same
+///    lane therefore touches the same slab tiles step after step
+///    (owner-computes affinity, compounding the arena locality of the
+///    contiguous storage layer).
+///  * A step is published by bumping a generation counter; every lane runs
+///    its range and reports into its own `done` slot.  The host (always
+///    lane 0) runs its share inline and then waits for the lanes — one
+///    release/acquire pair per lane per step instead of a locked queue
+///    hand-off per chunk.
+///  * Between steps workers spin briefly (yielding) and then park on a
+///    condvar; inside a Session (see below) the spin budget is larger, so
+///    a multi-round loop never pays a wake-up between its rounds.
+///
+/// Determinism: the partition depends only on (items, lanes) and every
+/// per-item body the machine submits is independent, so results never
+/// depend on the lane count.  Host threads change wall-clock speed only —
+/// simulated time, statistics and event traces are bit-identical at every
+/// thread count, including the fully inline zero-worker configuration
+/// (tests/test_thread_invariance.cpp enforces this).  See
+/// docs/threading.md for the protocol and the memory-ordering argument.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vmp {
+
+/// Lane count the VMP_THREADS environment variable requests: unset or
+/// unparsable means 1 (fully serial), "0" means one lane per hardware
+/// thread, any other number is taken literally.  This is the default for
+/// Cube::Options::threads, so every test and bench binary honours the
+/// variable without plumbing.
+[[nodiscard]] unsigned env_threads();
+
+class WorkerTeam {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency(); the team
+  /// spawns `threads - 1` workers because the host participates as lane 0.
+  /// `threads == 1` spawns nothing: every step runs inline and the whole
+  /// protocol reduces to a function call.
+  explicit WorkerTeam(unsigned threads = 1);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  /// Total lanes, workers + the participating host thread.
+  [[nodiscard]] unsigned lanes() const { return nlanes_; }
+
+  /// The lane count a request of `threads` host threads resolves to,
+  /// without constructing a team (bench reports record this).
+  [[nodiscard]] static unsigned resolve_lanes(unsigned threads);
+
+  /// One lockstep step: run `fn(lane, lo, hi)` with the static ownership
+  /// partition of [0, items) across all lanes, blocking until every lane
+  /// has finished.  The host runs lane 0 inline.  Exceptions thrown by any
+  /// lane are captured and the lowest-lane one is rethrown here after the
+  /// barrier (the step always completes as a barrier first).
+  template <class F>
+  void step(std::size_t items, F&& fn) {
+    if (items == 0) return;
+    if (workers_.empty()) {
+      StepScope scope(*this);
+      fn(0u, std::size_t{0}, items);
+      return;
+    }
+    using Body = std::remove_reference_t<F>;
+    run_step(items, const_cast<Body*>(std::addressof(fn)),
+             [](void* ctx, unsigned lane, std::size_t lo, std::size_t hi) {
+               (*static_cast<Body*>(ctx))(lane, lo, hi);
+             });
+  }
+
+  /// True while a step is executing (even inline with zero workers):
+  /// storage shared between the per-item bodies must not be reallocated,
+  /// and the slab layer uses this to fail loudly instead of racing.
+  [[nodiscard]] bool in_step() const {
+    return in_step_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// RAII batch marker: while at least one Session is open the workers use
+  /// a much larger spin budget before parking, so the rounds of a
+  /// multi-step loop (a collective's lg p dimensions, an all-port
+  /// schedule, a routing sweep) run back to back inside one team
+  /// activation — no condvar round trip between them.  Sessions nest and
+  /// may be opened with zero workers (then they are a no-op).  Purely a
+  /// wall-clock hint: simulated results are identical with or without.
+  class Session {
+   public:
+    Session() = default;
+    Session(Session&& other) noexcept : team_(other.team_) {
+      other.team_ = nullptr;
+    }
+    Session& operator=(Session&& other) noexcept {
+      if (this != &other) {
+        close();
+        team_ = other.team_;
+        other.team_ = nullptr;
+      }
+      return *this;
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    ~Session() { close(); }
+
+   private:
+    friend class WorkerTeam;
+    explicit Session(WorkerTeam* team) : team_(team) {
+      if (team_) team_->session_open_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void close() {
+      if (team_) team_->session_open_.fetch_sub(1, std::memory_order_relaxed);
+      team_ = nullptr;
+    }
+    WorkerTeam* team_ = nullptr;
+  };
+
+  /// Open a batch session (see Session).
+  [[nodiscard]] Session session() { return Session(this); }
+  [[nodiscard]] bool in_session() const {
+    return session_open_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The static ownership partition: the first item lane `lane` of `lanes`
+  /// owns in a step over `items` items.  Monotone and exhaustive:
+  /// lane_begin(n, L, L) == n.
+  [[nodiscard]] static std::size_t lane_begin(std::size_t items, unsigned lane,
+                                              unsigned lanes) {
+    return items * lane / lanes;
+  }
+
+ private:
+  using StepFn = void (*)(void* ctx, unsigned lane, std::size_t lo,
+                          std::size_t hi);
+
+  /// RAII for in_step(), covering the inline zero-worker path too.
+  struct StepScope {
+    explicit StepScope(WorkerTeam& t) : team(t) {
+      team.in_step_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~StepScope() { team.in_step_.fetch_sub(1, std::memory_order_relaxed); }
+    WorkerTeam& team;
+  };
+
+  /// Per-worker barrier slot, padded so neighbouring lanes never share a
+  /// cache line while reporting.
+  struct alignas(64) LaneState {
+    std::atomic<std::uint64_t> done{0};
+    std::exception_ptr error;
+  };
+
+  void run_step(std::size_t items, void* ctx, StepFn fn);
+  void worker_loop(unsigned lane);
+  [[nodiscard]] std::uint64_t await_command(std::uint64_t seen);
+
+  // Command slot.  The plain fields are published to the workers by the
+  // seq_cst bump of gen_ (release side) and read after their acquire load
+  // of gen_; the host rewrites them only after the previous step's
+  // barrier, when no worker can still be reading.
+  void* ctx_ = nullptr;
+  StepFn fn_ = nullptr;
+  std::size_t items_ = 0;
+  std::atomic<std::uint64_t> gen_{0};
+
+  unsigned nlanes_ = 1;  // fixed before any worker starts
+  std::vector<std::thread> workers_;
+  std::unique_ptr<LaneState[]> lane_state_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> parked_{0};
+  std::atomic<int> session_open_{0};
+  std::atomic<int> in_step_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace vmp

@@ -1,14 +1,15 @@
 // Unit tests: the lockstep machine engine, cost model, simulated clock,
-// thread pool and the naive packet router.
+// worker team and the naive packet router.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "comm/dist_buffer.hpp"
 #include "comm/router.hpp"
 #include "hypercube/machine.hpp"
-#include "hypercube/thread_pool.hpp"
+#include "hypercube/team.hpp"
 
 namespace vmp {
 namespace {
@@ -116,29 +117,81 @@ TEST(Cube, ResultsIdenticalUnderHostThreading) {
       << "host threads must never change simulated time";
 }
 
-TEST(ThreadPool, CoversAllIndicesOnce) {
-  ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(1000);
-  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+TEST(WorkerTeam, CoversAllItemsExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    WorkerTeam team(threads);
+    EXPECT_EQ(team.lanes(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    team.step(1000, [&](unsigned, std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads;
+  }
 }
 
-TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(3);
-  EXPECT_THROW(pool.parallel_for(0, 100,
-                                 [&](std::size_t i) {
-                                   if (i == 57) throw std::runtime_error("x");
-                                 }),
-               std::runtime_error);
-  // Pool must still be usable afterwards.
+TEST(WorkerTeam, PartitionIsStaticMonotoneAndExhaustive) {
+  // Lane w of L always owns [n·w/L, n·(w+1)/L): the partition depends only
+  // on (items, lanes), covers everything, and never reorders.
+  for (unsigned lanes : {1u, 2u, 3u, 5u, 8u}) {
+    for (std::size_t items : {0u, 1u, 7u, 256u, 1000u}) {
+      EXPECT_EQ(WorkerTeam::lane_begin(items, 0, lanes), 0u);
+      EXPECT_EQ(WorkerTeam::lane_begin(items, lanes, lanes), items);
+      for (unsigned w = 0; w < lanes; ++w)
+        EXPECT_LE(WorkerTeam::lane_begin(items, w, lanes),
+                  WorkerTeam::lane_begin(items, w + 1, lanes));
+    }
+  }
+}
+
+TEST(WorkerTeam, PropagatesExceptions) {
+  WorkerTeam team(3);
+  EXPECT_THROW(
+      team.step(100,
+                [&](unsigned, std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i)
+                    if (i == 57) throw std::runtime_error("x");
+                }),
+      std::runtime_error);
+  // Team must still be usable afterwards (the barrier completed).
   std::atomic<int> n{0};
-  pool.parallel_for(0, 10, [&](std::size_t) { ++n; });
+  team.step(10, [&](unsigned, std::size_t lo, std::size_t hi) {
+    n += static_cast<int>(hi - lo);
+  });
   EXPECT_EQ(n.load(), 10);
 }
 
-TEST(ThreadPool, EmptyRangeIsANoop) {
-  ThreadPool pool(2);
-  pool.parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+TEST(WorkerTeam, EmptyStepIsANoop) {
+  WorkerTeam team(2);
+  team.step(0, [&](unsigned, std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(WorkerTeam, SessionsNestAndStepsRunInside) {
+  WorkerTeam team(2);
+  EXPECT_FALSE(team.in_session());
+  std::atomic<int> n{0};
+  {
+    auto outer = team.session();
+    EXPECT_TRUE(team.in_session());
+    {
+      auto inner = team.session();
+      for (int round = 0; round < 16; ++round)
+        team.step(64, [&](unsigned, std::size_t lo, std::size_t hi) {
+          n += static_cast<int>(hi - lo);
+        });
+    }
+    EXPECT_TRUE(team.in_session());
+  }
+  EXPECT_FALSE(team.in_session());
+  EXPECT_EQ(n.load(), 16 * 64);
+}
+
+TEST(WorkerTeam, InStepCoversInlineExecution) {
+  WorkerTeam team(1);  // zero workers: step runs inline
+  EXPECT_FALSE(team.in_step());
+  team.step(4, [&](unsigned, std::size_t, std::size_t) {
+    EXPECT_TRUE(team.in_step());
+  });
+  EXPECT_FALSE(team.in_step());
 }
 
 TEST(Router, DeliversEverythingToTheRightPlace) {

@@ -198,8 +198,8 @@ const std::set<std::string> kRegionProfileKeys = {
     "flops_charged",  "flops_total",     "router_cycles",
     "router_hops",    "dim_elements",    "mixed_dim_elements"};
 const std::set<std::string> kBenchTopKeys = {
-    "schema", "name",   "quick",      "trials", "warmup",
-    "seed",   "faults", "fault_seed", "cases"};
+    "schema", "name",   "quick",      "trials",  "warmup",
+    "seed",   "faults", "fault_seed", "threads", "cases"};
 
 /// A small workload whose profile exercises comm, compute, regions and
 /// (when `faults`) the recovery counters.
@@ -297,6 +297,9 @@ TEST(BenchSchema, DocumentAndCaseKeysAreExact) {
   EXPECT_EQ(doc.at("seed").number,
             static_cast<double>(global_seed()));
   EXPECT_EQ(doc.at("faults").boolean, false);
+  // The resolved worker-team lane count every cube of the run used.
+  EXPECT_EQ(doc.at("threads").number,
+            static_cast<double>(WorkerTeam::resolve_lanes(env_threads())));
   ASSERT_EQ(doc.at("cases").array.size(), 1u);
   const Json& kase = doc.at("cases").array[0];
   EXPECT_EQ(kase.keys(),

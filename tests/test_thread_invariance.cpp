@@ -1,0 +1,206 @@
+// Thread-count invariance sweep (tentpole check of the persistent SPMD
+// worker-team engine): host threads change wall-clock speed only, NEVER
+// the simulated machine.  The full eight-primitive workload — plus a fused
+// pipeline, a routing transpose and a distributed scan, with and without a
+// deterministic fault plan — must produce bit-identical results, identical
+// `now_us`, identical SimStats (allocation counters included: staging slots
+// grow per processor, not per lane) and charge-for-charge identical event
+// traces under every lane count, including the fully inline zero-worker
+// configuration and the hardware-concurrency one (threads = 0).
+//
+// Why this holds by construction: the team's ownership partition only
+// decides WHICH lane runs a processor, per-processor work is independent
+// within a step, and the per-step statistics are reduced from per-lane
+// integer partials whose sums and maxima are partition-independent (see
+// docs/threading.md).  This suite is the enforcement mechanism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/matvec.hpp"
+#include "comm/dist_buffer.hpp"
+#include "core/primitives.hpp"
+#include "core/scan_ops.hpp"
+#include "core/transpose.hpp"
+#include "fault/fault.hpp"
+#include "hypercube/team.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+const std::uint64_t kBaseSeed = announce_seed("test_thread_invariance");
+
+struct TrialConfig {
+  int d, gr, gc;
+  std::size_t nrows, ncols;
+  bool cyclic;
+  bool ipsc;
+  std::uint64_t data_seed;
+
+  [[nodiscard]] std::string reproducer(int trial) const {
+    return "reproduce: VMP_SEED=" + std::to_string(kBaseSeed) +
+           " ./test_thread_invariance  (trial " + std::to_string(trial) +
+           ": d=" + std::to_string(d) + " gr=" + std::to_string(gr) +
+           " gc=" + std::to_string(gc) + " n=" + std::to_string(nrows) + "x" +
+           std::to_string(ncols) + (cyclic ? " cyclic" : " blocked") +
+           (ipsc ? " ipsc" : " cm2") + ")";
+  }
+};
+
+[[nodiscard]] TrialConfig draw(int trial) {
+  SplitMix64 rng(kBaseSeed + static_cast<std::uint64_t>(trial) * 0x9e37ull);
+  TrialConfig c;
+  c.d = 1 + static_cast<int>(rng.below(8));  // 1..8 → 2..256 processors
+  c.gr = static_cast<int>(rng.below(static_cast<std::uint64_t>(c.d) + 1));
+  c.gc = c.d - c.gr;
+  c.nrows = 1 + rng.below(48);
+  c.ncols = 1 + rng.below(48);
+  c.cyclic = rng.below(2) == 0;
+  c.ipsc = rng.below(2) == 0;
+  c.data_seed = rng.next();
+  return c;
+}
+
+/// Everything one run of the workload produces, snapshotted so machines
+/// with different lane counts can be compared field for field.
+struct Snapshot {
+  std::vector<std::vector<double>> results;
+  double now_us = 0.0;
+  SimStats stats;
+  std::vector<std::string> trace_paths;
+  std::vector<TraceEvent> trace_events;
+};
+
+/// The full eight-primitive sweep plus a fused pipeline, a dimension-order
+/// routing transpose and a distributed scan — every engine path: compute
+/// steps, one-port and all-port exchanges, sessions, and (when `faulty`)
+/// the recovery-aware delivery.
+[[nodiscard]] Snapshot run_workload(const TrialConfig& c, unsigned threads,
+                                    bool faulty) {
+  Cube cube(c.d, c.ipsc ? CostParams::ipsc() : CostParams::cm2(),
+            Cube::Options{threads});
+  if (faulty)
+    cube.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  cube.clock().tracer().set_recording(true);
+  Grid grid(cube, c.gr, c.gc);
+
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const Part part = c.cyclic ? Part::Cyclic : Part::Block;
+  const std::vector<double> host =
+      random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed));
+  DistMatrix<double> A(grid, c.nrows, c.ncols, layout);
+  A.load(host);
+  const std::vector<double> vc_host =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  const std::vector<double> vr_host =
+      random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 16));
+  DistVector<double> vc(grid, c.ncols, Align::Cols, part);
+  DistVector<double> vr(grid, c.nrows, Align::Rows, part);
+  vc.load(vc_host);
+  vr.load(vr_host);
+
+  SplitMix64 rng(c.data_seed ^ 0xfeedULL);
+  const std::size_t pick_i = rng.below(c.nrows);
+  const std::size_t pick_j = rng.below(c.ncols);
+
+  Snapshot s;
+  // 1–8: the four primitive families along both axes.
+  s.results.push_back(reduce_rows(A, Plus<double>{}).to_host());
+  s.results.push_back(reduce_cols(A, Max<double>{}).to_host());
+  s.results.push_back(extract_row(A, pick_i).to_host());
+  s.results.push_back(extract_col(A, pick_j).to_host());
+  s.results.push_back(distribute_rows(vc, c.nrows).to_host());
+  s.results.push_back(distribute_cols(vr, c.ncols).to_host());
+  insert_row(A, pick_i, vc);
+  s.results.push_back(A.to_host());
+  insert_col(A, pick_j, vr);
+  s.results.push_back(A.to_host());
+  // Fused pipeline (one-pass compute + the composed comm sequence).
+  s.results.push_back(fused_matvec(A, vc).to_host());
+  // Dimension-order combining routing (transpose) — team sessions around
+  // the k-round sweep.
+  s.results.push_back(transpose(A).to_host());
+  // Distributed scan: local pass, lg p scan rounds, local pass.
+  DistVector<double> sv(grid, c.nrows, Align::Rows, Part::Block);
+  sv.load(vr_host);
+  vec_scan_inclusive(sv, Plus<double>{});
+  s.results.push_back(sv.to_host());
+
+  s.now_us = cube.clock().now_us();
+  s.stats = cube.clock().stats();
+  s.trace_paths = cube.clock().tracer().paths();
+  s.trace_events = cube.clock().tracer().events();
+  return s;
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, SimulatedMachineBitIdenticalAcrossLaneCounts) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+
+  for (const bool faulty : {false, true}) {
+    const Snapshot ref = run_workload(c, /*threads=*/1, faulty);
+    // 0 resolves to one lane per hardware thread — whatever this host has.
+    for (const unsigned threads : {2u, 3u, 0u}) {
+      const Snapshot got = run_workload(c, threads, faulty);
+      const std::string what = std::string(faulty ? "faulty" : "fault-free") +
+                               " threads=" + std::to_string(threads);
+      ASSERT_EQ(ref.results.size(), got.results.size()) << what;
+      for (std::size_t i = 0; i < ref.results.size(); ++i)
+        EXPECT_EQ(ref.results[i], got.results[i])
+            << what << " result stream " << i;
+      EXPECT_EQ(ref.now_us, got.now_us) << what << " simulated clock";
+      EXPECT_TRUE(ref.stats == got.stats)
+          << what << " SimStats diverge (messages " << ref.stats.messages
+          << " vs " << got.stats.messages << ", pool "
+          << ref.stats.pool_hits << "/" << ref.stats.pool_misses << " vs "
+          << got.stats.pool_hits << "/" << got.stats.pool_misses << ")";
+      EXPECT_EQ(ref.trace_paths, got.trace_paths) << what;
+      EXPECT_TRUE(ref.trace_events == got.trace_events)
+          << what << " event traces diverge";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreadSweep, ::testing::Range(0, 16));
+
+TEST(ThreadOptions, VmpThreadsEnvIsTheDefault) {
+  // Options{} reads VMP_THREADS at construction: unset → 1 lane, N → N
+  // lanes, 0 → one lane per hardware thread.
+  ASSERT_EQ(setenv("VMP_THREADS", "3", 1), 0);
+  EXPECT_EQ(env_threads(), 3u);
+  {
+    Cube cube(2, CostParams::unit());
+    EXPECT_EQ(cube.threads(), 3u);
+  }
+  ASSERT_EQ(setenv("VMP_THREADS", "0", 1), 0);
+  EXPECT_EQ(env_threads(), 0u);
+  {
+    Cube cube(2, CostParams::unit());
+    EXPECT_EQ(cube.threads(), WorkerTeam::resolve_lanes(0));
+    EXPECT_GE(cube.threads(), 1u);
+  }
+  ASSERT_EQ(unsetenv("VMP_THREADS"), 0);
+  EXPECT_EQ(env_threads(), 1u);
+  {
+    Cube cube(2, CostParams::unit());
+    EXPECT_EQ(cube.threads(), 1u);
+  }
+  // Explicit Options always win over the environment.
+  ASSERT_EQ(setenv("VMP_THREADS", "7", 1), 0);
+  {
+    Cube cube(2, CostParams::unit(), Cube::Options{2});
+    EXPECT_EQ(cube.threads(), 2u);
+  }
+  ASSERT_EQ(unsetenv("VMP_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace vmp
