@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       h.run("broadcast_algorithms", {{"dim", d}, {"n", nn}},
             [&](bench::Case& c) {
               Cube cube(d, CostParams::cm2());
+              if (h.metrics()) cube.enable_metrics();
               const SubcubeSet sc = SubcubeSet::contiguous(0, d);
               DistBuffer<double> buf(cube);
               buf.assign(0, random_vector(n, 71));
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
               c.counter("sim_binomial_us", t_bin);
               c.counter("sim_sag_us", t_sag);
               c.counter("sag_gain", t_bin / t_sag);
+              if (h.metrics()) c.metrics(cube.metrics(), t_sag);
             });
       h.run("allreduce_algorithms", {{"dim", d}, {"n", nn}},
             [&](bench::Case& c) {

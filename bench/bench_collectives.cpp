@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       const auto nn = static_cast<std::int64_t>(n);
       h.run("fft", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
         Cube cube(d, CostParams::cm2());
+        if (h.metrics()) cube.enable_metrics();
         Grid grid = Grid::square(cube);
         std::vector<cplx> x(n);
         SplitMix64 rng(6);
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
             10.0 * static_cast<double>(n) / 2.0 * lg * cube.costs().flop_us;
         c.counter("sim_us", sim);
         c.counter("speedup", serial / sim);
+        if (h.metrics()) c.metrics(cube.metrics(), sim);
       });
       h.run("sort", {{"dim", d}, {"n", nn}}, [&](bench::Case& c) {
         Cube cube(d, CostParams::cm2());

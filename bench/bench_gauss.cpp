@@ -9,7 +9,9 @@
 //   efficiency    speedup / p
 // The "factor" profile splits lu_factor into its pivot_search / update
 // subregions, and the factor_and_solve cases also write a Chrome
-// trace_event file (gauss_trace.json) loadable in Perfetto.
+// trace_event file (gauss_trace.json) loadable in Perfetto plus the same
+// attribution as a collapsed-stack file (gauss_flame.collapsed) for
+// flamegraph.pl / speedscope.
 //
 // The factor_forms cases compare the primitive-composed lu_factor against
 // lu_factor_fused (bit-identical results, one fused compute pass per step):
@@ -122,6 +124,7 @@ int main(int argc, char** argv) {
 
             Cube cube(6, CostParams::cm2());
             if (h.faults()) cube.enable_faults(h.fault_plan());
+            if (h.metrics()) cube.enable_metrics();
             Grid grid = Grid::square(cube);
             DistMatrix<double> A(grid, n, n, MatrixLayout::cyclic());
             A.load(H.data());
@@ -137,10 +140,12 @@ int main(int argc, char** argv) {
             c.profile("factor_and_solve", cube.clock());
             if (record) {
               write_chrome_trace("gauss_trace.json", cube.clock());
+              write_collapsed_stacks("gauss_flame.collapsed", cube.clock());
               traced = true;
             }
             c.counter("sim_factor_us", t_factor);
             c.counter("sim_solve_us", t_solve);
+            if (h.metrics()) c.metrics(cube.metrics(), cube.clock().now_us());
           });
   }
   return h.finish();

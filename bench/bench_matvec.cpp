@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
               [&](bench::Case& c) {
                 Cube cube(d, preset(costs));
                 if (h.faults()) cube.enable_faults(h.fault_plan());
+                if (h.metrics()) cube.enable_metrics();
                 Grid grid = Grid::square(cube);
                 DistMatrix<double> A(grid, n, n);
                 A.load(random_matrix(n, n, 31));
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
                 c.counter("wall_fused_ms", wall_fused);
                 c.counter("host_composed_over_fused",
                           wall_composed / wall_fused);
+                if (h.metrics())
+                  c.metrics(cube.metrics(), cube.clock().now_us());
                 c.label(cube.costs().name);
               });
         h.run("vecmat_forms", {{"dim", d}, {"n", nn}, {"costs", costs}},

@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
             {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
             [&](bench::Case& c) {
               Cube cube(d, CostParams::cm2());
+              if (h.metrics()) cube.enable_metrics();
               Grid grid = Grid::square(cube);
               const HostMatrix H = diag_dominant_matrix(n, 23);
               DistMatrix<double> A1(grid, n, n, MatrixLayout::cyclic());
@@ -110,6 +111,8 @@ int main(int argc, char** argv) {
                     cube.clock().reset();
                     (void)lu_factor(A2);
                   });
+              if (h.metrics())
+                c.metrics(cube.metrics(), cube.clock().now_us());
             });
     }
   return h.finish();

@@ -16,6 +16,8 @@ namespace {
 
 using namespace vmp;
 
+const bench::Harness* g_harness = nullptr;
+
 struct Fixture {
   Fixture(int d, std::size_t n)
       : cube(d, CostParams::cm2()),
@@ -26,6 +28,7 @@ struct Fixture {
     A.load(random_matrix(n, n, 11));
     v.load(random_vector(n, 12));
     w.load(random_vector(n, 13));
+    if (g_harness->metrics()) cube.enable_metrics();
   }
   Cube cube;
   Grid grid;
@@ -39,12 +42,14 @@ void finish(bench::Case& c, Cube& cube, std::size_t n) {
   c.counter("comm_steps",
             static_cast<double>(cube.clock().stats().comm_steps));
   c.profile("run", cube.clock());
+  if (g_harness->metrics()) c.metrics(cube.metrics(), cube.clock().now_us());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Harness h("bench_primitives", argc, argv);
+  g_harness = &h;
   for (int d : h.dims({4, 6, 8, 10}, {4, 6}))
     for (std::size_t n : h.sizes({64, 128, 256, 512, 1024}, {64, 128})) {
       h.run("reduce_rows", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
@@ -144,6 +149,10 @@ int main(int argc, char** argv) {
   for (int d : h.dims({4, 5, 6, 7, 8}, {4, 8})) {
     h.run("engine_empty_steps", {{"dim", d}}, [&](bench::Case& c) {
       Cube cube(d, CostParams::cm2());
+      // With --metrics this case doubles as the dispatch-overhead check:
+      // default sampling must keep ns_per_step within a few percent of the
+      // metrics-off number (docs/perf.md).
+      if (h.metrics()) cube.enable_metrics();
       constexpr int kSteps = 20000;
       const auto batch = cube.session();
       const auto t0 = std::chrono::steady_clock::now();
@@ -153,10 +162,12 @@ int main(int argc, char** argv) {
       c.counter("steps", kSteps);
       c.counter("steps_per_sec", static_cast<double>(kSteps) / secs);
       c.counter("ns_per_step", 1e9 * secs / kSteps);
+      if (h.metrics()) c.metrics(cube.metrics(), cube.clock().now_us());
     });
     h.run("engine_exchange_1elem", {{"dim", d}}, [&](bench::Case& c) {
       Cube cube(d, CostParams::cm2());
       if (h.faults()) cube.enable_faults(h.fault_plan());
+      if (h.metrics()) cube.enable_metrics();
       std::vector<double> cell(cube.procs(), 1.0);
       constexpr int kRounds = 4000;
       const auto batch = cube.session();
@@ -171,6 +182,7 @@ int main(int argc, char** argv) {
       c.counter("rounds_per_sec", static_cast<double>(kRounds) / secs);
       c.counter("ns_per_round", 1e9 * secs / kRounds);
       c.counter("sim_us", cube.clock().now_us());
+      if (h.metrics()) c.metrics(cube.metrics(), cube.clock().now_us());
     });
   }
   return h.finish();

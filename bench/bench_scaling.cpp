@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
             [&](bench::Case& c) {
               const std::size_t m = n * n;
               Cube cube(d, CostParams::cm2());
+              if (h.metrics()) cube.enable_metrics();
               Grid grid = Grid::square(cube);
               DistMatrix<double> A(grid, n, n);
               A.load(random_matrix(n, n, 61));
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
               c.counter("sim_us", sim);
               c.counter("pT_over_serial", p * sim / serial);
               c.counter("T_over_ideal", sim / ideal);
+              if (h.metrics()) c.metrics(cube.metrics(), sim);
             });
     }
 

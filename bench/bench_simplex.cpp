@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
               const double serial_us = serial_charge(lp);
 
               Cube cube(d, CostParams::cm2());
+              if (h.metrics()) cube.enable_metrics();
               Grid grid = Grid::square(cube);
               cube.clock().reset();
               const bool record = !traced;
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
                         sim / static_cast<double>(
                                   std::max<std::size_t>(1, sol.iterations)));
               c.counter("speedup", serial_us / sim);
+              if (h.metrics()) c.metrics(cube.metrics(), sim);
               c.label(to_string(sol.status));
             });
     }

@@ -27,6 +27,12 @@
 ///                    default every Cube reads: 0 = hardware concurrency,
 ///                    1 = serial); the resolved lane count is recorded as
 ///                    "threads" in the JSON document
+///   --metrics        enable the engine metrics tier (obs/metrics.hpp) in
+///                    benches that wire it: each case embeds its final
+///                    vmp-metrics-v1 snapshot in the bench document, the
+///                    run writes the snapshots as a METRICS_<name>.json
+///                    time-series next to the bench JSON, and the last
+///                    case's text dashboard is printed after the table
 ///
 /// The effective base seed (VMP_SEED env or the default) is printed at
 /// start-up and recorded in the JSON document, so any randomized run can
@@ -55,11 +61,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "hypercube/team.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
 
@@ -84,12 +92,25 @@ class Case {
   void profile(std::string key, const SimClock& clock) {
     profiles_.emplace_back(std::move(key), profile_to_json(clock));
   }
+  /// Snapshot the engine metrics registry (benches call this after the
+  /// timed section when Harness::metrics() is set): the vmp-metrics-v1
+  /// snapshot is embedded in the case's bench JSON and collected into the
+  /// run's METRICS time-series, labelled with the case name at `sim_us`
+  /// on the simulated timeline.
+  void metrics(MetricsRegistry& m, double sim_us) {
+    metrics_json_ = metrics_to_json(m);
+    metrics_table_ = metrics_to_table(m);
+    metrics_sim_us_ = sim_us;
+  }
 
  private:
   friend class Harness;
   std::vector<std::pair<std::string, double>> counters_;
   std::vector<std::pair<std::string, std::string>> profiles_;  // key -> JSON
   std::string label_;
+  std::string metrics_json_;
+  std::string metrics_table_;
+  double metrics_sim_us_ = 0.0;
 };
 
 class Harness {
@@ -127,6 +148,10 @@ class Harness {
   /// True when --faults was given: the bench should attach fault_plan() to
   /// its cube(s) so the run exercises the recovery path.
   [[nodiscard]] bool faults() const { return faults_; }
+
+  /// True when --metrics was given: the bench should enable_metrics() on
+  /// its cube(s) and snapshot them per case via Case::metrics().
+  [[nodiscard]] bool metrics() const { return metrics_; }
 
   /// The standard transient plan benches run under --faults: 2% drops,
   /// 1% corruption, 0.5% latency spikes of 25 µs — well inside the default
@@ -179,10 +204,15 @@ class Harness {
     }
     res.wall_ms = wall_ms / ntrials;
     print_case(full, res);
+    if (!res.c.metrics_json_.empty())
+      series_.push_back(
+          {full, res.c.metrics_sim_us_, res.wall_ms, res.c.metrics_json_});
     results_.push_back(std::move(res));
   }
 
-  /// Write the JSON document and return the process exit code.
+  /// Write the JSON document(s) and return the process exit code.  With
+  /// --metrics and at least one snapshotting case, also writes the
+  /// METRICS_<name>.json time-series and prints the last dashboard.
   int finish() {
     if (list_) return 0;
     std::ofstream f(json_path_, std::ios::binary);
@@ -197,6 +227,24 @@ class Harness {
     if (!f) return 1;
     std::printf("# wrote %s (%zu cases)\n", json_path_.c_str(),
                 results_.size());
+    if (metrics_ && !series_.empty()) {
+      const std::string mpath = metrics_path();
+      std::ofstream mf(mpath, std::ios::binary);
+      if (!mf) {
+        std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                     mpath.c_str());
+        return 1;
+      }
+      const std::string mdoc = metrics_series_to_json(series_);
+      mf.write(mdoc.data(), static_cast<std::streamsize>(mdoc.size()));
+      mf.flush();
+      if (!mf) return 1;
+      std::printf("# wrote %s (%zu samples)\n# %s\n", mpath.c_str(),
+                  series_.size(),
+                  results_.back().c.metrics_table_.empty()
+                      ? "(last case took no metrics snapshot)"
+                      : results_.back().c.metrics_table_.c_str());
+    }
     return 0;
   }
 
@@ -245,6 +293,8 @@ class Harness {
     } else if (starts("--faults=")) {
       faults_ = true;
       fault_seed_ = static_cast<std::uint64_t>(std::atoll(f.c_str() + 9));
+    } else if (f == "--metrics") {
+      metrics_ = true;
     } else if (starts("--threads=")) {
       // Through the environment so every Cube the bench creates (all are
       // constructed after flag parsing) picks it up as its default.
@@ -253,7 +303,7 @@ class Harness {
       std::printf(
           "%s [--dims=a,b] [--sizes=a,b] [--trials=N] [--warmup=N]\n"
           "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n"
-          "  [--faults[=SEED]] [--threads=N]\n",
+          "  [--faults[=SEED]] [--threads=N] [--metrics]\n",
           name_.c_str());
       std::exit(0);
     } else {
@@ -298,6 +348,7 @@ class Harness {
     // document alone (fault_seed == seed when --faults carried no override).
     out += ",\"fault_seed\":" + std::to_string(fault_seed_);
     out += ",\"threads\":" + std::to_string(threads());
+    out += ",\"metrics\":" + std::string(metrics_ ? "true" : "false");
     out += ",\"cases\":[";
     bool first_case = true;
     for (const Result& r : results_) {
@@ -330,10 +381,29 @@ class Harness {
         }
         out += "}";
       }
+      // The value is a complete vmp-metrics-v1 snapshot document.
+      if (!r.c.metrics_json_.empty()) out += ",\"metrics\":" + r.c.metrics_json_;
       out += "}";
     }
     out += "]}";
     return out;
+  }
+
+  /// METRICS_<name>.json beside the bench document: swap a BENCH_ (or a
+  /// perf-gate GATE_, see scripts/check.sh) basename prefix for METRICS_,
+  /// else append a suffix (custom --json paths).
+  [[nodiscard]] std::string metrics_path() const {
+    const std::size_t slash = json_path_.find_last_of('/');
+    const std::size_t base = slash == std::string::npos ? 0 : slash + 1;
+    for (const char* prefix : {"BENCH_", "GATE_"}) {
+      const std::size_t n = std::string_view(prefix).size();
+      if (json_path_.compare(base, n, prefix) == 0) {
+        std::string p = json_path_;
+        p.replace(base, n, "METRICS_");
+        return p;
+      }
+    }
+    return json_path_ + ".metrics.json";
   }
 
   std::string name_;
@@ -346,9 +416,11 @@ class Harness {
   bool quick_ = false;
   bool list_ = false;
   bool faults_ = false;
+  bool metrics_ = false;
   std::uint64_t seed_ = 0;
   std::uint64_t fault_seed_ = 0;
   std::vector<Result> results_;
+  std::vector<MetricsSeriesEntry> series_;
 };
 
 }  // namespace vmp::bench

@@ -6,9 +6,15 @@
 #      test binary and one benchmark, with the tests re-run under ASan/UBSan;
 #   3. one benchmark in --quick mode (plus a --faults rerun), with its
 #      BENCH_*.json report and the exported Chrome trace validated against
-#      their schemas.
+#      their schemas;
+#   4. the perf-regression gate: every bench re-run with the baseline
+#      recipe and diffed against bench/baselines/ by scripts/perf_gate.py
+#      (machine-speed-normalized, per-case thresholds) — a regression past
+#      threshold FAILS the check.  The same sweep's vmp-metrics-v1
+#      sidecars and collapsed-stack exports are schema-validated.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--quick-only] [--tsan]
+#                         [--no-perf-gate]
 #
 # --tsan adds a ThreadSanitizer build of the whole tree and re-runs the
 # quick-label tests under VMP_THREADS=4, so every team step really runs
@@ -20,11 +26,13 @@ cd "$(dirname "$0")/.."
 NO_SANITIZE=0
 QUICK_ONLY=0
 TSAN=0
+NO_PERF_GATE=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) NO_SANITIZE=1 ;;
     --quick-only) QUICK_ONLY=1 ;;
     --tsan) TSAN=1 ;;
+    --no-perf-gate) NO_PERF_GATE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -151,52 +159,81 @@ require(ts and ts == sorted(ts), "gauss_trace.json: ts not monotone")
 print(f"  gauss_trace.json: {len(xs)} events, monotone ok")
 EOF
 
-echo "== perf trajectory: wall-clock vs bench/baselines =="
-# Re-run every tracked bench with the exact sweep its baseline was recorded
-# with, then print a one-line delta per bench (matched case by case on
-# name+args, so cases added since a baseline simply don't participate).
-# Informational: the table makes the perf trajectory visible; it does not
-# gate the check.
-(cd "$workdir" && "$OLDPWD"/build/bench/bench_matvec --dims=4,6,8 \
-  --sizes=1024 --trials=3 --json=PERF_bench_matvec.json)
-(cd "$workdir" && "$OLDPWD"/build/bench/bench_primitives --dims=4,6,8 \
-  --sizes=1024 --trials=3 --json=PERF_bench_primitives.json)
-(cd "$workdir" && "$OLDPWD"/build/bench/bench_collectives --dims=4,8 \
-  --sizes=1024 --trials=3 --json=PERF_bench_collectives.json)
-(cd "$workdir" && "$OLDPWD"/build/bench/bench_gauss --dims=4,6,8 \
-  --sizes=128 --trials=3 --json=PERF_bench_gauss.json)
-(cd "$workdir" && "$OLDPWD"/build/bench/bench_ablation --dims=4,8 \
-  --sizes=512 --trials=3 --json=PERF_bench_ablation.json)
-python3 - "$workdir" <<'EOF'
+if [[ "$NO_PERF_GATE" == 0 ]]; then
+  echo "== perf-regression gate: bench sweep vs bench/baselines =="
+  # Re-run every bench with the exact recipe scripts/record_baselines.sh
+  # uses to record the committed baselines, with --metrics on so the sweep
+  # also exercises the metrics layer end to end.  scripts/perf_gate.py then
+  # matches cases by name+args, normalizes out machine speed, and FAILS on
+  # any case or bench past its threshold (bench/baselines/thresholds.json).
+  # Two sweeps: the gate judges each case on its minimum wall time across
+  # them (noise only inflates single-trial timings, so min-of-2 is the
+  # robust statistic).  Only the first carries --metrics.
+  GATE_BENCHES=(bench_ablation bench_collectives bench_gauss bench_matvec
+                bench_naive_vs_primitive bench_primitives bench_scaling
+                bench_simplex)
+  for b in "${GATE_BENCHES[@]}"; do
+    (cd "$workdir" && "$OLDPWD/build/bench/$b" \
+        --quick --trials=3 --warmup=1 --metrics \
+        --json="GATE_${b}.json" > /dev/null)
+    (cd "$workdir" && "$OLDPWD/build/bench/$b" \
+        --quick --trials=3 --warmup=1 \
+        --json="GATE2_${b}.json" > /dev/null)
+  done
+
+  # The sweep ran with --metrics: every report must carry embedded
+  # vmp-metrics-v1 snapshots plus a METRICS_*.json series sidecar, and
+  # bench_gauss must export its collapsed flame stacks.
+  python3 - "$workdir" <<'EOF'
 import json, sys
 from pathlib import Path
 
 workdir = Path(sys.argv[1])
-for name in ("bench_matvec", "bench_primitives", "bench_collectives",
-             "bench_gauss", "bench_ablation"):
-    base_path = Path("bench/baselines") / f"BENCH_{name}.json"
-    if not base_path.exists():
-        print(f"  {name}: no baseline at {base_path}, skipping")
-        continue
-    base = json.loads(base_path.read_text())
-    cur = json.loads((workdir / f"PERF_{name}.json").read_text())
-    key = lambda c: (c["name"], tuple(sorted(c["args"].items())))
-    cur_by_key = {key(c): c for c in cur["cases"]}
-    b_ms = c_ms = 0.0
-    matched = 0
-    for bc in base["cases"]:
-        cc = cur_by_key.get(key(bc))
-        if cc is None:
-            continue
-        matched += 1
-        b_ms += bc["wall_ms"]
-        c_ms += cc["wall_ms"]
-    if not matched:
-        print(f"  {name}: no cases match the baseline sweep")
-        continue
-    delta = 100.0 * (c_ms - b_ms) / b_ms
-    print(f"  {name}: {matched} cases, baseline {b_ms:8.2f} ms -> "
-          f"current {c_ms:8.2f} ms  ({delta:+.1f}% wall)")
+
+def require(cond, msg):
+    if not cond:
+        raise SystemExit(f"metrics check failed: {msg}")
+
+def check_snapshot(doc, where):
+    require(doc["schema"] == "vmp-metrics-v1", f"{where}: schema")
+    require(doc["kind"] == "snapshot", f"{where}: kind")
+    require(doc["metrics"], f"{where}: empty metrics")
+    names = {m["name"] for m in doc["metrics"]}
+    require("engine.steps" in names, f"{where}: engine.steps missing")
+    for m in doc["metrics"]:
+        require(m["class"] in ("sim", "wall"), f"{where}: class {m['class']}")
+
+for path in sorted(workdir.glob("GATE_*.json")):
+    d = json.loads(path.read_text())
+    require(d.get("metrics") is True, f"{path.name}: metrics flag not set")
+    with_snap = [c for c in d["cases"] if "metrics" in c]
+    require(with_snap, f"{path.name}: no case embeds a metrics snapshot")
+    for c in with_snap:
+        check_snapshot(c["metrics"], f"{path.name}:{c['name']}")
+    series_path = workdir / path.name.replace("GATE_", "METRICS_")
+    require(series_path.exists(), f"{series_path.name}: sidecar missing")
+    series = json.loads(series_path.read_text())
+    require(series["schema"] == "vmp-metrics-v1" and
+            series["kind"] == "series", f"{series_path.name}: series header")
+    require(len(series["samples"]) == len(with_snap),
+            f"{series_path.name}: sample count != instrumented cases")
+    for s in series["samples"]:
+        check_snapshot(s["snapshot"], f"{series_path.name}:{s['label']}")
+    print(f"  {path.name}: {len(with_snap)} metric snapshots + series ok")
+
+flame = workdir / "gauss_flame.collapsed"
+require(flame.exists(), "gauss_flame.collapsed not written")
+lines = flame.read_text().splitlines()
+require(lines, "gauss_flame.collapsed empty")
+for ln in lines:
+    stack, _, n = ln.rpartition(" ")
+    require(stack and n.isdigit(), f"bad collapsed line: {ln!r}")
+print(f"  gauss_flame.collapsed: {len(lines)} stacks ok")
 EOF
+
+  python3 scripts/perf_gate.py "$workdir" --prefix=GATE_ --prefix=GATE2_
+else
+  echo "== perf-regression gate skipped (--no-perf-gate) =="
+fi
 
 echo "== all checks passed =="

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Wall-clock perf-regression gate over vmp-bench-v1 reports.
+
+Compares freshly measured bench reports against the committed baselines in
+bench/baselines/ and FAILS (exit 1) when a case or a bench regresses past
+its threshold.  Usage:
+
+    scripts/perf_gate.py WORKDIR [--prefix=GATE_] [--baselines=DIR]
+                         [--thresholds=FILE] [--verbose]
+
+WORKDIR holds the current reports, named <prefix><bench>.json (the prefix
+keeps gate sweeps apart from ad-hoc BENCH_*.json runs in the same
+directory).  Cases are matched on (case name, args); cases present on only
+one side simply don't participate, so adding a bench case does not require
+re-recording every baseline.
+
+Machine-speed normalization: baselines are recorded on SOME machine, the
+gate runs on ANOTHER (a CI runner, a laptop).  The gate therefore computes
+one global speed factor — the median of per-case wall-clock ratios
+current/baseline across every matched case — and judges each case by its
+NORMALIZED ratio (raw ratio / speed factor).  A uniformly slower machine
+moves the median, not the verdicts; a case that regressed relative to its
+peers sticks out regardless of the hardware.  The flip side, by
+construction: a perfectly uniform slowdown of every case at once is
+indistinguishable from a slower machine and will not trip the gate — that
+is what the bench-level check and the committed baselines' provenance are
+for.
+
+Thresholds come from bench/baselines/thresholds.json:
+
+    {
+      "default":  {"case_ratio": 1.75, "bench_ratio": 1.6,
+                   "min_case_ms": 1.0, "min_bench_ms": 1.0},
+      "benches":  {"bench_gauss": {"case_ratio": 2.0}},
+      "cases":    {"bench_primitives/pool_steady_state/dim=8":
+                   {"case_ratio": 3.0}}
+    }
+
+Lookup is case -> bench -> default; cases (bench totals) whose baseline
+wall time is below min_case_ms (min_bench_ms) are reported but never gate
+(sub-millisecond timings on shared runners are noise, and the repo's
+dispatch-latency budget is enforced by its own bench + docs/perf.md, not
+by this gate).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+DEFAULTS = {"case_ratio": 1.75, "bench_ratio": 1.6, "min_case_ms": 1.0,
+            "min_bench_ms": 1.0}
+
+
+def case_key(case):
+    return (case["name"], tuple(sorted(case["args"].items())))
+
+
+def case_label(bench, case):
+    args = "/".join(f"{k}={v}" for k, v in sorted(case["args"].items()))
+    return f"{bench}/{case['name']}" + (f"/{args}" if args else "")
+
+
+def load_thresholds(path):
+    spec = {"default": dict(DEFAULTS), "benches": {}, "cases": {}}
+    if path.exists():
+        loaded = json.loads(path.read_text())
+        spec["default"].update(loaded.get("default", {}))
+        spec["benches"] = loaded.get("benches", {})
+        spec["cases"] = loaded.get("cases", {})
+    return spec
+
+
+def threshold(spec, bench, label, key):
+    for scope in (spec["cases"].get(label, {}),
+                  spec["benches"].get(bench, {}),
+                  spec["default"]):
+        if key in scope:
+            return scope[key]
+    return DEFAULTS[key]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("workdir", type=Path)
+    ap.add_argument("--prefix", action="append", default=None,
+                    help="report-name prefix; repeatable — with several "
+                         "prefixes each case is judged on its MINIMUM wall "
+                         "time across the sweeps (noise only inflates "
+                         "timings, so min-of-N is the robust statistic). "
+                         "Default: GATE_")
+    ap.add_argument("--baselines", type=Path, default=Path("bench/baselines"))
+    ap.add_argument("--thresholds", type=Path, default=None)
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every matched case, not just failures")
+    args = ap.parse_args()
+    prefixes = args.prefix or ["GATE_"]
+    thresholds_path = args.thresholds or args.baselines / "thresholds.json"
+    spec = load_thresholds(thresholds_path)
+
+    baselines = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"perf gate: no baselines under {args.baselines} — nothing to "
+              "gate (record them with scripts/record_baselines.sh)")
+        return 0
+
+    # Pass 1: collect per-case ratios across every bench for the global
+    # machine-speed factor.
+    matched = []  # (bench, label, base_ms, cur_ms)
+    missing_current = []
+    for base_path in baselines:
+        bench = base_path.stem.removeprefix("BENCH_")
+        cur_paths = [p for prefix in prefixes
+                     if (p := args.workdir / f"{prefix}{bench}.json").exists()]
+        if not cur_paths:
+            missing_current.append(bench)
+            continue
+        base = json.loads(base_path.read_text())
+        cur_ms = {}
+        for cur_path in cur_paths:
+            for c in json.loads(cur_path.read_text())["cases"]:
+                k = case_key(c)
+                cur_ms[k] = min(cur_ms.get(k, c["wall_ms"]), c["wall_ms"])
+        for bc in base["cases"]:
+            ms = cur_ms.get(case_key(bc))
+            if ms is None or bc["wall_ms"] <= 0.0:
+                continue
+            matched.append((bench, case_label(bench, bc), bc["wall_ms"], ms))
+    if missing_current:
+        print("perf gate: FAIL — baselines exist but no current report for: "
+              + ", ".join(missing_current))
+        return 1
+    if not matched:
+        print("perf gate: FAIL — no cases matched any baseline")
+        return 1
+
+    # Speed factor over the gated (>= min_case_ms) cases only — the
+    # sub-millisecond cases are exactly the noisy ones.
+    sized = [(bench, label, b, c) for bench, label, b, c in matched
+             if b >= threshold(spec, bench, label, "min_case_ms")]
+    speed = statistics.median(c / b for _, _, b, c in (sized or matched))
+
+    # Pass 2: judge.
+    failures = []
+    rows = []
+    per_bench = {}
+    for bench, label, b_ms, c_ms in matched:
+        ratio = c_ms / b_ms
+        norm = ratio / speed
+        limit = threshold(spec, bench, label, "case_ratio")
+        min_ms = threshold(spec, bench, label, "min_case_ms")
+        gated = b_ms >= min_ms
+        ok = (not gated) or norm <= limit
+        rows.append((label, b_ms, c_ms, norm, limit, gated, ok))
+        agg = per_bench.setdefault(bench, [0.0, 0.0])
+        agg[0] += b_ms
+        agg[1] += c_ms
+        if not ok:
+            failures.append(label)
+
+    for bench, (b_ms, c_ms) in sorted(per_bench.items()):
+        norm = (c_ms / b_ms) / speed
+        limit = threshold(spec, bench, "", "bench_ratio")
+        gated = b_ms >= threshold(spec, bench, "", "min_bench_ms")
+        ok = (not gated) or norm <= limit
+        if not ok:
+            failures.append(f"{bench} (bench total)")
+        mark = "ok  " if ok else "FAIL"
+        note = "" if gated else "  (below min_bench_ms, informational)"
+        print(f"  {mark} {bench:<28} baseline {b_ms:9.2f} ms -> current "
+              f"{c_ms:9.2f} ms  normalized x{norm:5.2f} "
+              f"(limit x{limit:.2f}){note}")
+
+    shown = [r for r in rows if args.verbose or not r[6]]
+    if shown:
+        print(f"  {'case':<52} {'base ms':>9} {'cur ms':>9} "
+              f"{'norm':>6} {'limit':>6}")
+        for label, b_ms, c_ms, norm, limit, gated, ok in shown:
+            mark = "ok  " if ok else "FAIL"
+            note = "" if gated else "  (below min_case_ms, informational)"
+            print(f"  {mark} {label:<47} {b_ms:9.2f} {c_ms:9.2f} "
+                  f"x{norm:5.2f} x{limit:4.2f}{note}")
+
+    n_gated = sum(1 for r in rows if r[5])
+    print(f"perf gate: {len(matched)} matched cases ({n_gated} gated), "
+          f"machine-speed factor x{speed:.2f}")
+    if failures:
+        print("perf gate: FAIL — regressions past threshold:")
+        for f in failures:
+            print(f"  - {f}")
+        print("(if intentional — e.g. an accepted trade-off — re-record with "
+              "scripts/record_baselines.sh and commit the new baselines)")
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Record the perf-gate baselines: run every bench with the exact flags the
+# gate in scripts/check.sh uses, then copy the BENCH_*.json reports into
+# bench/baselines/.  Run this after an intentional perf change (or on a new
+# reference machine), eyeball the diff, and commit the result together with
+# the change that motivated it.
+#
+# Usage: scripts/record_baselines.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+DEST="bench/baselines"
+BENCHES=(bench_ablation bench_collectives bench_gauss bench_matvec
+         bench_naive_vs_primitive bench_primitives bench_scaling
+         bench_simplex)
+
+for b in "${BENCHES[@]}"; do
+  if [[ ! -x "$BUILD_DIR/bench/$b" ]]; then
+    echo "error: $BUILD_DIR/bench/$b not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+mkdir -p "$DEST"
+for b in "${BENCHES[@]}"; do
+  echo "=== recording $b"
+  (cd "$WORK" && "$OLDPWD/$BUILD_DIR/bench/$b" \
+      --quick --trials=3 --warmup=1 --metrics \
+      --json="BENCH_${b}.json" > /dev/null)
+  cp "$WORK/BENCH_${b}.json" "$DEST/"
+done
+
+echo "baselines written to $DEST/ — review with git diff and commit"

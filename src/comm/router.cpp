@@ -5,6 +5,7 @@
 
 #include "hypercube/bits.hpp"
 #include "hypercube/check.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
@@ -43,6 +44,19 @@ std::uint64_t NaiveRouter::run(
   }
   cube.clock().note_router_packets(in_flight);
 
+  // Engine metrics (off by default).  Queue depth and per-dimension hop
+  // traffic are pure functions of the deterministic routing schedule, so
+  // everything here is Sim-class.  Tallies accumulate in locals and land
+  // in the registry once per run — nothing on the per-cycle path but the
+  // depth scan, which only runs with metrics on.
+  MetricsRegistry* mreg = cube.metrics().enabled() ? &cube.metrics() : nullptr;
+  MetricsRegistry::Histogram* m_qdepth =
+      mreg ? &mreg->histogram("router.queue_depth", MetricClass::Sim)
+           : nullptr;
+  std::vector<std::uint64_t> dim_hops(
+      mreg ? static_cast<std::size_t>(cube.dim()) : 0, 0);
+  const std::size_t injected = in_flight;
+
   FaultInjector* fi = cube.faults();
   std::uint64_t cycles = 0;
   std::uint64_t stalled_cycles = 0;
@@ -51,6 +65,12 @@ std::uint64_t NaiveRouter::run(
     // One lockstep cycle: every processor forwards the head of its queue
     // one hop along the lowest differing address bit (e-cube routing).
     const std::uint64_t round = fi ? fi->begin_round() : 0;
+    if (m_qdepth != nullptr) {
+      std::size_t qmax = 0;
+      for (proc_t q = 0; q < p; ++q)
+        if (queue[q].size() > qmax) qmax = queue[q].size();
+      m_qdepth->record(qmax);
+    }
     moves.clear();
     for (proc_t q = 0; q < p; ++q) {
       if (queue[q].empty()) continue;
@@ -115,6 +135,7 @@ std::uint64_t NaiveRouter::run(
         }
         if (rp.force_dim == hop) rp.force_dim = -1;  // forced hop succeeded
       }
+      if (mreg != nullptr) ++dim_hops[static_cast<std::size_t>(hop)];
       moves.emplace_back(cube_neighbor(q, hop), rp);
     }
     bool delivered_any = false;
@@ -137,6 +158,14 @@ std::uint64_t NaiveRouter::run(
           "naive router: fault recovery budget exhausted — no packet "
           "delivered for " +
           std::to_string(stalled_cycles) + " cycles");
+  }
+  if (mreg != nullptr) {
+    mreg->counter("router.packets", MetricClass::Sim).add(injected);
+    mreg->counter("router.cycles", MetricClass::Sim).add(cycles);
+    for (std::size_t d = 0; d < dim_hops.size(); ++d)
+      mreg->counter("router.dim" + std::to_string(d) + ".hops",
+                    MetricClass::Sim)
+          .add(dim_hops[d]);
   }
   return cycles;
 }

@@ -25,10 +25,12 @@
 #include <bit>
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hypercube/check.hpp"
 #include "hypercube/sim_clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace vmp {
 
@@ -120,6 +122,18 @@ class BufferPool {
     return bytes == 0 ? 0 : size_of(bucket_of(bytes));
   }
 
+  /// Wire the engine metrics: registers a snapshot probe that publishes
+  /// pool occupancy — free/leased block and byte totals plus a per-bucket
+  /// split for every bucket that has ever held a block — at read time.
+  /// Nothing runs on the acquire/release hot path beyond the existing
+  /// leased counters.  All gauges are Sim-class: the pool is driven by the
+  /// host-side lockstep rounds, so its occupancy is deterministic.
+  void set_metrics(MetricsRegistry* m) {
+    metrics_ = m;
+    if (m != nullptr)
+      m->add_probe([this, m] { publish_metrics(*m); });
+  }
+
  private:
   static constexpr std::size_t kMinBytes = 64;
   static constexpr int kBuckets = 64;
@@ -132,6 +146,7 @@ class BufferPool {
       std::byte* p = list.back().release();
       list.pop_back();
       ++hits_;
+      ++leased_[static_cast<std::size_t>(bucket)];
       if (clock_) clock_->note_pool_hit();
       return Block{this, p, bucket};
     }
@@ -143,6 +158,7 @@ class BufferPool {
     auto p = std::make_unique_for_overwrite<std::byte[]>(sz);
     ++misses_;
     heap_bytes_ += sz;
+    ++leased_[static_cast<std::size_t>(bucket)];
     if (clock_) {
       clock_->note_pool_miss(sz);
       if (slab) clock_->note_slab_alloc(sz);
@@ -160,10 +176,48 @@ class BufferPool {
 
   void put_back(std::byte* p, int bucket) {
     free_[static_cast<std::size_t>(bucket)].emplace_back(p);
+    --leased_[static_cast<std::size_t>(bucket)];
+  }
+
+  void publish_metrics(MetricsRegistry& m) const {
+    std::size_t free_blocks_n = 0, free_bytes = 0;
+    std::size_t leased_blocks = 0, leased_bytes = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::size_t bi = static_cast<std::size_t>(b);
+      const std::size_t nfree = free_[bi].size();
+      const std::size_t nleased = leased_[bi];
+      free_blocks_n += nfree;
+      free_bytes += nfree * size_of(b);
+      leased_blocks += nleased;
+      leased_bytes += nleased * size_of(b);
+      if (nfree == 0 && nleased == 0) continue;
+      const std::string prefix = "pool.bucket_" + std::to_string(size_of(b));
+      m.gauge(prefix + ".free_blocks", MetricClass::Sim)
+          .set(static_cast<double>(nfree));
+      m.gauge(prefix + ".leased_blocks", MetricClass::Sim)
+          .set(static_cast<double>(nleased));
+      m.gauge(prefix + ".bytes", MetricClass::Sim)
+          .set(static_cast<double>((nfree + nleased) * size_of(b)));
+    }
+    m.gauge("pool.free_blocks", MetricClass::Sim)
+        .set(static_cast<double>(free_blocks_n));
+    m.gauge("pool.free_bytes", MetricClass::Sim)
+        .set(static_cast<double>(free_bytes));
+    m.gauge("pool.leased_blocks", MetricClass::Sim)
+        .set(static_cast<double>(leased_blocks));
+    m.gauge("pool.leased_bytes", MetricClass::Sim)
+        .set(static_cast<double>(leased_bytes));
+    m.gauge("pool.heap_bytes", MetricClass::Sim)
+        .set(static_cast<double>(heap_bytes_));
+    m.gauge("pool.hits", MetricClass::Sim).set(static_cast<double>(hits_));
+    m.gauge("pool.misses", MetricClass::Sim)
+        .set(static_cast<double>(misses_));
   }
 
   SimClock* clock_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<std::byte[]>> free_[kBuckets];
+  std::size_t leased_[kBuckets] = {};
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t heap_bytes_ = 0;

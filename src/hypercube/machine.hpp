@@ -48,6 +48,7 @@
 #include "hypercube/cost_model.hpp"
 #include "hypercube/sim_clock.hpp"
 #include "hypercube/team.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
@@ -571,6 +572,32 @@ class Cube {
   [[nodiscard]] BufferPool& buffers() { return buffers_; }
   [[nodiscard]] const BufferPool& buffers() const { return buffers_; }
 
+  /// Engine metrics registry (obs/metrics.hpp).  Off by default — every
+  /// instrumented hot path is gated on one pointer — and wall-clock probes
+  /// only run on sampled steps, so enabling it does not perturb dispatch.
+  /// Metrics never touch the SimClock: results, now_us, SimStats and
+  /// traces are bit-identical with metrics on or off.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Arm the metrics tier: reset the registry for this cube's lane count
+  /// and wire the team, the buffer pool and (lazily, per run) the router.
+  /// Host thread only, outside any step.
+  void enable_metrics(
+      unsigned sample_every = MetricsRegistry::kDefaultSampleEvery) {
+    metrics_.enable(team_.lanes(), sample_every);
+    team_.set_metrics(&metrics_);
+    buffers_.set_metrics(&metrics_);
+  }
+
+  /// Detach the instrumented subsystems.  The registry keeps its values —
+  /// a final snapshot after disable is the common read pattern.
+  void disable_metrics() {
+    team_.set_metrics(nullptr);
+    buffers_.set_metrics(nullptr);
+    metrics_.disable();
+  }
+
  private:
   /// The persistent staging slots behind the zero-allocation exchange path.
   /// Grown (never shrunk) to the round's slot count; slot capacities are
@@ -777,6 +804,7 @@ class Cube {
   SimClock clock_;
   WorkerTeam team_;
   BufferPool buffers_{&clock_};
+  MetricsRegistry metrics_;
   std::vector<detail::StageBuf> stage_;
   std::vector<detail::ExPartial> partials_;
   std::unordered_map<std::type_index, std::unique_ptr<detail::VecStageBase>>

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +42,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace vmp {
 
@@ -80,6 +83,19 @@ class WorkerTeam {
     if (items == 0) return;
     if (workers_.empty()) {
       StepScope scope(*this);
+      // Metrics path: the step tally rides the StepScope increment (zero
+      // extra stores — a plain store here costs whole nanoseconds because
+      // the scope's locked RMW drains the store buffer), so with metrics
+      // off this costs nothing and with metrics on it costs one pointer
+      // test and a register mask.  Only the sampled cold branch below
+      // pays the clock reads.
+      if (metrics_ != nullptr &&
+          (scope.step_number() & sample_mask_) == 0) [[unlikely]] {
+        const std::uint64_t t0 = metrics_now_ns();
+        fn(0u, std::size_t{0}, items);
+        metrics_inline_probes(metrics_now_ns() - t0, items);
+        return;
+      }
       fn(0u, std::size_t{0}, items);
       return;
     }
@@ -93,8 +109,17 @@ class WorkerTeam {
   /// True while a step is executing (even inline with zero workers):
   /// storage shared between the per-item bodies must not be reallocated,
   /// and the slab layer uses this to fail loudly instead of racing.
+  /// The low byte of `in_step_` is the live nesting depth; the high bits
+  /// count every step ever dispatched (see StepScope).
   [[nodiscard]] bool in_step() const {
-    return in_step_.load(std::memory_order_relaxed) != 0;
+    return (in_step_.load(std::memory_order_relaxed) & kStepDepthMask) != 0;
+  }
+
+  /// Total steps dispatched over the team's lifetime (deterministic: a
+  /// pure function of the machine's step sequence, identical at any lane
+  /// count).  Maintained for free by the StepScope increment.
+  [[nodiscard]] std::uint64_t steps_dispatched() const {
+    return in_step_.load(std::memory_order_relaxed) >> kStepDepthBits;
   }
 
   /// RAII batch marker: while at least one Session is open the workers use
@@ -125,10 +150,10 @@ class WorkerTeam {
    private:
     friend class WorkerTeam;
     explicit Session(WorkerTeam* team) : team_(team) {
-      if (team_) team_->session_open_.fetch_add(1, std::memory_order_relaxed);
+      if (team_) team_->note_session_open();
     }
     void close() {
-      if (team_) team_->session_open_.fetch_sub(1, std::memory_order_relaxed);
+      if (team_) team_->note_session_close();
       team_ = nullptr;
     }
     WorkerTeam* team_ = nullptr;
@@ -148,38 +173,119 @@ class WorkerTeam {
     return items * lane / lanes;
   }
 
+  /// Wire the engine metrics: registers the team's instruments in `m`
+  /// (which must be enabled for exactly lanes() writer lanes) and turns on
+  /// the per-step hooks.  `nullptr` detaches.  Host thread only, with the
+  /// team quiescent — never from inside a step.
+  void set_metrics(MetricsRegistry* m);
+
  private:
   using StepFn = void (*)(void* ctx, unsigned lane, std::size_t lo,
                           std::size_t hi);
 
-  /// RAII for in_step(), covering the inline zero-worker path too.
+  /// Layout of the packed `in_step_` word: live nesting depth in the low
+  /// byte, lifetime step count in the high 56 bits.
+  static constexpr unsigned kStepDepthBits = 8;
+  static constexpr std::uint64_t kStepDepthMask =
+      (std::uint64_t{1} << kStepDepthBits) - 1;
+  static constexpr std::uint64_t kStepTick =
+      (std::uint64_t{1} << kStepDepthBits) | 1;
+
+  /// RAII for in_step(), covering the inline zero-worker path too.  The
+  /// single increment packs two fields: +1 nesting depth (low byte,
+  /// removed on exit) and +1 lifetime step tally (high bits, kept) — the
+  /// step count the metrics tier samples on therefore costs zero extra
+  /// stores on the hot path.
   struct StepScope {
-    explicit StepScope(WorkerTeam& t) : team(t) {
-      team.in_step_.fetch_add(1, std::memory_order_relaxed);
-    }
+    explicit StepScope(WorkerTeam& t)
+        : team(t),
+          prior(t.in_step_.fetch_add(kStepTick, std::memory_order_relaxed)) {}
     ~StepScope() { team.in_step_.fetch_sub(1, std::memory_order_relaxed); }
+    /// 1-based number of the step this scope opened.
+    [[nodiscard]] std::uint64_t step_number() const {
+      return (prior >> kStepDepthBits) + 1;
+    }
     WorkerTeam& team;
+    std::uint64_t prior;
   };
 
   /// Per-worker barrier slot, padded so neighbouring lanes never share a
-  /// cache line while reporting.
+  /// cache line while reporting.  `busy_ns` is the lane's measured body
+  /// time on a *sampled* step: written before the release store of `done`,
+  /// read by the host after its acquire load — the existing barrier pair
+  /// publishes it with no extra synchronization.
   struct alignas(64) LaneState {
     std::atomic<std::uint64_t> done{0};
     std::exception_ptr error;
+    std::uint64_t busy_ns = 0;
+  };
+
+  /// Idle-time tallies a worker accumulates locally between steps and
+  /// folds into the per-lane metric cells at the top of the next step
+  /// (after the acquire of gen_, so the writes are ordered by the step
+  /// protocol and the host never reads them mid-update).
+  struct IdleStats {
+    std::uint64_t spins = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t park_ns = 0;
   };
 
   void run_step(std::size_t items, void* ctx, StepFn fn);
   void worker_loop(unsigned lane);
-  [[nodiscard]] std::uint64_t await_command(std::uint64_t seen);
+  [[nodiscard]] std::uint64_t await_command(std::uint64_t seen,
+                                            IdleStats* idle);
+
+  [[nodiscard]] static std::uint64_t metrics_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Probes of a sampled inline (zero-worker) step — kept out of line so
+  /// the hot dispatch path stays small.
+  void metrics_inline_probes(std::uint64_t busy_ns, std::size_t items);
+
+  void note_session_open() {
+    session_open_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) ++sessions_tally_;
+  }
+  void note_session_close() {
+    session_open_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   // Command slot.  The plain fields are published to the workers by the
   // seq_cst bump of gen_ (release side) and read after their acquire load
   // of gen_; the host rewrites them only after the previous step's
-  // barrier, when no worker can still be reading.
+  // barrier, when no worker can still be reading.  `sample_` rides along:
+  // it marks the published step as wall-clock-sampled.
   void* ctx_ = nullptr;
   StepFn fn_ = nullptr;
   std::size_t items_ = 0;
+  bool sample_ = false;
   std::atomic<std::uint64_t> gen_{0};
+
+  // Engine metrics, normally detached: with metrics_ == nullptr the hot
+  // path pays exactly one pointer test.  The workers read metrics_ after
+  // their acquire of gen_, so attaching/detaching between steps is safe.
+  // Wall-clock instruments are written directly (sampled steps only); the
+  // deterministic step count rides the in_step_ word (see StepScope) and
+  // a snapshot probe publishes it as a Sim gauge at read time.
+  struct TeamMetrics {
+    MetricsRegistry::Counter* lane_busy_ns = nullptr;
+    MetricsRegistry::Counter* lane_spins = nullptr;
+    MetricsRegistry::Counter* lane_parks = nullptr;
+    MetricsRegistry::Counter* lane_park_ns = nullptr;
+    MetricsRegistry::Counter* host_barrier_ns = nullptr;
+    MetricsRegistry::Histogram* step_ns = nullptr;
+    MetricsRegistry::Histogram* step_items = nullptr;
+    MetricsRegistry::Histogram* imbalance_pct = nullptr;
+  };
+  TeamMetrics mx_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t steps_baseline_ = 0;
+  std::uint64_t sessions_tally_ = 0;
+  std::uint64_t sample_mask_ = MetricsRegistry::kDefaultSampleEvery - 1;
 
   unsigned nlanes_ = 1;  // fixed before any worker starts
   std::vector<std::thread> workers_;
@@ -187,7 +293,7 @@ class WorkerTeam {
   std::atomic<bool> stop_{false};
   std::atomic<int> parked_{0};
   std::atomic<int> session_open_{0};
-  std::atomic<int> in_step_{0};
+  std::atomic<std::uint64_t> in_step_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
 };

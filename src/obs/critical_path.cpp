@@ -1,0 +1,104 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmp {
+
+namespace {
+
+[[nodiscard]] const char* display_path(const std::string& path) {
+  return path.empty() ? "(outside regions)" : path.c_str();
+}
+
+}  // namespace
+
+std::vector<HotRegion> critical_path(const SimClock& clock) {
+  const double total = clock.now_us();
+  std::vector<HotRegion> out;
+  for (const auto& [path, prof] : clock.tracer().self_profiles()) {
+    const double self = prof.total_us();
+    if (self <= 0.0) continue;
+    out.push_back({path, self, total > 0.0 ? self * 100.0 / total : 0.0, 0.0});
+  }
+  // Rank by self time; ties broken by path so the ranking is deterministic.
+  std::sort(out.begin(), out.end(), [](const HotRegion& a, const HotRegion& b) {
+    if (a.self_us != b.self_us) return a.self_us > b.self_us;
+    return a.path < b.path;
+  });
+  double cum = 0.0;
+  for (HotRegion& r : out) {
+    cum += r.pct;
+    r.cum_pct = cum;
+  }
+  return out;
+}
+
+std::string critical_path_to_table(const SimClock& clock, std::size_t top) {
+  const std::vector<HotRegion> ranked = critical_path(clock);
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "critical path (self simulated time, %.3f us total)\n"
+                "  %4s  %12s  %6s  %6s  %s\n",
+                clock.now_us(), "rank", "self_us", "pct", "cum", "path");
+  std::string out = line;
+  std::size_t rank = 0;
+  for (const HotRegion& r : ranked) {
+    if (rank == top) break;
+    ++rank;
+    std::snprintf(line, sizeof line, "  %4zu  %12.3f  %5.1f%%  %5.1f%%  %s\n",
+                  rank, r.self_us, r.pct, r.cum_pct, display_path(r.path));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<RegionImbalance> load_imbalance(const SimClock& clock,
+                                            unsigned procs) {
+  const double p = static_cast<double>(procs);
+  std::vector<RegionImbalance> out;
+  for (const auto& [path, prof] : clock.tracer().self_profiles()) {
+    if (prof.elements_moved == 0 && prof.flops_total == 0) continue;
+    RegionImbalance r;
+    r.path = path;
+    r.self_us = prof.total_us();
+    r.elements_moved = prof.elements_moved;
+    r.flops_total = prof.flops_total;
+    if (prof.elements_moved != 0)
+      r.comm_factor = static_cast<double>(prof.elements_serial) /
+                      (static_cast<double>(prof.elements_moved) / p);
+    if (prof.flops_total != 0)
+      r.compute_factor = static_cast<double>(prof.flops_charged) /
+                         (static_cast<double>(prof.flops_total) / p);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RegionImbalance& a, const RegionImbalance& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::string load_imbalance_to_table(const SimClock& clock, unsigned procs,
+                                    std::size_t top) {
+  const std::vector<RegionImbalance> ranked = load_imbalance(clock, procs);
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "load imbalance per region (factor 1 = balanced, %u = serial)\n"
+                "  %12s  %9s  %12s  %s\n",
+                procs, "self_us", "comm_x", "compute_x", "path");
+  std::string out = line;
+  std::size_t rank = 0;
+  for (const RegionImbalance& r : ranked) {
+    if (rank == top) break;
+    ++rank;
+    std::snprintf(line, sizeof line, "  %12.3f  %9.2f  %12.2f  %s\n",
+                  r.self_us, r.comm_factor, r.compute_factor,
+                  display_path(r.path));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vmp

@@ -1,0 +1,70 @@
+/// \file critical_path.hpp
+/// \brief Critical-path extraction and per-phase load-imbalance analysis
+///        over the trace-region attribution.
+///
+/// The simulated timeline is serial (every step charges the slowest
+/// processor), so the machine's critical path IS the sequence of innermost
+/// regions — aggregated by path, the self profiles rank exactly where
+/// simulated time goes.  critical_path() returns that ranking with
+/// percentage and cumulative coverage; the table form is the "where do I
+/// look first" report.
+///
+/// load_imbalance() answers the follow-up question per region: of the time
+/// spent there, how unevenly was the underlying work spread across the
+/// p processors?  The cost model already records both sides:
+///
+///   comm_factor    = elements_serial / (elements_moved / p)
+///   compute_factor = flops_charged   / (flops_total   / p)
+///
+/// A factor of 1 is a perfectly balanced phase (the slowest processor
+/// moved/computed exactly the average); a factor of p is fully serial
+/// (one processor did everything while p-1 idled).  The factors are pure
+/// functions of the deterministic SimStats counters — no wall clock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+/// One entry of the critical-path ranking.
+struct HotRegion {
+  std::string path;     ///< region path; "" = charges outside any region
+  double self_us = 0.0; ///< simulated µs charged while innermost
+  double pct = 0.0;     ///< share of the clock's total, in percent
+  double cum_pct = 0.0; ///< cumulative share down the ranking
+};
+
+/// Region paths ranked by self simulated time, descending.  The self
+/// times of all entries sum to clock.now_us() exactly (the tracer
+/// invariant), so `cum_pct` of the last entry is 100.
+[[nodiscard]] std::vector<HotRegion> critical_path(const SimClock& clock);
+
+/// Text report of the top `top` entries (rank, µs, %, cumulative %).
+[[nodiscard]] std::string critical_path_to_table(const SimClock& clock,
+                                                 std::size_t top = 16);
+
+/// Per-region load-spread factors (see file comment).
+struct RegionImbalance {
+  std::string path;
+  double self_us = 0.0;
+  double comm_factor = 1.0;
+  double compute_factor = 1.0;
+  std::uint64_t elements_moved = 0;
+  std::uint64_t flops_total = 0;
+};
+
+/// Imbalance factors for every region that moved data or charged flops,
+/// ranked by self time descending.  `procs` is the cube's processor count.
+[[nodiscard]] std::vector<RegionImbalance> load_imbalance(
+    const SimClock& clock, unsigned procs);
+
+/// Text report of the top `top` entries.
+[[nodiscard]] std::string load_imbalance_to_table(const SimClock& clock,
+                                                  unsigned procs,
+                                                  std::size_t top = 16);
+
+}  // namespace vmp

@@ -1,0 +1,40 @@
+#include "obs/flamegraph.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vmp {
+
+std::string collapsed_stacks(const SimClock& clock) {
+  std::string out;
+  for (const auto& [path, prof] : clock.tracer().self_profiles()) {
+    const double self_us = prof.total_us();
+    if (self_us <= 0.0) continue;
+    const auto ns = static_cast<long long>(std::llround(self_us * 1000.0));
+    if (ns <= 0) continue;
+    std::string frames;
+    if (path.empty()) {
+      frames = "(outside regions)";
+    } else {
+      frames = path;
+      for (char& c : frames)
+        if (c == '/') c = ';';
+    }
+    out += frames;
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_collapsed_stacks(const std::string& path, const SimClock& clock) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = collapsed_stacks(clock);
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return n == doc.size() && closed;
+}
+
+}  // namespace vmp

@@ -1,0 +1,30 @@
+/// \file flamegraph.hpp
+/// \brief Collapsed-stack (flame-graph) export of the region attribution.
+///
+/// Renders the tracer's self profiles — the same data the Chrome trace
+/// timeline is built from — in Brendan Gregg's collapsed-stack format:
+/// one line per region path,
+///
+///   matvec;reduce_rows;allreduce 41250
+///
+/// where the frames are the '/'-separated path components joined by ';'
+/// and the value is the region's SELF simulated time in integer
+/// nanoseconds (self, not inclusive: flame-graph tooling sums ancestors
+/// itself).  Feed the output straight to flamegraph.pl or speedscope.
+/// Charges issued outside any region appear as the single frame
+/// "(outside regions)".
+#pragma once
+
+#include <string>
+
+#include "hypercube/sim_clock.hpp"
+
+namespace vmp {
+
+/// The collapsed-stack document (possibly empty when nothing was charged).
+[[nodiscard]] std::string collapsed_stacks(const SimClock& clock);
+
+/// Write collapsed_stacks() to `path`; returns false on I/O failure.
+bool write_collapsed_stacks(const std::string& path, const SimClock& clock);
+
+}  // namespace vmp

@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "hypercube/check.hpp"
+#include "obs/report.hpp"
+
+namespace vmp {
+
+namespace {
+
+using obs_detail::json_double;
+using obs_detail::json_string;
+
+[[nodiscard]] std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One metric entry of the snapshot document.  Counters emit the merged
+/// value plus the per-lane split (only when there is more than one lane —
+/// single-lane per_lane arrays are pure noise); histograms emit the sparse
+/// non-empty buckets as [bit_width, count] pairs.
+[[nodiscard]] std::string entry_to_json(const std::string& name,
+                                        const MetricsRegistry::Entry& e) {
+  std::string out = "{\"name\":" + json_string(name) +
+                    ",\"class\":" + json_string(to_string(e.cls)) +
+                    ",\"kind\":" + json_string(to_string(e.kind));
+  switch (e.kind) {
+    case MetricKind::Counter: {
+      out += ",\"value\":" + std::to_string(e.counter->value());
+      if (e.counter->lanes() > 1) {
+        out += ",\"per_lane\":[";
+        for (unsigned l = 0; l < e.counter->lanes(); ++l) {
+          if (l != 0) out += ',';
+          out += std::to_string(e.counter->lane_value(l));
+        }
+        out += ']';
+      }
+      break;
+    }
+    case MetricKind::Gauge:
+      out += ",\"value\":" + json_double(e.gauge->value());
+      break;
+    case MetricKind::Histogram: {
+      out += ",\"count\":" + std::to_string(e.histogram->count()) +
+             ",\"sum\":" + std::to_string(e.histogram->sum()) +
+             ",\"max\":" + std::to_string(e.histogram->max()) + ",\"buckets\":[";
+      bool first = true;
+      for (int k = 0; k < MetricsRegistry::Histogram::kBuckets; ++k) {
+        const std::uint64_t n = e.histogram->bucket_count(k);
+        if (n == 0) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '[' + std::to_string(k) + ',' + std::to_string(n) + ']';
+      }
+      out += ']';
+      break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MetricClass c) {
+  return c == MetricClass::Sim ? "sim" : "wall";
+}
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter:
+      return "counter";
+    case MetricKind::Gauge:
+      return "gauge";
+    case MetricKind::Histogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+void MetricsRegistry::enable(unsigned lanes, unsigned sample_every) {
+  VMP_REQUIRE(lanes >= 1, "metrics: lane count must be positive");
+  VMP_REQUIRE(sample_every >= 1, "metrics: sampling period must be positive");
+  entries_.clear();
+  probes_.clear();
+  lanes_ = lanes;
+  // Power-of-two period: the team tests "sampled?" with one mask on its
+  // step tally instead of a countdown in team state.
+  sample_every_ = std::bit_ceil(sample_every);
+  enabled_ = true;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        MetricClass cls,
+                                                        MetricKind kind) {
+  auto it = entries_.find(std::string(name));
+  if (it != entries_.end()) {
+    VMP_REQUIRE(it->second.kind == kind && it->second.cls == cls,
+              "metrics: name re-registered with a different kind or class");
+    return it->second;
+  }
+  Entry e;
+  e.cls = cls;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::Counter:
+      e.counter.reset(new Counter(lanes_));
+      break;
+    case MetricKind::Gauge:
+      e.gauge.reset(new Gauge());
+      break;
+    case MetricKind::Histogram:
+      e.histogram.reset(new Histogram(lanes_));
+      break;
+  }
+  return entries_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name,
+                                                   MetricClass cls) {
+  return *find_or_create(name, cls, MetricKind::Counter).counter;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
+                                               MetricClass cls) {
+  return *find_or_create(name, cls, MetricKind::Gauge).gauge;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(std::string_view name,
+                                                       MetricClass cls) {
+  return *find_or_create(name, cls, MetricKind::Histogram).histogram;
+}
+
+std::string metrics_to_json(MetricsRegistry& m) {
+  m.run_probes();
+  std::string out = "{\"schema\":\"vmp-metrics-v1\",\"kind\":\"snapshot\"";
+  out += ",\"lanes\":" + std::to_string(m.lanes());
+  out += ",\"sample_every\":" + std::to_string(m.sample_every());
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, e] : m.entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += entry_to_json(name, e);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string metrics_to_table(MetricsRegistry& m) {
+  m.run_probes();
+  std::string out = "engine metrics (lanes=" + std::to_string(m.lanes()) +
+                    ", sample_every=" + std::to_string(m.sample_every()) +
+                    ")\n";
+  std::size_t wname = 4;
+  for (const auto& [name, e] : m.entries())
+    wname = std::max(wname, name.size());
+  char line[512];
+  std::snprintf(line, sizeof line, "  %-*s  %-5s %-10s %s\n",
+                static_cast<int>(wname), "name", "class", "kind", "value");
+  out += line;
+  for (const auto& [name, e] : m.entries()) {
+    std::string value;
+    switch (e.kind) {
+      case MetricKind::Counter:
+        value = std::to_string(e.counter->value());
+        break;
+      case MetricKind::Gauge: {
+        std::snprintf(line, sizeof line, "%.6g", e.gauge->value());
+        value = line;
+        break;
+      }
+      case MetricKind::Histogram: {
+        const std::uint64_t n = e.histogram->count();
+        const double mean =
+            n == 0 ? 0.0
+                   : static_cast<double>(e.histogram->sum()) /
+                         static_cast<double>(n);
+        std::snprintf(line, sizeof line, "count=%llu mean=%.1f max=%llu",
+                      static_cast<unsigned long long>(n), mean,
+                      static_cast<unsigned long long>(e.histogram->max()));
+        value = line;
+        break;
+      }
+    }
+    std::snprintf(line, sizeof line, "  %-*s  %-5s %-10s %s\n",
+                  static_cast<int>(wname), name.c_str(), to_string(e.cls),
+                  to_string(e.kind), value.c_str());
+    out += line;
+  }
+  return out;
+}
+
+MetricsSampler::MetricsSampler(MetricsRegistry& m)
+    : m_(&m), t0_ns_(wall_now_ns()) {}
+
+void MetricsSampler::sample(std::string label, double sim_us) {
+  Sample s;
+  s.label = std::move(label);
+  s.sim_us = sim_us;
+  s.wall_ms =
+      static_cast<double>(wall_now_ns() - t0_ns_) / 1e6;
+  s.snapshot = metrics_to_json(*m_);
+  samples_.push_back(std::move(s));
+}
+
+std::string MetricsSampler::to_json() const {
+  std::vector<MetricsSeriesEntry> entries;
+  entries.reserve(samples_.size());
+  for (const Sample& s : samples_)
+    entries.push_back({s.label, s.sim_us, s.wall_ms, s.snapshot});
+  return metrics_series_to_json(entries);
+}
+
+std::string metrics_series_to_json(
+    const std::vector<MetricsSeriesEntry>& samples) {
+  std::string out = "{\"schema\":\"vmp-metrics-v1\",\"kind\":\"series\"";
+  out += ",\"samples\":[";
+  bool first = true;
+  for (const MetricsSeriesEntry& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":" + obs_detail::json_string(s.label) +
+           ",\"sim_us\":" + obs_detail::json_double(s.sim_us) +
+           ",\"wall_ms\":" + obs_detail::json_double(s.wall_ms) +
+           ",\"snapshot\":" + s.snapshot_json + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vmp

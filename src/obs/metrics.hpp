@@ -1,0 +1,276 @@
+/// \file metrics.hpp
+/// \brief Runtime engine metrics: a low-overhead registry of counters,
+///        gauges and log-bucketed histograms for the machine's hot
+///        subsystems (worker team, buffer pool, router).
+///
+/// This is the second observability tier.  The first (obs/tracer.hpp)
+/// attributes *simulated* cost to trace regions; this one watches the
+/// *engine itself* at runtime — how long a team step takes to dispatch,
+/// how busy each lane is, how deep the pool's buckets sit, how loaded the
+/// router's queues are.  Design constraints, in order:
+///
+///  * **Off means free.**  Metrics are disabled by default; every
+///    instrumented hot path guards on one pointer/bool, so the ~18 ns
+///    empty-step dispatch of the worker team is untouched.  With metrics
+///    ON, wall-clock probes only run on *sampled* steps (every Nth,
+///    default 512), so the per-step cost stays within noise.
+///  * **Deterministic metrics stay deterministic.**  Every metric is
+///    tagged with a MetricClass: `Sim` metrics derive only from the
+///    simulated machine (step counts, items, pool occupancy, router
+///    traffic) and are **bit-identical at any thread count**, exactly
+///    like SimStats; `Wall` metrics derive from host wall-clock and vary
+///    run to run (tests assert they are present but exclude them from
+///    equality — tests/test_metrics.cpp).
+///  * **No synchronization on the hot path.**  Counters and histograms
+///    hold one cache-padded cell per lane; a lane only ever writes its
+///    own cell, inside a team step (so the step's acquire/release
+///    barrier orders the writes), and reads merge the cells in lane
+///    order on the host.  Registration and gauges are host-thread-only.
+///
+/// Serialization: metrics_to_json emits one `vmp-metrics-v1` snapshot
+/// document, MetricsSampler collects a time-series of snapshots, and
+/// metrics_to_table renders a text dashboard.  See docs/observability.md.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmp {
+
+/// Determinism class of a metric.  `Sim` values are functions of the
+/// simulated machine only (bit-identical across thread counts and runs);
+/// `Wall` values are host wall-clock measurements.
+enum class MetricClass : std::uint8_t { Sim = 0, Wall = 1 };
+
+enum class MetricKind : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+[[nodiscard]] const char* to_string(MetricClass c);
+[[nodiscard]] const char* to_string(MetricKind k);
+
+class MetricsRegistry {
+ public:
+  /// Default team-step sampling period for wall-clock probes: one step in
+  /// 512 pays the steady_clock reads; the rest pay two L1 adds and a mask
+  /// test.  Periods are rounded up to a power of two (the sampled-step
+  /// test is a mask on the step tally, not a division).
+  static constexpr unsigned kDefaultSampleEvery = 512;
+
+  /// Monotone counter with one cache-padded cell per lane.  A lane adds
+  /// to its own cell only (no atomics needed: writes happen inside a team
+  /// step and the step barrier publishes them); value() merges the cells
+  /// in lane order.
+  class Counter {
+   public:
+    void add(std::uint64_t n, unsigned lane = 0) { cells_[lane].v += n; }
+    /// Merged total, folded in ascending lane order.
+    [[nodiscard]] std::uint64_t value() const {
+      std::uint64_t v = 0;
+      for (const Cell& c : cells_) v += c.v;
+      return v;
+    }
+    [[nodiscard]] std::uint64_t lane_value(unsigned lane) const {
+      return cells_[lane].v;
+    }
+    [[nodiscard]] unsigned lanes() const {
+      return static_cast<unsigned>(cells_.size());
+    }
+
+   private:
+    friend class MetricsRegistry;
+    struct alignas(64) Cell {
+      std::uint64_t v = 0;
+    };
+    explicit Counter(unsigned lanes) : cells_(lanes) {}
+    std::vector<Cell> cells_;
+  };
+
+  /// Point-in-time value, host-thread only (typically set by a snapshot
+  /// probe, see add_probe).
+  class Gauge {
+   public:
+    void set(double v) { v_ = v; }
+    void add(double d) { v_ += d; }
+    [[nodiscard]] double value() const { return v_; }
+
+   private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    double v_ = 0.0;
+  };
+
+  /// Log2-bucketed histogram of unsigned values with per-lane padded
+  /// cells.  Bucket k counts values whose bit width is k, i.e. values in
+  /// [2^(k-1), 2^k); bucket 0 counts zeros.  Also tracks count, sum and
+  /// max so means and tails survive the bucketing.
+  class Histogram {
+   public:
+    static constexpr int kBuckets = 65;  // bit_width of a uint64 is 0..64
+
+    void record(std::uint64_t v, unsigned lane = 0) {
+      Cell& c = cells_[lane];
+      ++c.n[static_cast<std::size_t>(bucket_of(v))];
+      ++c.count;
+      c.sum += v;
+      if (v > c.max) c.max = v;
+    }
+    [[nodiscard]] std::uint64_t count() const {
+      std::uint64_t v = 0;
+      for (const Cell& c : cells_) v += c.count;
+      return v;
+    }
+    [[nodiscard]] std::uint64_t sum() const {
+      std::uint64_t v = 0;
+      for (const Cell& c : cells_) v += c.sum;
+      return v;
+    }
+    [[nodiscard]] std::uint64_t max() const {
+      std::uint64_t v = 0;
+      for (const Cell& c : cells_)
+        if (c.max > v) v = c.max;
+      return v;
+    }
+    /// Merged count of bucket k over all lanes.
+    [[nodiscard]] std::uint64_t bucket_count(int k) const {
+      std::uint64_t v = 0;
+      for (const Cell& c : cells_) v += c.n[static_cast<std::size_t>(k)];
+      return v;
+    }
+    [[nodiscard]] static int bucket_of(std::uint64_t v) {
+      return static_cast<int>(std::bit_width(v));
+    }
+    /// Smallest value bucket k collects (0 for bucket 0).
+    [[nodiscard]] static std::uint64_t bucket_lo(int k) {
+      return k < 1 ? 0 : std::uint64_t{1} << (k - 1);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    struct alignas(64) Cell {
+      std::array<std::uint64_t, kBuckets> n{};
+      std::uint64_t count = 0;
+      std::uint64_t sum = 0;
+      std::uint64_t max = 0;
+    };
+    explicit Histogram(unsigned lanes) : cells_(lanes) {}
+    std::vector<Cell> cells_;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Arm the registry for `lanes` writer lanes (the worker-team lane
+  /// count).  Drops every previously registered metric and probe — the
+  /// subsystems re-register when they are wired up.  `sample_every` is
+  /// rounded up to a power of two.  Host thread only, with the team
+  /// quiescent.
+  void enable(unsigned lanes, unsigned sample_every = kDefaultSampleEvery);
+  /// Stop advertising the registry as live.  Registered metrics keep
+  /// their values and stay readable (a final snapshot after a run is the
+  /// common pattern); the next enable() starts fresh.
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+  [[nodiscard]] unsigned sample_every() const { return sample_every_; }
+
+  /// Find-or-create.  Registration is host-thread-only and must happen
+  /// outside any team step; the returned reference stays valid until the
+  /// next enable().  Name collisions across kinds are a contract error.
+  [[nodiscard]] Counter& counter(std::string_view name, MetricClass cls);
+  [[nodiscard]] Gauge& gauge(std::string_view name, MetricClass cls);
+  [[nodiscard]] Histogram& histogram(std::string_view name, MetricClass cls);
+
+  /// Register a snapshot probe: a host-side callback run by
+  /// run_probes() (which every serializer calls first) so point-in-time
+  /// gauges — pool occupancy, queue depths — are refreshed at read time
+  /// instead of being maintained on the hot path.
+  void add_probe(std::function<void()> probe) {
+    probes_.push_back(std::move(probe));
+  }
+  void run_probes() {
+    for (const auto& p : probes_) p();
+  }
+
+  /// One registered metric, as seen by serializers.  Exactly one of the
+  /// three pointers is non-null, matching `kind`.
+  struct Entry {
+    MetricClass cls = MetricClass::Sim;
+    MetricKind kind = MetricKind::Counter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  /// All registered metrics, keyed (and therefore serialized) in
+  /// lexicographic name order — deterministic output.
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  Entry& find_or_create(std::string_view name, MetricClass cls,
+                        MetricKind kind);
+
+  bool enabled_ = false;
+  unsigned lanes_ = 1;
+  unsigned sample_every_ = kDefaultSampleEvery;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::function<void()>> probes_;
+};
+
+/// One `vmp-metrics-v1` snapshot document (kind "snapshot"): runs the
+/// probes, then serializes every registered metric in name order.
+[[nodiscard]] std::string metrics_to_json(MetricsRegistry& m);
+
+/// Human-readable dashboard: one aligned row per metric (class, kind,
+/// merged value / count-mean-max for histograms, per-lane split for
+/// multi-lane counters).
+[[nodiscard]] std::string metrics_to_table(MetricsRegistry& m);
+
+/// Collects a time-series of snapshots from one registry and serializes
+/// them as a `vmp-metrics-v1` document of kind "series": each sample
+/// carries a label, the simulated clock, wall milliseconds since the
+/// sampler was created, and a full snapshot document.
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(MetricsRegistry& m);
+
+  /// Append one snapshot.  `sim_us` is the caller's simulated clock at
+  /// the sample point (metrics do not know the clock).
+  void sample(std::string label, double sim_us);
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Sample {
+    std::string label;
+    double sim_us = 0.0;
+    double wall_ms = 0.0;
+    std::string snapshot;  // a complete vmp-metrics-v1 snapshot document
+  };
+  MetricsRegistry* m_;
+  std::uint64_t t0_ns_ = 0;
+  std::vector<Sample> samples_;
+};
+
+/// Assemble a `vmp-metrics-v1` series document from pre-rendered
+/// (label, sim_us, wall_ms, snapshot-JSON) tuples — the bench harness
+/// uses this to stitch per-case snapshots from *different* registries
+/// (one cube per case) into one time-series file.
+struct MetricsSeriesEntry {
+  std::string label;
+  double sim_us = 0.0;
+  double wall_ms = 0.0;
+  std::string snapshot_json;
+};
+[[nodiscard]] std::string metrics_series_to_json(
+    const std::vector<MetricsSeriesEntry>& samples);
+
+}  // namespace vmp

@@ -18,6 +18,9 @@
 #include "obs/trace.hpp"               // IWYU pragma: export
 #include "obs/report.hpp"              // IWYU pragma: export
 #include "obs/chrome_trace.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"             // IWYU pragma: export
+#include "obs/critical_path.hpp"       // IWYU pragma: export
+#include "obs/flamegraph.hpp"          // IWYU pragma: export
 
 #include "comm/allport.hpp"            // IWYU pragma: export
 #include "comm/collectives.hpp"        // IWYU pragma: export

@@ -198,8 +198,36 @@ const std::set<std::string> kRegionProfileKeys = {
     "flops_charged",  "flops_total",     "router_cycles",
     "router_hops",    "dim_elements",    "mixed_dim_elements"};
 const std::set<std::string> kBenchTopKeys = {
-    "schema", "name",   "quick",      "trials",  "warmup",
-    "seed",   "faults", "fault_seed", "threads", "cases"};
+    "schema", "name",   "quick",      "trials",  "warmup",  "seed",
+    "faults", "fault_seed", "threads", "metrics", "cases"};
+const std::set<std::string> kMetricsTopKeys = {"schema", "kind", "lanes",
+                                               "sample_every", "metrics"};
+const std::set<std::string> kMetricsSeriesKeys = {"schema", "kind", "samples"};
+const std::set<std::string> kMetricsSampleKeys = {"label", "sim_us", "wall_ms",
+                                                  "snapshot"};
+
+/// Per-kind key sets of one metric entry in a snapshot.  Counters grow a
+/// "per_lane" array only with more than one lane.
+void expect_metric_entry_keys(const Json& e, bool multi_lane) {
+  const std::string kind = e.at("kind").string;
+  const std::string cls = e.at("class").string;
+  EXPECT_TRUE(cls == "sim" || cls == "wall") << e.at("name").string;
+  if (kind == "counter") {
+    std::set<std::string> want = {"name", "class", "kind", "value"};
+    if (multi_lane) want.insert("per_lane");
+    EXPECT_EQ(e.keys(), want) << e.at("name").string;
+  } else if (kind == "gauge") {
+    EXPECT_EQ(e.keys(),
+              std::set<std::string>({"name", "class", "kind", "value"}))
+        << e.at("name").string;
+  } else {
+    EXPECT_EQ(kind, "histogram") << e.at("name").string;
+    EXPECT_EQ(e.keys(),
+              std::set<std::string>({"name", "class", "kind", "count", "sum",
+                                     "max", "buckets"}))
+        << e.at("name").string;
+  }
+}
 
 /// A small workload whose profile exercises comm, compute, regions and
 /// (when `faults`) the recovery counters.
@@ -297,6 +325,7 @@ TEST(BenchSchema, DocumentAndCaseKeysAreExact) {
   EXPECT_EQ(doc.at("seed").number,
             static_cast<double>(global_seed()));
   EXPECT_EQ(doc.at("faults").boolean, false);
+  EXPECT_EQ(doc.at("metrics").boolean, false);
   // The resolved worker-team lane count every cube of the run used.
   EXPECT_EQ(doc.at("threads").number,
             static_cast<double>(WorkerTeam::resolve_lanes(env_threads())));
@@ -371,6 +400,91 @@ TEST(BenchSchema, QuickAndFaultsComposeAndAreRecorded) {
   EXPECT_EQ(doc.at("fault_seed").number, 91.0);
   EXPECT_EQ(doc.at("trials").number, 1.0);
   EXPECT_EQ(doc.at("warmup").number, 1.0);
+}
+
+[[nodiscard]] std::string slurp_and_remove(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string text;
+  if (f != nullptr) {
+    char buf[4096];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+      text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+  }
+  return text;
+}
+
+TEST(MetricsSchema, SnapshotAndSeriesKeysAreExact) {
+  Cube cube(4, CostParams::cm2());
+  cube.enable_metrics(/*sample_every=*/1);
+  Grid grid = Grid::square(cube);
+  DistMatrix<double> A(grid, 24, 24);
+  A.load(random_matrix(24, 24, 5));
+  (void)reduce_rows(A, Plus<double>{});
+
+  const std::string snap = metrics_to_json(cube.metrics());
+  const Json doc = JsonParser(snap).parse();
+  EXPECT_EQ(doc.keys(), kMetricsTopKeys);
+  EXPECT_EQ(doc.at("schema").string, "vmp-metrics-v1");
+  EXPECT_EQ(doc.at("kind").string, "snapshot");
+  EXPECT_EQ(doc.at("sample_every").number, 1.0);
+  const bool multi_lane = doc.at("lanes").number > 1.0;
+  ASSERT_EQ(doc.at("metrics").kind, Json::Kind::Array);
+  ASSERT_FALSE(doc.at("metrics").array.empty());
+  for (const Json& e : doc.at("metrics").array)
+    expect_metric_entry_keys(e, multi_lane);
+
+  const std::string series = metrics_series_to_json(
+      {{"case_a", 10.0, 1.5, snap}, {"case_b", 20.0, 3.0, snap}});
+  const Json sdoc = JsonParser(series).parse();
+  EXPECT_EQ(sdoc.keys(), kMetricsSeriesKeys);
+  EXPECT_EQ(sdoc.at("schema").string, "vmp-metrics-v1");
+  EXPECT_EQ(sdoc.at("kind").string, "series");
+  ASSERT_EQ(sdoc.at("samples").array.size(), 2u);
+  for (const Json& s : sdoc.at("samples").array) {
+    EXPECT_EQ(s.keys(), kMetricsSampleKeys);
+    EXPECT_EQ(s.at("snapshot").keys(), kMetricsTopKeys);
+  }
+}
+
+TEST(BenchSchema, MetricsFlagEmbedsSnapshotsAndWritesSeriesFile) {
+  // --metrics must flip the document flag, embed a per-case snapshot, and
+  // write a METRICS_* series sidecar next to a BENCH_* json path.
+  {
+    const char* argv[] = {"test_report_schema", "--metrics",
+                          "--json=BENCH_schema_metrics.json"};
+    bench::Harness h("schema_test", 3, const_cast<char**>(argv));
+    EXPECT_TRUE(h.metrics());
+    h.run("case", {{"dim", 2}}, [&](bench::Case& c) {
+      Cube cube(2, CostParams::cm2());
+      if (h.metrics()) cube.enable_metrics(/*sample_every=*/1);
+      Grid grid = Grid::square(cube);
+      DistMatrix<double> A(grid, 8, 8);
+      A.load(random_matrix(8, 8, 7));
+      (void)reduce_rows(A, Plus<double>{});
+      if (h.metrics()) c.metrics(cube.metrics(), cube.clock().now_us());
+    });
+    ASSERT_EQ(h.finish(), 0);
+  }
+  const Json doc =
+      JsonParser(slurp_and_remove("BENCH_schema_metrics.json")).parse();
+  EXPECT_EQ(doc.keys(), kBenchTopKeys);
+  EXPECT_EQ(doc.at("metrics").boolean, true);
+  ASSERT_EQ(doc.at("cases").array.size(), 1u);
+  const Json& kase = doc.at("cases").array[0];
+  EXPECT_EQ(kase.keys(),
+            std::set<std::string>(
+                {"name", "args", "wall_ms", "counters", "metrics"}));
+  EXPECT_EQ(kase.at("metrics").keys(), kMetricsTopKeys);
+
+  const Json series =
+      JsonParser(slurp_and_remove("METRICS_schema_metrics.json")).parse();
+  EXPECT_EQ(series.keys(), kMetricsSeriesKeys);
+  EXPECT_EQ(series.at("kind").string, "series");
+  ASSERT_EQ(series.at("samples").array.size(), 1u);
+  EXPECT_EQ(series.at("samples").array[0].at("label").string, "case/dim=2");
 }
 
 TEST(VmpSeed, EnvOverrideIsHonored) {
