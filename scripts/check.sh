@@ -49,14 +49,25 @@ fi
 echo "-- full suite --"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "== kernel conformance with the SIMD backend disabled (VMP_SIMD=OFF) =="
+# The conformance suite just ran against the compiled backend inside the
+# tier-1 suite; this leg rebuilds the kernel layer with the scalar backend
+# so the OFF configuration of the VMP_SIMD option is exercised too.
+cmake -B build-nosimd -S . -DVMP_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j --target test_kernels >/dev/null
+./build-nosimd/tests/test_kernels
+
 if [[ "$NO_SANITIZE" == 0 ]]; then
   echo "== sanitizer build (address,undefined) =="
   cmake -B build-asan -S . -DVMP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j --target test_trace test_accounting \
-    bench_naive_vs_primitive >/dev/null
+    test_kernels bench_naive_vs_primitive >/dev/null
   ./build-asan/tests/test_trace
   ./build-asan/tests/test_accounting \
     --gtest_filter='Accounting.*:Charging.*:Threading.*'
+  # The conformance battery under ASan/UBSan covers every SIMD entry point
+  # (unaligned bases, tails, type-erased gathers) in both toggle states.
+  ./build-asan/tests/test_kernels
 fi
 
 if [[ "$TSAN" == 1 ]]; then
@@ -169,9 +180,9 @@ if [[ "$NO_PERF_GATE" == 0 ]]; then
   # Two sweeps: the gate judges each case on its minimum wall time across
   # them (noise only inflates single-trial timings, so min-of-2 is the
   # robust statistic).  Only the first carries --metrics.
-  GATE_BENCHES=(bench_ablation bench_collectives bench_gauss bench_matvec
-                bench_naive_vs_primitive bench_primitives bench_scaling
-                bench_simplex)
+  GATE_BENCHES=(bench_ablation bench_collectives bench_gauss bench_kernels
+                bench_matvec bench_naive_vs_primitive bench_primitives
+                bench_scaling bench_simplex)
   for b in "${GATE_BENCHES[@]}"; do
     (cd "$workdir" && "$OLDPWD/build/bench/$b" \
         --quick --trials=3 --warmup=1 --metrics \

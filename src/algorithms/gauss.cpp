@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/elementwise.hpp"
+#include "core/kernels.hpp"
 #include "core/naive.hpp"
 #include "core/primitives.hpp"
 #include "core/swap.hpp"
@@ -146,8 +147,8 @@ DistLuResult lu_factor_fused(DistMatrix<double>& A, double pivot_tol) {
       for (std::size_t lr = lr0; lr < lrn; ++lr) {
         const double m = cp[lr] / pivval;
         const double scale = -1.0 * m;
-        for (std::size_t lc = lc0; lc < lcn; ++lc)
-          blk[lr * lcn + lc] += scale * rp[lc];
+        kern::axpy(blk.subspan(lr * lcn + lc0, lcn - lc0), scale,
+                   rp.subspan(lc0, lcn - lc0));
         if (owns_k) blk[lr * lcn + lck] = m;
       }
     });

@@ -2,6 +2,7 @@
 
 #include "comm/collectives.hpp"
 #include "core/elementwise.hpp"
+#include "core/kernels.hpp"
 #include "core/primitives.hpp"
 #include "obs/trace.hpp"
 
@@ -28,11 +29,8 @@ DistVector<double> matvec_fused(const DistMatrix<double>& A,
     const std::span<const double> blk = A.block(q);
     const std::span<const double> xp = x.piece(q);
     const std::span<double> yp = y.data().tile(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr) {
-      double s = 0.0;
-      for (std::size_t lc = 0; lc < lcn; ++lc) s += blk[lr * lcn + lc] * xp[lc];
-      yp[lr] = s;
-    }
+    kern::dot_rows(blk.first(lrn * lcn), lrn, lcn, xp.first(lcn),
+                   yp.first(lrn));
   });
   allreduce_auto(cube, y.data(), grid.within_row(), Plus<double>{});
   return y;
@@ -59,10 +57,9 @@ DistVector<double> vecmat_fused(const DistVector<double>& x,
     const std::span<const double> blk = A.block(q);
     const std::span<const double> xp = x.piece(q);
     const std::span<double> yp = y.data().tile(q);
-    for (std::size_t lc = 0; lc < lcn; ++lc) yp[lc] = 0.0;
+    kern::fill(yp.first(lcn), 0.0);
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      for (std::size_t lc = 0; lc < lcn; ++lc)
-        yp[lc] += xp[lr] * blk[lr * lcn + lc];
+      kern::axpy(yp.first(lcn), xp[lr], blk.subspan(lr * lcn, lcn));
   });
   allreduce_auto(cube, y.data(), grid.within_col(), Plus<double>{});
   return y;

@@ -86,10 +86,12 @@ void allreduce(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc, Op op) {
         [&](proc_t q, std::span<const T> in) {
           const std::span<T> mine = buf.tile(q);
           VMP_ASSERT(in.size() == mine.size(), "allreduce length mismatch");
-          const bool iam_high = bit_of(q, d) != 0;
-          kern::zip(mine, in, [&](const T& m, const T& v) {
-            return iam_high ? op.combine(v, m) : op.combine(m, v);
-          });
+          // The high half takes the remote value as the op's LEFT argument
+          // (order matters for Max/Min on equal values and signed zeros).
+          if (bit_of(q, d) != 0)
+            kern::zip_swapped(mine, in, kern::op_fn(op));
+          else
+            kern::zip(mine, in, kern::op_fn(op));
         });
     cube.clock().charge_compute_step(n, n * cube.procs());
   }
@@ -326,10 +328,10 @@ void allreduce_pipelined(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
           VMP_ASSERT(in.size() == hi - lo,
                      "allreduce_pipelined segment length mismatch");
           const std::span<T> seg = buf.tile(q).subspan(lo, hi - lo);
-          const bool iam_high = bit_of(q, dims[idx]) != 0;
-          kern::zip(seg, in, [&](const T& m, const T& v) {
-            return iam_high ? op.combine(v, m) : op.combine(m, v);
-          });
+          if (bit_of(q, dims[idx]) != 0)
+            kern::zip_swapped(seg, in, kern::op_fn(op));
+          else
+            kern::zip(seg, in, kern::op_fn(op));
         });
     // This round combined the contiguous range [seg s_lo, seg s_hi] on
     // every processor; charge its per-processor max like `allreduce` does.
@@ -608,8 +610,7 @@ void reduce_to_rank(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
         [&](proc_t q, std::span<const T> in) {
           const std::span<T> mine = buf.tile(q);
           VMP_ASSERT(in.size() == mine.size(), "reduce length mismatch");
-          kern::zip(mine, in,
-                    [&](const T& m, const T& v) { return op.combine(m, v); });
+          kern::zip(mine, in, kern::op_fn(op));
         });
     cube.clock().charge_compute_step(n, n * (cube.procs() >> (j + 1)));
   }
@@ -672,8 +673,7 @@ void scan_inclusive(Cube& cube, DistBuffer<T>& buf, const SubcubeSet& sc,
   scan_exclusive(cube, buf, sc, op);
   const std::size_t n = max_local_len(cube, buf);
   cube.compute(n, [&](proc_t q) {
-    kern::zip(buf.tile(q), orig.tile(q),
-              [&](const T& m, const T& v) { return op.combine(m, v); });
+    kern::zip(buf.tile(q), orig.tile(q), kern::op_fn(op));
   });
 }
 

@@ -55,7 +55,7 @@ template <class T>
   DistMatrix<T> C(A.grid(), A.nrows(), A.ncols(), A.layout());
   A.grid().cube().compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
     kern::zip_into(A.data().tile(q), B.data().tile(q), C.data().tile(q),
-                   [](const T& x, const T& y) { return x * y; });
+                   kern::op_fn(Multiply<T>{}));
   });
   return C;
 }
@@ -156,10 +156,8 @@ template <class T, class Op>
   Cube& cube = grid.cube();
   DistBuffer<T> acc(cube, 1);
   cube.compute(A.max_block(), A.nrows() * A.ncols(), [&](proc_t q) {
-    acc.tile(q)[0] = kern::fold(A.data().tile(q), op.identity(),
-                                [&](const T& a, const T& x) {
-                                  return op.combine(a, x);
-                                });
+    acc.tile(q)[0] =
+        kern::fold(A.data().tile(q), op.identity(), kern::op_fn(op));
   });
   allreduce(cube, acc, grid.whole(), op);
   return acc.tile(0)[0];

@@ -17,20 +17,169 @@
 /// originate here — callers charge flops through Cube::compute as before;
 /// these are pure host-side loops.
 ///
+/// SIMD: kernels whose element operation the backend recognizes (fixed-size
+/// trivially-copyable fills and gathers; float/double zip/axpy/scale with a
+/// `kern::op_fn`-wrapped Plus/Multiply/Max/Min; the row-block fold_rows /
+/// dot_rows) dispatch to core/simd.hpp when `kern::simd::enabled()`.  Every
+/// default-mode dispatch is bit-identical to the scalar loop below it — the
+/// backend keeps per-element expressions, operand order and (for the
+/// row-block kernels) each row's combine chain exactly as written here.
+/// Only `Assoc::Relaxed`, an explicit per-call-site opt-in on fold/dot,
+/// permits reassociation, and even then the result is a deterministic
+/// function of the input for the compiled vector width (the runtime toggle
+/// does not affect it).  See docs/kernels.md.
+///
 /// Indexed kernels exploit that both embeddings (Block, Cyclic) are affine
 /// in the local slot: global = g0 + s·gstep (see AxisMap::global_begin).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <type_traits>
 
+#include "comm/ops.hpp"
+#include "core/simd.hpp"
+
 namespace vmp::kern {
+
+/// Floating-point association contract for fold/dot.  Strict (the default)
+/// keeps the ascending-index left-fold chain bit-for-bit; Relaxed lets the
+/// backend stripe the chain across `simd::width_f64()` lane accumulators
+/// folded in a fixed order — same input ⇒ same bits for a given compiled
+/// width, but not the scalar chain's bits.
+enum class Assoc { Strict, Relaxed };
+
+/// Transparent functor over a comm/ops.hpp reduction op: calls
+/// `op.combine(a, b)` and carries the op's type so the kernel dispatchers
+/// can recognize the vectorizable ones.  Call sites that used to wrap ops
+/// in ad-hoc lambdas (`[&](a, b) { return op.combine(a, b); }`) pass
+/// `kern::op_fn(op)` instead — behaviour is identical, recognition is free.
+template <class Op>
+struct OpFn {
+  Op op;
+  template <class A, class B>
+  [[nodiscard]] auto operator()(const A& a, const B& b) const {
+    return op.combine(a, b);
+  }
+};
+
+template <class Op>
+[[nodiscard]] OpFn<Op> op_fn(Op op) {
+  return OpFn<Op>{op};
+}
+
+namespace detail {
+
+/// Map a comm op type to the backend's combine code.  Only the four
+/// arithmetic ops over float/double vectorize; everything else (MinLoc,
+/// LogicalAnd, user functors, ...) stays on the scalar loops.
+template <class Op>
+struct op2_of {
+  static constexpr bool known = false;
+  using elem = void;
+};
+template <> struct op2_of<Plus<double>> {
+  static constexpr bool known = true;
+  using elem = double;
+  static constexpr simd::Op2 code = simd::Op2::add;
+};
+template <> struct op2_of<Multiply<double>> {
+  static constexpr bool known = true;
+  using elem = double;
+  static constexpr simd::Op2 code = simd::Op2::mul;
+};
+template <> struct op2_of<Max<double>> {
+  static constexpr bool known = true;
+  using elem = double;
+  static constexpr simd::Op2 code = simd::Op2::max;
+};
+template <> struct op2_of<Min<double>> {
+  static constexpr bool known = true;
+  using elem = double;
+  static constexpr simd::Op2 code = simd::Op2::min;
+};
+template <> struct op2_of<Plus<float>> {
+  static constexpr bool known = true;
+  using elem = float;
+  static constexpr simd::Op2 code = simd::Op2::add;
+};
+template <> struct op2_of<Multiply<float>> {
+  static constexpr bool known = true;
+  using elem = float;
+  static constexpr simd::Op2 code = simd::Op2::mul;
+};
+template <> struct op2_of<Max<float>> {
+  static constexpr bool known = true;
+  using elem = float;
+  static constexpr simd::Op2 code = simd::Op2::max;
+};
+template <> struct op2_of<Min<float>> {
+  static constexpr bool known = true;
+  using elem = float;
+  static constexpr simd::Op2 code = simd::Op2::min;
+};
+
+/// Recognition of an OpFn-wrapped vectorizable op.
+template <class F>
+struct fn_op2 {
+  static constexpr bool known = false;
+  using elem = void;
+};
+template <class Op>
+struct fn_op2<OpFn<Op>> : op2_of<Op> {};
+
+/// True when functor F is a recognized op over exactly the element type of
+/// every span involved.
+template <class F, class... Ts>
+inline constexpr bool vectorizable =
+    fn_op2<std::decay_t<F>>::known &&
+    (std::is_same_v<std::remove_cv_t<Ts>,
+                    typename fn_op2<std::decay_t<F>>::elem> &&
+     ...);
+
+template <class F>
+inline constexpr simd::Op2 op2_code = fn_op2<std::decay_t<F>>::code;
+
+/// Fixed-size trivially-copyable elements move through the type-erased
+/// 8/4-byte backend entry points.
+template <class T>
+inline constexpr bool word64 =
+    std::is_trivially_copyable_v<std::remove_cv_t<T>> && sizeof(T) == 8;
+template <class T>
+inline constexpr bool word32 =
+    std::is_trivially_copyable_v<std::remove_cv_t<T>> && sizeof(T) == 4;
+
+template <class T>
+std::uint64_t bits64(const T& v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, 8);
+  return b;
+}
+template <class T>
+std::uint32_t bits32(const T& v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, 4);
+  return b;
+}
+
+}  // namespace detail
 
 /// dst[i] = v for all i.
 template <typename T>
 void fill(std::span<T> dst, const T& v) {
+  if constexpr (detail::word64<T>) {
+    if (simd::enabled()) {
+      simd::fill_u64(dst.data(), dst.size(), detail::bits64(v));
+      return;
+    }
+  } else if constexpr (detail::word32<T>) {
+    if (simd::enabled()) {
+      simd::fill_u32(dst.data(), dst.size(), detail::bits32(v));
+      return;
+    }
+  }
   for (T& x : dst) x = v;
 }
 
@@ -72,13 +221,58 @@ void apply_indexed(std::span<T> x, std::size_t g0, std::size_t gstep, F&& f) {
 /// dst[i] = f(dst[i], src[i]).
 template <typename T, typename U, typename F>
 void zip(std::span<T> dst, std::span<U> src, F&& f) {
+  if constexpr (detail::vectorizable<F, T, U>) {
+    if (simd::enabled()) {
+      if constexpr (std::is_same_v<T, double>) {
+        simd::zip_f64(dst.data(), src.data(), dst.size(),
+                      detail::op2_code<F>, /*swapped=*/false);
+      } else {
+        simd::zip_f32(dst.data(), src.data(), dst.size(),
+                      detail::op2_code<F>, /*swapped=*/false);
+      }
+      return;
+    }
+  }
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = f(dst[i], src[i]);
+}
+
+/// dst[i] = f(src[i], dst[i]) — same shape as zip with the operand order
+/// flipped.  The combining collectives need this on the high-rank side,
+/// where the remote contribution is the op's left argument (order matters
+/// for Max/Min on equal values and signed zeros).
+template <typename T, typename U, typename F>
+void zip_swapped(std::span<T> dst, std::span<U> src, F&& f) {
+  if constexpr (detail::vectorizable<F, T, U>) {
+    if (simd::enabled()) {
+      if constexpr (std::is_same_v<T, double>) {
+        simd::zip_f64(dst.data(), src.data(), dst.size(),
+                      detail::op2_code<F>, /*swapped=*/true);
+      } else {
+        simd::zip_f32(dst.data(), src.data(), dst.size(),
+                      detail::op2_code<F>, /*swapped=*/true);
+      }
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = f(src[i], dst[i]);
 }
 
 /// out[i] = f(a[i], b[i]) into a third range.
 template <typename U, typename V, typename T, typename F>
 void zip_into(std::span<U> a, std::span<V> b, std::span<T> out,
               F&& f) {
+  if constexpr (detail::vectorizable<F, U, V, T>) {
+    if (simd::enabled()) {
+      if constexpr (std::is_same_v<T, double>) {
+        simd::zip_into_f64(a.data(), b.data(), out.data(), out.size(),
+                           detail::op2_code<F>);
+      } else {
+        simd::zip_into_f32(a.data(), b.data(), out.data(), out.size(),
+                           detail::op2_code<F>);
+      }
+      return;
+    }
+  }
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = f(a[i], b[i]);
 }
 
@@ -96,47 +290,168 @@ void zip_indexed(std::span<T> dst, std::span<U> src, std::size_t g0,
 /// y[i] += a · x[i] — the rank-1 update's row kernel.
 template <typename T, typename U>
 void axpy(std::span<T> y, const T& a, std::span<U> x) {
+  if constexpr (std::is_same_v<T, double> &&
+                std::is_same_v<std::remove_cv_t<U>, double>) {
+    if (simd::enabled()) {
+      simd::axpy_f64(y.data(), a, x.data(), y.size());
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, float> &&
+                       std::is_same_v<std::remove_cv_t<U>, float>) {
+    if (simd::enabled()) {
+      simd::axpy_f32(y.data(), a, x.data(), y.size());
+      return;
+    }
+  }
   for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
 }
 
 /// x[i] *= a.
 template <typename T>
 void scale(std::span<T> x, const T& a) {
+  if constexpr (std::is_same_v<T, double>) {
+    if (simd::enabled()) {
+      simd::scale_f64(x.data(), a, x.size());
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, float>) {
+    if (simd::enabled()) {
+      simd::scale_f32(x.data(), a, x.size());
+      return;
+    }
+  }
   for (T& v : x) v *= a;
 }
 
 /// Left fold in ascending index order: combine(...combine(init, x[0])...).
+///
+/// `Assoc::Relaxed` is a per-call-site opt-in that only changes behaviour
+/// for a Plus<double> fold: the backend stripes the chain across its
+/// compiled lane count regardless of the runtime toggle, so the relaxed
+/// result is a fixed function of the input for a given build.  Every other
+/// (op, type) combination folds strictly even when Relaxed is requested.
 template <typename U, typename Acc, typename F>
-[[nodiscard]] Acc fold(std::span<U> x, Acc init, F&& combine) {
+[[nodiscard]] Acc fold(std::span<U> x, Acc init, F&& combine,
+                       Assoc assoc = Assoc::Strict) {
+  if constexpr (detail::vectorizable<F, U> &&
+                std::is_same_v<Acc, double> &&
+                std::is_same_v<std::remove_cv_t<U>, double>) {
+    if (assoc == Assoc::Relaxed &&
+        detail::op2_code<F> == simd::Op2::add) {
+      return simd::sum_relaxed_f64(x.data(), x.size(), init);
+    }
+  }
+  (void)assoc;
   Acc acc = init;
   for (const auto& v : x) acc = combine(acc, v);
   return acc;
 }
 
-/// Ascending-order dot product: sum += a[i] · b[i].
+/// Ascending-order dot product: sum += a[i] · b[i].  `Assoc::Relaxed`
+/// (double only) stripes the accumulation across the compiled lane count —
+/// deterministic per build, independent of the runtime toggle.
 template <typename U, typename V>
-[[nodiscard]] std::remove_const_t<U> dot(std::span<U> a, std::span<V> b) {
+[[nodiscard]] std::remove_const_t<U> dot(std::span<U> a, std::span<V> b,
+                                         Assoc assoc = Assoc::Strict) {
+  if constexpr (std::is_same_v<std::remove_cv_t<U>, double> &&
+                std::is_same_v<std::remove_cv_t<V>, double>) {
+    if (assoc == Assoc::Relaxed) {
+      return simd::dot_relaxed_f64(a.data(), b.data(), a.size());
+    }
+  }
+  (void)assoc;
   std::remove_const_t<U> s{};
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
+}
+
+/// Row-block left fold: out[r] = fold(row r, init, combine) over the lrn
+/// rows of a row-major lrn×lcn block.  Same per-row association as calling
+/// `fold` row by row — the backend vectorizes ACROSS rows (one lane per
+/// row, columns in ascending order), so the vector path is bit-identical.
+template <typename U, typename Acc, typename F>
+void fold_rows(std::span<U> blk, std::size_t lrn, std::size_t lcn,
+               Acc init, std::span<Acc> out, F&& combine) {
+  if constexpr (detail::vectorizable<F, U> && std::is_same_v<Acc, double> &&
+                std::is_same_v<std::remove_cv_t<U>, double>) {
+    if (simd::enabled()) {
+      simd::fold_rows_f64(blk.data(), lrn, lcn, init, out.data(),
+                          detail::op2_code<F>);
+      return;
+    }
+  }
+  for (std::size_t r = 0; r < lrn; ++r) {
+    Acc acc = init;
+    const U* row = blk.data() + r * lcn;
+    for (std::size_t j = 0; j < lcn; ++j) acc = combine(acc, row[j]);
+    out[r] = acc;
+  }
+}
+
+/// Row-block dot: out[r] = Σ_j blk[r][j] · x[j], each row's chain in
+/// ascending-j mul-then-add order (the matvec_fused inner loop).  The
+/// backend's lane-per-row layout keeps it bit-identical to the scalar loop.
+template <typename U, typename V, typename T>
+void dot_rows(std::span<U> blk, std::size_t lrn, std::size_t lcn,
+              std::span<V> x, std::span<T> out) {
+  if constexpr (std::is_same_v<std::remove_cv_t<U>, double> &&
+                std::is_same_v<std::remove_cv_t<V>, double> &&
+                std::is_same_v<T, double>) {
+    if (simd::enabled()) {
+      simd::dot_rows_f64(blk.data(), lrn, lcn, x.data(), out.data());
+      return;
+    }
+  }
+  for (std::size_t r = 0; r < lrn; ++r) {
+    T s{};
+    const U* row = blk.data() + r * lcn;
+    for (std::size_t j = 0; j < lcn; ++j) s += row[j] * x[j];
+    out[r] = s;
+  }
 }
 
 /// dst[i] = src[i · stride] — e.g. extracting one matrix column from a
 /// row-major tile (stride = local row width).
 template <typename T>
 void gather_strided(const T* src, std::size_t stride, std::span<T> dst) {
+  if constexpr (detail::word64<T>) {
+    if (simd::enabled()) {
+      simd::gather64(src, stride, dst.data(), dst.size());
+      return;
+    }
+  } else if constexpr (detail::word32<T>) {
+    if (simd::enabled()) {
+      simd::gather32(src, stride, dst.data(), dst.size());
+      return;
+    }
+  }
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i * stride];
 }
 
 /// dst[i · stride] = src[i] — the inverse of gather_strided.
 template <typename U, typename T>
 void scatter_strided(std::span<U> src, T* dst, std::size_t stride) {
+  static_assert(std::is_same_v<std::remove_const_t<U>, T>,
+                "scatter spans must have the same element type");
+  if constexpr (detail::word64<T>) {
+    if (simd::enabled()) {
+      simd::scatter64(src.data(), dst, stride, src.size());
+      return;
+    }
+  } else if constexpr (detail::word32<T>) {
+    if (simd::enabled()) {
+      simd::scatter32(src.data(), dst, stride, src.size());
+      return;
+    }
+  }
   for (std::size_t i = 0; i < src.size(); ++i) dst[i * stride] = src[i];
 }
 
 /// dst[items[i].tag] = items[i].value — the routed-message unpack shared by
 /// transpose, swap, permute, sort and binary shift.  Item is any type with
-/// `.tag` and `.value` members (comm/route.hpp's RouteItem).
+/// `.tag` and `.value` members (comm/route.hpp's RouteItem).  Tags are a
+/// permutation with no exploitable stride, so this stays a scalar loop on
+/// every backend.
 template <typename Item, typename T>
 void scatter_tagged(std::span<Item> items, std::span<T> dst) {
   for (const Item& it : items) dst[it.tag] = it.value;

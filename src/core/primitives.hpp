@@ -132,11 +132,8 @@ template <class T, class Op>
     const std::size_t lrn = A.lrows(q), lcn = A.lcols(q);
     const std::span<const T> blk = A.block(q);
     const std::span<T> piece = out.data().tile(q);
-    for (std::size_t lr = 0; lr < lrn; ++lr)
-      piece[lr] = kern::fold(blk.subspan(lr * lcn, lcn), op.identity(),
-                             [&](const T& a, const T& x) {
-                               return op.combine(a, x);
-                             });
+    kern::fold_rows(blk.first(lrn * lcn), lrn, lcn, op.identity(),
+                    piece.first(lrn), kern::op_fn(op));
   });
   allreduce_auto(cube, out.data(), grid.within_row(), op);
   return out;
@@ -157,8 +154,7 @@ template <class T, class Op>
     const std::span<T> piece = out.data().tile(q);
     kern::fill(piece, op.identity());
     for (std::size_t lr = 0; lr < lrn; ++lr)
-      kern::zip(piece, blk.subspan(lr * lcn, lcn),
-                [&](const T& a, const T& x) { return op.combine(a, x); });
+      kern::zip(piece, blk.subspan(lr * lcn, lcn), kern::op_fn(op));
   });
   allreduce_auto(cube, out.data(), grid.within_col(), op);
   return out;

@@ -1,0 +1,144 @@
+/// \file simd.hpp
+/// \brief Portable explicit-SIMD backend for the strided-kernel layer.
+///
+/// One compiled backend per build, selected at configure time by the
+/// `VMP_SIMD` CMake option (AUTO detects the target architecture):
+///
+///   AVX2    x86-64, 256-bit lanes (4 f64 / 8 f32), simd.cpp compiled with
+///           -mavx2 -ffp-contract=off
+///   NEON    aarch64, 128-bit lanes (2 f64 / 4 f32), -ffp-contract=off
+///   OFF     scalar reference loops only; compiled() reports false
+///
+/// Only simd.cpp is compiled with wide-vector flags — the rest of the tree
+/// stays on the baseline ISA, so enabling SIMD cannot change codegen (and
+/// therefore floating-point results) anywhere outside this backend.
+///
+/// FP-DETERMINISM CONTRACT (see docs/kernels.md):
+///
+///  * Every entry point here that the default kernel mode dispatches to is
+///    bit-identical to the scalar loop it replaces: elementwise kernels
+///    (fill/zip/axpy/scale/...) evaluate the same per-element expression
+///    with the same operand order and no FMA contraction, and the row-block
+///    kernels (fold_rows/dot_rows) vectorize ACROSS rows so each row's
+///    combine chain keeps the exact ascending-index scalar association.
+///  * The `*_relaxed` reductions (dot_relaxed/sum_relaxed) reassociate into
+///    `width_f64()` striped lane accumulators folded in a fixed order —
+///    deterministic for a fixed vector width, but NOT bit-identical to the
+///    scalar chain.  Kernel callers reach them only through an explicit
+///    `kern::Assoc::Relaxed` argument.
+///
+/// The backend can also be disabled at runtime (per process) so twin tests
+/// and benches can compare SIMD-on vs SIMD-off inside one binary:
+/// `set_enabled(false)`, or environment `VMP_SIMD=0|off` at startup.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace vmp::kern::simd {
+
+/// Elementwise combine codes the zip/fold dispatchers recognize.  The
+/// semantics match comm/ops.hpp exactly, including NaN and signed-zero
+/// behavior: Max is `a < b ? b : a`, Min is `b < a ? b : a` (compare +
+/// blend, never the machine min/max instruction, whose equal/NaN rules
+/// differ).
+enum class Op2 : int { add = 0, mul = 1, max = 2, min = 3 };
+
+/// True when a wide backend (AVX2 or NEON) was compiled in.
+[[nodiscard]] bool compiled();
+
+/// "avx2", "neon" or "scalar".
+[[nodiscard]] const char* backend();
+
+/// Accumulator lanes of the relaxed reductions (and the row-block width):
+/// 4/8 for AVX2 f64/f32, 2/4 for NEON, 1/1 for the scalar build.
+[[nodiscard]] std::size_t width_f64();
+[[nodiscard]] std::size_t width_f32();
+
+namespace detail {
+/// Single process-wide switch; false forever when compiled() is false.
+/// Out-of-line init (simd.cpp) folds in the VMP_SIMD=0|off environment
+/// override; the header keeps the hot-path load inline.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Hot-path gate the kernel dispatchers read once per call.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Toggle the backend at runtime (no-op toward `true` on a scalar build);
+/// returns the previous setting.  Used by the SIMD-on/off twin sweeps.
+bool set_enabled(bool on);
+
+// --- elementwise kernels (default mode: bit-identical to scalar) ----------
+
+void fill_f64(double* dst, std::size_t n, double v);
+void fill_f32(float* dst, std::size_t n, float v);
+/// Splat a raw 8/4-byte pattern (kern::fill for any trivially-copyable
+/// element of that size routes here through a bit cast).
+void fill_u64(void* dst, std::size_t n, std::uint64_t bits);
+void fill_u32(void* dst, std::size_t n, std::uint32_t bits);
+
+/// dst[i] = op(dst[i], src[i]); `swapped` evaluates op(src[i], dst[i])
+/// instead (the high-rank side of a combining exchange).
+void zip_f64(double* dst, const double* src, std::size_t n, Op2 op,
+             bool swapped);
+void zip_f32(float* dst, const float* src, std::size_t n, Op2 op,
+             bool swapped);
+
+/// out[i] = op(a[i], b[i]) into a third range.
+void zip_into_f64(const double* a, const double* b, double* out,
+                  std::size_t n, Op2 op);
+void zip_into_f32(const float* a, const float* b, float* out, std::size_t n,
+                  Op2 op);
+
+/// y[i] += a · x[i], evaluated exactly as mul-then-add (no FMA).
+void axpy_f64(double* y, double a, const double* x, std::size_t n);
+void axpy_f32(float* y, float a, const float* x, std::size_t n);
+
+/// x[i] *= a.
+void scale_f64(double* x, double a, std::size_t n);
+void scale_f32(float* x, float a, std::size_t n);
+
+// --- row-block kernels (lane-per-row: strict order, still vector) ---------
+
+/// out[r] = op(...op(op(init, blk[r][0]), blk[r][1])...) for each of the
+/// lrn rows of a row-major lrn x lcn block: lanes run across rows, each
+/// row's chain stays in ascending-column scalar association.
+void fold_rows_f64(const double* blk, std::size_t lrn, std::size_t lcn,
+                   double init, double* out, Op2 op);
+
+/// out[r] = sum_j blk[r][j] * x[j] with the per-row ascending-j mul-then-add
+/// chain of the scalar loop (each lane owns one row).
+void dot_rows_f64(const double* blk, std::size_t lrn, std::size_t lcn,
+                  const double* x, double* out);
+
+// --- relaxed reductions (opt-in via kern::Assoc::Relaxed) ------------------
+
+/// Striped-lane dot: lane l accumulates elements i with i/W-th chunk lane l
+/// (W = width_f64()), lanes folded pairwise in a fixed order, scalar tail
+/// added last.  Same input => same bits for a fixed width.
+[[nodiscard]] double dot_relaxed_f64(const double* a, const double* b,
+                                     std::size_t n);
+
+/// Striped-lane sum with carry-in `init` (same lane order as
+/// dot_relaxed_f64).
+[[nodiscard]] double sum_relaxed_f64(const double* x, std::size_t n,
+                                     double init);
+
+// --- strided data movement -------------------------------------------------
+
+/// dst[i] = src[i * stride] over 8/4-byte elements (type-erased; strides in
+/// elements).  Pure data motion, so bit-identity is trivial.
+void gather64(const void* src, std::size_t stride, void* dst, std::size_t n);
+void gather32(const void* src, std::size_t stride, void* dst, std::size_t n);
+
+/// dst[i * stride] = src[i] over 8/4-byte elements.  (No scatter
+/// instruction below AVX-512: the wide backends unroll scalar stores from
+/// vector loads.)
+void scatter64(const void* src, void* dst, std::size_t stride, std::size_t n);
+void scatter32(const void* src, void* dst, std::size_t stride, std::size_t n);
+
+}  // namespace vmp::kern::simd

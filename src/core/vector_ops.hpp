@@ -59,16 +59,25 @@ void vec_zip_indexed(DistVector<T>& a, const DistVector<T>& b, F f) {
   });
 }
 
-/// y += alpha · x; two flops per element.
+/// y += alpha · x; two flops per element.  Same charge and the same
+/// per-element expression (y + alpha·x, mul then add) as the vec_zip lambda
+/// it replaced — routed through kern::axpy so the backend can vectorize it.
 template <class T>
 void vec_axpy(DistVector<T>& y, T alpha, const DistVector<T>& x) {
-  vec_zip(y, x, [alpha](const T& a, const T& b) { return a + alpha * b; });
+  VMP_REQUIRE(y.aligned_with(x), "vec_axpy operands must be aligned");
+  const std::size_t mx = max_local_len(y.grid().cube(), y.data());
+  y.grid().cube().compute(mx, y.n(), [&](proc_t q) {
+    kern::axpy(y.data().tile(q), alpha, x.data().tile(q));
+  });
 }
 
-/// v *= alpha.
+/// v *= alpha (evaluated x·alpha, as the vec_apply lambda did).
 template <class T>
 void vec_scale(DistVector<T>& v, T alpha) {
-  vec_apply(v, [alpha](const T& x) { return x * alpha; });
+  const std::size_t mx = max_local_len(v.grid().cube(), v.data());
+  v.grid().cube().compute(mx, v.n(), [&](proc_t q) {
+    kern::scale(v.data().tile(q), alpha);
+  });
 }
 
 /// v[g] = value for every g in [lo, hi) (other elements untouched).
@@ -89,26 +98,27 @@ template <class T, class Op>
   DistBuffer<T> acc(cube, 1);
   const std::size_t mx = max_local_len(cube, v.data());
   cube.compute(mx, v.n(), [&](proc_t q) {
-    acc.tile(q)[0] = kern::fold(v.data().tile(q), op.identity(),
-                                [&](const T& a, const T& x) {
-                                  return op.combine(a, x);
-                                });
+    acc.tile(q)[0] =
+        kern::fold(v.data().tile(q), op.identity(), kern::op_fn(op));
   });
   allreduce(cube, acc, v.partitioned_over(), op);
   return acc.tile(0)[0];
 }
 
 /// Dot product of two identically-embedded vectors (local multiply-add,
-/// one-element all-reduce).
+/// one-element all-reduce).  `assoc` forwards to kern::dot: the default
+/// keeps the strict ascending-index chain; `kern::Assoc::Relaxed` opts this
+/// call site into the striped fixed-width reduction (see docs/kernels.md).
 template <class T>
-[[nodiscard]] T dot(const DistVector<T>& a, const DistVector<T>& b) {
+[[nodiscard]] T dot(const DistVector<T>& a, const DistVector<T>& b,
+                    kern::Assoc assoc = kern::Assoc::Strict) {
   VMP_REQUIRE(a.aligned_with(b), "dot operands must be aligned");
   Grid& grid = a.grid();
   Cube& cube = grid.cube();
   DistBuffer<T> acc(cube, 1);
   const std::size_t mx = max_local_len(cube, a.data());
   cube.compute(2 * mx, 2 * a.n(), [&](proc_t q) {
-    acc.tile(q)[0] = kern::dot(a.data().tile(q), b.data().tile(q));
+    acc.tile(q)[0] = kern::dot(a.data().tile(q), b.data().tile(q), assoc);
   });
   allreduce(cube, acc, a.partitioned_over(), Plus<T>{});
   return acc.tile(0)[0];

@@ -17,7 +17,9 @@
 #include "algorithms/matvec.hpp"
 #include "algorithms/simplex.hpp"
 #include "comm/dist_buffer.hpp"
+#include "core/kernels.hpp"
 #include "core/primitives.hpp"
+#include "core/vector_ops.hpp"
 #include "fault/fault.hpp"
 #include "util/rng.hpp"
 #include "util/workloads.hpp"
@@ -403,6 +405,85 @@ TEST_P(RandomSweep, SlabChurnInvisibleToSimulatedMachine) {
   if (faulty)
     EXPECT_EQ(c0.clock().stats().fault_retries,
               c1.clock().stats().fault_retries);
+}
+
+// The kernel SIMD backend must be invisible to the simulated machine: the
+// default (strict-association) dispatch contract says every vectorized
+// kernel is bit-identical to its scalar loop, so a twin run with the
+// backend disabled has to agree on results, simulated time, traces and
+// every SimStats counter — including under a transient fault plan, where a
+// divergent checksum would reroute and split the twins' histories.
+TEST_P(RandomSweep, SimdBackendInvisibleToSimulatedMachine) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+  const bool faulty = trial % 2 == 1;
+
+  struct Run {
+    std::vector<double> matvec, rows, cols, lu;
+    double dotv = 0.0, now = 0.0;
+    std::vector<std::string> paths;
+    std::vector<TraceEvent> events;
+    SimStats stats;
+    std::vector<std::size_t> perm;
+  };
+  const auto run_with = [&](bool simd_on) {
+    const bool prev = kern::simd::set_enabled(simd_on);
+    Cube cube(c.d, costs);
+    if (faulty)
+      cube.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+    cube.clock().tracer().set_recording(true);
+    Grid grid(cube, c.gr, c.gc);
+    const std::vector<double> host =
+        random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed));
+    DistMatrix<double> A(grid, c.nrows, c.ncols, layout);
+    A.load(host);
+    const std::vector<double> xh =
+        random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+    DistVector<double> x(grid, c.ncols, Align::Cols, layout.cols);
+    x.load(xh);
+
+    Run out;
+    out.matvec = fused_matvec(A, x).to_host();
+    out.rows = reduce_rows(A, Plus<double>{}).to_host();
+    out.cols = reduce_cols(A, Max<double>{}).to_host();
+    DistVector<double> y = extract_row(A, 0);
+    vec_axpy(y, 1.5, x);
+    vec_scale(y, -0.75);
+    out.dotv = dot(y, x);
+    const std::size_t n = std::max<std::size_t>(
+        2, std::min<std::size_t>(c.nrows, 12));
+    const HostMatrix H = diag_dominant_matrix(n, c.data_seed);
+    DistMatrix<double> L(grid, n, n, layout);
+    L.load(H.data());
+    const DistLuResult lu = lu_factor_fused(L);
+    out.perm = lu.perm;
+    out.lu = L.to_host();
+    out.now = cube.clock().now_us();
+    out.paths = cube.clock().tracer().paths();
+    out.events = cube.clock().tracer().events();
+    out.stats = cube.clock().stats();
+    kern::simd::set_enabled(prev);
+    return out;
+  };
+
+  const Run off = run_with(false);
+  const Run on = run_with(true);
+  EXPECT_EQ(off.matvec, on.matvec) << "fused_matvec diverges";
+  EXPECT_EQ(off.rows, on.rows) << "reduce_rows diverges";
+  EXPECT_EQ(off.cols, on.cols) << "reduce_cols diverges";
+  EXPECT_EQ(off.dotv, on.dotv) << "axpy/scale/dot pipeline diverges";
+  EXPECT_EQ(off.perm, on.perm) << "LU pivot order diverges";
+  EXPECT_EQ(off.lu, on.lu) << "LU factors diverge";
+  EXPECT_EQ(off.now, on.now) << "simulated time diverges";
+  EXPECT_EQ(off.paths, on.paths);
+  EXPECT_TRUE(off.events == on.events) << "trace events diverge";
+  EXPECT_TRUE(off.stats == on.stats) << "SimStats diverge";
+  if (faulty)
+    EXPECT_EQ(off.stats.fault_retries, on.stats.fault_retries);
 }
 
 // lu_factor_fused runs the identical pivot searches and broadcasts but

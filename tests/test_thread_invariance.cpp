@@ -21,6 +21,7 @@
 
 #include "algorithms/matvec.hpp"
 #include "comm/dist_buffer.hpp"
+#include "core/kernels.hpp"
 #include "core/primitives.hpp"
 #include "core/scan_ops.hpp"
 #include "core/transpose.hpp"
@@ -170,6 +171,39 @@ TEST_P(ThreadSweep, SimulatedMachineBitIdenticalAcrossLaneCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ThreadSweep, ::testing::Range(0, 16));
+
+// SIMD × lane-count twin sweep: the kernel backend's default dispatch mode
+// must be bit-identical to the scalar loops under EVERY lane count and
+// fault plan — results, simulated clock, SimStats and event traces all
+// compared with the backend forced off vs on.  This is the cross product
+// the tentpole contract promises: vectorization, like threading, changes
+// wall-clock speed only, never the simulated machine.
+TEST_P(ThreadSweep, SimdToggleBitIdenticalAcrossLaneCounts) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+
+  for (const bool faulty : {false, true}) {
+    const bool prev = kern::simd::set_enabled(false);
+    const Snapshot off = run_workload(c, /*threads=*/1, faulty);
+    kern::simd::set_enabled(true);
+    for (const unsigned threads : {1u, 3u}) {
+      const Snapshot got = run_workload(c, threads, faulty);
+      const std::string what = std::string(faulty ? "faulty" : "fault-free") +
+                               " simd-on threads=" + std::to_string(threads);
+      ASSERT_EQ(off.results.size(), got.results.size()) << what;
+      for (std::size_t i = 0; i < off.results.size(); ++i)
+        EXPECT_EQ(off.results[i], got.results[i])
+            << what << " result stream " << i;
+      EXPECT_EQ(off.now_us, got.now_us) << what << " simulated clock";
+      EXPECT_TRUE(off.stats == got.stats) << what << " SimStats diverge";
+      EXPECT_EQ(off.trace_paths, got.trace_paths) << what;
+      EXPECT_TRUE(off.trace_events == got.trace_events)
+          << what << " event traces diverge";
+    }
+    kern::simd::set_enabled(prev);
+  }
+}
 
 TEST(ThreadOptions, VmpThreadsEnvIsTheDefault) {
   // Options{} reads VMP_THREADS at construction: unset → 1 lane, N → N
