@@ -4,6 +4,8 @@
 //   * embedding-change (realign) costs between the three alignments
 //   * combining dimension-order routing vs the naive per-packet router
 //   * cyclic vs blocked embedding for the shrinking-window update
+//   * Consecutive/Cyclic layouts crossed with the physical topology presets
+//     (hypercube / mesh / torus / dragonfly) — the machine-side ablation
 #include "harness.hpp"
 #include "vmprim.hpp"
 
@@ -159,6 +161,51 @@ int main(int argc, char** argv) {
             c.counter("sim_blocked_us", t_blk);
             c.counter("cyclic_gain", t_blk / t_cyc);
           });
+  }
+
+  // Topology ablation: the Consecutive (blocked) and Cyclic embeddings of
+  // the Gaussian-elimination step kernel (extract pivot column + pivot
+  // row, then the ranged rank-1 update), crossed with every physical
+  // topology preset.  Same algorithm, same results — only the per-link
+  // charges move, so the sweep isolates what each network does to each
+  // layout: the extracts pay lg p broadcasts per step (routed on
+  // non-cube presets) while the update stays communication-free
+  // everywhere.  The preset is a case arg (vmp-bench-v1 args are
+  // integers: TopologyKind values 0..3) and the label carries its name.
+  {
+    constexpr TopologyKind kPresets[] = {
+        TopologyKind::Hypercube, TopologyKind::Mesh, TopologyKind::Torus,
+        TopologyKind::Dragonfly};
+    for (TopologyKind kind : kPresets)
+      for (int cyclic = 0; cyclic < 2; ++cyclic)
+        for (std::size_t n : h.sizes({128, 512}, {128})) {
+          h.run("topology_layout_sweep",
+                {{"topology", static_cast<std::int64_t>(kind)},
+                 {"cyclic", cyclic},
+                 {"n", static_cast<std::int64_t>(n)}},
+                [&](bench::Case& c) {
+                  Cube::Options opts;
+                  opts.topology = kind;
+                  Cube cube(6, CostParams::cm2(), opts);
+                  c.label(cube.topology().name());
+                  Grid grid = Grid::square(cube);
+                  const MatrixLayout layout = cyclic != 0
+                                                  ? MatrixLayout::cyclic()
+                                                  : MatrixLayout::blocked();
+                  DistMatrix<double> A(grid, n, n, layout);
+                  A.load(random_matrix(n, n, 74));
+                  cube.clock().reset();
+                  for (std::size_t k = 0; k < n; k += 8) {
+                    DistVector<double> col = extract(A, Axis::Col, k);
+                    DistVector<double> row = extract(A, Axis::Row, k);
+                    rank1_update_range(A, -1.0, col, row, k + 1, k + 1);
+                  }
+                  c.counter("sim_us", cube.clock().now_us());
+                  c.counter("link_hops", static_cast<double>(
+                                             cube.clock().stats().link_hops));
+                  c.profile("update", cube.clock());
+                });
+        }
   }
   return h.finish();
 }

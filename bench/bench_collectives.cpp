@@ -1,6 +1,7 @@
 // E7b — substrate collective ablations: one-port binomial vs scatter+
-// all-gather vs all-port nESBT broadcast, Gray vs binary ring shifts, and
-// the cost of matrix transposition (stable dimension permutation).
+// all-gather vs all-port nESBT broadcast, Gray vs binary ring shifts, the
+// cost of matrix transposition (stable dimension permutation), and the
+// core collectives re-run on every physical topology preset.
 #include <cmath>
 
 #include "harness.hpp"
@@ -196,5 +197,50 @@ int main(int argc, char** argv) {
                         serial / sim_summa / cube.procs());
             });
     }
+
+  // Topology ablation: broadcast and all-reduce on each physical preset.
+  // Results are bit-identical across presets (same algorithm, same logical
+  // cube); what moves is the charge per exchange — dilation and link
+  // contention on the mesh/torus, the global-link tax on the dragonfly.
+  {
+    constexpr TopologyKind kPresets[] = {
+        TopologyKind::Hypercube, TopologyKind::Mesh, TopologyKind::Torus,
+        TopologyKind::Dragonfly};
+    for (TopologyKind kind : kPresets)
+      for (int d : h.dims({4, 6, 8}, {4}))
+        for (std::size_t n : h.sizes({64, 1024}, {64})) {
+          h.run("collectives_topology_sweep",
+                {{"topology", static_cast<std::int64_t>(kind)},
+                 {"dim", d},
+                 {"n", static_cast<std::int64_t>(n)}},
+                [&](bench::Case& c) {
+                  Cube::Options opts;
+                  opts.topology = kind;
+                  Cube cube(d, CostParams::cm2(), opts);
+                  c.label(cube.topology().name());
+                  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+                  DistBuffer<double> buf(cube);
+                  buf.assign(0, random_vector(n, 1));
+                  cube.clock().reset();
+                  broadcast(cube, buf, sc, 0);
+                  const double t_bcast = cube.clock().now_us();
+                  c.profile("broadcast", cube.clock());
+
+                  DistBuffer<double> red(cube);
+                  cube.each_proc([&](proc_t q) {
+                    red.assign(q, random_vector(n, q));
+                  });
+                  cube.clock().reset();
+                  allreduce(cube, red, sc, Plus<double>{});
+                  const double t_allred = cube.clock().now_us();
+                  c.profile("allreduce", cube.clock());
+
+                  c.counter("sim_broadcast_us", t_bcast);
+                  c.counter("sim_allreduce_us", t_allred);
+                  c.counter("link_hops", static_cast<double>(
+                                             cube.clock().stats().link_hops));
+                });
+        }
+  }
   return h.finish();
 }

@@ -27,6 +27,12 @@
 ///                    default every Cube reads: 0 = hardware concurrency,
 ///                    1 = serial); the resolved lane count is recorded as
 ///                    "threads" in the JSON document
+///   --topology=NAME  physical topology preset every cube in the run defaults
+///                    to (sets VMP_TOPOLOGY: hypercube | mesh | torus |
+///                    dragonfly); the effective preset is recorded as
+///                    "topology" in the JSON document.  Topology-ablation
+///                    benches additionally sweep presets explicitly per case,
+///                    independent of this default
 ///   --metrics        enable the engine metrics tier (obs/metrics.hpp) in
 ///                    benches that wire it: each case embeds its final
 ///                    vmp-metrics-v1 snapshot in the bench document, the
@@ -67,6 +73,7 @@
 
 #include "fault/fault.hpp"
 #include "hypercube/team.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
@@ -144,6 +151,12 @@ class Harness {
   [[nodiscard]] unsigned threads() const {
     return WorkerTeam::resolve_lanes(env_threads());
   }
+
+  /// The topology preset every cube in this run defaults to: the
+  /// --topology override (which sets VMP_TOPOLOGY before any cube exists)
+  /// or the environment default.  Ablation benches sweeping presets
+  /// explicitly pass Cube::Options instead of relying on this.
+  [[nodiscard]] TopologyKind topology() const { return env_topology(); }
 
   /// True when --faults was given: the bench should attach fault_plan() to
   /// its cube(s) so the run exercises the recovery path.
@@ -299,11 +312,23 @@ class Harness {
       // Through the environment so every Cube the bench creates (all are
       // constructed after flag parsing) picks it up as its default.
       setenv("VMP_THREADS", f.c_str() + 10, 1);
+    } else if (starts("--topology=")) {
+      TopologyKind kind{};
+      if (!parse_topology(f.c_str() + 11, kind)) {
+        std::fprintf(stderr,
+                     "%s: unknown topology %s (hypercube|mesh|torus|"
+                     "dragonfly)\n",
+                     name_.c_str(), f.c_str() + 11);
+        std::exit(2);
+      }
+      // Through the environment, same as --threads: every Cube constructed
+      // after flag parsing reads it as its Options default.
+      setenv("VMP_TOPOLOGY", to_string(kind), 1);
     } else if (f == "--help" || f == "-h") {
       std::printf(
           "%s [--dims=a,b] [--sizes=a,b] [--trials=N] [--warmup=N]\n"
           "  [--quick] [--filter=SUBSTR] [--json=PATH] [--list]\n"
-          "  [--faults[=SEED]] [--threads=N] [--metrics]\n",
+          "  [--faults[=SEED]] [--threads=N] [--topology=NAME] [--metrics]\n",
           name_.c_str());
       std::exit(0);
     } else {
@@ -348,6 +373,7 @@ class Harness {
     // document alone (fault_seed == seed when --faults carried no override).
     out += ",\"fault_seed\":" + std::to_string(fault_seed_);
     out += ",\"threads\":" + std::to_string(threads());
+    out += ",\"topology\":" + json_string(to_string(topology()));
     out += ",\"metrics\":" + std::string(metrics_ ? "true" : "false");
     out += ",\"cases\":[";
     bool first_case = true;

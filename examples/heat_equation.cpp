@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   Cube cube(d, CostParams::cm2());
   Grid grid = Grid::square(cube);
   std::printf("1-D heat equation, %zu grid points on %u processors\n", n,
-              cube.procs());
+              cube.node_count());
 
   // Initial condition: a hot spike in the middle; ends clamped to zero.
   std::vector<double> u0(n, 0.0);

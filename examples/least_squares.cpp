@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   Grid grid = Grid::square(cube);
   std::printf("least squares: fit %zu observations with %zu parameters on "
               "%u processors\n",
-              m, n, cube.procs());
+              m, n, cube.node_count());
 
   // Planted model: b = A·x* + noise.
   SplitMix64 rng(7);

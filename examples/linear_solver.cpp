@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   Grid grid = Grid::square(cube);
   std::printf("solving a %zux%zu system on %u processors (%ux%u grid, "
               "cyclic embedding)\n",
-              n, n, cube.procs(), grid.prows(), grid.pcols());
+              n, n, cube.node_count(), grid.prows(), grid.pcols());
 
   const HostMatrix H = diag_dominant_matrix(n, /*seed=*/7);
   const std::vector<double> b = random_vector(n, /*seed=*/8);
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   std::printf("  residual ||Ax-b||_inf = %.3e\n", resid);
   std::printf("  serial factor (model): %10.1f us  ->  speedup %.1fx on %u "
               "procs (efficiency %.0f%%)\n",
-              t_serial, t_serial / t_factor, cube.procs(),
-              100.0 * t_serial / t_factor / cube.procs());
+              t_serial, t_serial / t_factor, cube.node_count(),
+              100.0 * t_serial / t_factor / cube.node_count());
   return 0;
 }

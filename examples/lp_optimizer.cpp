@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   for (double& b : lp.b) b = rng.uniform(50.0, 200.0);
 
   std::printf("production LP: %zu machines x %zu products on %u processors\n",
-              ncons, nvars, cube.procs());
+              ncons, nvars, cube.node_count());
 
   cube.clock().reset();
   const LpSolution sol = simplex_solve(grid, lp);

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("power iteration on a %zux%zu matrix, %u processors\n", n, n,
-              cube.procs());
+              cube.node_count());
   cube.clock().reset();
   double estimate = 0.0;
   int iters = 0;

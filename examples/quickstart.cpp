@@ -14,10 +14,10 @@ int main() {
   // arranged as an 8×8 processor grid.
   Cube cube(6, CostParams::cm2());
   Grid grid(cube, 3, 3);
-  std::printf("machine: %u processors (cube dimension %d), %ux%u grid, "
-              "cost preset '%s'\n\n",
-              cube.procs(), cube.dim(), grid.prows(), grid.pcols(),
-              cube.costs().name.c_str());
+  std::printf("machine: %u processors (logical cube dimension %d), "
+              "'%s' network, %ux%u grid, cost preset '%s'\n\n",
+              cube.node_count(), cube.dim(), cube.topology().name(),
+              grid.prows(), grid.pcols(), cube.costs().name.c_str());
 
   // A 256x256 matrix, block-embedded: each processor owns a 32x32 block.
   const std::size_t n = 256;

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   Cube cube(d, CostParams::cm2());
   Grid grid = Grid::square(cube);
   std::printf("spectral filter: %zu samples on %u processors\n", n,
-              cube.procs());
+              cube.node_count());
 
   // Two clean tones + broadband noise.
   SplitMix64 rng(99);

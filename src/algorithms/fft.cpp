@@ -27,10 +27,10 @@ void fft_impl(DistVector<cplx>& v, double sign) {
   VMP_REQUIRE(is_pow2(n), "fft needs a power-of-two length");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
-  const std::size_t p = cube.procs();
+  const std::size_t p = cube.node_count();
   VMP_REQUIRE(n >= p, "fewer points than processors");
   const int L = log2_exact(n);
-  const int local_bits = L - cube.dim();
+  const int local_bits = L - cube.dim();  // dim(): logical address bits
   const std::size_t block = n / p;  // exact: both are powers of two
 
   // Decimation-in-time wants bit-reversed input order — the classic

@@ -44,7 +44,7 @@ void compare_split(Cube& cube, DistBuffer<T>& data, int dim,
         kern::copy(keep, mine);
       });
   const std::size_t mx = max_local_len(cube, data);
-  cube.clock().charge_compute_step(2 * mx, 2 * mx * cube.procs());
+  cube.clock().charge_compute_step(2 * mx, 2 * mx * cube.node_count());
 }
 
 }  // namespace detail
@@ -55,10 +55,10 @@ void vec_sort(DistVector<T>& v) {
   VMP_REQUIRE(v.align() == Align::Linear, "vec_sort needs a Linear vector");
   Grid& grid = v.grid();
   Cube& cube = grid.cube();
-  const int d = cube.dim();
+  const int d = cube.dim();  // logical merge stages, not a network query
   const std::size_t n = v.n();
   if (n == 0) return;
-  const std::size_t mx = (n + cube.procs() - 1) / cube.procs();
+  const std::size_t mx = (n + cube.node_count() - 1) / cube.node_count();
 
   // Pad every block to mx with sentinels and sort locally:
   // (n/p)·lg(n/p) comparisons.
@@ -78,10 +78,10 @@ void vec_sort(DistVector<T>& v) {
   // Bitonic merge over the processor ranks.  Stage k orders 2^(k+1)-rank
   // windows; within a stage, rounds run dimension j = k down to 0.  The
   // "keep low" side of a pair follows the bitonic direction bit.
-  std::vector<bool> keep_low(cube.procs());
+  std::vector<bool> keep_low(cube.node_count());
   for (int k = 0; k < d; ++k) {
     for (int j = k; j >= 0; --j) {
-      for (proc_t q = 0; q < cube.procs(); ++q) {
+      for (proc_t q = 0; q < cube.node_count(); ++q) {
         const bool ascending = ((q >> (k + 1)) & 1u) == 0;
         const bool low_side = ((q >> j) & 1u) == 0;
         keep_low[q] = ascending == low_side;

@@ -1,10 +1,9 @@
 #include "comm/router.hpp"
 
-#include <bit>
 #include <string>
 
-#include "hypercube/bits.hpp"
 #include "hypercube/check.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -12,11 +11,11 @@ namespace vmp {
 
 namespace {
 
-/// A queued packet plus its recovery state: a forced next hop set when the
-/// packet is detouring around a dead link.
+/// A queued packet plus its recovery state: a forced next port set when
+/// the packet is detouring around a dead link.
 struct RoutedPacket {
   Packet pk;
-  int force_dim = -1;
+  int force_port = -1;
 };
 
 }  // namespace
@@ -25,6 +24,7 @@ std::uint64_t NaiveRouter::run(
     std::vector<std::vector<Packet>> packets,
     const std::function<void(proc_t, std::uint64_t, double)>& deliver) {
   Cube& cube = *cube_;
+  const Topology& topo = cube.topology();
   VMP_TRACE(cube, "naive_router");
   const proc_t p = cube.procs();
   VMP_REQUIRE(packets.size() == p, "one injection queue per processor");
@@ -44,7 +44,7 @@ std::uint64_t NaiveRouter::run(
   }
   cube.clock().note_router_packets(in_flight);
 
-  // Engine metrics (off by default).  Queue depth and per-dimension hop
+  // Engine metrics (off by default).  Queue depth and per-axis hop
   // traffic are pure functions of the deterministic routing schedule, so
   // everything here is Sim-class.  Tallies accumulate in locals and land
   // in the registry once per run — nothing on the per-cycle path but the
@@ -53,17 +53,19 @@ std::uint64_t NaiveRouter::run(
   MetricsRegistry::Histogram* m_qdepth =
       mreg ? &mreg->histogram("router.queue_depth", MetricClass::Sim)
            : nullptr;
-  std::vector<std::uint64_t> dim_hops(
-      mreg ? static_cast<std::size_t>(cube.dim()) : 0, 0);
+  std::vector<std::uint64_t> axis_hops(
+      mreg ? static_cast<std::size_t>(topo.axis_count()) : 0, 0);
   const std::size_t injected = in_flight;
 
   FaultInjector* fi = cube.faults();
   std::uint64_t cycles = 0;
   std::uint64_t stalled_cycles = 0;
   std::vector<std::pair<proc_t, RoutedPacket>> moves;
+  std::vector<int> ports;
   while (in_flight > 0) {
     // One lockstep cycle: every processor forwards the head of its queue
-    // one hop along the lowest differing address bit (e-cube routing).
+    // one hop along the topology's canonical minimal route (on the cube:
+    // the lowest differing address bit — e-cube routing).
     const std::uint64_t round = fi ? fi->begin_round() : 0;
     if (m_qdepth != nullptr) {
       std::size_t qmax = 0;
@@ -76,54 +78,62 @@ std::uint64_t NaiveRouter::run(
       if (queue[q].empty()) continue;
       RoutedPacket rp = queue[q].front();
       queue[q].pop_front();
-      int hop;
+      Hop hop;
       if (!fi) {
-        hop = std::countr_zero(rp.pk.dst ^ q);
+        hop = topo.first_hop(q, rp.pk.dst);
       } else {
         if (fi->node_dead(round, q) || fi->node_dead(round, rp.pk.dst))
           throw FaultError("naive router: packet endpoint is a dead node");
-        if (rp.force_dim >= 0) {
-          // Mid-detour: cross the dimension the dead link blocked.  The
-          // force is kept until the hop actually succeeds — a transient
-          // drop below requeues the packet with the force intact.
-          hop = rp.force_dim;
-          if (fi->link_dead(round, q, hop))
+        const auto link_dead = [&](proc_t node, int port) {
+          return fi->link_dead(round, node, port);
+        };
+        const auto node_dead = [&](proc_t node) {
+          return fi->node_dead(round, node);
+        };
+        if (rp.force_port >= 0) {
+          // Mid-detour: cross the port the dead link blocked.  The force
+          // is kept until the hop actually succeeds — a transient drop
+          // below requeues the packet with the force intact.
+          if (link_dead(q, rp.force_port))
             throw FaultError(
                 "naive router: detour crosses another dead link at "
                 "processor " +
                 std::to_string(q));
+          const proc_t to = topo.port_neighbor(q, rp.force_port);
+          VMP_REQUIRE(to != kNoNeighbor, "forced port does not exist");
+          hop = Hop{q, to, topo.port_axis(q, rp.force_port), rp.force_port};
         } else {
-          // Lowest differing bit whose link is live — any differing bit is
-          // still a shortest-path hop, so dodging dead links is free.
-          const std::uint32_t diff = rp.pk.dst ^ q;
-          hop = -1;
-          for (int d = 0; d < cube.dim(); ++d) {
-            if (((diff >> d) & 1u) != 0 && !fi->link_dead(round, q, d)) {
-              hop = d;
+          // First live port that still starts a minimal route — dodging
+          // dead links is free as long as one such port survives (on the
+          // cube: any differing address bit).
+          ports.clear();
+          topo.min_first_ports(q, rp.pk.dst, ports);
+          int chosen = -1;
+          for (const int prt : ports) {
+            if (!link_dead(q, prt)) {
+              chosen = prt;
               break;
             }
           }
-          if (hop < 0) {
-            // Every remaining shortest-path link is dead (typically the
-            // last hop): detour one live edge sideways, then force the
-            // packet across the blocked dimension from the detour node.
-            const int blocked = std::countr_zero(diff);
-            for (int d = 0; d < cube.dim(); ++d) {
-              if (((diff >> d) & 1u) != 0) continue;
-              if (fi->link_dead(round, q, d)) continue;
-              if (fi->node_dead(round, cube_neighbor(q, d))) continue;
-              hop = d;
-              break;
-            }
-            if (hop < 0)
+          if (chosen >= 0) {
+            const proc_t to = topo.port_neighbor(q, chosen);
+            hop = Hop{q, to, topo.port_axis(q, chosen), chosen};
+          } else {
+            // Every minimal first hop is dead (typically the last hop):
+            // take the topology's detour step — on the cube one live edge
+            // sideways, then force the packet across the blocked
+            // dimension from the detour node.
+            int force = -1;
+            if (!topo.detour_first(q, rp.pk.dst, link_dead, node_dead, hop,
+                                   force))
               throw FaultError(
                   "naive router: no live link out of processor " +
                   std::to_string(q));
-            rp.force_dim = blocked;
+            rp.force_port = force;
             cube.clock().note_fault_reroute();
           }
         }
-        const FaultOutcome oc = fi->decide(round, 0, q, hop);
+        const FaultOutcome oc = fi->decide(round, 0, q, hop.port);
         if (oc.drop || oc.corrupt) {
           // Lost in transit or rejected by the hop checksum: the packet
           // stays queued and retransmits next cycle (the cycle is still
@@ -133,14 +143,14 @@ std::uint64_t NaiveRouter::run(
           queue[q].push_back(rp);
           continue;
         }
-        if (rp.force_dim == hop) rp.force_dim = -1;  // forced hop succeeded
+        if (rp.force_port == hop.port) rp.force_port = -1;  // force done
       }
-      if (mreg != nullptr) ++dim_hops[static_cast<std::size_t>(hop)];
-      moves.emplace_back(cube_neighbor(q, hop), rp);
+      if (mreg != nullptr) ++axis_hops[static_cast<std::size_t>(hop.axis)];
+      moves.emplace_back(hop.to, rp);
     }
     bool delivered_any = false;
     for (const auto& [where, rp] : moves) {
-      if (rp.pk.dst == where && rp.force_dim < 0) {
+      if (rp.pk.dst == where && rp.force_port < 0) {
         deliver(where, rp.pk.tag, rp.pk.value);
         --in_flight;
         delivered_any = true;
@@ -153,7 +163,7 @@ std::uint64_t NaiveRouter::run(
     stalled_cycles = delivered_any ? 0 : stalled_cycles + 1;
     if (fi && stalled_cycles >
                   static_cast<std::uint64_t>(fi->policy().max_retries +
-                                             cube.dim() + 2))
+                                             topo.diameter() + 2))
       throw FaultError(
           "naive router: fault recovery budget exhausted — no packet "
           "delivered for " +
@@ -162,10 +172,12 @@ std::uint64_t NaiveRouter::run(
   if (mreg != nullptr) {
     mreg->counter("router.packets", MetricClass::Sim).add(injected);
     mreg->counter("router.cycles", MetricClass::Sim).add(cycles);
-    for (std::size_t d = 0; d < dim_hops.size(); ++d)
+    // Counter names keep the historical "dim" prefix; the index is the
+    // topology axis (== cube dimension on the hypercube preset).
+    for (std::size_t d = 0; d < axis_hops.size(); ++d)
       mreg->counter("router.dim" + std::to_string(d) + ".hops",
                     MetricClass::Sim)
-          .add(dim_hops[d]);
+          .add(axis_hops[d]);
   }
   return cycles;
 }

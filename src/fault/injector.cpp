@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include "net/topology.hpp"
+
 namespace vmp {
 
 namespace {
@@ -57,8 +59,32 @@ FaultOutcome FaultInjector::decide(std::uint64_t round, int attempt,
   return oc;
 }
 
+void FaultInjector::bind_topology(const Topology* topo) {
+  topo_ = topo;
+  kill_links_.clear();
+  if (topo_ == nullptr) return;
+  for (const FaultPlan::LinkKill& k : plan_.link_kills) {
+    if (k.node >= topo_->node_count() || k.dim < 0 ||
+        k.dim >= topo_->max_ports())
+      continue;
+    if (topo_->port_neighbor(k.node, k.dim) == kNoNeighbor) continue;
+    kill_links_.emplace_back(k.from_round, topo_->link_id(k.node, k.dim));
+  }
+}
+
 bool FaultInjector::link_dead(std::uint64_t round, std::uint32_t node,
                               int dim) const {
+  if (topo_ != nullptr) {
+    if (kill_links_.empty()) return false;
+    if (node >= topo_->node_count() || dim < 0 || dim >= topo_->max_ports() ||
+        topo_->port_neighbor(node, dim) == kNoNeighbor)
+      return false;
+    const std::uint64_t id = topo_->link_id(node, dim);
+    for (const auto& [from_round, lid] : kill_links_)
+      if (lid == id && round >= from_round) return true;
+    return false;
+  }
+  // Unbound (standalone) injector: the historical cube-edge rule.
   const std::uint32_t lo =
       node < (node ^ (1u << dim)) ? node : (node ^ (1u << dim));
   for (const FaultPlan::LinkKill& k : plan_.link_kills) {

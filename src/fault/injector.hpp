@@ -11,10 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "fault/fault.hpp"
 
 namespace vmp {
+
+class Topology;
 
 /// What happens to one message delivery attempt.
 struct FaultOutcome {
@@ -31,6 +35,13 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const RecoveryPolicy& policy() const { return policy_; }
 
+  /// Resolve the plan's (node, port) link kills into undirected link ids
+  /// of `topo` (kills naming a port absent on this topology are inert).
+  /// Called by Cube::enable_faults; an unbound injector canonicalizes
+  /// kills with the historical cube-edge XOR rule instead, which is the
+  /// same equivalence on a hypercube.  `topo` must outlive the injector.
+  void bind_topology(const Topology* topo);
+
   /// Advance to the next lockstep communication round; returns its id.
   /// Called once per round by the machine, on the host thread.
   std::uint64_t begin_round() { return round_++; }
@@ -41,8 +52,9 @@ class FaultInjector {
   [[nodiscard]] FaultOutcome decide(std::uint64_t round, int attempt,
                                     std::uint32_t src, int dim) const;
 
-  /// True if the undirected edge (node, node ^ 1<<dim) is permanently dead
-  /// at `round`.
+  /// True if the undirected link behind port `dim` of `node` is
+  /// permanently dead at `round` (on a hypercube, port == cube dimension
+  /// and the link is the edge (node, node ^ 1<<dim)).
   [[nodiscard]] bool link_dead(std::uint64_t round, std::uint32_t node,
                                int dim) const;
 
@@ -56,6 +68,9 @@ class FaultInjector {
  private:
   FaultPlan plan_;
   RecoveryPolicy policy_;
+  const Topology* topo_ = nullptr;
+  /// Plan link kills resolved against topo_: (from_round, link id).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kill_links_;
   std::uint64_t round_ = 0;
 };
 

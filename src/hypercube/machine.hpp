@@ -48,18 +48,19 @@
 #include "hypercube/cost_model.hpp"
 #include "hypercube/sim_clock.hpp"
 #include "hypercube/team.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace vmp {
-
-/// Processor id inside a cube; addresses are dense in [0, 2^dim).
-using proc_t = std::uint32_t;
+// proc_t (processor id, dense in [0, 2^dim)) lives in net/topology.hpp.
 
 /// One staged message of a lockstep round, as seen by the fault-recovery
-/// engine: the (src, dst) cube edge, the dimension it crosses, a caller
-/// context index (the all-port port), and a view of the staged payload
-/// (which lives either in a persistent staging slot or a staged vector).
+/// engine: the (src, dst) LOGICAL cube edge, the cube dimension it
+/// crosses, a caller context index (the all-port port), and a view of the
+/// staged payload (which lives either in a persistent staging slot or a
+/// staged vector).  On a non-unit-hop topology the logical edge resolves
+/// to a multi-hop physical route at delivery/charging time.
 template <class T>
 struct FaultMsg {
   proc_t src = 0;
@@ -168,6 +169,22 @@ struct VecStageBase {
   virtual ~VecStageBase() = default;
 };
 
+/// Cached physical routes of one logical cube dimension on a non-unit-hop
+/// topology: for every source q the hops of route(q, q ^ 2^d), with the
+/// per-hop directed-link index and charge multiplier precomputed so the
+/// per-round contention scan is table walks only.  Built lazily per
+/// dimension on first use; dead-link detours never go through this cache
+/// (kills are consulted per round).
+struct DimRoutes {
+  bool built = false;
+  std::vector<std::uint32_t> off;    ///< procs+1 offsets into hops
+  std::vector<Hop> hops;             ///< concatenated route hops
+  std::vector<std::uint32_t> lidx;   ///< per hop: directed link index
+  std::vector<double> mult;          ///< per hop: per-element multiplier
+  std::vector<double> startup;       ///< per src: summed start-up mults
+  int common_axis = -1;              ///< shared axis of every hop, or -1
+};
+
 template <class T>
 struct VecStage : VecStageBase {
   std::vector<std::vector<T>> slots;
@@ -183,6 +200,14 @@ class Cube {
     /// wall-clock, same results at any setting).  Defaults to the
     /// VMP_THREADS environment variable (unset → 1).
     unsigned threads = env_threads();
+
+    /// Physical network the logical cube's exchanges cross (see
+    /// net/topology.hpp and docs/topology.md).  Defaults to the
+    /// VMP_TOPOLOGY environment variable (unset → Hypercube, on which
+    /// every charge is bit-identical to the historical cube-only
+    /// machine).  Algorithms are unchanged by this knob — results are
+    /// topology-independent; only routes, charges and fault paths move.
+    TopologyKind topology = env_topology();
   };
 
   explicit Cube(int dim, CostParams params = CostParams::cm2());
@@ -191,12 +216,30 @@ class Cube {
   Cube(const Cube&) = delete;
   Cube& operator=(const Cube&) = delete;
 
-  /// Cube dimension (number of address bits / ports per processor).
+  /// Logical cube dimension — the number of address bits, i.e.
+  /// `log2(node_count())`.  A *logical* quantity (algorithms recurse over
+  /// it regardless of the physical network); for physical-network queries
+  /// prefer the topology-neutral accessors below.  Kept as the documented
+  /// alias the paper-era call sites use.
   [[nodiscard]] int dim() const { return dim_; }
-  /// Number of processors, `2^dim()`.
+  /// Number of processors, `2^dim()` (alias of node_count()).
   [[nodiscard]] proc_t procs() const { return procs_; }
   /// Host lanes executing the per-processor loops (≥ 1; 1 = fully serial).
   [[nodiscard]] unsigned threads() const { return team_.lanes(); }
+
+  /// Topology-neutral machine queries (preferred over dim()/procs() in
+  /// new code): the physical network underneath the logical cube.
+  [[nodiscard]] proc_t node_count() const { return procs_; }
+  /// Physical neighbors of processor `p`, in port order.
+  [[nodiscard]] std::vector<proc_t> neighbors(proc_t p) const {
+    return topo_->neighbors(p);
+  }
+  /// Physical network diameter (== dim() on the hypercube preset).
+  [[nodiscard]] int diameter() const { return topo_->diameter(); }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] TopologyKind topology_kind() const { return topo_->kind(); }
+  /// True when every logical cube edge is one physical link (hypercube).
+  [[nodiscard]] bool unit_hop() const { return unit_hop_; }
 
   [[nodiscard]] SimClock& clock() { return clock_; }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
@@ -212,6 +255,7 @@ class Cube {
   /// (the default) the communication path is exactly the fault-free one.
   void enable_faults(const FaultPlan& plan, RecoveryPolicy policy = {}) {
     faults_ = std::make_unique<FaultInjector>(plan, policy);
+    faults_->bind_topology(topo_.get());
   }
   void disable_faults() { faults_.reset(); }
   [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
@@ -305,7 +349,7 @@ class Cube {
             recv(static_cast<proc_t>(q), in.template view<T>());
         }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total, d);
+      charge_round_dim(d, r, [&](proc_t q) { return stage[q].len; });
     } else {
       std::vector<std::vector<T>>& slots = vec_stage_slots<T>(procs_);
       detail::ExPartial* parts = lane_partials();
@@ -340,7 +384,7 @@ class Cube {
                  std::span<const T>(in.data(), in.size()));
         }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total, d);
+      charge_round_dim(d, r, [&](proc_t q) { return slots[q].size(); });
     }
   }
 
@@ -403,8 +447,9 @@ class Cube {
               recv(static_cast<proc_t>(q), idx, in.template view<T>());
           }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total,
-                              nd == 1 ? dims[0] : -1);
+      charge_round_allport(dims, r, [&](proc_t q, std::size_t idx) {
+        return stage[idx * procs_ + q].len;
+      });
     } else {
       std::vector<std::vector<T>>& slots = vec_stage_slots<T>(nd * procs_);
       detail::ExPartial* parts = lane_partials();
@@ -447,8 +492,9 @@ class Cube {
                    std::span<const T>(in.data(), in.size()));
           }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total,
-                              nd == 1 ? dims[0] : -1);
+      charge_round_allport(dims, r, [&](proc_t q, std::size_t idx) {
+        return slots[idx * procs_ + q].size();
+      });
     }
   }
 
@@ -509,7 +555,7 @@ class Cube {
             recv(static_cast<proc_t>(q), in.template view<T>());
         }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total);
+      charge_round_partner(partner, r, [&](proc_t q) { return stage[q].len; });
     } else {
       std::vector<std::vector<T>>& slots = vec_stage_slots<T>(procs_);
       detail::ExPartial* parts = lane_partials();
@@ -553,7 +599,8 @@ class Cube {
                  std::span<const T>(in.data(), in.size()));
         }
       });
-      clock_.charge_comm_step(r.max_elems, r.messages, r.total);
+      charge_round_partner(partner, r,
+                           [&](proc_t q) { return slots[q].size(); });
     }
   }
 
@@ -599,6 +646,84 @@ class Cube {
   }
 
  private:
+  /// Charge one lockstep round whose every message crosses logical cube
+  /// dimension `d`.  On the unit-hop (hypercube) preset this is the exact
+  /// historical `τ + max_elems·t_c` charge; otherwise the staged lengths
+  /// (`len(q)`, 0 = silent) are resolved through the cached physical
+  /// routes and the round pays for its most loaded link.
+  template <class LenFn>
+  void charge_round_dim(int d, const detail::ExPartial& r, LenFn&& len) {
+    if (unit_hop_) {
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total, d);
+      return;
+    }
+    rc_begin();
+    for (proc_t q = 0; q < procs_; ++q) {
+      const std::size_t l = len(q);
+      if (l != 0) rc_add(d, q, l);
+    }
+    rc_charge(r.max_elems, r.messages, r.total);
+  }
+
+  /// All-port round charge: one message per (processor, dims[idx]) pair.
+  template <class LenFn>
+  void charge_round_allport(std::span<const int> dims,
+                            const detail::ExPartial& r, LenFn&& len) {
+    if (unit_hop_) {
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total,
+                              dims.size() == 1 ? dims[0] : -1);
+      return;
+    }
+    rc_begin();
+    for (std::size_t idx = 0; idx < dims.size(); ++idx)
+      for (proc_t q = 0; q < procs_; ++q) {
+        const std::size_t l = len(q, idx);
+        if (l != 0) rc_add(dims[idx], q, l);
+      }
+    rc_charge(r.max_elems, r.messages, r.total);
+  }
+
+  /// Irregular (per-processor partner) round charge.
+  template <class PartnerFn, class LenFn>
+  void charge_round_partner(PartnerFn&& partner, const detail::ExPartial& r,
+                            LenFn&& len) {
+    if (unit_hop_) {
+      clock_.charge_comm_step(r.max_elems, r.messages, r.total);
+      return;
+    }
+    rc_begin();
+    for (proc_t q = 0; q < procs_; ++q) {
+      const std::size_t l = len(q);
+      if (l == 0) continue;
+      const proc_t pq = partner(q);
+      rc_add(std::countr_zero(static_cast<std::uint32_t>(q ^ pq)), q, l);
+    }
+    rc_charge(r.max_elems, r.messages, r.total);
+  }
+
+  /// Non-unit-hop round-cost accumulator (machine.cpp): rc_begin resets,
+  /// rc_add folds one logical-edge message's cached route into the
+  /// per-directed-link loads, rc_charge reduces and charges the clock.
+  void rc_begin();
+  void rc_add(int d, proc_t q, std::size_t len);
+  void rc_charge(std::size_t max_elems, std::size_t messages,
+                 std::size_t total);
+  /// The cached physical routes of logical dimension `d` (built lazily).
+  [[nodiscard]] const detail::DimRoutes& dim_routes(int d);
+
+  /// True when the physical route of the logical edge (src, src^2^d) is
+  /// severed this round (dead link, or dead interior node off-endpoint):
+  /// the message must detour.  On the hypercube this is exactly the seed
+  /// single-link liveness test.
+  [[nodiscard]] bool route_compromised(std::uint64_t round, proc_t src,
+                                       int d);
+  /// Minimal live detour for the severed logical edge; false = cut off.
+  [[nodiscard]] bool compute_reroute(std::uint64_t round, proc_t src,
+                                     proc_t dst, std::vector<Hop>& hops);
+  /// Charge one detour hop of `n` elements (the seed per-hop
+  /// `τ + n·t_c` on the hypercube, multiplier-weighted elsewhere).
+  void charge_reroute_hop(std::size_t n, const Hop& h);
+
   /// The persistent staging slots behind the zero-allocation exchange path.
   /// Grown (never shrunk) to the round's slot count; slot capacities are
   /// retained across rounds so steady-state staging is allocation-free.
@@ -692,7 +817,13 @@ class Cube {
               "the failed node before continuing");
       }
       if (attempt == 0) {
-        clock_.charge_comm_step(max_elems, messages, total, charge_dim);
+        if (unit_hop_) {
+          clock_.charge_comm_step(max_elems, messages, total, charge_dim);
+        } else {
+          rc_begin();
+          for (const FaultMsg<T>& m : pending) rc_add(m.dim, m.src, m.len);
+          rc_charge(max_elems, messages, total);
+        }
       } else {
         TraceRegion fault_region(clock_, "fault_retry");
         clock_.charge_us(rp.backoff_us *
@@ -703,13 +834,19 @@ class Cube {
           mx = std::max(mx, m.len);
           tot += m.len;
         }
-        clock_.charge_comm_step(mx, pending.size(), tot, charge_dim);
+        if (unit_hop_) {
+          clock_.charge_comm_step(mx, pending.size(), tot, charge_dim);
+        } else {
+          rc_begin();
+          for (const FaultMsg<T>& m : pending) rc_add(m.dim, m.src, m.len);
+          rc_charge(mx, pending.size(), tot);
+        }
         clock_.note_fault_retries(pending.size());
       }
       double spike = 0.0;
       failed.clear();
       for (const FaultMsg<T>& m : pending) {
-        if (fi.link_dead(round, m.src, m.dim)) {
+        if (route_compromised(round, m.src, m.dim)) {
           rerouted.push_back(m);
           continue;
         }
@@ -769,38 +906,30 @@ class Cube {
     }
   }
 
-  /// Deliver one message around its permanently dead (src, dst) edge via
-  /// the 3-hop detour src → src^bit2 → dst^bit2 → dst, charged hop by hop.
-  /// The lg p candidate detours are edge-disjoint; the first fully live
-  /// one (deterministic: lowest dimension) wins.
+  /// Deliver one message around its severed physical route, on a live
+  /// detour the topology computes (Topology::route_avoiding), charged hop
+  /// by hop.  On the hypercube the detour is the historical 3-hop
+  /// parallel path src → src^bit2 → dst^bit2 → dst (lowest live
+  /// dimension wins) with the seed's exact per-hop charges.
   template <class T, class DeliverFn>
   void reroute_around_dead_link(const FaultMsg<T>& m, std::uint64_t round,
                                 DeliverFn&& deliver) {
-    FaultInjector& fi = *faults_;
     TraceRegion fault_region(clock_, "fault_reroute");
-    for (int d2 = 0; d2 < dim_; ++d2) {
-      if (d2 == m.dim) continue;
-      const std::uint32_t bit2 = std::uint32_t{1} << d2;
-      const proc_t a = m.src ^ bit2;
-      const proc_t b = m.dst ^ bit2;
-      if (fi.node_dead(round, a) || fi.node_dead(round, b)) continue;
-      if (fi.link_dead(round, m.src, d2) || fi.link_dead(round, a, m.dim) ||
-          fi.link_dead(round, b, d2))
-        continue;
-      const std::size_t n = m.len;
-      const int hop_dims[3] = {d2, m.dim, d2};
-      for (const int hd : hop_dims) clock_.charge_comm_step(n, 1, n, hd);
-      clock_.note_fault_reroute();
-      deliver(m);
-      return;
-    }
-    throw FaultError("no live route around dead link (" +
-                     std::to_string(m.src) + ", dim " + std::to_string(m.dim) +
-                     "): every detour crosses another dead edge or node");
+    reroute_hops_.clear();
+    if (!compute_reroute(round, m.src, m.dst, reroute_hops_))
+      throw FaultError("no live route around dead link (" +
+                       std::to_string(m.src) + ", dim " +
+                       std::to_string(m.dim) +
+                       "): every detour crosses another dead edge or node");
+    for (const Hop& h : reroute_hops_) charge_reroute_hop(m.len, h);
+    clock_.note_fault_reroute();
+    deliver(m);
   }
 
   int dim_;
   proc_t procs_;
+  std::unique_ptr<Topology> topo_;
+  bool unit_hop_ = true;
   SimClock clock_;
   WorkerTeam team_;
   BufferPool buffers_{&clock_};
@@ -810,6 +939,15 @@ class Cube {
   std::unordered_map<std::type_index, std::unique_ptr<detail::VecStageBase>>
       vec_stage_;
   std::unique_ptr<FaultInjector> faults_;
+  // Non-unit-hop round-charge state (untouched on the hypercube preset).
+  std::vector<detail::DimRoutes> dim_routes_;
+  std::vector<double> link_load_;        ///< per directed link, rc scratch
+  std::vector<std::uint32_t> rc_touched_;
+  double rc_startup_ = 0.0;
+  std::uint64_t rc_hops_ = 0;
+  int rc_axis_ = -2;
+  std::vector<Hop> reroute_hops_;
+  std::vector<Hop> route_scratch_;
 };
 
 }  // namespace vmp

@@ -12,6 +12,7 @@ SimStats operator-(const SimStats& a, const SimStats& b) {
   d.flops_total = a.flops_total - b.flops_total;
   d.router_packets = a.router_packets - b.router_packets;
   d.router_hops = a.router_hops - b.router_hops;
+  d.link_hops = a.link_hops - b.link_hops;
   d.fault_retries = a.fault_retries - b.fault_retries;
   d.fault_chksum_fails = a.fault_chksum_fails - b.fault_chksum_fails;
   d.fault_reroutes = a.fault_reroutes - b.fault_reroutes;
@@ -34,7 +35,26 @@ void SimClock::charge_comm_step(std::size_t max_elems, std::size_t messages,
   stats_.messages += messages;
   stats_.elements_moved += total_elems;
   stats_.elements_serial += max_elems;
+  stats_.link_hops += messages;  // one physical link per message here
   tracer_.on_charge(ChargeKind::Comm, t0, dt, dim, messages, total_elems,
+                    max_elems, 0, 0, 0);
+}
+
+void SimClock::charge_comm_round(double startup_units, double elem_units,
+                                 std::size_t messages, std::size_t total_elems,
+                                 std::size_t max_elems, int axis,
+                                 std::uint64_t link_hops) {
+  const double dt = params_.startup_us * startup_units +
+                    params_.per_elem_us * elem_units;
+  const double t0 = now_us_;
+  now_us_ += dt;
+  comm_us_ += dt;
+  stats_.comm_steps += 1;
+  stats_.messages += messages;
+  stats_.elements_moved += total_elems;
+  stats_.elements_serial += max_elems;
+  stats_.link_hops += link_hops;
+  tracer_.on_charge(ChargeKind::Comm, t0, dt, axis, messages, total_elems,
                     max_elems, 0, 0, 0);
 }
 

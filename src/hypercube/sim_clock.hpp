@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "hypercube/cost_model.hpp"
 #include "obs/tracer.hpp"
@@ -39,6 +40,9 @@ struct SimStats {
   std::uint64_t router_packets = 0;  ///< packets pushed through the general
                                      ///< router (naive path only)
   std::uint64_t router_hops = 0;     ///< packet-hops through the router
+  std::uint64_t link_hops = 0;       ///< physical link crossings of lockstep
+                                     ///< rounds (== messages on a unit-hop
+                                     ///< topology; counts dilation elsewhere)
   std::uint64_t fault_retries = 0;   ///< messages retransmitted after a
                                      ///< transient fault (drop or corruption)
   std::uint64_t fault_chksum_fails = 0;  ///< corrupted payloads the message
@@ -72,6 +76,21 @@ class SimClock {
   /// traffic histogram only, never the cost.
   void charge_comm_step(std::size_t max_elems, std::size_t messages,
                         std::size_t total_elems, int dim = -1);
+
+  /// One lockstep round routed over a NON-unit-hop topology (mesh/torus,
+  /// dragonfly): the machine resolves every logical cube edge into
+  /// physical hops and passes the resulting charge units —
+  /// `startup_units` is the largest per-message sum of per-hop start-up
+  /// multipliers, `elem_units` the most loaded directed link's element
+  /// count weighted by its per-element multiplier (store-and-forward
+  /// lockstep contention: the busiest wire paces the round).  Advances
+  /// the clock by `τ·startup_units + t_c·elem_units`; `axis` feeds the
+  /// per-axis traffic histogram (-1 = mixed), `link_hops` the dilation
+  /// counter.  The unit-hop (hypercube) path never calls this.
+  void charge_comm_round(double startup_units, double elem_units,
+                         std::size_t messages, std::size_t total_elems,
+                         std::size_t max_elems, int axis,
+                         std::uint64_t link_hops);
 
   /// One lockstep compute round: `max_flops` per-processor bound,
   /// `total_flops` over all processors.
@@ -127,6 +146,17 @@ class SimClock {
     stats_.slab_bytes += bytes;
   }
 
+  /// Topology identity for reports (set by the Cube at construction;
+  /// standalone clocks default to the paper machine).
+  void set_topology(const char* name, int axes) {
+    topology_name_ = name;
+    topology_axes_ = axes;
+  }
+  [[nodiscard]] const std::string& topology_name() const {
+    return topology_name_;
+  }
+  [[nodiscard]] int topology_axes() const { return topology_axes_; }
+
   [[nodiscard]] double now_us() const { return now_us_; }
   [[nodiscard]] double comm_us() const { return comm_us_; }
   [[nodiscard]] double compute_us() const { return compute_us_; }
@@ -145,6 +175,8 @@ class SimClock {
 
  private:
   CostParams params_;
+  std::string topology_name_ = "hypercube";
+  int topology_axes_ = 0;
   double now_us_ = 0.0;
   double comm_us_ = 0.0;
   double compute_us_ = 0.0;

@@ -1,0 +1,116 @@
+#include "net/hypercube_topology.hpp"
+
+#include <bit>
+
+namespace vmp {
+
+HypercubeTopology::HypercubeTopology(int dim)
+    : dim_(dim), procs_(dim >= 0 && dim < 31 ? (proc_t{1} << dim) : 0) {
+  VMP_REQUIRE(dim >= 0 && dim < 31, "cube dimension must be in [0, 31)");
+}
+
+proc_t HypercubeTopology::port_neighbor(proc_t node, int port) const {
+  VMP_REQUIRE(node < procs_ && port >= 0 && port < dim_,
+              "port_neighbor: node/port out of range");
+  return node ^ (proc_t{1} << port);
+}
+
+std::uint64_t HypercubeTopology::link_id(proc_t node, int port) const {
+  VMP_REQUIRE(node < procs_ && port >= 0 && port < dim_,
+              "link_id: node/port out of range");
+  // Dense id: dimension-major, then the lower endpoint's address with the
+  // crossed bit squeezed out — 2^(dim-1) links per dimension.
+  const proc_t bit = proc_t{1} << port;
+  const proc_t lo = node & ~bit;
+  const proc_t low = lo & (bit - 1);
+  const proc_t high = (lo >> (port + 1)) << port;
+  return static_cast<std::uint64_t>(port) * (procs_ >> 1) + (low | high);
+}
+
+std::uint64_t HypercubeTopology::link_count() const {
+  return dim_ == 0 ? 0
+                   : static_cast<std::uint64_t>(dim_) * (procs_ >> 1);
+}
+
+std::vector<Link> HypercubeTopology::links() const {
+  std::vector<Link> out;
+  out.reserve(static_cast<std::size_t>(link_count()));
+  for (int d = 0; d < dim_; ++d) {
+    const proc_t bit = proc_t{1} << d;
+    for (proc_t node = 0; node < procs_; ++node)
+      if ((node & bit) == 0)
+        out.push_back(Link{link_id(node, d), node, node | bit, d});
+  }
+  return out;
+}
+
+void HypercubeTopology::route(proc_t src, proc_t dst,
+                              std::vector<Hop>& out) const {
+  proc_t at = src;
+  proc_t diff = at ^ dst;
+  while (diff != 0) {
+    const int d = std::countr_zero(diff);
+    const proc_t to = at ^ (proc_t{1} << d);
+    out.push_back(Hop{at, to, d, d});
+    at = to;
+    diff = at ^ dst;
+  }
+}
+
+Hop HypercubeTopology::first_hop(proc_t from, proc_t dst) const {
+  VMP_REQUIRE(from != dst, "first_hop: already at destination");
+  const int d = std::countr_zero(from ^ dst);
+  return Hop{from, from ^ (proc_t{1} << d), d, d};
+}
+
+void HypercubeTopology::min_first_ports(proc_t from, proc_t dst,
+                                        std::vector<int>& out) const {
+  const proc_t diff = from ^ dst;
+  for (int d = 0; d < dim_; ++d)
+    if (((diff >> d) & 1u) != 0) out.push_back(d);
+}
+
+bool HypercubeTopology::route_avoiding(proc_t src, proc_t dst,
+                                       const LinkDeadFn& link_dead,
+                                       const NodeDeadFn& node_dead,
+                                       std::vector<Hop>& out) const {
+  if (src == dst) return true;
+  if (std::popcount(src ^ dst) == 1) {
+    const int dim = std::countr_zero(src ^ dst);
+    for (int d2 = 0; d2 < dim_; ++d2) {
+      if (d2 == dim) continue;
+      const proc_t bit2 = proc_t{1} << d2;
+      const proc_t a = src ^ bit2;
+      const proc_t b = dst ^ bit2;
+      if (node_dead(a) || node_dead(b)) continue;
+      if (link_dead(src, d2) || link_dead(a, dim) || link_dead(b, d2))
+        continue;
+      out.push_back(Hop{src, a, d2, d2});
+      out.push_back(Hop{a, b, dim, dim});
+      out.push_back(Hop{b, dst, d2, d2});
+      return true;
+    }
+    return false;
+  }
+  return Topology::route_avoiding(src, dst, link_dead, node_dead, out);
+}
+
+bool HypercubeTopology::detour_first(proc_t from, proc_t dst,
+                                     const LinkDeadFn& link_dead,
+                                     const NodeDeadFn& node_dead, Hop& hop,
+                                     int& force_port) const {
+  const proc_t diff = from ^ dst;
+  const int blocked = std::countr_zero(diff);
+  for (int d = 0; d < dim_; ++d) {
+    if (((diff >> d) & 1u) != 0) continue;
+    if (link_dead(from, d)) continue;
+    const proc_t nb = from ^ (proc_t{1} << d);
+    if (node_dead(nb)) continue;
+    hop = Hop{from, nb, d, d};
+    force_port = blocked;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vmp

@@ -1,0 +1,67 @@
+/// \file hypercube_topology.hpp
+/// \brief The Boolean n-cube: the paper's machine, and the default preset.
+///
+/// Ports coincide with cube dimensions (`port_neighbor(n, d) == n ^ 2^d`),
+/// every logical cube edge is one physical link (`unit_hop()`), and each
+/// dimension is its own traffic axis — so the machine's per-axis
+/// histograms reproduce the seed per-dimension histograms exactly.  All
+/// queries are analytic (no tables): the cube supports the full
+/// `dim < 31` range of `Cube` without materializing 2^dim state.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace vmp {
+
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(int dim);
+
+  [[nodiscard]] const char* name() const override { return "hypercube"; }
+  [[nodiscard]] TopologyKind kind() const override {
+    return TopologyKind::Hypercube;
+  }
+  [[nodiscard]] proc_t node_count() const override { return procs_; }
+  [[nodiscard]] int axis_count() const override { return dim_; }
+  [[nodiscard]] const char* axis_name(int) const override { return "dim"; }
+  [[nodiscard]] int diameter() const override { return dim_; }
+  [[nodiscard]] int max_ports() const override { return dim_; }
+  [[nodiscard]] proc_t port_neighbor(proc_t node, int port) const override;
+  [[nodiscard]] int port_axis(proc_t, int port) const override { return port; }
+  [[nodiscard]] std::uint64_t link_id(proc_t node, int port) const override;
+  [[nodiscard]] std::uint64_t link_count() const override;
+  [[nodiscard]] std::vector<Link> links() const override;
+  [[nodiscard]] bool unit_hop() const override { return true; }
+
+  /// Ascending differing address bits — dimension-ordered e-cube routing,
+  /// the same order the seed packet router walked.
+  void route(proc_t src, proc_t dst, std::vector<Hop>& out) const override;
+  [[nodiscard]] Hop first_hop(proc_t from, proc_t dst) const override;
+  void min_first_ports(proc_t from, proc_t dst,
+                       std::vector<int>& out) const override;
+
+  /// Adjacent pairs take the machine's historical 3-hop parallel-path
+  /// detour (src → src^2^d2 → dst^2^d2 → dst, lowest live d2 wins) so the
+  /// fault-recovery charges stay bit-identical to the seed; everything
+  /// else falls back to the generic live BFS.
+  [[nodiscard]] bool route_avoiding(proc_t src, proc_t dst,
+                                    const LinkDeadFn& link_dead,
+                                    const NodeDeadFn& node_dead,
+                                    std::vector<Hop>& out) const override;
+
+  /// The seed router's sideways escape: one live hop across a
+  /// NON-differing bit (toward a live node), then force the packet across
+  /// the blocked dimension — the lowest differing bit — from there.
+  [[nodiscard]] bool detour_first(proc_t from, proc_t dst,
+                                  const LinkDeadFn& link_dead,
+                                  const NodeDeadFn& node_dead, Hop& hop,
+                                  int& force_port) const override;
+
+ private:
+  int dim_;
+  proc_t procs_;
+};
+
+}  // namespace vmp

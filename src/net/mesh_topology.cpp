@@ -1,0 +1,122 @@
+#include "net/mesh_topology.hpp"
+
+namespace vmp {
+
+MeshTorusTopology::MeshTorusTopology(int dim, bool wrap)
+    : dim_(dim), wrap_(wrap) {
+  // The link/port tables are O(nodes); keep the preset to sizes a bench
+  // or test actually instantiates (the hypercube stays analytic instead).
+  VMP_REQUIRE(dim >= 0 && dim <= 20,
+              "mesh/torus preset supports dim in [0, 20]");
+  naxes_ = dim >= 2 ? 2 : 1;
+  const int bits0 = (dim + 1) / 2;
+  ext_[0] = proc_t{1} << bits0;
+  shift_[0] = 0;
+  if (naxes_ == 2) {
+    ext_[1] = proc_t{1} << (dim - bits0);
+    shift_[1] = bits0;
+  }
+  if (dim == 0) ext_[0] = 1;
+  nodes_ = proc_t{1} << dim;
+  diameter_ = 0;
+  for (int a = 0; a < naxes_; ++a)
+    diameter_ += static_cast<int>(wrap_ ? ext_[a] / 2
+                                        : (ext_[a] == 0 ? 0 : ext_[a] - 1));
+  finalize_links();
+}
+
+proc_t MeshTorusTopology::port_neighbor(proc_t node, int port) const {
+  VMP_REQUIRE(node < nodes_ && port >= 0 && port < max_ports(),
+              "port_neighbor: node/port out of range");
+  const int axis = port / 2;
+  const int dir = (port % 2 == 0) ? +1 : -1;
+  const proc_t ext = ext_[axis];
+  if (ext < 2) return kNoNeighbor;
+  // A wrapped extent-2 ring is a single link; keep only the + port.
+  if (wrap_ && ext == 2 && dir < 0) return kNoNeighbor;
+  const proc_t c = coord(node, axis);
+  proc_t nc;
+  if (wrap_) {
+    nc = (c + ext + static_cast<proc_t>(dir)) & (ext - 1);
+  } else {
+    if (dir > 0 && c + 1 >= ext) return kNoNeighbor;
+    if (dir < 0 && c == 0) return kNoNeighbor;
+    nc = c + static_cast<proc_t>(dir);
+  }
+  const proc_t mask = (ext - 1) << shift_[axis];
+  return (node & ~mask) | (nc << shift_[axis]);
+}
+
+int MeshTorusTopology::step_dir(proc_t from, proc_t dst, int axis,
+                                proc_t& steps) const {
+  const proc_t cs = coord(from, axis);
+  const proc_t cd = coord(dst, axis);
+  if (cs == cd) {
+    steps = 0;
+    return 0;
+  }
+  if (!wrap_) {
+    if (cd > cs) {
+      steps = cd - cs;
+      return +1;
+    }
+    steps = cs - cd;
+    return -1;
+  }
+  const proc_t ext = ext_[axis];
+  const proc_t fwd = (cd - cs) & (ext - 1);
+  if (fwd <= ext - fwd) {
+    steps = fwd;
+    return +1;
+  }
+  steps = ext - fwd;
+  return -1;
+}
+
+Hop MeshTorusTopology::step_hop(proc_t from, int axis, int dir) const {
+  int port = 2 * axis + (dir > 0 ? 0 : 1);
+  if (wrap_ && ext_[axis] == 2) port = 2 * axis;
+  const proc_t to = port_neighbor(from, port);
+  VMP_REQUIRE(to != kNoNeighbor, "step off the mesh boundary");
+  return Hop{from, to, axis, port};
+}
+
+void MeshTorusTopology::route(proc_t src, proc_t dst,
+                              std::vector<Hop>& out) const {
+  proc_t at = src;
+  for (int axis = 0; axis < naxes_; ++axis) {
+    proc_t steps = 0;
+    const int dir = step_dir(at, dst, axis, steps);
+    for (proc_t s = 0; s < steps; ++s) {
+      const Hop h = step_hop(at, axis, dir);
+      out.push_back(h);
+      at = h.to;
+    }
+  }
+}
+
+Hop MeshTorusTopology::first_hop(proc_t from, proc_t dst) const {
+  VMP_REQUIRE(from != dst, "first_hop: already at destination");
+  for (int axis = 0; axis < naxes_; ++axis) {
+    proc_t steps = 0;
+    const int dir = step_dir(from, dst, axis, steps);
+    if (steps != 0) return step_hop(from, axis, dir);
+  }
+  VMP_REQUIRE(false, "first_hop: unreachable");
+  return Hop{};
+}
+
+void MeshTorusTopology::min_first_ports(proc_t from, proc_t dst,
+                                        std::vector<int>& out) const {
+  for (int axis = 0; axis < naxes_; ++axis) {
+    proc_t steps = 0;
+    const int dir = step_dir(from, dst, axis, steps);
+    if (steps == 0) continue;
+    out.push_back(step_hop(from, axis, dir).port);
+    // On a ring, the halfway-around case is minimal both ways.
+    if (wrap_ && ext_[axis] > 2 && steps * 2 == ext_[axis])
+      out.push_back(2 * axis + (dir > 0 ? 1 : 0));
+  }
+}
+
+}  // namespace vmp

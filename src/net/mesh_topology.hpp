@@ -1,0 +1,76 @@
+/// \file mesh_topology.hpp
+/// \brief 2-D mesh / torus preset with dimension-order routing.
+///
+/// The 2^dim logical processors are laid out row-major on a
+/// 2^ceil(dim/2) × 2^floor(dim/2) grid: axis 0 spans the LOW address bits
+/// (the fast, contiguous direction), axis 1 the high bits.  This is the
+/// row-major grid embedding of the logical cube — flipping address bit k
+/// moves ±2^k along one axis, so a logical cube edge dilates into up to
+/// 2^(dim/2 - 1) physical unit steps, and the per-round contention those
+/// overlapping steps create is exactly what the topology ablation
+/// measures against the cube's unit-hop guarantee.
+///
+/// Ports: `2·axis` steps +1 along the axis, `2·axis + 1` steps −1; mesh
+/// boundaries have no port, and a wrapped axis of extent 2 keeps only the
+/// `+` port (its two directions are the same physical link).  Routing is
+/// dimension-ordered, axis 0 first, shortest way around each ring (ties
+/// at extent/2 go the `+` way).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace vmp {
+
+class MeshTorusTopology final : public Topology {
+ public:
+  /// A grid sized for a 2^dim-node logical cube; `wrap` selects torus.
+  MeshTorusTopology(int dim, bool wrap);
+
+  [[nodiscard]] const char* name() const override {
+    return wrap_ ? "torus" : "mesh";
+  }
+  [[nodiscard]] TopologyKind kind() const override {
+    return wrap_ ? TopologyKind::Torus : TopologyKind::Mesh;
+  }
+  [[nodiscard]] proc_t node_count() const override { return nodes_; }
+  [[nodiscard]] int axis_count() const override { return naxes_; }
+  [[nodiscard]] const char* axis_name(int) const override { return "axis"; }
+  [[nodiscard]] int diameter() const override { return diameter_; }
+  [[nodiscard]] int max_ports() const override { return 2 * naxes_; }
+  [[nodiscard]] proc_t port_neighbor(proc_t node, int port) const override;
+  [[nodiscard]] int port_axis(proc_t, int port) const override {
+    return port / 2;
+  }
+
+  void route(proc_t src, proc_t dst, std::vector<Hop>& out) const override;
+  [[nodiscard]] Hop first_hop(proc_t from, proc_t dst) const override;
+  void min_first_ports(proc_t from, proc_t dst,
+                       std::vector<int>& out) const override;
+
+  /// Grid extent along `axis`.
+  [[nodiscard]] proc_t extent(int axis) const { return ext_[axis]; }
+  [[nodiscard]] bool wrap() const { return wrap_; }
+  /// Coordinate of `node` along `axis` (row-major bit slice).
+  [[nodiscard]] proc_t coord(proc_t node, int axis) const {
+    return (node >> shift_[axis]) & (ext_[axis] - 1);
+  }
+
+ private:
+  /// Signed step toward dst along `axis`: +1, -1, or 0 when aligned.
+  /// `steps` receives the hop count of the chosen way around.
+  [[nodiscard]] int step_dir(proc_t from, proc_t dst, int axis,
+                             proc_t& steps) const;
+  [[nodiscard]] Hop step_hop(proc_t from, int axis, int dir) const;
+
+  int dim_;
+  bool wrap_;
+  int naxes_;
+  proc_t nodes_;
+  proc_t ext_[2] = {1, 1};
+  int shift_[2] = {0, 0};
+  int diameter_ = 0;
+};
+
+}  // namespace vmp

@@ -83,6 +83,9 @@ std::string profile_to_json(const SimClock& clock) {
   out += ",\"flop_us\":" + json_double(cp.flop_us);
   out += ",\"router_startup_us\":" + json_double(cp.router_startup_us);
   out += "}";
+  out += ",\"topology\":{\"name\":" + json_string(clock.topology_name());
+  out += ",\"axes\":" + std::to_string(clock.topology_axes());
+  out += "}";
   out += ",\"totals\":{";
   out += "\"now_us\":" + json_double(clock.now_us());
   out += ",\"comm_us\":" + json_double(clock.comm_us());
@@ -98,6 +101,7 @@ std::string profile_to_json(const SimClock& clock) {
   out += ",\"flops_total\":" + std::to_string(st.flops_total);
   out += ",\"router_packets\":" + std::to_string(st.router_packets);
   out += ",\"router_hops\":" + std::to_string(st.router_hops);
+  out += ",\"link_hops\":" + std::to_string(st.link_hops);
   out += ",\"fault_retries\":" + std::to_string(st.fault_retries);
   out += ",\"fault_chksum_fails\":" + std::to_string(st.fault_chksum_fails);
   out += ",\"fault_reroutes\":" + std::to_string(st.fault_reroutes);

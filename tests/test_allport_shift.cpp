@@ -12,12 +12,20 @@
 namespace vmp {
 namespace {
 
+// Cost-exact goldens assume the paper machine: pin the hypercube preset
+// so the CI mesh leg (VMP_TOPOLOGY=mesh) leaves the charges alone.
+Cube::Options pin_hypercube() {
+  Cube::Options o;
+  o.topology = TopologyKind::Hypercube;
+  return o;
+}
+
 // ---------------------------------------------------------------------------
 // exchange_allport
 // ---------------------------------------------------------------------------
 
 TEST(AllportExchange, MovesDataOnEveryPortInOneStep) {
-  Cube cube(3, CostParams::unit());
+  Cube cube(3, CostParams::unit(), pin_hypercube());
   const int dims[] = {0, 1, 2};
   DistBuffer<int> got(cube, 3);
   cube.exchange_allport<int>(
@@ -134,7 +142,8 @@ TEST_P(EsbtSweep, BeatsBinomialOnTransferTimeForLargePayloads) {
   const auto [d, n, root_step] = GetParam();
   (void)root_step;
   if (d < 3 || n < 1024) GTEST_SKIP();
-  Cube cube(d, CostParams::cm2());
+  // The k-fold all-port transfer win is a cube-wiring property.
+  Cube cube(d, CostParams::cm2(), pin_hypercube());
   const SubcubeSet sc = SubcubeSet::contiguous(0, d);
 
   DistBuffer<double> b1(cube);

@@ -18,6 +18,15 @@
 namespace vmp {
 namespace {
 
+/// Options pinning the hypercube preset: tests asserting cube-specific
+/// recovery shapes (3-hop detours, cut sets of the cube graph) must not
+/// drift when the suite runs under VMP_TOPOLOGY=mesh (the CI mesh leg).
+[[nodiscard]] Cube::Options hypercube_opts() {
+  Cube::Options opts;
+  opts.topology = TopologyKind::Hypercube;
+  return opts;
+}
+
 /// Run `rounds` full one-port exchange rounds (every processor swaps a
 /// small distinct payload with its dim-d partner, cycling d) and return
 /// every processor's final receive buffer.
@@ -123,9 +132,9 @@ TEST(FaultRecovery, DeadLinkIsRoutedAroundParallelPaths) {
   FaultPlan plan;
   plan.link_kills.push_back({/*from_round=*/0, /*node=*/0, /*dim=*/0});
 
-  Cube plain(3, CostParams::cm2());
+  Cube plain(3, CostParams::cm2(), hypercube_opts());
   const auto want = exchange_workout(plain, 6);
-  Cube faulty(3, CostParams::cm2());
+  Cube faulty(3, CostParams::cm2(), hypercube_opts());
   faulty.enable_faults(plan);
   const auto got = exchange_workout(faulty, 6);
 
@@ -139,13 +148,42 @@ TEST(FaultRecovery, DeadLinkIsRoutedAroundParallelPaths) {
 
 TEST(FaultRecovery, FullyCutDetourThrowsInsteadOfWrongAnswer) {
   // Kill every link of node 0 except dim 0, then exchange across dim 0's
-  // dead partner link: no live detour exists in a 2-cube.
+  // dead partner link: no live detour exists in a 2-cube.  (On a mesh the
+  // same kills leave other ports live, hence the pinned preset.)
   FaultPlan plan;
   plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
   plan.link_kills.push_back({0, /*node=*/0, /*dim=*/1});
-  Cube cube(2, CostParams::cm2());
+  Cube cube(2, CostParams::cm2(), hypercube_opts());
   cube.enable_faults(plan);
   EXPECT_THROW(exchange_workout(cube, 1), FaultError);
+}
+
+TEST(FaultRecovery, TorusRoutesAroundADeadLinkViaTheWrapPath) {
+  // A 4×4 torus (dim 4, axis extents 4 and 4).  Port 0 of node 0 is the
+  // +x link 0→1; a logical dim-1 exchange moves ±2 along x, routed
+  // 0→1→2, so killing (0, port 0) compromises a multi-hop route whose
+  // dead link is NOT a logical cube edge of the exchange.  The machine
+  // must route around it (the wrap path 0→3→2 exists on the torus) and
+  // deliver bit-identical data at a strictly higher simulated cost.
+  Cube::Options torus;
+  torus.topology = TopologyKind::Torus;
+  FaultPlan plan;
+  plan.link_kills.push_back({/*from_round=*/0, /*node=*/0, /*dim=*/0});
+
+  Cube plain(4, CostParams::cm2(), torus);
+  const auto want = exchange_workout(plain, 8);
+  Cube faulty(4, CostParams::cm2(), torus);
+  faulty.enable_faults(plan);
+  const auto got = exchange_workout(faulty, 8);
+
+  EXPECT_EQ(got, want);
+  EXPECT_GT(faulty.clock().stats().fault_reroutes, 0u);
+  EXPECT_GT(faulty.clock().now_us(), plain.clock().now_us())
+      << "the wrap detour must cost more than the dead direct route";
+  const std::string json = profile_to_json(faulty.clock());
+  EXPECT_NE(json.find("fault_reroute"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"torus\""), std::string::npos)
+      << "the profile must identify the topology it was charged on";
 }
 
 TEST(FaultRecovery, DeadNodeThrowsWithRemapHint) {
@@ -307,7 +345,7 @@ TEST(FaultRouter, DeadLinkIsDodgedViaAnotherDimension) {
   // still arrive (dim 1 or 2 is an equally short first hop).
   FaultPlan plan;
   plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
-  Cube cube(3, CostParams::cm2());
+  Cube cube(3, CostParams::cm2(), hypercube_opts());
   cube.enable_faults(plan);
   NaiveRouter router(cube);
   std::vector<std::vector<Packet>> packets(cube.procs());
@@ -327,7 +365,7 @@ TEST(FaultRouter, DeadLastHopForcesASidewaysDetour) {
   // sideways (a reroute) and still deliver.
   FaultPlan plan;
   plan.link_kills.push_back({0, /*node=*/0, /*dim=*/0});
-  Cube cube(3, CostParams::cm2());
+  Cube cube(3, CostParams::cm2(), hypercube_opts());
   cube.enable_faults(plan);
   NaiveRouter router(cube);
   std::vector<std::vector<Packet>> packets(cube.procs());

@@ -14,6 +14,14 @@
 namespace vmp {
 namespace {
 
+// Cost-exact goldens below assume the paper machine: pin the hypercube
+// preset so the CI mesh leg (VMP_TOPOLOGY=mesh) leaves the charges alone.
+Cube::Options pin_hypercube() {
+  Cube::Options o;
+  o.topology = TopologyKind::Hypercube;
+  return o;
+}
+
 TEST(CostModel, PresetsAreSane) {
   for (const CostParams& p :
        {CostParams::cm2(), CostParams::ipsc(), CostParams::unit()}) {
@@ -44,7 +52,7 @@ TEST(Cube, ComputeChargesFlops) {
 }
 
 TEST(Cube, ExchangeMovesDataAndCharges) {
-  Cube cube(3, CostParams::unit());
+  Cube cube(3, CostParams::unit(), pin_hypercube());
   DistBuffer<int> in(cube), out(cube);
   cube.each_proc([&](proc_t q) {
     in.assign(q, 4, static_cast<int>(q));
@@ -218,7 +226,7 @@ TEST(Router, DeliversEverythingToTheRightPlace) {
 }
 
 TEST(Router, ChargesPerHopNotPerMessage) {
-  Cube cube(4, CostParams::unit());
+  Cube cube(4, CostParams::unit(), pin_hypercube());
   // One packet to the antipode: 4 hops = 4 cycles.
   std::vector<std::vector<Packet>> inject(cube.procs());
   inject[0].push_back(Packet{15, 0, 1.0});

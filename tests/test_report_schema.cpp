@@ -180,7 +180,9 @@ class JsonParser {
 // Golden key sets.
 
 const std::set<std::string> kProfileTopKeys = {"schema", "cost_model",
-                                               "totals", "regions"};
+                                               "topology", "totals",
+                                               "regions"};
+const std::set<std::string> kTopologyKeys = {"name", "axes"};
 const std::set<std::string> kCostModelKeys = {
     "name", "startup_us", "per_elem_us", "flop_us", "router_startup_us"};
 const std::set<std::string> kTotalsKeys = {
@@ -188,9 +190,10 @@ const std::set<std::string> kTotalsKeys = {
     "router_us",       "host_us",        "comm_steps",
     "messages",        "elements_moved", "elements_serial",
     "flops_charged",   "flops_total",    "router_packets",
-    "router_hops",     "fault_retries",  "fault_chksum_fails",
-    "fault_reroutes",  "alloc_bytes",    "pool_hits",
-    "pool_misses",     "slab_allocs",    "slab_bytes"};
+    "router_hops",     "link_hops",      "fault_retries",
+    "fault_chksum_fails", "fault_reroutes", "alloc_bytes",
+    "pool_hits",       "pool_misses",    "slab_allocs",
+    "slab_bytes"};
 const std::set<std::string> kRegionProfileKeys = {
     "comm_us",        "compute_us",      "router_us",
     "host_us",        "total_us",        "comm_steps",
@@ -198,8 +201,8 @@ const std::set<std::string> kRegionProfileKeys = {
     "flops_charged",  "flops_total",     "router_cycles",
     "router_hops",    "dim_elements",    "mixed_dim_elements"};
 const std::set<std::string> kBenchTopKeys = {
-    "schema", "name",   "quick",      "trials",  "warmup",  "seed",
-    "faults", "fault_seed", "threads", "metrics", "cases"};
+    "schema", "name",   "quick",      "trials",  "warmup",   "seed",
+    "faults", "fault_seed", "threads", "topology", "metrics", "cases"};
 const std::set<std::string> kMetricsTopKeys = {"schema", "kind", "lanes",
                                                "sample_every", "metrics"};
 const std::set<std::string> kMetricsSeriesKeys = {"schema", "kind", "samples"};
@@ -232,7 +235,12 @@ void expect_metric_entry_keys(const Json& e, bool multi_lane) {
 /// A small workload whose profile exercises comm, compute, regions and
 /// (when `faults`) the recovery counters.
 [[nodiscard]] std::string profile_json(bool faults) {
-  Cube cube(4, CostParams::cm2());
+  // Pinned to the hypercube preset: the golden checks the emitted
+  // topology name, which must not drift with the VMP_TOPOLOGY env (the CI
+  // mesh leg runs this suite too).
+  Cube::Options opts;
+  opts.topology = TopologyKind::Hypercube;
+  Cube cube(4, CostParams::cm2(), opts);
   if (faults)
     cube.enable_faults(FaultPlan::transient(19, 0.1, 0.05, 0.02, 15.0));
   Grid grid = Grid::square(cube);
@@ -249,6 +257,9 @@ TEST(ProfileSchema, TopLevelAndCostModelKeysAreExact) {
   EXPECT_EQ(doc.at("schema").string, "vmp-profile-v1");
   EXPECT_EQ(doc.at("cost_model").keys(), kCostModelKeys);
   EXPECT_EQ(doc.at("cost_model").at("name").string, "cm2");
+  // The physical network the clock's charges were computed on.
+  EXPECT_EQ(doc.at("topology").keys(), kTopologyKeys);
+  EXPECT_EQ(doc.at("topology").at("name").string, "hypercube");
 }
 
 TEST(ProfileSchema, TotalsKeysAreExactIncludingFaultCounters) {
@@ -329,6 +340,8 @@ TEST(BenchSchema, DocumentAndCaseKeysAreExact) {
   // The resolved worker-team lane count every cube of the run used.
   EXPECT_EQ(doc.at("threads").number,
             static_cast<double>(WorkerTeam::resolve_lanes(env_threads())));
+  // The run-default topology preset (VMP_TOPOLOGY / --topology).
+  EXPECT_EQ(doc.at("topology").string, to_string(env_topology()));
   ASSERT_EQ(doc.at("cases").array.size(), 1u);
   const Json& kase = doc.at("cases").array[0];
   EXPECT_EQ(kase.keys(),

@@ -182,16 +182,20 @@ TEST(DistSimplex, KleeMintyMatchesSerial) {
 
 TEST(DistSimplex, SimulatedTimeScalesDownWithProcessors) {
   const LpProblem lp = random_feasible_lp(24, 20, 555);
+  // Scaling claim is stated for the paper machine: pin the hypercube
+  // preset so the CI mesh leg's routing contention can't flip it.
+  Cube::Options opts;
+  opts.topology = TopologyKind::Hypercube;
   double t_small = 0, t_large = 0;
   {
-    Cube cube(0, CostParams::cm2());
+    Cube cube(0, CostParams::cm2(), opts);
     Grid grid(cube, 0, 0);
     const LpSolution s = simplex_solve(grid, lp);
     ASSERT_EQ(s.status, LpStatus::Optimal);
     t_small = cube.clock().now_us();
   }
   {
-    Cube cube(6, CostParams::cm2());
+    Cube cube(6, CostParams::cm2(), opts);
     Grid grid(cube, 3, 3);
     const LpSolution s = simplex_solve(grid, lp);
     ASSERT_EQ(s.status, LpStatus::Optimal);

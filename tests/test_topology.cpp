@@ -1,0 +1,510 @@
+// Topology conformance battery (tentpole check of the topology-parametric
+// machine core) and the hypercube twin sweep.
+//
+// Conformance, on every preset (hypercube / mesh / torus / dragonfly,
+// minimal and Valiant): neighbor symmetry, link enumeration completeness,
+// minimal-route validity and termination, min_first_ports minimality,
+// route_avoiding correctness under killed links and nodes, and the charge
+// decomposition (comm + compute + router + host == now_us) of a real
+// workload on each preset.
+//
+// The twin sweep is the API-redesign contract: the hypercube preset IS the
+// historical machine.  A cube built through the seed-era two-argument
+// constructor (no Options, VMP_TOPOLOGY cleared) and one built with an
+// explicit `Options{.topology = Hypercube}` must be bit-identical in
+// results, simulated clock, SimStats and charge-for-charge event traces,
+// with and without a fault plan.  Results (never charges) must also be
+// identical across every other preset — algorithms are topology-blind.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algorithms/matvec.hpp"
+#include "core/primitives.hpp"
+#include "core/scan_ops.hpp"
+#include "core/transpose.hpp"
+#include "fault/fault.hpp"
+#include "net/dragonfly_topology.hpp"
+#include "net/hypercube_topology.hpp"
+#include "net/mesh_topology.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+namespace vmp {
+namespace {
+
+const std::uint64_t kBaseSeed = announce_seed("test_topology");
+
+// --------------------------------------------------------------------------
+// Conformance helpers.
+
+[[nodiscard]] std::vector<std::unique_ptr<Topology>> presets(int dim) {
+  std::vector<std::unique_ptr<Topology>> out;
+  out.push_back(std::make_unique<HypercubeTopology>(dim));
+  out.push_back(std::make_unique<MeshTorusTopology>(dim, /*wrap=*/false));
+  out.push_back(std::make_unique<MeshTorusTopology>(dim, /*wrap=*/true));
+  out.push_back(std::make_unique<DragonflyTopology>(dim));
+  out.push_back(std::make_unique<DragonflyTopology>(
+      dim, DragonflyTopology::RouteMode::Valiant));
+  return out;
+}
+
+/// BFS hop distances from `src` over live ports — the reference metric the
+/// topology's own routes are judged against.
+[[nodiscard]] std::vector<int> bfs_dist(const Topology& t, proc_t src) {
+  std::vector<int> dist(t.node_count(), -1);
+  std::queue<proc_t> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const proc_t at = q.front();
+    q.pop();
+    for (int p = 0; p < t.max_ports(); ++p) {
+      const proc_t nb = t.port_neighbor(at, p);
+      if (nb == kNoNeighbor || dist[nb] >= 0) continue;
+      dist[nb] = dist[at] + 1;
+      q.push(nb);
+    }
+  }
+  return dist;
+}
+
+/// Every hop must cross a real port of its `from` node onto `to`, chain
+/// src → … → dst, and carry that port's axis.
+void expect_valid_route(const Topology& t, proc_t src, proc_t dst,
+                        const std::vector<Hop>& hops, std::size_t max_len) {
+  ASSERT_LE(hops.size(), max_len) << t.name();
+  proc_t at = src;
+  for (const Hop& h : hops) {
+    EXPECT_EQ(h.from, at) << t.name() << " broken hop chain";
+    EXPECT_EQ(t.port_neighbor(h.from, h.port), h.to)
+        << t.name() << " hop does not follow a port";
+    EXPECT_EQ(t.port_axis(h.from, h.port), h.axis) << t.name();
+    at = h.to;
+  }
+  EXPECT_EQ(at, dst) << t.name() << " route does not reach its destination";
+}
+
+class TopologyConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyConformance, NeighborsAreSymmetricAndInRange) {
+  const int d = GetParam();
+  for (const auto& t : presets(d)) {
+    const proc_t n = t->node_count();
+    EXPECT_EQ(n, proc_t{1} << d) << t->name();
+    for (proc_t a = 0; a < n; ++a) {
+      for (int p = 0; p < t->max_ports(); ++p) {
+        const proc_t b = t->port_neighbor(a, p);
+        if (b == kNoNeighbor) continue;
+        ASSERT_LT(b, n) << t->name();
+        EXPECT_NE(b, a) << t->name() << " self-loop";
+        const std::vector<proc_t> back = t->neighbors(b);
+        EXPECT_NE(std::find(back.begin(), back.end(), a), back.end())
+            << t->name() << " edge " << a << "->" << b << " not symmetric";
+      }
+    }
+  }
+}
+
+TEST_P(TopologyConformance, LinkEnumerationIsCompleteAndConsistent) {
+  const int d = GetParam();
+  for (const auto& t : presets(d)) {
+    const std::vector<Link> links = t->links();
+    EXPECT_EQ(links.size(), t->link_count()) << t->name();
+    // Dense ids, endpoints adjacent over a port of the link's axis.
+    std::set<std::uint64_t> ids;
+    for (const Link& l : links) {
+      EXPECT_EQ(l.id, static_cast<std::uint64_t>(ids.size())) << t->name();
+      ids.insert(l.id);
+      bool connects = false;
+      for (int p = 0; p < t->max_ports(); ++p)
+        if (t->port_neighbor(l.a, p) == l.b && t->port_axis(l.a, p) == l.axis)
+          connects = true;
+      EXPECT_TRUE(connects)
+          << t->name() << " link " << l.id << " endpoints not adjacent";
+    }
+    // Completeness: every (node, port) edge resolves to an enumerated id,
+    // and every id is reached from both endpoints (undirected naming).
+    std::map<std::uint64_t, std::set<proc_t>> touched;
+    for (proc_t a = 0; a < t->node_count(); ++a)
+      for (int p = 0; p < t->max_ports(); ++p) {
+        const proc_t b = t->port_neighbor(a, p);
+        if (b == kNoNeighbor) continue;
+        const std::uint64_t id = t->link_id(a, p);
+        ASSERT_LT(id, t->link_count()) << t->name();
+        touched[id].insert(a);
+      }
+    EXPECT_EQ(touched.size(), t->link_count())
+        << t->name() << " some enumerated link is reachable from no port";
+    for (const Link& l : links) {
+      EXPECT_TRUE(touched[l.id].count(l.a) && touched[l.id].count(l.b))
+          << t->name() << " link " << l.id
+          << " not addressable from both endpoints";
+    }
+  }
+  // The cube's analytic enumeration: d·2^(d-1) edges.
+  HypercubeTopology cube(d);
+  EXPECT_EQ(cube.link_count(),
+            static_cast<std::uint64_t>(d) * (proc_t{1} << d) / 2);
+}
+
+TEST_P(TopologyConformance, MinimalRoutesAreValidShortestAndTerminate) {
+  const int d = GetParam();
+  SplitMix64 rng(kBaseSeed ^ 0x1001u);
+  for (const auto& t : presets(d)) {
+    const proc_t n = t->node_count();
+    const auto* df = dynamic_cast<const DragonflyTopology*>(t.get());
+    const bool valiant =
+        df != nullptr && df->route_mode() == DragonflyTopology::RouteMode::Valiant;
+    for (int trial = 0; trial < 64; ++trial) {
+      const proc_t src = static_cast<proc_t>(rng.below(n));
+      const proc_t dst = static_cast<proc_t>(rng.below(n));
+      std::vector<Hop> hops;
+      t->route(src, dst, hops);
+      // Valiant misroutes through a random intermediate group: valid and
+      // bounded, but deliberately not minimal.
+      const std::size_t cap =
+          valiant ? 2 * static_cast<std::size_t>(t->diameter()) + 1
+                  : static_cast<std::size_t>(t->diameter());
+      expect_valid_route(*t, src, dst, hops, std::max<std::size_t>(cap, 1));
+      const std::vector<int> dist = bfs_dist(*t, src);
+      ASSERT_GE(dist[dst], 0) << t->name() << " disconnected";
+      if (!valiant)
+        EXPECT_EQ(hops.size(), static_cast<std::size_t>(dist[dst]))
+            << t->name() << " route " << src << "->" << dst << " not minimal";
+      if (src != dst) {
+        ASSERT_FALSE(hops.empty());
+        // first_hop is always the canonical *minimal* step (the packet
+        // router never misroutes), so under Valiant it is checked against
+        // the distance metric rather than the detouring route().
+        const Hop first = t->first_hop(src, dst);
+        if (!valiant) {
+          EXPECT_EQ(first.to, hops.front().to)
+              << t->name() << " first_hop disagrees with route()";
+        } else {
+          const std::vector<int> dfi = bfs_dist(*t, first.to);
+          EXPECT_EQ(dfi[dst] + 1, dist[dst])
+              << t->name() << " first_hop not a shortest-path step";
+        }
+        // Every advertised minimal first port actually shortens the path.
+        std::vector<int> ports;
+        t->min_first_ports(src, dst, ports);
+        EXPECT_FALSE(ports.empty()) << t->name();
+        for (const int p : ports) {
+          const proc_t nb = t->port_neighbor(src, p);
+          ASSERT_NE(nb, kNoNeighbor) << t->name();
+          const std::vector<int> dnb = bfs_dist(*t, nb);
+          EXPECT_EQ(dnb[dst] + 1, dist[dst])
+              << t->name() << " min_first_ports port " << p
+              << " does not start a shortest path " << src << "->" << dst;
+        }
+      } else {
+        EXPECT_TRUE(hops.empty()) << t->name();
+      }
+    }
+  }
+}
+
+TEST_P(TopologyConformance, RouteAvoidingRoutesAroundKilledLinksAndNodes) {
+  const int d = GetParam();
+  SplitMix64 rng(kBaseSeed ^ 0x2002u);
+  for (const auto& t : presets(d)) {
+    const proc_t n = t->node_count();
+    const std::vector<Link> links = t->links();
+    for (int trial = 0; trial < 32; ++trial) {
+      const Link dead = links[rng.below(links.size())];
+      const proc_t dead_node =
+          static_cast<proc_t>(rng.below(n));  // may coincide with endpoints
+      const auto link_dead = [&](proc_t node, int port) {
+        return t->link_id(node, port) == dead.id;
+      };
+      const auto node_dead = [&](proc_t node) { return node == dead_node; };
+      const proc_t src = static_cast<proc_t>(rng.below(n));
+      const proc_t dst = static_cast<proc_t>(rng.below(n));
+      if (src == dead_node || dst == dead_node) continue;
+      std::vector<Hop> hops;
+      const bool ok = t->route_avoiding(src, dst, link_dead, node_dead, hops);
+      if (!ok) {
+        // Refusal is only legitimate when the faults genuinely cut
+        // src from dst (possible on the open mesh).
+        std::vector<int> dist(n, -1);
+        std::queue<proc_t> q;
+        dist[src] = 0;
+        q.push(src);
+        while (!q.empty()) {
+          const proc_t at = q.front();
+          q.pop();
+          for (int p = 0; p < t->max_ports(); ++p) {
+            const proc_t nb = t->port_neighbor(at, p);
+            if (nb == kNoNeighbor || dist[nb] >= 0 || link_dead(at, p))
+              continue;
+            if (nb != dst && node_dead(nb)) continue;
+            dist[nb] = dist[at] + 1;
+            q.push(nb);
+          }
+        }
+        EXPECT_LT(dist[dst], 0)
+            << t->name() << " refused a live route " << src << "->" << dst;
+        continue;
+      }
+      expect_valid_route(*t, src, dst, hops, static_cast<std::size_t>(n));
+      for (const Hop& h : hops) {
+        EXPECT_FALSE(link_dead(h.from, h.port))
+            << t->name() << " reroute crosses the dead link";
+        if (h.to != dst)
+          EXPECT_NE(h.to, dead_node)
+              << t->name() << " reroute passes through the dead node";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TopologyConformance, ::testing::Values(1, 4, 6));
+
+TEST(TopologyCharges, ChargeDecompositionSumsToNowUsOnEveryPreset) {
+  // A workload with every charge family — exchanges, all-port rounds,
+  // compute steps, the packet router — on each preset: the clock's
+  // decomposition must stay exact, and physical link crossings can never
+  // undercut the message count.
+  for (const TopologyKind kind :
+       {TopologyKind::Hypercube, TopologyKind::Mesh, TopologyKind::Torus,
+        TopologyKind::Dragonfly}) {
+    Cube::Options opts;
+    opts.topology = kind;
+    Cube cube(4, CostParams::cm2(), opts);
+    Grid grid = Grid::square(cube);
+    DistMatrix<double> A(grid, 20, 20);
+    A.load(random_matrix(20, 20, 11));
+    DistVector<double> v(grid, 20, Align::Cols);
+    v.load(random_vector(20, 12));
+    (void)matvec(A, v);
+    (void)transpose(A);
+    (void)reduce_rows(A, Plus<double>{});
+    const SimClock& clk = cube.clock();
+    EXPECT_NEAR(clk.now_us(),
+                clk.comm_us() + clk.compute_us() + clk.router_us() +
+                    clk.host_us(),
+                1e-9 * (1.0 + clk.now_us()))
+        << to_string(kind);
+    EXPECT_GT(clk.comm_us(), 0.0) << to_string(kind);
+    const SimStats& st = clk.stats();
+    EXPECT_GE(st.link_hops, st.messages) << to_string(kind);
+    if (kind == TopologyKind::Hypercube)
+      EXPECT_EQ(st.link_hops, st.messages)
+          << "unit-hop preset: one physical link per message";
+    EXPECT_STREQ(cube.topology().name(), to_string(kind));
+  }
+}
+
+// --------------------------------------------------------------------------
+// The hypercube twin sweep.
+
+struct Snapshot {
+  std::vector<std::vector<double>> results;
+  double now_us = 0.0;
+  SimStats stats;
+  std::vector<std::string> trace_paths;
+  std::vector<TraceEvent> trace_events;
+};
+
+struct TrialConfig {
+  int d, gr, gc;
+  std::size_t nrows, ncols;
+  bool cyclic;
+  std::uint64_t data_seed;
+};
+
+[[nodiscard]] TrialConfig draw(int trial) {
+  SplitMix64 rng(kBaseSeed + static_cast<std::uint64_t>(trial) * 0x517cull);
+  TrialConfig c;
+  c.d = 1 + static_cast<int>(rng.below(6));
+  c.gr = static_cast<int>(rng.below(static_cast<std::uint64_t>(c.d) + 1));
+  c.gc = c.d - c.gr;
+  c.nrows = 1 + rng.below(32);
+  c.ncols = 1 + rng.below(32);
+  c.cyclic = rng.below(2) == 0;
+  c.data_seed = rng.next();
+  return c;
+}
+
+enum class Build { SeedCtor, ExplicitHypercube, Mesh, Torus, Dragonfly };
+
+[[nodiscard]] Snapshot run_workload(const TrialConfig& c, Build build,
+                                    bool faulty) {
+  std::unique_ptr<Cube> cube;
+  if (build == Build::SeedCtor) {
+    // The historical construction path: two-argument constructor, no
+    // Options in sight (VMP_TOPOLOGY is cleared by the fixture).
+    cube = std::make_unique<Cube>(c.d, CostParams::cm2());
+  } else {
+    Cube::Options opts;
+    opts.threads = 1;
+    opts.topology = build == Build::ExplicitHypercube
+                        ? TopologyKind::Hypercube
+                        : build == Build::Mesh
+                              ? TopologyKind::Mesh
+                              : build == Build::Torus ? TopologyKind::Torus
+                                                      : TopologyKind::Dragonfly;
+    cube = std::make_unique<Cube>(c.d, CostParams::cm2(), opts);
+  }
+  if (faulty)
+    cube->enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  cube->clock().tracer().set_recording(true);
+  Grid grid(*cube, c.gr, c.gc);
+
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const Part part = c.cyclic ? Part::Cyclic : Part::Block;
+  DistMatrix<double> A(grid, c.nrows, c.ncols, layout);
+  A.load(random_matrix(c.nrows, c.ncols, static_cast<unsigned>(c.data_seed)));
+  DistVector<double> vc(grid, c.ncols, Align::Cols, part);
+  vc.load(random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8)));
+  DistVector<double> vr(grid, c.nrows, Align::Rows, part);
+  vr.load(random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 16)));
+
+  Snapshot s;
+  s.results.push_back(reduce_rows(A, Plus<double>{}).to_host());
+  s.results.push_back(distribute_cols(vr, c.ncols).to_host());
+  s.results.push_back(extract_row(A, c.nrows / 2).to_host());
+  insert_col(A, c.ncols / 2, vr);
+  s.results.push_back(A.to_host());
+  s.results.push_back(matvec(A, vc).to_host());
+  s.results.push_back(transpose(A).to_host());
+  DistVector<double> sv(grid, c.nrows, Align::Rows, Part::Block);
+  sv.load(random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 24)));
+  vec_scan_inclusive(sv, Plus<double>{});
+  s.results.push_back(sv.to_host());
+
+  s.now_us = cube->clock().now_us();
+  s.stats = cube->clock().stats();
+  s.trace_paths = cube->clock().tracer().paths();
+  s.trace_events = cube->clock().tracer().events();
+  return s;
+}
+
+/// Clears VMP_TOPOLOGY for the duration of each twin trial (and restores
+/// it after): the sweep pins both sides of every comparison explicitly, so
+/// an inherited preset — e.g. the CI mesh leg — must not leak into the
+/// seed-constructor baseline.
+class TopologyTwin : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    if (const char* prev = std::getenv("VMP_TOPOLOGY")) saved_ = prev;
+    ASSERT_EQ(unsetenv("VMP_TOPOLOGY"), 0);
+  }
+  void TearDown() override {
+    if (!saved_.empty())
+      ASSERT_EQ(setenv("VMP_TOPOLOGY", saved_.c_str(), 1), 0);
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST_P(TopologyTwin, HypercubePresetBitIdenticalToSeedConstruction) {
+  const TrialConfig c = draw(GetParam());
+  SCOPED_TRACE("reproduce: VMP_SEED=" + std::to_string(kBaseSeed) +
+               " ./test_topology (trial " + std::to_string(GetParam()) + ")");
+  for (const bool faulty : {false, true}) {
+    const Snapshot ref = run_workload(c, Build::SeedCtor, faulty);
+    const Snapshot got = run_workload(c, Build::ExplicitHypercube, faulty);
+    const std::string what = faulty ? "faulty" : "fault-free";
+    ASSERT_EQ(ref.results.size(), got.results.size()) << what;
+    for (std::size_t i = 0; i < ref.results.size(); ++i)
+      EXPECT_EQ(ref.results[i], got.results[i])
+          << what << " result stream " << i;
+    EXPECT_EQ(ref.now_us, got.now_us) << what << " simulated clock";
+    EXPECT_TRUE(ref.stats == got.stats) << what << " SimStats diverge";
+    EXPECT_EQ(ref.trace_paths, got.trace_paths) << what;
+    EXPECT_TRUE(ref.trace_events == got.trace_events)
+        << what << " event traces diverge";
+  }
+}
+
+TEST_P(TopologyTwin, ResultsAreTopologyIndependentAndChargesNeverCheaper) {
+  const TrialConfig c = draw(GetParam());
+  SCOPED_TRACE("reproduce: VMP_SEED=" + std::to_string(kBaseSeed) +
+               " ./test_topology (trial " + std::to_string(GetParam()) + ")");
+  const Snapshot ref = run_workload(c, Build::ExplicitHypercube, false);
+  for (const Build build : {Build::Mesh, Build::Torus, Build::Dragonfly}) {
+    const Snapshot got = run_workload(c, build, false);
+    const std::string what = "build " + std::to_string(static_cast<int>(build));
+    ASSERT_EQ(ref.results.size(), got.results.size()) << what;
+    for (std::size_t i = 0; i < ref.results.size(); ++i)
+      EXPECT_EQ(ref.results[i], got.results[i])
+          << what << " results must not depend on the physical network";
+    // Same logical schedule…
+    EXPECT_EQ(ref.stats.comm_steps, got.stats.comm_steps) << what;
+    EXPECT_EQ(ref.stats.messages, got.stats.messages) << what;
+    EXPECT_EQ(ref.stats.elements_moved, got.stats.elements_moved) << what;
+    EXPECT_EQ(ref.stats.flops_charged, got.stats.flops_charged) << what;
+    // …but dilation and per-hop taxes only ever add physical work.
+    EXPECT_GE(got.stats.link_hops, ref.stats.link_hops) << what;
+    EXPECT_GE(got.now_us, ref.now_us) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopologyTwin, ::testing::Range(0, 12));
+
+// --------------------------------------------------------------------------
+// Options plumbing.
+
+TEST(TopologyOptions, ParseAndEnvRoundTrip) {
+  TopologyKind k{};
+  EXPECT_TRUE(parse_topology("hypercube", k));
+  EXPECT_EQ(k, TopologyKind::Hypercube);
+  EXPECT_TRUE(parse_topology("cube", k));  // documented alias
+  EXPECT_EQ(k, TopologyKind::Hypercube);
+  EXPECT_TRUE(parse_topology("mesh", k));
+  EXPECT_EQ(k, TopologyKind::Mesh);
+  EXPECT_TRUE(parse_topology("torus", k));
+  EXPECT_EQ(k, TopologyKind::Torus);
+  EXPECT_TRUE(parse_topology("dragonfly", k));
+  EXPECT_EQ(k, TopologyKind::Dragonfly);
+  EXPECT_FALSE(parse_topology("banyan", k));
+  for (const TopologyKind kind :
+       {TopologyKind::Hypercube, TopologyKind::Mesh, TopologyKind::Torus,
+        TopologyKind::Dragonfly}) {
+    TopologyKind back{};
+    EXPECT_TRUE(parse_topology(to_string(kind), back));
+    EXPECT_EQ(back, kind);
+  }
+}
+
+TEST(TopologyOptions, VmpTopologyEnvIsTheDefaultAndOptionsWin) {
+  std::string saved;
+  if (const char* prev = std::getenv("VMP_TOPOLOGY")) saved = prev;
+  ASSERT_EQ(setenv("VMP_TOPOLOGY", "torus", 1), 0);
+  EXPECT_EQ(env_topology(), TopologyKind::Torus);
+  {
+    Cube cube(3, CostParams::unit());
+    EXPECT_EQ(cube.topology_kind(), TopologyKind::Torus);
+    EXPECT_FALSE(cube.unit_hop());
+  }
+  {
+    Cube::Options opts;
+    opts.topology = TopologyKind::Hypercube;
+    Cube cube(3, CostParams::unit(), opts);
+    EXPECT_EQ(cube.topology_kind(), TopologyKind::Hypercube);
+    EXPECT_TRUE(cube.unit_hop());
+    EXPECT_EQ(cube.diameter(), 3);
+    EXPECT_EQ(cube.node_count(), 8u);
+    EXPECT_EQ(cube.neighbors(0), (std::vector<proc_t>{1, 2, 4}));
+  }
+  if (saved.empty())
+    ASSERT_EQ(unsetenv("VMP_TOPOLOGY"), 0);
+  else
+    ASSERT_EQ(setenv("VMP_TOPOLOGY", saved.c_str(), 1), 0);
+}
+
+}  // namespace
+}  // namespace vmp

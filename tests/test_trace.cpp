@@ -91,7 +91,11 @@ TEST(Tracer, NestedRegionSelfProfilesSumToTheParentInclusiveTotal) {
 }
 
 TEST(Tracer, DimensionHistogramTracksExchangedElements) {
-  Cube cube(3, CostParams::unit());
+  // Per-dimension histogram golden: pin the hypercube preset (on a mesh
+  // the histogram is per grid axis, not per cube dim).
+  Cube::Options opts;
+  opts.topology = TopologyKind::Hypercube;
+  Cube cube(3, CostParams::unit(), opts);
   {
     TraceRegion r(cube, "xch");
     DistBuffer<double> buf(cube);
