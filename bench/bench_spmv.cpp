@@ -1,0 +1,127 @@
+// Sparse matrix-vector product benchmarks:
+//   * Consecutive-vs-Cyclic embedding ablation on power-law matrices —
+//     the heavy head rows of the skewed degree distribution pile onto one
+//     grid row under the Consecutive (Block) embedding, while Cyclic deals
+//     them round-robin; the simulated-time gap is the load-balance story
+//     the dense benches can't tell (the dense flop charge is layout-blind).
+//   * spmv_fused vs the densified dense matvec_fused — what the sparse
+//     storage saves when most slots are zero.
+//   * fused vs primitive-composed SpMV — the sparse twin of
+//     bench_matvec's fusion ablation.
+#include "harness.hpp"
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("bench_spmv", argc, argv);
+
+  // Embedding ablation at p = 64 (d = 6): same matrix, same results, only
+  // the per-processor tile populations move.  skew_pct is the Zipf
+  // exponent in percent (the vmp-bench-v1 case args are integers).
+  constexpr double kSkew = 1.2;
+  constexpr double kAvgDeg = 8.0;
+  for (int d : h.dims({6}, {6}))
+    for (std::size_t n : h.sizes({256, 1024, 4096}, {256})) {
+      const HostCsr H = power_law_csr(n, n, kAvgDeg, kSkew, 91);
+      h.run("spmv_embedding_sweep",
+            {{"dim", d},
+             {"n", static_cast<std::int64_t>(n)},
+             {"nnz", static_cast<std::int64_t>(H.nnz())},
+             {"skew_pct", static_cast<std::int64_t>(kSkew * 100)}},
+            [&](bench::Case& c) {
+              double t_con = 0, t_cyc = 0;
+              for (int which = 0; which < 2; ++which) {
+                const MatrixLayout layout = which == 0
+                                                ? MatrixLayout::blocked()
+                                                : MatrixLayout::cyclic();
+                Cube cube(d, CostParams::cm2());
+                if (h.metrics()) cube.enable_metrics();
+                Grid grid = Grid::square(cube);
+                DistSparseMatrix<double> A(grid, n, n, layout);
+                A.load_csr(H.rowptr, H.colind, H.vals);
+                DistVector<double> x(grid, n, Align::Cols, layout.cols);
+                x.load(random_vector(n, 92));
+                cube.clock().reset();
+                (void)spmv_fused(A, x);
+                (which == 0 ? t_con : t_cyc) = cube.clock().now_us();
+                c.profile(which == 0 ? "consecutive" : "cyclic",
+                          cube.clock());
+                if (h.metrics() && which == 1)
+                  c.metrics(cube.metrics(), t_cyc);
+              }
+              c.counter("sim_consecutive_us", t_con);
+              c.counter("sim_cyclic_us", t_cyc);
+              c.counter("cyclic_gain", t_con / t_cyc);
+            });
+    }
+
+  // Sparse storage vs the densified dense product on the same matrix.
+  for (int d : h.dims({6}, {6}))
+    for (std::size_t n : h.sizes({256, 1024}, {256})) {
+      const HostCsr H = power_law_csr(n, n, kAvgDeg, kSkew, 93);
+      h.run("spmv_vs_dense_matvec",
+            {{"dim", d},
+             {"n", static_cast<std::int64_t>(n)},
+             {"nnz", static_cast<std::int64_t>(H.nnz())},
+             {"skew_pct", static_cast<std::int64_t>(kSkew * 100)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              const MatrixLayout layout = MatrixLayout::cyclic();
+              DistSparseMatrix<double> S(grid, n, n, layout);
+              S.load_csr(H.rowptr, H.colind, H.vals);
+              const DistMatrix<double> A = S.densify();
+              DistVector<double> x(grid, n, Align::Cols, layout.cols);
+              x.load(random_vector(n, 94));
+              cube.clock().reset();
+              (void)spmv_fused(S, x);
+              const double t_sparse = cube.clock().now_us();
+              c.profile("sparse", cube.clock());
+              cube.clock().reset();
+              (void)matvec_fused(A, x);
+              const double t_dense = cube.clock().now_us();
+              c.profile("dense", cube.clock());
+              c.counter("sim_sparse_us", t_sparse);
+              c.counter("sim_dense_us", t_dense);
+              c.counter("sparse_gain", t_dense / t_sparse);
+            });
+    }
+
+  // Fused vs primitive-composed SpMV (three tile walks vs one).
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t n : h.sizes({256, 1024}, {256})) {
+      const HostCsr H = power_law_csr(n, n, kAvgDeg, kSkew, 95);
+      h.run("spmv_fused_vs_composed",
+            {{"dim", d},
+             {"n", static_cast<std::int64_t>(n)},
+             {"nnz", static_cast<std::int64_t>(H.nnz())},
+             {"skew_pct", static_cast<std::int64_t>(kSkew * 100)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              const MatrixLayout layout = MatrixLayout::cyclic();
+              DistSparseMatrix<double> S(grid, n, n, layout);
+              S.load_csr(H.rowptr, H.colind, H.vals);
+              DistVector<double> x(grid, n, Align::Cols, layout.cols);
+              x.load(random_vector(n, 96));
+              cube.clock().reset();
+              (void)spmv(S, x);
+              const double t_composed = cube.clock().now_us();
+              c.profile("composed", cube.clock());
+              cube.clock().reset();
+              (void)spmv_fused(S, x);
+              const double t_fused = cube.clock().now_us();
+              c.profile("fused", cube.clock());
+              c.counter("sim_composed_us", t_composed);
+              c.counter("sim_fused_us", t_fused);
+              c.counter("fused_gain", t_composed / t_fused);
+            });
+    }
+
+  return h.finish();
+}

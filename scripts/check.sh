@@ -61,13 +61,19 @@ if [[ "$NO_SANITIZE" == 0 ]]; then
   echo "== sanitizer build (address,undefined) =="
   cmake -B build-asan -S . -DVMP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j --target test_trace test_accounting \
-    test_kernels bench_naive_vs_primitive >/dev/null
+    test_kernels test_cg test_properties_random \
+    bench_naive_vs_primitive >/dev/null
   ./build-asan/tests/test_trace
   ./build-asan/tests/test_accounting \
     --gtest_filter='Accounting.*:Charging.*:Threading.*'
   # The conformance battery under ASan/UBSan covers every SIMD entry point
   # (unaligned bases, tails, type-erased gathers) in both toggle states.
   ./build-asan/tests/test_kernels
+  # The sparse storage paths (CSR tiles, triple exchange, reembed) and the
+  # storage-generic CG, under ASan/UBSan.
+  ./build-asan/tests/test_cg
+  ./build-asan/tests/test_properties_random \
+    --gtest_filter='*Sparse*:*Reembed*'
 fi
 
 if [[ "$TSAN" == 1 ]]; then
@@ -182,7 +188,7 @@ if [[ "$NO_PERF_GATE" == 0 ]]; then
   # robust statistic).  Only the first carries --metrics.
   GATE_BENCHES=(bench_ablation bench_collectives bench_gauss bench_kernels
                 bench_matvec bench_naive_vs_primitive bench_primitives
-                bench_scaling bench_simplex)
+                bench_scaling bench_simplex bench_spmv)
   for b in "${GATE_BENCHES[@]}"; do
     (cd "$workdir" && "$OLDPWD/build/bench/$b" \
         --quick --trials=3 --warmup=1 --metrics \

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build}"
 DEST="bench/baselines"
 BENCHES=(bench_ablation bench_collectives bench_gauss bench_kernels
          bench_matvec bench_naive_vs_primitive bench_primitives
-         bench_scaling bench_simplex)
+         bench_scaling bench_simplex bench_spmv)
 
 for b in "${BENCHES[@]}"; do
   if [[ ! -x "$BUILD_DIR/bench/$b" ]]; then

@@ -3,14 +3,31 @@
 #include <cmath>
 
 #include "algorithms/matvec.hpp"
+#include "algorithms/spmv.hpp"
 #include "core/kernels.hpp"
+#include "core/sparse_primitives.hpp"
 #include "core/vector_ops.hpp"
 #include "embed/realign.hpp"
 
 namespace vmp {
 
-CgResult conjugate_gradient(const DistMatrix<double>& A,
-                            std::span<const double> b, CgOptions opts) {
+namespace {
+
+// The one storage-dependent step of a CG iteration: y = A·p, Cols in,
+// Rows out.  Both spellings charge through the same cost model, so the
+// templated loop below runs the identical operation sequence on either
+// backend.
+DistVector<double> apply_fused(const DistMatrix<double>& A,
+                               const DistVector<double>& p) {
+  return matvec_fused(A, p);
+}
+DistVector<double> apply_fused(const DistSparseMatrix<double>& A,
+                               const DistVector<double>& p) {
+  return spmv_fused(A, p);
+}
+
+template <class Mat>
+CgResult cg_impl(const Mat& A, std::span<const double> b, CgOptions opts) {
   VMP_REQUIRE(A.nrows() == A.ncols(), "CG needs a square (SPD) matrix");
   const std::size_t n = A.nrows();
   VMP_REQUIRE(b.size() == n, "rhs length mismatch");
@@ -36,7 +53,7 @@ CgResult conjugate_gradient(const DistMatrix<double>& A,
   const double target2 = opts.tol * opts.tol * b2;
 
   for (std::size_t it = 0; it < max_iters; ++it) {
-    const DistVector<double> Ap_rows = matvec_fused(A, p);
+    const DistVector<double> Ap_rows = apply_fused(A, p);
     const DistVector<double> Ap = realign(Ap_rows, Align::Cols, cpart);
     const double pAp = dot(p, Ap);
     VMP_REQUIRE(pAp > 0.0, "matrix is not positive definite");
@@ -61,32 +78,9 @@ CgResult conjugate_gradient(const DistMatrix<double>& A,
   return out;
 }
 
-DistVector<double> extract_diagonal(const DistMatrix<double>& A) {
-  VMP_REQUIRE(A.nrows() == A.ncols(), "diagonal of a square matrix only");
-  Grid& grid = A.grid();
-  Cube& cube = grid.cube();
-  DistVector<double> diag(grid, A.ncols(), Align::Cols, A.layout().cols);
-  const std::size_t max_piece = (A.ncols() + grid.pcols() - 1) / grid.pcols();
-  cube.compute(max_piece, A.ncols(), [&](proc_t q) {
-    const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
-    const std::size_t lcn = A.lcols(q);
-    const std::span<const double> blk = A.block(q);
-    const std::span<double> piece = diag.data().tile(q);
-    kern::fill(piece, 0.0);
-    for (std::size_t lc = 0; lc < lcn; ++lc) {
-      const std::size_t j = A.colmap().global(C, lc);
-      if (A.rowmap().owner(j) != R) continue;  // diagonal not in my block
-      piece[lc] = blk[A.rowmap().local(j) * lcn + lc];
-    }
-  });
-  // Each column's diagonal entry exists on exactly one grid row: a sum
-  // all-reduce replicates it to the rest.
-  allreduce_auto(cube, diag.data(), grid.within_col(), Plus<double>{});
-  return diag;
-}
-
-CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
-                                   std::span<const double> b, CgOptions opts) {
+template <class Mat>
+CgResult cg_jacobi_impl(const Mat& A, std::span<const double> b,
+                        CgOptions opts) {
   VMP_REQUIRE(A.nrows() == A.ncols(), "CG needs a square (SPD) matrix");
   const std::size_t n = A.nrows();
   VMP_REQUIRE(b.size() == n, "rhs length mismatch");
@@ -118,7 +112,7 @@ CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
   const double target2 = opts.tol * opts.tol * b2;
 
   for (std::size_t it = 0; it < max_iters; ++it) {
-    const DistVector<double> Ap_rows = matvec_fused(A, p);
+    const DistVector<double> Ap_rows = apply_fused(A, p);
     const DistVector<double> Ap = realign(Ap_rows, Align::Cols, cpart);
     const double pAp = dot(p, Ap);
     VMP_REQUIRE(pAp > 0.0, "matrix is not positive definite");
@@ -144,6 +138,78 @@ CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
   out.residual_norm = std::sqrt(dot(r, r));
   out.x = x.to_host();
   return out;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const DistMatrix<double>& A,
+                            std::span<const double> b, CgOptions opts) {
+  return cg_impl(A, b, opts);
+}
+
+CgResult conjugate_gradient(const DistSparseMatrix<double>& A,
+                            std::span<const double> b, CgOptions opts) {
+  return cg_impl(A, b, opts);
+}
+
+CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
+                                   std::span<const double> b, CgOptions opts) {
+  return cg_jacobi_impl(A, b, opts);
+}
+
+CgResult conjugate_gradient_jacobi(const DistSparseMatrix<double>& A,
+                                   std::span<const double> b, CgOptions opts) {
+  return cg_jacobi_impl(A, b, opts);
+}
+
+DistVector<double> extract_diagonal(const DistMatrix<double>& A) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "diagonal of a square matrix only");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<double> diag(grid, A.ncols(), Align::Cols, A.layout().cols);
+  const std::size_t max_piece = (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  cube.compute(max_piece, A.ncols(), [&](proc_t q) {
+    const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
+    const std::size_t lcn = A.lcols(q);
+    const std::span<const double> blk = A.block(q);
+    const std::span<double> piece = diag.data().tile(q);
+    kern::fill(piece, 0.0);
+    for (std::size_t lc = 0; lc < lcn; ++lc) {
+      const std::size_t j = A.colmap().global(C, lc);
+      if (A.rowmap().owner(j) != R) continue;  // diagonal not in my block
+      piece[lc] = blk[A.rowmap().local(j) * lcn + lc];
+    }
+  });
+  // Each column's diagonal entry exists on exactly one grid row: a sum
+  // all-reduce replicates it to the rest.
+  allreduce_auto(cube, diag.data(), grid.within_col(), Plus<double>{});
+  return diag;
+}
+
+DistVector<double> extract_diagonal(const DistSparseMatrix<double>& A) {
+  VMP_REQUIRE(A.nrows() == A.ncols(), "diagonal of a square matrix only");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistVector<double> diag(grid, A.ncols(), Align::Cols, A.layout().cols);
+  const std::size_t max_piece = (A.ncols() + grid.pcols() - 1) / grid.pcols();
+  cube.compute(max_piece, A.ncols(), [&](proc_t q) {
+    const std::uint32_t R = grid.prow(q), C = grid.pcol(q);
+    const std::size_t lcn = A.lcols(q);
+    const std::span<double> piece = diag.data().tile(q);
+    kern::fill(piece, 0.0);
+    const auto rp = A.tile_rowptr(q);
+    const auto va = A.tile_vals(q);
+    for (std::size_t lc = 0; lc < lcn; ++lc) {
+      const std::size_t j = A.colmap().global(C, lc);
+      if (A.rowmap().owner(j) != R) continue;  // diagonal not in my tile
+      const std::size_t lr = A.rowmap().local(j);
+      const std::size_t k =
+          detail::find_in_row(A, q, lr, static_cast<std::uint32_t>(lc));
+      if (k < rp[lr + 1]) piece[lc] = va[k];  // unstored diagonal stays 0
+    }
+  });
+  allreduce_auto(cube, diag.data(), grid.within_col(), Plus<double>{});
+  return diag;
 }
 
 }  // namespace vmp

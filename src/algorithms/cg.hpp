@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "embed/dist_matrix.hpp"
+#include "embed/dist_sparse_matrix.hpp"
 #include "embed/dist_vector.hpp"
 
 namespace vmp {
@@ -27,8 +28,14 @@ struct CgResult {
   bool converged = false;
 };
 
-/// Solve A·x = b for symmetric positive definite A.
+/// Solve A·x = b for symmetric positive definite A.  The solver is
+/// storage-generic: both overloads run the identical iteration sequence
+/// (matvec/spmv_fused → realign → dots → axpys), so for the same matrix
+/// the dense and sparse paths produce bit-identical iterates.
 [[nodiscard]] CgResult conjugate_gradient(const DistMatrix<double>& A,
+                                          std::span<const double> b,
+                                          CgOptions opts = {});
+[[nodiscard]] CgResult conjugate_gradient(const DistSparseMatrix<double>& A,
                                           std::span<const double> b,
                                           CgOptions opts = {});
 
@@ -39,9 +46,15 @@ struct CgResult {
 [[nodiscard]] CgResult conjugate_gradient_jacobi(const DistMatrix<double>& A,
                                                  std::span<const double> b,
                                                  CgOptions opts = {});
+[[nodiscard]] CgResult conjugate_gradient_jacobi(
+    const DistSparseMatrix<double>& A, std::span<const double> b,
+    CgOptions opts = {});
 
 /// The main diagonal of a square matrix as a Cols-aligned vector (local
-/// gather on the diagonal blocks + an all-reduce to replicate).
+/// gather on the diagonal blocks + an all-reduce to replicate).  The
+/// sparse overload reads 0 for an unstored diagonal slot.
 [[nodiscard]] DistVector<double> extract_diagonal(const DistMatrix<double>& A);
+[[nodiscard]] DistVector<double> extract_diagonal(
+    const DistSparseMatrix<double>& A);
 
 }  // namespace vmp

@@ -1,0 +1,30 @@
+/// \file spmv.hpp
+/// \brief Sparse matrix-vector product y = A·x on CSR tiles — the sparse
+///        twin of algorithms/matvec.hpp, with the same alignment contract:
+///        x must be Cols-aligned (partitioned like A's columns), y comes
+///        back Rows-aligned.
+///
+/// Two spellings, like the dense product:
+///   spmv        — composed from the primitives (distribute_like ∘
+///                 hadamard ∘ reduce), three tile walks
+///   spmv_fused  — one kern::dot_sparse pass + the row-subcube all-reduce,
+///                 2·nnz flops; bit-identical to dense matvec_fused on the
+///                 densified matrix (see core/kernels.hpp dot_sparse)
+#pragma once
+
+#include "embed/dist_sparse_matrix.hpp"
+#include "embed/dist_vector.hpp"
+
+namespace vmp {
+
+/// Primitive-composed SpMV: Π = distribute_like(A, x), P = A ∘ Π,
+/// y = reduce_rows(P, +).
+[[nodiscard]] DistVector<double> spmv(const DistSparseMatrix<double>& A,
+                                      const DistVector<double>& x);
+
+/// Fused SpMV: one pass of per-row sparse dot products, then the same
+/// all-reduce as the composed form.  Identical results, fewer tile walks.
+[[nodiscard]] DistVector<double> spmv_fused(const DistSparseMatrix<double>& A,
+                                            const DistVector<double>& x);
+
+}  // namespace vmp

@@ -1,0 +1,40 @@
+/// \file sparse_exchange.hpp
+/// \brief Typed exchange of CSR entries between embeddings.
+///
+/// Changing a sparse matrix's embedding (Consecutive ↔ Cyclic, or a grid
+/// reshape) moves each stored entry to the processor the target embedding
+/// assigns it.  An entry travels as a (global row, global col, value)
+/// triple through the combining dimension-order router — destinations are
+/// data-dependent, so the general router is the right machine, and
+/// combining keeps it at k rounds / one start-up per neighbor exactly like
+/// the dense realign paths built on route_within.  See docs/sparse.md.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/collectives.hpp"
+#include "hypercube/machine.hpp"
+#include "obs/trace.hpp"
+
+namespace vmp {
+
+/// One stored entry in global coordinates, in flight between embeddings.
+template <class T>
+struct CsrTriple {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  T val{};
+};
+
+/// Deliver every triple to its destination processor (set in the wrapping
+/// RouteItem).  Senders fill `items` per source tile; on return each tile
+/// holds exactly the triples destined for it, in router arrival order —
+/// receivers re-sort into CSR order, which is what reembed() does.
+template <class T>
+void exchange_triples(Cube& cube, DistBuffer<RouteItem<CsrTriple<T>>>& items,
+                      const SubcubeSet& sc) {
+  VMP_TRACE(cube, "sparse_exchange");
+  route_within(cube, items, sc);
+}
+
+}  // namespace vmp

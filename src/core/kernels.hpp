@@ -410,6 +410,56 @@ void dot_rows(std::span<U> blk, std::size_t lrn, std::size_t lcn,
   }
 }
 
+/// CSR per-row fold: out[r] = combine(... combine(init, vals[b]) ..., the
+/// row's stored values in ascending stored (= ascending column) order,
+/// rows r = 0..lrn-1 with vals segmented by rowptr.  The sparse analogue
+/// of fold_rows: skipping unstored slots is the only difference, so for
+/// Plus over finite data the result is bit-identical to the dense fold of
+/// the densified tile (adding ±0.0 to a finite accumulator preserves its
+/// bits).  Gather-bound with data-dependent trip counts — stays a scalar
+/// loop on every backend.
+template <typename U, typename Acc, typename F>
+void fold_sparse(std::span<const std::uint32_t> rowptr, std::span<U> vals,
+                 std::size_t lrn, Acc init, std::span<Acc> out, F&& combine) {
+  for (std::size_t r = 0; r < lrn; ++r) {
+    Acc acc = init;
+    for (std::uint32_t k = rowptr[r]; k < rowptr[r + 1]; ++k)
+      acc = combine(acc, vals[k]);
+    out[r] = acc;
+  }
+}
+
+/// CSR column fold: out[colind[k]] = combine(out[colind[k]], vals[k]) for
+/// k ascending over ALL stored entries.  Because colind is ascending within
+/// each row and rows are visited top to bottom, each output column sees its
+/// entries in ascending-row order — the same association as the dense
+/// column fold restricted to stored slots.  `out` must be pre-seeded with
+/// the fold identity.  Scalar on every backend (indexed scatter-accumulate).
+template <typename U, typename Acc, typename F>
+void fold_sparse_cols(std::span<const std::uint32_t> colind, std::span<U> vals,
+                      std::span<Acc> out, F&& combine) {
+  for (std::size_t k = 0; k < vals.size(); ++k)
+    out[colind[k]] = combine(out[colind[k]], vals[k]);
+}
+
+/// CSR row-block dot: out[r] = Σ_k vals[k] · x[colind[k]] over row r's
+/// stored entries in ascending stored order — the spmv_fused inner loop,
+/// sparse analogue of dot_rows.  For finite data the skipped terms of the
+/// dense chain are 0.0 · x[j] = ±0.0, which leave a finite accumulator's
+/// bits unchanged, so this is bit-identical to dot_rows on the densified
+/// tile.  Gather-bound; scalar on every backend.
+template <typename U, typename V, typename T>
+void dot_sparse(std::span<const std::uint32_t> rowptr,
+                std::span<const std::uint32_t> colind, std::span<U> vals,
+                std::size_t lrn, std::span<V> x, std::span<T> out) {
+  for (std::size_t r = 0; r < lrn; ++r) {
+    T s{};
+    for (std::uint32_t k = rowptr[r]; k < rowptr[r + 1]; ++k)
+      s += vals[k] * x[colind[k]];
+    out[r] = s;
+  }
+}
+
 /// dst[i] = src[i · stride] — e.g. extracting one matrix column from a
 /// row-major tile (stride = local row width).
 template <typename T>

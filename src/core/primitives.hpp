@@ -63,13 +63,17 @@ enum class Axis { Row, Col };
 
 namespace detail {
 
-template <class T>
-[[nodiscard]] std::string shape_of(const DistMatrix<T>& A) {
+// The contract helpers are templated over the matrix storage (dense
+// DistMatrix or sparse DistSparseMatrix) — they touch only the shared
+// embedding surface: nrows/ncols, grid, layout.
+
+template <class Mat>
+[[nodiscard]] std::string shape_of(const Mat& A) {
   return std::to_string(A.nrows()) + "x" + std::to_string(A.ncols());
 }
 
-template <class T>
-void require_cols_aligned(const char* primitive, const DistMatrix<T>& A,
+template <class Mat, class T>
+void require_cols_aligned(const char* primitive, const Mat& A,
                           const DistVector<T>& v) {
   VMP_REQUIRE_ALIGN(&A.grid() == &v.grid(), primitive,
                     "operands live on different grids");
@@ -82,8 +86,8 @@ void require_cols_aligned(const char* primitive, const DistMatrix<T>& A,
                         ", v has n=" + std::to_string(v.n()) + ")");
 }
 
-template <class T>
-void require_rows_aligned(const char* primitive, const DistMatrix<T>& A,
+template <class Mat, class T>
+void require_rows_aligned(const char* primitive, const Mat& A,
                           const DistVector<T>& v) {
   VMP_REQUIRE_ALIGN(&A.grid() == &v.grid(), primitive,
                     "operands live on different grids");
@@ -96,17 +100,15 @@ void require_rows_aligned(const char* primitive, const DistMatrix<T>& A,
                         ", v has n=" + std::to_string(v.n()) + ")");
 }
 
-template <class T>
-void require_row_index(const char* primitive, const DistMatrix<T>& A,
-                       std::size_t i) {
+template <class Mat>
+void require_row_index(const char* primitive, const Mat& A, std::size_t i) {
   VMP_REQUIRE_SHAPE(i < A.nrows(), primitive,
                     "row index " + std::to_string(i) +
                         " out of range (A is " + shape_of(A) + ")");
 }
 
-template <class T>
-void require_col_index(const char* primitive, const DistMatrix<T>& A,
-                       std::size_t j) {
+template <class Mat>
+void require_col_index(const char* primitive, const Mat& A, std::size_t j) {
   VMP_REQUIRE_SHAPE(j < A.ncols(), primitive,
                     "column index " + std::to_string(j) +
                         " out of range (A is " + shape_of(A) + ")");

@@ -1,12 +1,11 @@
 /// \file dist_matrix.hpp
 /// \brief A dense matrix embedded load-balanced on the processor grid.
 ///
-/// The global `nrows × ncols` matrix is split by one AxisMap per axis
-/// (Block or Cyclic); processor (R, C) stores the intersection of row
-/// partition R and column partition C as a row-major local block.  With
-/// either partition kind every processor holds within one row/column of
-/// `⌈nrows/Pr⌉ × ⌈ncols/Pc⌉` elements — the load-balanced embedding the
-/// paper assumes.
+/// The partition geometry (which processor owns which (i, j), local block
+/// extents, flop-charging bounds) lives in MatrixEmbedding and is shared
+/// with the sparse storage; this class adds the dense payload: processor
+/// (R, C) stores its owned intersection as a row-major local block in one
+/// pooled slab arena.
 #pragma once
 
 #include <span>
@@ -14,23 +13,10 @@
 
 #include "comm/dist_buffer.hpp"
 #include "core/kernels.hpp"
-#include "embed/axis_map.hpp"
-#include "embed/grid.hpp"
+#include "embed/matrix_embedding.hpp"
 #include "hypercube/check.hpp"
 
 namespace vmp {
-
-/// Partition kinds for the two matrix axes.
-struct MatrixLayout {
-  Part rows = Part::Block;
-  Part cols = Part::Block;
-
-  [[nodiscard]] static MatrixLayout blocked() { return {}; }
-  [[nodiscard]] static MatrixLayout cyclic() {
-    return {Part::Cyclic, Part::Cyclic};
-  }
-  friend bool operator==(const MatrixLayout&, const MatrixLayout&) = default;
-};
 
 template <class T>
 class DistMatrix {
@@ -38,39 +24,30 @@ class DistMatrix {
   /// An nrows × ncols matrix of value-initialized elements.
   DistMatrix(Grid& grid, std::size_t nrows, std::size_t ncols,
              MatrixLayout layout = {})
-      : grid_(&grid),
-        layout_(layout),
-        rowmap_(nrows, grid.prows(), layout.rows),
-        colmap_(ncols, grid.pcols(), layout.cols),
-        data_(grid.cube()) {
+      : embed_(grid, nrows, ncols, layout), data_(grid.cube()) {
     data_.reserve_each(max_block());
     grid.cube().each_proc([&](proc_t q) {
       data_.assign(q, lrows(q) * lcols(q), T{});
     });
   }
 
-  [[nodiscard]] Grid& grid() const { return *grid_; }
-  [[nodiscard]] std::size_t nrows() const { return rowmap_.n(); }
-  [[nodiscard]] std::size_t ncols() const { return colmap_.n(); }
-  [[nodiscard]] MatrixLayout layout() const { return layout_; }
-  [[nodiscard]] const AxisMap& rowmap() const { return rowmap_; }
-  [[nodiscard]] const AxisMap& colmap() const { return colmap_; }
+  [[nodiscard]] Grid& grid() const { return embed_.grid(); }
+  [[nodiscard]] std::size_t nrows() const { return embed_.nrows(); }
+  [[nodiscard]] std::size_t ncols() const { return embed_.ncols(); }
+  [[nodiscard]] MatrixLayout layout() const { return embed_.layout(); }
+  [[nodiscard]] const AxisMap& rowmap() const { return embed_.rowmap(); }
+  [[nodiscard]] const AxisMap& colmap() const { return embed_.colmap(); }
+
+  /// The storage-independent partition geometry.
+  [[nodiscard]] const MatrixEmbedding& embedding() const { return embed_; }
 
   /// Local block extents of processor q.
-  [[nodiscard]] std::size_t lrows(proc_t q) const {
-    return rowmap_.size(grid_->prow(q));
-  }
-  [[nodiscard]] std::size_t lcols(proc_t q) const {
-    return colmap_.size(grid_->pcol(q));
-  }
+  [[nodiscard]] std::size_t lrows(proc_t q) const { return embed_.lrows(q); }
+  [[nodiscard]] std::size_t lcols(proc_t q) const { return embed_.lcols(q); }
 
   /// Largest local block over all processors (for flop charging):
   /// ⌈nrows/Pr⌉ · ⌈ncols/Pc⌉ under both partition kinds.
-  [[nodiscard]] std::size_t max_block() const {
-    const std::size_t r = (nrows() + grid_->prows() - 1) / grid_->prows();
-    const std::size_t c = (ncols() + grid_->pcols() - 1) / grid_->pcols();
-    return r * c;
-  }
+  [[nodiscard]] std::size_t max_block() const { return embed_.max_block(); }
 
   /// Row-major local block of processor q; element (lr, lc) is at
   /// lr * lcols(q) + lc.
@@ -93,14 +70,13 @@ class DistMatrix {
 
   /// Owner processor of global element (i, j).
   [[nodiscard]] proc_t owner(std::size_t i, std::size_t j) const {
-    return grid_->at(rowmap_.owner(i), colmap_.owner(j));
+    return embed_.owner(i, j);
   }
 
   /// True if `other` lives on the same grid with the same shape and layout
   /// (so elementwise operations are purely local).
   [[nodiscard]] bool aligned_with(const DistMatrix& other) const {
-    return grid_ == other.grid_ && rowmap_ == other.rowmap_ &&
-           colmap_ == other.colmap_;
+    return embed_.same_as(other.embed_);
   }
 
   // -- host I/O (untimed) ---------------------------------------------------
@@ -110,16 +86,16 @@ class DistMatrix {
   /// copy of a host-row slice — the 2-D analogue of DistVector::load.
   void load(std::span<const T> host) {
     VMP_REQUIRE(host.size() == nrows() * ncols(), "host array size mismatch");
-    grid_->cube().each_proc([&](proc_t q) {
-      const std::uint32_t R = grid_->prow(q);
-      const std::uint32_t C = grid_->pcol(q);
+    grid().cube().each_proc([&](proc_t q) {
+      const std::uint32_t R = grid().prow(q);
+      const std::uint32_t C = grid().pcol(q);
       const std::size_t lc_n = lcols(q);
       if (lc_n == 0) return;
-      const std::size_t c0 = colmap_.global_begin(C);
-      const std::size_t cstep = colmap_.global_step();
+      const std::size_t c0 = colmap().global_begin(C);
+      const std::size_t cstep = colmap().global_step();
       const std::span<T> b = data_.tile(q);
       for (std::size_t lr = 0; lr < lrows(q); ++lr) {
-        const std::size_t gi = rowmap_.global(R, lr);
+        const std::size_t gi = rowmap().global(R, lr);
         const T* hrow = host.data() + gi * ncols() + c0;
         const std::span<T> brow = b.subspan(lr * lc_n, lc_n);
         if (cstep == 1) {
@@ -134,16 +110,16 @@ class DistMatrix {
   /// Read back to a row-major host array (inverse copies of `load`).
   [[nodiscard]] std::vector<T> to_host() const {
     std::vector<T> out(nrows() * ncols());
-    grid_->cube().each_proc([&](proc_t q) {
-      const std::uint32_t R = grid_->prow(q);
-      const std::uint32_t C = grid_->pcol(q);
+    grid().cube().each_proc([&](proc_t q) {
+      const std::uint32_t R = grid().prow(q);
+      const std::uint32_t C = grid().pcol(q);
       const std::size_t lc_n = lcols(q);
       if (lc_n == 0) return;
-      const std::size_t c0 = colmap_.global_begin(C);
-      const std::size_t cstep = colmap_.global_step();
+      const std::size_t c0 = colmap().global_begin(C);
+      const std::size_t cstep = colmap().global_step();
       const std::span<const T> b = data_.tile(q);
       for (std::size_t lr = 0; lr < lrows(q); ++lr) {
-        const std::size_t gi = rowmap_.global(R, lr);
+        const std::size_t gi = rowmap().global(R, lr);
         T* hrow = out.data() + gi * ncols() + c0;
         const std::span<const T> brow = b.subspan(lr * lc_n, lc_n);
         if (cstep == 1) {
@@ -159,18 +135,15 @@ class DistMatrix {
   /// Host-side single-element access (untimed; tests and setup only).
   [[nodiscard]] T at(std::size_t i, std::size_t j) const {
     const proc_t q = owner(i, j);
-    return local_at(q, rowmap_.local(i), colmap_.local(j));
+    return local_at(q, rowmap().local(i), colmap().local(j));
   }
   void set(std::size_t i, std::size_t j, const T& value) {
     const proc_t q = owner(i, j);
-    local_at(q, rowmap_.local(i), colmap_.local(j)) = value;
+    local_at(q, rowmap().local(i), colmap().local(j)) = value;
   }
 
  private:
-  Grid* grid_;
-  MatrixLayout layout_;
-  AxisMap rowmap_;
-  AxisMap colmap_;
+  MatrixEmbedding embed_;
   DistBuffer<T> data_;
 };
 

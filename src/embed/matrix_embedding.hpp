@@ -1,0 +1,95 @@
+/// \file matrix_embedding.hpp
+/// \brief The storage-independent half of a distributed matrix: its
+///        partition geometry on the processor grid.
+///
+/// A global `nrows × ncols` index space is split by one AxisMap per axis
+/// (Block or Cyclic); processor (R, C) owns the intersection of row
+/// partition R and column partition C.  With either partition kind every
+/// processor owns within one row/column of `⌈nrows/Pr⌉ × ⌈ncols/Pc⌉`
+/// index pairs — the load-balanced embedding the paper assumes.
+///
+/// MatrixEmbedding carries no elements.  Both matrix storages consume it:
+/// DistMatrix<T> fills every owned slot with a dense row-major block,
+/// DistSparseMatrix<T> stores only its nonzeros as a CSR tile over the
+/// same local (lr, lc) coordinates.  The primitives' communication
+/// structure (which subcube family reduces, who owns a line, where a
+/// broadcast roots) depends only on this class, which is what makes them
+/// storage-polymorphic — see docs/sparse.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "embed/axis_map.hpp"
+#include "embed/grid.hpp"
+#include "hypercube/check.hpp"
+
+namespace vmp {
+
+/// Partition kinds for the two matrix axes.
+struct MatrixLayout {
+  Part rows = Part::Block;
+  Part cols = Part::Block;
+
+  [[nodiscard]] static MatrixLayout blocked() { return {}; }
+  [[nodiscard]] static MatrixLayout cyclic() {
+    return {Part::Cyclic, Part::Cyclic};
+  }
+  friend bool operator==(const MatrixLayout&, const MatrixLayout&) = default;
+};
+
+/// Where every (i, j) of an nrows × ncols index space lives on the grid.
+class MatrixEmbedding {
+ public:
+  MatrixEmbedding() = default;
+  MatrixEmbedding(Grid& grid, std::size_t nrows, std::size_t ncols,
+                  MatrixLayout layout = {})
+      : grid_(&grid),
+        layout_(layout),
+        rowmap_(nrows, grid.prows(), layout.rows),
+        colmap_(ncols, grid.pcols(), layout.cols) {}
+
+  [[nodiscard]] Grid& grid() const { return *grid_; }
+  [[nodiscard]] std::size_t nrows() const { return rowmap_.n(); }
+  [[nodiscard]] std::size_t ncols() const { return colmap_.n(); }
+  [[nodiscard]] MatrixLayout layout() const { return layout_; }
+  [[nodiscard]] const AxisMap& rowmap() const { return rowmap_; }
+  [[nodiscard]] const AxisMap& colmap() const { return colmap_; }
+
+  /// Local block extents of processor q.
+  [[nodiscard]] std::size_t lrows(proc_t q) const {
+    return rowmap_.size(grid_->prow(q));
+  }
+  [[nodiscard]] std::size_t lcols(proc_t q) const {
+    return colmap_.size(grid_->pcol(q));
+  }
+
+  /// Largest local block over all processors (for flop charging):
+  /// ⌈nrows/Pr⌉ · ⌈ncols/Pc⌉ under both partition kinds.
+  [[nodiscard]] std::size_t max_block() const {
+    const std::size_t r = (nrows() + grid_->prows() - 1) / grid_->prows();
+    const std::size_t c = (ncols() + grid_->pcols() - 1) / grid_->pcols();
+    return r * c;
+  }
+
+  /// Owner processor of global index pair (i, j).
+  [[nodiscard]] proc_t owner(std::size_t i, std::size_t j) const {
+    return grid_->at(rowmap_.owner(i), colmap_.owner(j));
+  }
+
+  /// True if `other` is the same geometry on the same grid (so any
+  /// slot-for-slot operation between matrices over the two embeddings is
+  /// purely local).
+  [[nodiscard]] bool same_as(const MatrixEmbedding& other) const {
+    return grid_ == other.grid_ && rowmap_ == other.rowmap_ &&
+           colmap_ == other.colmap_;
+  }
+
+ private:
+  Grid* grid_ = nullptr;
+  MatrixLayout layout_;
+  AxisMap rowmap_;
+  AxisMap colmap_;
+};
+
+}  // namespace vmp

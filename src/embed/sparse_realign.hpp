@@ -1,0 +1,96 @@
+/// \file sparse_realign.hpp
+/// \brief Re-embed a sparse matrix under a different layout — the matrix
+///        counterpart of DistVector realign().
+///
+/// Every stored entry is emitted as a global-coordinate CsrTriple addressed
+/// to the processor the target embedding assigns it, delivered through the
+/// combining router, and re-assembled into CSR tiles at the destination.
+/// Cost: one tile-walk to emit (charged like a sparse fold), the routed
+/// exchange (k rounds of combined messages), and one sort-and-build at the
+/// receiver.  Deterministic: the router's arrival order is a fixed function
+/// of the input, and the receiver sorts by (row, col) before building, so
+/// the resulting tiles are independent of arrival order anyway.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/sparse_exchange.hpp"
+#include "embed/dist_sparse_matrix.hpp"
+
+namespace vmp {
+
+/// The same matrix re-embedded under `target`.
+template <class T>
+[[nodiscard]] DistSparseMatrix<T> reembed(const DistSparseMatrix<T>& A,
+                                          MatrixLayout target) {
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  DistSparseMatrix<T> B(grid, A.nrows(), A.ncols(), target);
+  VMP_TRACE(cube, "reembed");
+  const auto batch = cube.session();
+
+  // Emit: every stored entry becomes a triple addressed by the target
+  // embedding.  Capacity is pre-grown on the host thread so the worker
+  // push_backs stay within the slab.
+  DistBuffer<RouteItem<CsrTriple<T>>> items(cube);
+  items.reserve_each(A.max_tile_nnz());
+  cube.compute(A.max_tile_nnz(), A.nnz(), [&](proc_t q) {
+    const std::uint32_t R = grid.prow(q);
+    const std::uint32_t C = grid.pcol(q);
+    const auto rp = A.tile_rowptr(q);
+    const auto ci = A.tile_colind(q);
+    const auto va = A.tile_vals(q);
+    for (std::size_t lr = 0; lr < A.lrows(q); ++lr) {
+      const auto gi =
+          static_cast<std::uint32_t>(A.rowmap().global(R, lr));
+      for (std::uint32_t k = rp[lr]; k < rp[lr + 1]; ++k) {
+        const auto gj =
+            static_cast<std::uint32_t>(A.colmap().global(C, ci[k]));
+        items.push_back(
+            q, RouteItem<CsrTriple<T>>{B.owner(gi, gj), 0,
+                                       CsrTriple<T>{gi, gj, va[k]}});
+      }
+    }
+  });
+
+  exchange_triples(cube, items, grid.whole());
+
+  // Receive: grow the target slabs to the largest delivery (host thread),
+  // then sort each tile's triples into CSR order and build in parallel.
+  std::size_t max_recv = 0;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    max_recv = std::max(max_recv, items.len(q));
+  B.reserve_tiles(max_recv);
+  cube.compute(max_recv, A.nnz(), [&](proc_t q) {
+    const std::span<RouteItem<CsrTriple<T>>> got = items.tile(q);
+    std::sort(got.begin(), got.end(), [](const auto& a, const auto& b) {
+      return a.value.row != b.value.row ? a.value.row < b.value.row
+                                        : a.value.col < b.value.col;
+    });
+    const std::size_t lrn = B.lrows(q);
+    std::vector<std::uint32_t> rowptr(lrn + 1, 0);
+    std::vector<std::uint32_t> colind(got.size());
+    std::vector<T> vals(got.size());
+    std::size_t at = 0;
+    for (std::size_t lr = 0; lr < lrn; ++lr) {
+      rowptr[lr] = static_cast<std::uint32_t>(at);
+      const std::uint32_t gi = static_cast<std::uint32_t>(
+          B.rowmap().global(grid.prow(q), lr));
+      while (at < got.size() && got[at].value.row == gi) {
+        colind[at] =
+            static_cast<std::uint32_t>(B.colmap().local(got[at].value.col));
+        vals[at] = got[at].value.val;
+        ++at;
+      }
+    }
+    rowptr[lrn] = static_cast<std::uint32_t>(at);
+    VMP_ASSERT(at == got.size(), "reembed left entries unplaced");
+    B.assign_tile(q, rowptr, colind, vals);
+  });
+  B.finalize();
+  return B;
+}
+
+}  // namespace vmp

@@ -3,8 +3,10 @@
 ///        benchmark harness.  All are deterministic in the seed.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "algorithms/lp.hpp"
@@ -47,6 +49,131 @@ namespace vmp {
     }
     A(i, i) = offsum + rng.uniform(1.0, 2.0);
     if (rng.uniform() < 0.5) A(i, i) = -A(i, i);  // exercise pivoting signs
+  }
+  return A;
+}
+
+/// A host-side CSR matrix over global indices — the assembly format
+/// DistSparseMatrix::load_csr consumes.  colind is strictly ascending
+/// within each row.
+struct HostCsr {
+  std::size_t nrows = 0;
+  std::size_t ncols = 0;
+  std::vector<std::uint32_t> rowptr;  ///< nrows+1 offsets
+  std::vector<std::uint32_t> colind;  ///< ascending within each row
+  std::vector<double> vals;
+
+  [[nodiscard]] std::size_t nnz() const { return vals.size(); }
+
+  /// The same matrix densified row-major (reference for twin tests).
+  [[nodiscard]] std::vector<double> dense() const {
+    std::vector<double> a(nrows * ncols, 0.0);
+    for (std::size_t i = 0; i < nrows; ++i)
+      for (std::uint32_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+        a[i * ncols + colind[k]] = vals[k];
+    return a;
+  }
+};
+
+/// Seeded power-law (degree-skewed) sparse matrix: row i draws
+/// ~ avg_deg · (nrows/(i+1))^skew / H entries, clamped to [1, ncols] —
+/// heavy rows FIRST, so the Consecutive (Block) row embedding piles the
+/// mass onto grid row 0 while Cyclic deals it round-robin.  That ordering
+/// is the load-imbalance lever bench_spmv ablates.  Deterministic in
+/// `seed`; entries in [-1, 1).
+[[nodiscard]] inline HostCsr power_law_csr(std::size_t nrows,
+                                           std::size_t ncols, double avg_deg,
+                                           double skew, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  // Zipf row weights w_i = (i+1)^-skew, scaled so the mean degree is
+  // avg_deg.
+  std::vector<double> w(nrows);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < nrows; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -skew);
+    wsum += w[i];
+  }
+  const double scale =
+      avg_deg * static_cast<double>(nrows) / (wsum > 0.0 ? wsum : 1.0);
+  HostCsr A;
+  A.nrows = nrows;
+  A.ncols = ncols;
+  A.rowptr.assign(nrows + 1, 0);
+  std::vector<std::uint32_t> cols;
+  for (std::size_t i = 0; i < nrows; ++i) {
+    auto deg = static_cast<std::size_t>(w[i] * scale + 0.5);
+    deg = std::max<std::size_t>(1, std::min(deg, ncols));
+    // Distinct columns via rejection into a sorted scratch (deg ≪ ncols
+    // in the power-law regime; degenerate deg = ncols still terminates).
+    cols.clear();
+    while (cols.size() < deg) {
+      const auto j = static_cast<std::uint32_t>(rng.below(ncols));
+      const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+      if (it != cols.end() && *it == j) continue;
+      cols.insert(it, j);
+    }
+    for (const std::uint32_t j : cols) {
+      A.colind.push_back(j);
+      A.vals.push_back(rng.uniform(-1.0, 1.0));
+    }
+    A.rowptr[i + 1] = static_cast<std::uint32_t>(A.colind.size());
+  }
+  return A;
+}
+
+/// Seeded sparse symmetric positive definite matrix: ~avg_deg random
+/// off-diagonal entries per row, mirrored, with a strictly dominant
+/// positive diagonal — the sparse counterpart of spd_matrix for the CG
+/// twin tests.  Every diagonal slot is stored.
+[[nodiscard]] inline HostCsr sparse_spd_csr(std::size_t n, double avg_deg,
+                                            std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  // Draw the strict upper triangle, mirror it, then dominate the diagonal.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(n);
+  const auto pairs = static_cast<std::size_t>(
+      static_cast<double>(n) * avg_deg / 2.0 + 0.5);
+  for (std::size_t t = 0; t < pairs && n > 1; ++t) {
+    const auto i = static_cast<std::uint32_t>(rng.below(n - 1));
+    const auto j =
+        static_cast<std::uint32_t>(i + 1 + rng.below(n - 1 - i));
+    const double v = rng.uniform(-1.0, 1.0);
+    rows[i].emplace_back(j, v);
+    rows[j].emplace_back(i, v);
+  }
+  HostCsr A;
+  A.nrows = A.ncols = n;
+  A.rowptr.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& r = rows[i];
+    std::sort(r.begin(), r.end());
+    // Collapse duplicate draws by summing (keeps symmetry) and track the
+    // off-diagonal mass for the dominant diagonal.
+    double offsum = 0.0;
+    std::vector<std::pair<std::uint32_t, double>> merged;
+    for (const auto& [j, v] : r) {
+      if (!merged.empty() && merged.back().first == j) {
+        merged.back().second += v;
+      } else {
+        merged.emplace_back(j, v);
+      }
+    }
+    for (const auto& [j, v] : merged) offsum += std::abs(v);
+    const double diag = offsum + rng.uniform(1.0, 2.0);
+    bool placed = false;
+    for (const auto& [j, v] : merged) {
+      if (!placed && j > i) {
+        A.colind.push_back(static_cast<std::uint32_t>(i));
+        A.vals.push_back(diag);
+        placed = true;
+      }
+      A.colind.push_back(j);
+      A.vals.push_back(v);
+    }
+    if (!placed) {
+      A.colind.push_back(static_cast<std::uint32_t>(i));
+      A.vals.push_back(diag);
+    }
+    A.rowptr[i + 1] = static_cast<std::uint32_t>(A.colind.size());
   }
   return A;
 }

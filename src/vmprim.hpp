@@ -28,17 +28,22 @@
 #include "comm/ops.hpp"                // IWYU pragma: export
 #include "comm/router.hpp"             // IWYU pragma: export
 #include "comm/shift.hpp"              // IWYU pragma: export
+#include "comm/sparse_exchange.hpp"    // IWYU pragma: export
 #include "comm/subcube.hpp"            // IWYU pragma: export
 
 #include "embed/axis_map.hpp"          // IWYU pragma: export
 #include "embed/dist_matrix.hpp"       // IWYU pragma: export
+#include "embed/dist_sparse_matrix.hpp"  // IWYU pragma: export
 #include "embed/dist_vector.hpp"       // IWYU pragma: export
 #include "embed/grid.hpp"              // IWYU pragma: export
+#include "embed/matrix_embedding.hpp"  // IWYU pragma: export
 #include "embed/realign.hpp"           // IWYU pragma: export
+#include "embed/sparse_realign.hpp"    // IWYU pragma: export
 
 #include "core/elementwise.hpp"        // IWYU pragma: export
 #include "core/naive.hpp"              // IWYU pragma: export
 #include "core/primitives.hpp"         // IWYU pragma: export
+#include "core/sparse_primitives.hpp"  // IWYU pragma: export
 #include "core/permute.hpp"            // IWYU pragma: export
 #include "core/scan_ops.hpp"           // IWYU pragma: export
 #include "core/swap.hpp"               // IWYU pragma: export
@@ -55,6 +60,7 @@
 #include "algorithms/matvec.hpp"       // IWYU pragma: export
 #include "algorithms/simplex.hpp"      // IWYU pragma: export
 #include "algorithms/sort.hpp"         // IWYU pragma: export
+#include "algorithms/spmv.hpp"         // IWYU pragma: export
 #include "algorithms/tridiag.hpp"      // IWYU pragma: export
 #include "algorithms/serial/tridiag.hpp"  // IWYU pragma: export
 #include "algorithms/serial/host_matrix.hpp"  // IWYU pragma: export

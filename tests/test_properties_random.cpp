@@ -16,9 +16,12 @@
 #include "algorithms/gauss.hpp"
 #include "algorithms/matvec.hpp"
 #include "algorithms/simplex.hpp"
+#include "algorithms/spmv.hpp"
 #include "comm/dist_buffer.hpp"
 #include "core/kernels.hpp"
 #include "core/primitives.hpp"
+#include "core/sparse_primitives.hpp"
+#include "embed/sparse_realign.hpp"
 #include "core/vector_ops.hpp"
 #include "fault/fault.hpp"
 #include "util/rng.hpp"
@@ -550,6 +553,198 @@ TEST_P(RandomSweep, FusedSimplexPivotBitIdenticalToComposed) {
   EXPECT_EQ(s0.objective, s1.objective) << "objective diverges bitwise";
   EXPECT_EQ(s0.x, s1.x) << "solution vector diverges bitwise";
   EXPECT_LE(c1.clock().now_us(), c0.clock().now_us() + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse storage (DistSparseMatrix) against the densified dense reference.
+// ---------------------------------------------------------------------------
+
+/// One power-law sparse matrix per trial, loaded into both storages on the
+/// same grid split.
+[[nodiscard]] HostCsr draw_csr(const TrialConfig& c) {
+  return power_law_csr(c.nrows, c.ncols, 3.0, 1.0, c.data_seed ^ 0xc513ull);
+}
+
+// Sparse primitives vs the dense primitives on the densified matrix.
+// Plus-folds and SpMV must agree BITWISE: skipping a stored-zero slot
+// only drops ±0.0 terms, which leave a finite accumulator's bits alone
+// (see core/kernels.hpp).  Max/Min folds see only stored entries, so they
+// are checked against a host fold over the stored pattern instead.
+TEST_P(RandomSweep, SparsePrimitivesMatchDensifiedBitwise) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+
+  Cube cube(c.d, costs);
+  Grid grid(cube, c.gr, c.gc);
+  const HostCsr H = draw_csr(c);
+  DistSparseMatrix<double> S(grid, c.nrows, c.ncols, layout);
+  S.load_csr(H.rowptr, H.colind, H.vals);
+
+  // Round trip and per-element reads.
+  EXPECT_EQ(S.to_host(), H.dense()) << "load_csr/to_host round trip";
+  EXPECT_EQ(S.nnz(), H.nnz());
+  const DistMatrix<double> A = S.densify();
+  EXPECT_EQ(A.to_host(), H.dense()) << "densify";
+  EXPECT_EQ(S.at(0, H.colind[0]), H.vals[0]);
+
+  // reduce(Plus): bitwise equal to the dense fold.
+  EXPECT_EQ(reduce(S, Axis::Row, Plus<double>{}).to_host(),
+            reduce(A, Axis::Row, Plus<double>{}).to_host())
+      << "reduce_rows(Plus)";
+  EXPECT_EQ(reduce(S, Axis::Col, Plus<double>{}).to_host(),
+            reduce(A, Axis::Col, Plus<double>{}).to_host())
+      << "reduce_cols(Plus)";
+
+  // reduce(Max): folds STORED entries only — host reference over the
+  // pattern, seeded with the op identity.
+  {
+    std::vector<double> expect(c.nrows,
+                               std::numeric_limits<double>::lowest());
+    for (std::size_t i = 0; i < c.nrows; ++i)
+      for (std::uint32_t k = H.rowptr[i]; k < H.rowptr[i + 1]; ++k)
+        expect[i] = std::max(expect[i], H.vals[k]);
+    EXPECT_EQ(reduce(S, Axis::Row, Max<double>{}).to_host(), expect)
+        << "reduce_rows(Max) over the stored pattern";
+  }
+
+  // extract: dense lines with zeros at unstored slots.
+  const std::size_t pick_i = c.data_seed % c.nrows;
+  const std::size_t pick_j = (c.data_seed >> 8) % c.ncols;
+  EXPECT_EQ(extract(S, Axis::Row, pick_i).to_host(),
+            extract(A, Axis::Row, pick_i).to_host())
+      << "extract_row";
+  EXPECT_EQ(extract(S, Axis::Col, pick_j).to_host(),
+            extract(A, Axis::Col, pick_j).to_host())
+      << "extract_col";
+
+  // SpMV: fused vs dense fused bitwise, and composed vs fused bitwise.
+  const std::vector<double> xh =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  DistVector<double> x(grid, c.ncols, Align::Cols, layout.cols);
+  x.load(xh);
+  EXPECT_EQ(spmv_fused(S, x).to_host(), matvec_fused(A, x).to_host())
+      << "spmv_fused vs densified matvec_fused";
+  EXPECT_EQ(spmv(S, x).to_host(), spmv_fused(S, x).to_host())
+      << "spmv composed vs fused";
+
+  // insert_row is pattern-preserving: stored slots take v, unstored slots
+  // keep their implicit zero.
+  {
+    DistSparseMatrix<double> S2 = S;
+    insert_row(S2, pick_i, x);
+    std::vector<double> expect = H.dense();
+    for (std::size_t j = 0; j < c.ncols; ++j)
+      expect[pick_i * c.ncols + j] = 0.0;
+    for (std::uint32_t k = H.rowptr[pick_i]; k < H.rowptr[pick_i + 1]; ++k)
+      expect[pick_i * c.ncols + H.colind[k]] = xh[H.colind[k]];
+    EXPECT_EQ(S2.to_host(), expect) << "insert_row pattern-preserving";
+  }
+  {
+    DistSparseMatrix<double> S2 = S;
+    const std::vector<double> vh =
+        random_vector(c.nrows, static_cast<unsigned>(c.data_seed >> 16));
+    DistVector<double> v(grid, c.nrows, Align::Rows, layout.rows);
+    v.load(vh);
+    insert_col(S2, pick_j, v);
+    std::vector<double> expect = H.dense();
+    for (std::size_t i = 0; i < c.nrows; ++i)
+      for (std::uint32_t k = H.rowptr[i]; k < H.rowptr[i + 1]; ++k)
+        if (H.colind[k] == pick_j) expect[i * c.ncols + pick_j] = vh[i];
+    EXPECT_EQ(S2.to_host(), expect) << "insert_col pattern-preserving";
+  }
+}
+
+// Twin determinism under a within-budget fault plan: the same sparse
+// workload on two machines driven by the same plan must agree on results,
+// simulated clock, critical paths, event traces and every masked SimStats
+// counter — the sparse path inherits the engine's bit-identical replay
+// guarantees.
+TEST_P(RandomSweep, SparseWorkloadBitIdenticalBetweenFaultTwins) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const MatrixLayout layout =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+
+  Cube c0(c.d, costs), c1(c.d, costs);
+  c0.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  c1.enable_faults(FaultPlan::transient(c.data_seed, 0.02, 0.01));
+  Grid g0(c0, c.gr, c.gc), g1(c1, c.gr, c.gc);
+  const HostCsr H = draw_csr(c);
+  DistSparseMatrix<double> S0(g0, c.nrows, c.ncols, layout);
+  DistSparseMatrix<double> S1(g1, c.nrows, c.ncols, layout);
+  S0.load_csr(H.rowptr, H.colind, H.vals);
+  S1.load_csr(H.rowptr, H.colind, H.vals);
+  const std::vector<double> xh =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  DistVector<double> x0(g0, c.ncols, Align::Cols, layout.cols);
+  DistVector<double> x1(g1, c.ncols, Align::Cols, layout.cols);
+  x0.load(xh);
+  x1.load(xh);
+
+  c0.clock().reset();
+  c1.clock().reset();
+  EXPECT_EQ(spmv_fused(S0, x0).to_host(), spmv_fused(S1, x1).to_host());
+  EXPECT_EQ(reduce(S0, Axis::Row, Plus<double>{}).to_host(),
+            reduce(S1, Axis::Row, Plus<double>{}).to_host());
+  EXPECT_EQ(extract(S0, Axis::Col, c.data_seed % c.ncols).to_host(),
+            extract(S1, Axis::Col, c.data_seed % c.ncols).to_host());
+  EXPECT_EQ(reembed(S0, MatrixLayout::cyclic()).to_host(),
+            reembed(S1, MatrixLayout::cyclic()).to_host());
+
+  EXPECT_EQ(c0.clock().now_us(), c1.clock().now_us());
+  EXPECT_EQ(c0.clock().tracer().paths(), c1.clock().tracer().paths());
+  EXPECT_TRUE(c0.clock().tracer().events() == c1.clock().tracer().events())
+      << "sparse twin event traces diverge";
+  SimStats s0 = c0.clock().stats(), s1 = c1.clock().stats();
+  s0.alloc_bytes = s1.alloc_bytes = 0;
+  s0.pool_hits = s1.pool_hits = 0;
+  s0.pool_misses = s1.pool_misses = 0;
+  s0.slab_allocs = s1.slab_allocs = 0;
+  s0.slab_bytes = s1.slab_bytes = 0;
+  EXPECT_TRUE(s0 == s1) << "sparse twin counters diverge";
+}
+
+// reembed moves every entry verbatim to the target layout's owner, and
+// the re-embedded matrix still agrees with its own densified reference —
+// the sparse analogue of the realign/extract dense properties.
+TEST_P(RandomSweep, ReembedPreservesEntriesAndSpmv) {
+  const int trial = GetParam();
+  const TrialConfig c = draw(trial);
+  SCOPED_TRACE(c.reproducer(trial));
+  const CostParams costs = c.ipsc ? CostParams::ipsc() : CostParams::cm2();
+  const MatrixLayout from =
+      c.cyclic ? MatrixLayout::cyclic() : MatrixLayout::blocked();
+  const MatrixLayout to =
+      c.cyclic ? MatrixLayout::blocked() : MatrixLayout::cyclic();
+
+  Cube cube(c.d, costs);
+  Grid grid(cube, c.gr, c.gc);
+  const HostCsr H = draw_csr(c);
+  DistSparseMatrix<double> S(grid, c.nrows, c.ncols, from);
+  S.load_csr(H.rowptr, H.colind, H.vals);
+
+  const DistSparseMatrix<double> R = reembed(S, to);
+  EXPECT_EQ(R.layout(), to);
+  EXPECT_EQ(R.nnz(), S.nnz());
+  EXPECT_EQ(R.to_host(), H.dense()) << "reembed round trip";
+  // A same-layout reembed is an identity on the stored data too.
+  EXPECT_EQ(reembed(S, from).to_host(), H.dense()) << "same-layout reembed";
+
+  // The re-embedded matrix behaves: fused SpMV in the target layout is
+  // bitwise the densified dense product in that layout.
+  const std::vector<double> xh =
+      random_vector(c.ncols, static_cast<unsigned>(c.data_seed >> 8));
+  DistVector<double> x(grid, c.ncols, Align::Cols, to.cols);
+  x.load(xh);
+  EXPECT_EQ(spmv_fused(R, x).to_host(),
+            matvec_fused(R.densify(), x).to_host())
+      << "spmv_fused after reembed";
 }
 
 }  // namespace

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "../bench/harness.hpp"
+#include "algorithms/spmv.hpp"
 #include "core/primitives.hpp"
+#include "embed/dist_sparse_matrix.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
 #include "util/workloads.hpp"
@@ -232,6 +234,20 @@ void expect_metric_entry_keys(const Json& e, bool multi_lane) {
   }
 }
 
+[[nodiscard]] std::string slurp_and_remove(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string text;
+  if (f != nullptr) {
+    char buf[4096];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+      text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+  }
+  return text;
+}
+
 /// A small workload whose profile exercises comm, compute, regions and
 /// (when `faults`) the recovery counters.
 [[nodiscard]] std::string profile_json(bool faults) {
@@ -355,6 +371,70 @@ TEST(BenchSchema, DocumentAndCaseKeysAreExact) {
   EXPECT_EQ(prof.at("totals").keys(), kTotalsKeys);
 }
 
+TEST(BenchSchema, SparseBenchCaseKeysMatchBenchSpmv) {
+  // Pins the case shape bench_spmv emits: the nnz/skew_pct args and the
+  // per-embedding profile legs.  The perf-gate and plotting tooling key on
+  // these names, so a rename in bench_spmv must fail here first.
+  const std::string path = "schema_test_spmv.json";
+  {
+    const char* argv[] = {"test_report_schema", "--dims=2", "--sizes=8",
+                          "--json=schema_test_spmv.json"};
+    bench::Harness h("schema_test", 4, const_cast<char**>(argv));
+    for (int d : h.dims({2}, {2}))
+      for (std::size_t n : h.sizes({8}, {8})) {
+        const HostCsr H = power_law_csr(n, n, 3.0, 1.2, 91);
+        h.run("spmv_embedding_sweep",
+              {{"dim", d},
+               {"n", static_cast<std::int64_t>(n)},
+               {"nnz", static_cast<std::int64_t>(H.nnz())},
+               {"skew_pct", static_cast<std::int64_t>(120)}},
+              [&](bench::Case& c) {
+                double t_con = 0, t_cyc = 0;
+                for (int which = 0; which < 2; ++which) {
+                  const MatrixLayout layout = which == 0
+                                                  ? MatrixLayout::blocked()
+                                                  : MatrixLayout::cyclic();
+                  Cube cube(d, CostParams::cm2());
+                  Grid grid = Grid::square(cube);
+                  DistSparseMatrix<double> A(grid, n, n, layout);
+                  A.load_csr(H.rowptr, H.colind, H.vals);
+                  DistVector<double> x(grid, n, Align::Cols, layout.cols);
+                  x.load(random_vector(n, 92));
+                  cube.clock().reset();
+                  (void)spmv_fused(A, x);
+                  (which == 0 ? t_con : t_cyc) = cube.clock().now_us();
+                  c.profile(which == 0 ? "consecutive" : "cyclic",
+                            cube.clock());
+                }
+                c.counter("sim_consecutive_us", t_con);
+                c.counter("sim_cyclic_us", t_cyc);
+                c.counter("cyclic_gain", t_con / t_cyc);
+              });
+      }
+    ASSERT_EQ(h.finish(), 0);
+  }
+  const Json doc = JsonParser(slurp_and_remove(path)).parse();
+  EXPECT_EQ(doc.keys(), kBenchTopKeys);
+  ASSERT_EQ(doc.at("cases").array.size(), 1u);
+  const Json& kase = doc.at("cases").array[0];
+  EXPECT_EQ(kase.keys(),
+            std::set<std::string>(
+                {"name", "args", "wall_ms", "counters", "profiles"}));
+  EXPECT_EQ(kase.at("name").string, "spmv_embedding_sweep");
+  EXPECT_EQ(kase.at("args").keys(),
+            std::set<std::string>({"dim", "n", "nnz", "skew_pct"}));
+  EXPECT_EQ(kase.at("counters").keys(),
+            std::set<std::string>(
+                {"sim_consecutive_us", "sim_cyclic_us", "cyclic_gain"}));
+  EXPECT_EQ(kase.at("profiles").keys(),
+            std::set<std::string>({"consecutive", "cyclic"}));
+  for (const std::string leg : {"consecutive", "cyclic"}) {
+    const Json& prof = kase.at("profiles").at(leg);
+    EXPECT_EQ(prof.keys(), kProfileTopKeys);
+    EXPECT_EQ(prof.at("schema").string, "vmp-profile-v1");
+  }
+}
+
 TEST(BenchSchema, FaultsFlagIsRecordedInTheDocument) {
   const std::string path = "schema_test_faults.json";
   {
@@ -413,20 +493,6 @@ TEST(BenchSchema, QuickAndFaultsComposeAndAreRecorded) {
   EXPECT_EQ(doc.at("fault_seed").number, 91.0);
   EXPECT_EQ(doc.at("trials").number, 1.0);
   EXPECT_EQ(doc.at("warmup").number, 1.0);
-}
-
-[[nodiscard]] std::string slurp_and_remove(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr) << path;
-  std::string text;
-  if (f != nullptr) {
-    char buf[4096];
-    for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
-      text.append(buf, n);
-    std::fclose(f);
-    std::remove(path.c_str());
-  }
-  return text;
 }
 
 TEST(MetricsSchema, SnapshotAndSeriesKeysAreExact) {
