@@ -153,6 +153,34 @@ int main(int argc, char** argv) {
             });
     }
 
+  // Stride sweep: the hyper-systolic communication alphabet — unit shifts
+  // (one round), small strides, and the √p stride of the streaming phases
+  // (multi-hop store-and-forward rounds).
+  for (int d : h.dims({4, 6, 8}, {4}))
+    for (std::size_t n : h.sizes({64, 1024}, {64})) {
+      h.run("shift_stride_sweep",
+            {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+              const int strides[] = {1, 2, 1 << ((d + 1) / 2)};
+              const char* names[] = {"sim_by1_us", "sim_by2_us",
+                                     "sim_bysqrtp_us"};
+              const char* rounds[] = {"rounds_by1", "rounds_by2",
+                                      "rounds_bysqrtp"};
+              for (int i = 0; i < 3; ++i) {
+                DistBuffer<double> buf(cube);
+                cube.each_proc(
+                    [&](proc_t q) { buf.assign(q, random_vector(n, q)); });
+                cube.clock().reset();
+                shift_blocks(cube, buf, sc, strides[i], RingOrder::Gray);
+                c.counter(names[i], cube.clock().now_us());
+                c.counter(rounds[i],
+                          static_cast<double>(shift_rounds(sc, strides[i])));
+              }
+            });
+    }
+
   for (int d : h.dims({4, 6, 8}, {4}))
     for (std::size_t n : h.sizes({64, 256, 1024}, {64})) {
       h.run("transpose", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},

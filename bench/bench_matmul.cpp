@@ -1,0 +1,159 @@
+// E9 — dense matmul backend race: rank-1 / SUMMA / hyper-systolic on the
+// same 1-D grid across machine sizes, matrix sizes, reduction-axis aspect
+// ratios and physical topology presets, plus the matmul_auto selector's
+// pick quality (does the cost model's choice win on the simulated clock?).
+#include <algorithm>
+#include <cmath>
+
+#include "harness.hpp"
+#include "vmprim.hpp"
+
+namespace {
+
+using namespace vmp;
+
+struct Race {
+  double rank1_us = 0, summa_us = 0, hyper_us = 0, auto_us = 0;
+  double rank1_moved = 0, summa_moved = 0, hyper_moved = 0;
+  MatmulCost model;
+};
+
+Race race(Cube& cube, const DistMatrix<double>& A,
+          const DistMatrix<double>& B) {
+  Race r;
+  r.model = matmul_cost(A, B);
+  cube.clock().reset();
+  (void)matmul(A, B);
+  r.rank1_us = cube.clock().now_us();
+  r.rank1_moved = static_cast<double>(cube.clock().stats().elements_moved);
+  cube.clock().reset();
+  (void)matmul_summa(A, B);
+  r.summa_us = cube.clock().now_us();
+  r.summa_moved = static_cast<double>(cube.clock().stats().elements_moved);
+  if (A.grid().pcols() == 1) {
+    cube.clock().reset();
+    (void)matmul_hyper(A, B);
+    r.hyper_us = cube.clock().now_us();
+    r.hyper_moved = static_cast<double>(cube.clock().stats().elements_moved);
+  }
+  cube.clock().reset();
+  (void)matmul_auto(A, B);
+  r.auto_us = cube.clock().now_us();
+  return r;
+}
+
+void report(bench::Case& c, const Cube& cube, const Race& r) {
+  c.counter("sim_rank1_us", r.rank1_us);
+  c.counter("sim_summa_us", r.summa_us);
+  c.counter("sim_auto_us", r.auto_us);
+  const double p = static_cast<double>(cube.procs());
+  c.counter("summa_moved_per_proc", r.summa_moved / p);
+  double best = std::min(r.rank1_us, r.summa_us);
+  if (r.hyper_us > 0) {
+    c.counter("sim_hyper_us", r.hyper_us);
+    c.counter("hyper_gain_vs_summa", r.summa_us / r.hyper_us);
+    c.counter("hyper_moved_per_proc", r.hyper_moved / p);
+    c.counter("summa_vs_hyper_volume", r.summa_moved / r.hyper_moved);
+    best = std::min(best, r.hyper_us);
+  }
+  // 1.0 iff the cost model's pick also wins the simulated race.
+  c.counter("auto_picked_winner", r.auto_us <= best * (1.0 + 1e-9) ? 1.0
+                                                                   : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("bench_matmul", argc, argv);
+
+  // Square operands on 1-D grids: machine-size sweep — the hyper side of
+  // the crossover (shift volume √p-fold below the panel broadcasts).
+  for (int d : h.dims({2, 4, 6, 8}, {2, 4}))
+    for (std::size_t n : h.sizes({64, 128, 256}, {64})) {
+      h.run("square_1d", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              if (h.metrics()) cube.enable_metrics();
+              Grid grid(cube, d, 0);
+              DistMatrix<double> A(grid, n, n), B(grid, n, n);
+              A.load(random_matrix(n, n, 91));
+              B.load(random_matrix(n, n, 92));
+              const Race r = race(cube, A, B);
+              report(c, cube, r);
+              const double serial = 2.0 * std::pow(static_cast<double>(n), 3) *
+                                    cube.costs().flop_us;
+              c.counter("hyper_speedup", serial / r.hyper_us);
+              if (h.metrics()) c.metrics(cube.metrics(), r.hyper_us);
+            });
+    }
+
+  // Reduction-axis aspect sweep at fixed p: skinny k starves the panel
+  // broadcasts but hyper still ships K full C-partials — the far side of
+  // the crossover, where matmul_auto must walk away from hyper.
+  for (int d : h.dims({4, 6}, {4})) {
+    struct Aspect {
+      std::size_t n, k, m;
+      const char* name;
+    };
+    const Aspect aspects[] = {{192, 4, 192, "k4"},
+                              {192, 24, 192, "k24"},
+                              {192, 192, 192, "k192"},
+                              {48, 384, 48, "k384_small_nm"}};
+    for (const Aspect& a : aspects) {
+      h.run("aspect_1d", {{"dim", d}, {"k", static_cast<std::int64_t>(a.k)}},
+            [&](bench::Case& c) {
+              c.label(a.name);
+              Cube cube(d, CostParams::cm2());
+              Grid grid(cube, d, 0);
+              DistMatrix<double> A(grid, a.n, a.k), B(grid, a.k, a.m);
+              A.load(random_matrix(a.n, a.k, 93));
+              B.load(random_matrix(a.k, a.m, 94));
+              report(c, cube, race(cube, A, B));
+            });
+    }
+  }
+
+  // Square 2-D grids for reference: hyper is ineligible there — the race
+  // is rank-1 vs SUMMA and auto must keep picking correctly.
+  for (int d : h.dims({4, 6}, {4}))
+    for (std::size_t n : h.sizes({64, 128}, {64})) {
+      h.run("square_2d", {{"dim", d}, {"n", static_cast<std::int64_t>(n)}},
+            [&](bench::Case& c) {
+              Cube cube(d, CostParams::cm2());
+              Grid grid = Grid::square(cube);
+              DistMatrix<double> A(grid, n, n), B(grid, n, n);
+              A.load(random_matrix(n, n, 95));
+              B.load(random_matrix(n, n, 96));
+              report(c, cube, race(cube, A, B));
+            });
+    }
+
+  // Topology ablation: the same race on each physical preset — routed
+  // presets dilate the shift rounds and the panel broadcasts differently,
+  // moving the crossover; the selector re-prices both sides per preset.
+  {
+    constexpr TopologyKind kPresets[] = {
+        TopologyKind::Hypercube, TopologyKind::Mesh, TopologyKind::Torus,
+        TopologyKind::Dragonfly};
+    for (TopologyKind kind : kPresets)
+      for (int d : h.dims({4, 6}, {4}))
+        for (std::size_t n : h.sizes({64, 128}, {64})) {
+          h.run("topology_sweep",
+                {{"topology", static_cast<std::int64_t>(kind)},
+                 {"dim", d},
+                 {"n", static_cast<std::int64_t>(n)}},
+                [&](bench::Case& c) {
+                  Cube::Options opts;
+                  opts.topology = kind;
+                  Cube cube(d, CostParams::cm2(), opts);
+                  c.label(cube.topology().name());
+                  Grid grid(cube, d, 0);
+                  DistMatrix<double> A(grid, n, n), B(grid, n, n);
+                  A.load(random_matrix(n, n, 97));
+                  B.load(random_matrix(n, n, 98));
+                  report(c, cube, race(cube, A, B));
+                });
+        }
+  }
+  return h.finish();
+}

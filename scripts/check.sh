@@ -187,8 +187,8 @@ if [[ "$NO_PERF_GATE" == 0 ]]; then
   # them (noise only inflates single-trial timings, so min-of-2 is the
   # robust statistic).  Only the first carries --metrics.
   GATE_BENCHES=(bench_ablation bench_collectives bench_gauss bench_kernels
-                bench_matvec bench_naive_vs_primitive bench_primitives
-                bench_scaling bench_simplex bench_spmv)
+                bench_matmul bench_matvec bench_naive_vs_primitive
+                bench_primitives bench_scaling bench_simplex bench_spmv)
   for b in "${GATE_BENCHES[@]}"; do
     (cd "$workdir" && "$OLDPWD/build/bench/$b" \
         --quick --trials=3 --warmup=1 --metrics \

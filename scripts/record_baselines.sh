@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 DEST="bench/baselines"
 BENCHES=(bench_ablation bench_collectives bench_gauss bench_kernels
-         bench_matvec bench_naive_vs_primitive bench_primitives
+         bench_matmul bench_matvec bench_naive_vs_primitive bench_primitives
          bench_scaling bench_simplex bench_spmv)
 
 for b in "${BENCHES[@]}"; do

@@ -1,5 +1,8 @@
 #include "algorithms/matmul.hpp"
 
+#include <limits>
+
+#include "comm/shift.hpp"
 #include "core/elementwise.hpp"
 #include "core/kernels.hpp"
 #include "core/primitives.hpp"
@@ -106,6 +109,317 @@ DistMatrix<double> matmul_summa(const DistMatrix<double>& A,
     k0 = k1;
   }
   return C;
+}
+
+namespace {
+
+/// The hyper-systolic shift-base schedule on a d-cube ring: K = 2^⌈d/2⌉
+/// stored copies (the base {0, 1, …, K−1} of unit strides) times
+/// L = p / K streaming phases of stride K.  The residues a + b·K for
+/// a ∈ [0, K), b ∈ [0, L) cover every ring offset exactly once, so each
+/// processor computes each (row-block, reduction-block) pair exactly once.
+struct HyperPlan {
+  std::uint32_t P = 1;
+  std::uint32_t K = 1;
+  std::uint32_t L = 1;
+};
+
+[[nodiscard]] HyperPlan hyper_plan(int d) {
+  HyperPlan h;
+  h.P = proc_t{1} << d;
+  h.K = proc_t{1} << ((d + 1) / 2);
+  h.L = h.P / h.K;
+  return h;
+}
+
+[[nodiscard]] bool hyper_eligible(const DistMatrix<double>& A,
+                                  const DistMatrix<double>& B) {
+  return A.grid().pcols() == 1 && A.layout().rows == Part::Block &&
+         B.layout().rows == Part::Block;
+}
+
+[[nodiscard]] bool summa_eligible(const DistMatrix<double>& A,
+                                  const DistMatrix<double>& B) {
+  return A.layout().cols == Part::Block && B.layout().rows == Part::Block;
+}
+
+}  // namespace
+
+DistMatrix<double> matmul_hyper(const DistMatrix<double>& A,
+                                const DistMatrix<double>& B) {
+  VMP_REQUIRE(&A.grid() == &B.grid(), "operands live on different grids");
+  VMP_REQUIRE(A.ncols() == B.nrows(), "inner dimensions must agree");
+  VMP_REQUIRE(A.grid().pcols() == 1,
+              "matmul_hyper runs on a 1-D (row-partitioned) grid");
+  VMP_REQUIRE(A.layout().rows == Part::Block && B.layout().rows == Part::Block,
+              "matmul_hyper needs Block row partitioning of both operands");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  const HyperPlan hp = hyper_plan(cube.dim());
+  const std::uint32_t P = hp.P, K = hp.K, L = hp.L;
+  const std::size_t kk = A.ncols(), m = B.ncols();
+  DistMatrix<double> C(grid, A.nrows(), m,
+                       MatrixLayout{Part::Block, B.layout().cols});
+  VMP_TRACE(cube, "matmul_hyper");
+  const auto batch = cube.session();
+  const SubcubeSet ring = grid.whole();
+
+  // Ring geometry: position r lives on processor gray_encode(r); on a 1-D
+  // grid the processor index IS the block-row index, so the block-row at
+  // ring position r is gray_encode(r mod P).
+  const auto row_at = [&](std::uint32_t pos) -> proc_t {
+    return ring_proc(RingOrder::Gray, pos & (P - 1));
+  };
+
+  // Replicate A along the shift base: copy a at ring position r holds
+  // block-row row_at(r − a), produced by shifting copy a−1 one position
+  // forward.  K stored copies, K − 1 unit-stride rounds.
+  std::vector<DistBuffer<double>> acopy;
+  acopy.reserve(K);
+  {
+    VMP_TRACE(cube, "hyper_replicate");
+    for (std::uint32_t a = 0; a < K; ++a) {
+      acopy.emplace_back(cube);
+      acopy[a].reserve_each(A.max_block());
+      DistBuffer<double>& cur = acopy[a];
+      if (a == 0) {
+        cube.compute(A.max_block(), A.nrows() * kk,
+                     [&](proc_t q) { cur.assign(q, A.block(q)); });
+      } else {
+        const DistBuffer<double>& prev = acopy[a - 1];
+        cube.compute(A.max_block(), A.nrows() * kk,
+                     [&](proc_t q) { cur.assign(q, prev.tile(q)); });
+        shift_blocks(cube, cur, ring, 1, RingOrder::Gray);
+      }
+    }
+  }
+
+  // One live copy of B, streamed through the phases; K zero-initialized
+  // C-partial copies, cpart[a] at position r accumulating block-row
+  // row_at(r − a) — the same row index as acopy[a].
+  DistBuffer<double> bbuf(cube);
+  bbuf.reserve_each(B.max_block());
+  cube.compute(B.max_block(), kk * m,
+               [&](proc_t q) { bbuf.assign(q, B.block(q)); });
+  std::vector<DistBuffer<double>> cpart;
+  cpart.reserve(K);
+  for (std::uint32_t a = 0; a < K; ++a) {
+    cpart.emplace_back(cube);
+    cpart[a].reserve_each(C.max_block());
+  }
+  cube.compute(std::uint64_t{K} * C.max_block(),
+               std::uint64_t{K} * A.nrows() * m, [&](proc_t q) {
+                 const std::uint32_t r = ring_pos(RingOrder::Gray, q);
+                 for (std::uint32_t a = 0; a < K; ++a)
+                   cpart[a].assign(
+                       q, A.rowmap().size(row_at(r + P - a)) * m, 0.0);
+               });
+
+  // Systolic phases: in phase b the live B copy at position r holds
+  // block-row R2 = row_at(r − b·K); every stored A copy a contributes
+  // C[R1] += A[R1][:, rows(R2)] · B[R2] with R1 = row_at(r − a).  The
+  // (a, b ascending) accumulation order is a fixed per-processor schedule,
+  // so results are bit-identical at any thread count.
+  {
+    VMP_TRACE(cube, "hyper_stream");
+    for (std::uint32_t b = 0; b < L; ++b) {
+      if (b != 0)
+        shift_blocks(cube, bbuf, ring, static_cast<int>(K), RingOrder::Gray);
+      std::uint64_t maxf = 0, totf = 0;
+      cube.each_proc([&](proc_t q) {
+        const std::uint32_t r = ring_pos(RingOrder::Gray, q);
+        const std::uint64_t w = B.rowmap().size(row_at(r + P - b * K));
+        std::uint64_t f = 0;
+        for (std::uint32_t a = 0; a < K; ++a)
+          f += 2 * A.rowmap().size(row_at(r + P - a)) * w * m;
+        totf += f;
+        maxf = std::max(maxf, f);
+      });
+      cube.compute(maxf, totf, [&](proc_t q) {
+        const std::uint32_t r = ring_pos(RingOrder::Gray, q);
+        const proc_t R2 = row_at(r + P - b * K);
+        const std::size_t w = B.rowmap().size(R2);
+        if (w == 0) return;
+        // A's columns are whole on a 1-D grid (pcols == 1), so B's global
+        // row range is directly A's local column range.
+        const std::size_t c0 = B.rowmap().global_begin(R2);
+        const std::span<const double> bp = bbuf.tile(q);
+        VMP_ASSERT(bp.size() == w * m, "streamed B tile must be w × m");
+        for (std::uint32_t a = 0; a < K; ++a) {
+          const std::size_t lra = A.rowmap().size(row_at(r + P - a));
+          const std::span<const double> ap = acopy[a].tile(q);
+          std::span<double> cp = cpart[a].tile(q);
+          for (std::size_t lr = 0; lr < lra; ++lr) {
+            const std::span<const double> arow = ap.subspan(lr * kk + c0, w);
+            std::span<double> crow = cp.subspan(lr * m, m);
+            for (std::size_t t = 0; t < w; ++t)
+              kern::axpy(crow, arow[t], bp.subspan(t * m, m));
+          }
+        }
+      });
+    }
+  }
+
+  // Combine: walk the base backwards, shifting the accumulator one
+  // position back per step so it always aligns with the next copy's row
+  // block; after K − 1 rounds the accumulator at position r is the full C
+  // block-row row_at(r) — sitting on its owner.
+  {
+    VMP_TRACE(cube, "hyper_combine");
+    DistBuffer<double>& acc = cpart[K - 1];
+    for (std::uint32_t i = 1; i < K; ++i) {
+      shift_blocks(cube, acc, ring, -1, RingOrder::Gray);
+      const DistBuffer<double>& add = cpart[K - 1 - i];
+      cube.compute(C.max_block(), A.nrows() * m, [&](proc_t q) {
+        std::span<double> dst = acc.tile(q);
+        const std::span<const double> src = add.tile(q);
+        VMP_ASSERT(dst.size() == src.size(), "combine tiles must align");
+        kern::axpy(dst, 1.0, src);
+      });
+    }
+    cube.compute(C.max_block(), A.nrows() * m, [&](proc_t q) {
+      VMP_ASSERT(acc.len(q) == C.lrows(q) * C.lcols(q),
+                 "combined block must land on its owner");
+      kern::copy(acc.tile(q), C.block(q));
+    });
+  }
+  return C;
+}
+
+namespace {
+
+/// First-order topology correction for the broadcast terms of the cost
+/// models: the average per-logical-edge route dilation in start-up and
+/// serialized-element units.  Exactly {1, 1} on unit-hop presets; the
+/// shift terms don't use this — they follow the physical routes exactly
+/// via shift_cost_model.
+struct CommScale {
+  double startup = 1.0;
+  double elems = 1.0;
+};
+
+[[nodiscard]] CommScale comm_scale(Cube& cube) {
+  if (cube.unit_hop() || cube.dim() == 0) return {};
+  const Topology& topo = cube.topology();
+  double su = 0.0, el = 0.0;
+  std::size_t n = 0;
+  std::vector<Hop> hops;
+  for (int d = 0; d < cube.dim(); ++d)
+    for (proc_t q = 0; q < cube.procs(); ++q) {
+      hops.clear();
+      topo.route(q, q ^ (proc_t{1} << d), hops);
+      double s = 0.0, e = 0.0;
+      for (const Hop& h : hops) {
+        const AxisCharge c = topo.axis_charge(h.axis);
+        s += c.startup_mult;
+        e += c.per_elem_mult;
+      }
+      su += s;
+      el += e;
+      ++n;
+    }
+  return CommScale{su / static_cast<double>(n), el / static_cast<double>(n)};
+}
+
+/// Broadcast of `len` elements over a k-dimensional subcube: the cheaper
+/// of binomial-tree and scatter-allgather, the same pair broadcast_auto
+/// models (pipelining refinements shift both backends equally and are
+/// ignored here — the selector needs rank order, not absolute time).
+[[nodiscard]] double bcast_model(const CostParams& cp, const CommScale& s,
+                                 int kdims, double len) {
+  if (kdims == 0 || len <= 0.0) return 0.0;
+  const double tau = cp.startup_us * s.startup;
+  const double tc = cp.per_elem_us * s.elems;
+  const double bin = kdims * (tau + len * tc);
+  const double sag = 2.0 * kdims * tau + 2.0 * len * tc;
+  return std::min(bin, sag);
+}
+
+[[nodiscard]] constexpr double ceil_div(std::size_t n, std::uint32_t p) {
+  return static_cast<double>((n + p - 1) / p);
+}
+
+}  // namespace
+
+MatmulCost matmul_cost(const DistMatrix<double>& A,
+                       const DistMatrix<double>& B) {
+  VMP_REQUIRE(&A.grid() == &B.grid(), "operands live on different grids");
+  VMP_REQUIRE(A.ncols() == B.nrows(), "inner dimensions must agree");
+  Grid& grid = A.grid();
+  Cube& cube = grid.cube();
+  const CostParams& cp = cube.costs();
+  const CommScale sc = comm_scale(cube);
+  const double ta = cp.flop_us;
+  const std::size_t n = A.nrows(), kk = A.ncols(), m = B.ncols();
+  const std::uint32_t pr = grid.prows(), pc = grid.pcols();
+  const double lr_max = ceil_div(n, pr);   // C/A rows per processor
+  const double lc_max = ceil_div(m, pc);   // C/B cols per processor
+  MatmulCost out;
+
+  // Rank-1: per reduction index, one column extract (copy + broadcast
+  // across grid columns), one row extract (copy + broadcast across grid
+  // rows) and a local rank-1 update.
+  out.rank1 = static_cast<double>(kk) *
+              (lr_max * ta + bcast_model(cp, sc, grid.col_dims(), lr_max) +
+               lc_max * ta + bcast_model(cp, sc, grid.row_dims(), lc_max) +
+               2.0 * lr_max * lc_max * ta);
+
+  // SUMMA: walk the real panel intervals and price each panel's two
+  // broadcasts, copy-outs and local GEMM.
+  if (summa_eligible(A, B)) {
+    double c = 0.0;
+    std::size_t k0 = 0;
+    while (k0 < kk) {
+      const std::uint32_t Ac = A.colmap().owner(k0);
+      const std::uint32_t Br = B.rowmap().owner(k0);
+      const std::size_t a_end = block_begin(kk, pc, Ac) + A.colmap().size(Ac);
+      const std::size_t b_end = block_begin(kk, pr, Br) + B.rowmap().size(Br);
+      const std::size_t k1 = std::min(a_end, b_end);
+      const double w = static_cast<double>(k1 - k0);
+      c += lr_max * w * ta + bcast_model(cp, sc, grid.col_dims(), lr_max * w);
+      c += w * lc_max * ta + bcast_model(cp, sc, grid.row_dims(), w * lc_max);
+      c += 2.0 * lr_max * lc_max * w * ta;
+      k0 = k1;
+    }
+    out.summa = c;
+  } else {
+    out.summa = std::numeric_limits<double>::infinity();
+  }
+
+  // Hyper-systolic: K−1 unit A-shifts, L−1 stride-K B-shifts, K−1 unit
+  // combine shifts + adds, plus the staging copies and the phase GEMMs —
+  // shift terms priced on the physical topology by shift_cost_model.
+  if (hyper_eligible(A, B)) {
+    const HyperPlan hp = hyper_plan(cube.dim());
+    const SubcubeSet ring = grid.whole();
+    const double maxA = ceil_div(n, hp.P) * static_cast<double>(kk);
+    const double maxB = ceil_div(kk, hp.P) * static_cast<double>(m);
+    const double maxC = ceil_div(n, hp.P) * static_cast<double>(m);
+    double c = maxA * ta + maxB * ta + hp.K * maxC * ta;  // staging + zeroing
+    c += (hp.K - 1) *
+         (maxA * ta + shift_cost_model(cube, ring, 1,
+                                       static_cast<std::size_t>(maxA)));
+    c += (hp.L - 1) * shift_cost_model(cube, ring, static_cast<int>(hp.K),
+                                       static_cast<std::size_t>(maxB));
+    c += static_cast<double>(hp.L) * 2.0 * hp.K * ceil_div(n, hp.P) *
+         ceil_div(kk, hp.P) * static_cast<double>(m) * ta;
+    c += (hp.K - 1) *
+         (shift_cost_model(cube, ring, -1, static_cast<std::size_t>(maxC)) +
+          maxC * ta);
+    c += maxC * ta;  // final copy into C
+    out.hyper = c;
+  } else {
+    out.hyper = std::numeric_limits<double>::infinity();
+  }
+  return out;
+}
+
+DistMatrix<double> matmul_auto(const DistMatrix<double>& A,
+                               const DistMatrix<double>& B) {
+  const MatmulCost c = matmul_cost(A, B);
+  if (c.hyper <= c.summa && c.hyper <= c.rank1) return matmul_hyper(A, B);
+  if (c.summa <= c.rank1) return matmul_summa(A, B);
+  return matmul(A, B);
 }
 
 }  // namespace vmp

@@ -604,6 +604,24 @@ class Cube {
     }
   }
 
+  /// Explicit charging for one lockstep round whose messages the CALLER
+  /// stages and delivers host-side (the generalized ring shifts in
+  /// comm/shift.hpp): different processors may cross DIFFERENT cube
+  /// dimensions in the same round, so neither `exchange` (one shared
+  /// dimension) nor `neighbor_exchange` (symmetric partners) fits.
+  /// Between irr_begin() and irr_charge(), add every message's logical
+  /// cube edge (`from`, `from ^ 2^d`) with irr_add; zero-length messages
+  /// are elided like every silent sender.  On the unit-hop (hypercube)
+  /// preset the round is charged `τ + max·t_c` where `max` is the busiest
+  /// processor's combined outgoing transfer — the irregular-round rule
+  /// neighbor_exchange pays; routed presets resolve every logical edge
+  /// through the cached physical routes and the round pays its most
+  /// loaded link, exactly like every other lockstep round.
+  void irr_begin();
+  void irr_add(int d, proc_t from, std::size_t len);
+  /// Charge the accumulated round (a no-op if nothing was added).
+  void irr_charge();
+
   /// The persistent worker team backing the per-processor loops.
   [[nodiscard]] WorkerTeam& team() { return team_; }
   [[nodiscard]] const WorkerTeam& team() const { return team_; }
@@ -948,6 +966,13 @@ class Cube {
   int rc_axis_ = -2;
   std::vector<Hop> reroute_hops_;
   std::vector<Hop> route_scratch_;
+  // Irregular-round charge state (irr_begin/irr_add/irr_charge): combined
+  // per-processor outgoing loads, tracked sparsely so a round touching few
+  // processors stays cheap and allocation-free in steady state.
+  std::vector<std::size_t> irr_load_;
+  std::vector<proc_t> irr_senders_;
+  std::size_t irr_total_ = 0;
+  std::size_t irr_messages_ = 0;
 };
 
 }  // namespace vmp

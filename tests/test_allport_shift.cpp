@@ -4,9 +4,11 @@
 
 #include <memory>
 #include <numeric>
+#include <random>
 
 #include "comm/allport.hpp"
 #include "comm/shift.hpp"
+#include "fault/fault.hpp"
 #include "util/workloads.hpp"
 
 namespace vmp {
@@ -199,8 +201,111 @@ TEST_P(ShiftSweep, RotatesBlocksByOnePosition) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ShiftSweep,
     ::testing::Combine(::testing::Values(1, 2, 4, 5),
-                       ::testing::Values(1, -1),
+                       ::testing::Values(1, -1, 2, 3, -5),
                        ::testing::Values(RingOrder::Gray, RingOrder::Binary)));
+
+TEST(Shift, StrideChargesStoreAndForwardRounds) {
+  // A Gray stride-s shift is charged as the dimension-order relay it would
+  // be on the wire: exactly shift_rounds(sc, s) lockstep rounds — 1 for
+  // unit strides, never more than d.  Cost-exact: pin the paper machine.
+  Cube cube(4, CostParams::unit(), pin_hypercube());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, 4);
+  EXPECT_EQ(shift_rounds(sc, 1), 1);
+  EXPECT_EQ(shift_rounds(sc, -1), 1);
+  for (const int by : {1, -1, 2, 3, 4, 8, -5}) {
+    DistBuffer<double> buf(cube);
+    cube.each_proc([&](proc_t q) { buf.assign(q, 4, static_cast<double>(q)); });
+    cube.clock().reset();
+    shift_blocks(cube, buf, sc, by, RingOrder::Gray);
+    const int rounds = shift_rounds(sc, by);
+    EXPECT_GE(rounds, 1);
+    EXPECT_LE(rounds, sc.k());
+    EXPECT_EQ(cube.clock().stats().comm_steps,
+              static_cast<std::uint64_t>(rounds))
+        << "by=" << by;
+  }
+}
+
+TEST(Shift, CostModelMatchesChargedTime) {
+  // shift_cost_model must price exactly what shift_blocks charges, on
+  // whatever topology the run uses (the matmul_auto selector leans on it).
+  Cube cube(4, CostParams::cm2());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, 4);
+  const std::size_t n = 32;
+  for (const int by : {1, -1, 2, 4, 5}) {
+    DistBuffer<double> buf(cube);
+    cube.each_proc([&](proc_t q) { buf.assign(q, random_vector(n, q)); });
+    const double model = shift_cost_model(cube, sc, by, n);
+    cube.clock().reset();
+    shift_blocks(cube, buf, sc, by, RingOrder::Gray);
+    EXPECT_DOUBLE_EQ(cube.clock().now_us(), model) << "by=" << by;
+  }
+}
+
+namespace {
+
+// One randomized stride workout: ragged tiles (some empty), P random
+// strides, then the closing shift that brings the net displacement back to
+// zero.  Returns the final tile contents and the simulated finish time.
+struct ShiftRun {
+  std::vector<std::vector<double>> tiles;
+  double t_us = 0.0;
+};
+
+ShiftRun run_shift_sequence(int d, unsigned threads, RingOrder order,
+                            bool faults) {
+  Cube::Options opts;
+  opts.threads = threads;
+  Cube cube(d, CostParams::cm2(), opts);
+  // Within-budget rates: low enough that no message plausibly exhausts
+  // the retry budget across the whole routed stride sequence.
+  if (faults)
+    cube.enable_faults(FaultPlan::transient(17, /*drop=*/0.05,
+                                            /*corrupt=*/0.02));
+  const SubcubeSet sc = SubcubeSet::contiguous(0, d);
+  const std::uint32_t P = sc.size();
+  DistBuffer<double> buf(cube);
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    buf.assign(q, random_vector((q * 7 + 3) % 17, 1000 + q));
+  std::mt19937 rng(404 + static_cast<unsigned>(d));
+  int sum = 0;
+  for (std::uint32_t it = 0; it < P; ++it) {
+    const int by =
+        static_cast<int>(rng() % (2 * P + 1)) - static_cast<int>(P);
+    shift_blocks(cube, buf, sc, by, order);
+    sum += by;
+  }
+  shift_blocks(cube, buf, sc, -sum, order);
+  ShiftRun r;
+  for (proc_t q = 0; q < cube.procs(); ++q)
+    r.tiles.push_back(buf.host_vec(q));
+  r.t_us = cube.clock().now_us();
+  return r;
+}
+
+}  // namespace
+
+TEST(Shift, RandomStridesRoundTripUnderThreadsAndFaults) {
+  // Property suite for the generalized strides: after a random stride
+  // sequence whose displacements cancel, every tile is bit-identically
+  // back home — in Gray and Binary order, under within-budget transient
+  // fault plans, at thread counts {1, 3, hardware}; and the runs are
+  // bit-identical (contents AND simulated time) across thread counts.
+  for (const int d : {2, 4, 5})
+    for (const RingOrder order : {RingOrder::Gray, RingOrder::Binary})
+      for (const bool faults : {false, true}) {
+        const ShiftRun t1 = run_shift_sequence(d, 1, order, faults);
+        const ShiftRun t3 = run_shift_sequence(d, 3, order, faults);
+        const ShiftRun thw = run_shift_sequence(d, 0, order, faults);
+        for (proc_t q = 0; q < (proc_t{1} << d); ++q)
+          EXPECT_EQ(t1.tiles[q], random_vector((q * 7 + 3) % 17, 1000 + q))
+              << "d=" << d << " q=" << q << " faults=" << faults;
+        EXPECT_EQ(t1.tiles, t3.tiles);
+        EXPECT_EQ(t1.tiles, thw.tiles);
+        EXPECT_DOUBLE_EQ(t1.t_us, t3.t_us);
+        EXPECT_DOUBLE_EQ(t1.t_us, thw.t_us);
+      }
+}
 
 TEST(Shift, GrayIsOneStepBinaryIsManySteps) {
   const int d = 6;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/shift.hpp"
 #include "core/primitives.hpp"
 #include "embed/dist_matrix.hpp"
 #include "embed/dist_vector.hpp"
@@ -102,6 +103,31 @@ TEST(PooledStaging, SteadyStateExchangeLoopNeverTouchesTheHeap) {
           [&](proc_t, std::span<const double>) {});
   const SimStats& st = cube.clock().stats();
   EXPECT_EQ(st.pool_misses, 0u) << "steady-state exchange allocated";
+  EXPECT_EQ(st.alloc_bytes, 0u);
+  EXPECT_GT(st.pool_hits, 0u);
+}
+
+TEST(PooledStaging, SteadyStateGrayShiftLoopNeverTouchesTheHeap) {
+  // The Gray shift stages tiles AND their lengths through one pooled slab
+  // lease (no per-call DistBuffer copy, whose length vector would hit the
+  // heap every shift): after one warm pass, a repeated-shift loop at any
+  // mix of strides must be 100% pool hits.
+  Cube cube(4, CostParams::cm2());
+  const SubcubeSet sc = SubcubeSet::contiguous(0, 4);
+  DistBuffer<double> buf(cube, 64);
+  cube.each_proc([&](proc_t q) {
+    for (std::size_t t = 0; t < 64; ++t)
+      buf.tile(q)[t] = static_cast<double>(q * 64 + t);
+  });
+  shift_blocks(cube, buf, sc, 1, RingOrder::Gray);  // warm: lease bucket
+  cube.clock().reset();
+  for (int it = 0; it < 16; ++it) {
+    shift_blocks(cube, buf, sc, 1, RingOrder::Gray);
+    shift_blocks(cube, buf, sc, 5, RingOrder::Gray);
+    shift_blocks(cube, buf, sc, -6, RingOrder::Gray);
+  }
+  const SimStats& st = cube.clock().stats();
+  EXPECT_EQ(st.pool_misses, 0u) << "steady-state shift loop allocated";
   EXPECT_EQ(st.alloc_bytes, 0u);
   EXPECT_GT(st.pool_hits, 0u);
 }
